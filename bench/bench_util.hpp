@@ -1,0 +1,201 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared infrastructure for the figure-reproduction benchmark binaries.
+///
+/// Every binary regenerates one figure/table of the paper's evaluation
+/// (Section 5) on the *paper's* synthetic workload (Section 5.2), scaled
+/// down to laptop sizes by default and overridable through environment
+/// variables:
+///
+///   PITK_K6     steps for the n=6 problem        (paper: 5,000,000; default 100,000)
+///   PITK_K48    steps for the n=48 problem       (paper:   100,000; default   1,000)
+///   PITK_REPS   repetitions per configuration    (paper: 5;        default 3)
+///   PITK_MAXCORES  cap on the core sweep         (default: hardware)
+///
+/// Binaries run under google-benchmark; a capturing reporter records the
+/// per-repetition wall times so each binary can print the paper-style
+/// series (and qualitative shape checks) after the standard output.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/associative.hpp"
+#include "la/blas.hpp"
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "kalman/rts.hpp"
+#include "kalman/simulate.hpp"
+#include "la/random.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pitk::bench {
+
+using kalman::Problem;
+using la::index;
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+inline index k_for_n6() { return env_long("PITK_K6", 100000); }
+inline index k_for_n48() { return env_long("PITK_K48", 1000); }
+inline int repetitions() { return static_cast<int>(env_long("PITK_REPS", 3)); }
+
+/// The sweep 1..min(hardware, PITK_MAXCORES), always including 1.
+inline std::vector<unsigned> core_sweep() {
+  const unsigned hw = par::ThreadPool::hardware_cores();
+  const unsigned cap = static_cast<unsigned>(env_long("PITK_MAXCORES", hw));
+  std::vector<unsigned> cores;
+  for (unsigned c = 1; c <= std::min(hw, cap); ++c) cores.push_back(c);
+  return cores;
+}
+
+/// All smoother variants of Figure 2, in the paper's legend order.
+enum class Variant {
+  OddEven,
+  OddEvenNC,
+  Associative,
+  PaigeSaunders,
+  PaigeSaundersNC,
+  Kalman,
+};
+
+inline const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::OddEven: return "Odd-Even";
+    case Variant::OddEvenNC: return "Odd-Even-NC";
+    case Variant::Associative: return "Associative";
+    case Variant::PaigeSaunders: return "Paige-Saunders";
+    case Variant::PaigeSaundersNC: return "Paige-Saunders-NC";
+    case Variant::Kalman: return "Kalman";
+  }
+  return "?";
+}
+
+inline bool variant_is_parallel(Variant v) {
+  return v == Variant::OddEven || v == Variant::OddEvenNC || v == Variant::Associative;
+}
+
+/// Cached paper-benchmark problems (construction excluded from timing, as in
+/// Section 5.2) plus the prior the conventional smoothers need.
+struct Workload {
+  Problem problem;          ///< full problem (step-0 observation included)
+  Problem conventional;     ///< step-0 observation stripped...
+  kalman::GaussianPrior prior;  ///< ...and converted to this exact prior
+};
+
+inline const Workload& workload(index n, index k) {
+  static std::map<std::pair<index, index>, std::unique_ptr<Workload>> cache;
+  auto& slot = cache[{n, k}];
+  if (!slot) {
+    slot = std::make_unique<Workload>();
+    la::Rng rng(0xBE5C0DE + static_cast<std::uint64_t>(n));
+    slot->problem = kalman::make_paper_benchmark(rng, n, k);
+    // Orthonormal G, L = I: the step-0 observation is exactly the Gaussian
+    // prior u_0 ~ N(G^T o_0, I).
+    const kalman::Observation& ob0 = *slot->problem.step(0).observation;
+    slot->prior.mean = la::Vector(n);
+    la::gemv(1.0, ob0.G.view(), la::Trans::Yes, ob0.o.span(), 0.0, slot->prior.mean.span());
+    slot->prior.cov = la::Matrix::identity(n);
+    slot->conventional = slot->problem;
+    slot->conventional.step(0).observation.reset();
+  }
+  return *slot;
+}
+
+/// Run one smoother variant once; returns a checksum so the optimizer cannot
+/// elide the work.
+inline double run_variant(Variant v, const Workload& w, par::ThreadPool& pool, index grain) {
+  kalman::SmootherResult res;
+  switch (v) {
+    case Variant::OddEven:
+      res = kalman::oddeven_smooth(w.problem, pool, {.compute_covariance = true, .grain = grain});
+      break;
+    case Variant::OddEvenNC:
+      res = kalman::oddeven_smooth(w.problem, pool, {.compute_covariance = false, .grain = grain});
+      break;
+    case Variant::Associative:
+      res = kalman::associative_smooth(w.conventional, w.prior, pool, {.grain = grain});
+      break;
+    case Variant::PaigeSaunders:
+      res = kalman::paige_saunders_smooth(w.problem, {.compute_covariance = true});
+      break;
+    case Variant::PaigeSaundersNC:
+      res = kalman::paige_saunders_smooth(w.problem, {.compute_covariance = false});
+      break;
+    case Variant::Kalman:
+      res = kalman::rts_smooth(w.conventional, w.prior);
+      break;
+  }
+  double checksum = 0.0;
+  checksum += res.means.front()[0] + res.means.back()[0];
+  if (res.has_covariances()) checksum += res.covariances.back()(0, 0);
+  return checksum;
+}
+
+/// Reporter that tees to the console and records per-repetition wall times.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration) continue;
+      results_[r.run_name.str()].push_back(r.GetAdjustedRealTime());
+    }
+  }
+
+  /// Median of the recorded repetitions for a benchmark whose registered
+  /// name is `name`; google-benchmark may decorate the run name with
+  /// suffixes like "/iterations:1" or "/real_time", so matching is by
+  /// prefix.  Returns 0.0 when nothing matched.
+  [[nodiscard]] double median_seconds(const std::string& name) const {
+    const std::vector<double>* s = samples(name);
+    if (s == nullptr || s->empty()) return 0.0;
+    std::vector<double> v = *s;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  }
+
+  [[nodiscard]] const std::vector<double>* samples(const std::string& name) const {
+    auto it = results_.find(name);
+    if (it != results_.end()) return &it->second;
+    for (const auto& [key, vals] : results_) {
+      if (key.size() > name.size() && key.compare(0, name.size(), name) == 0 &&
+          key[name.size()] == '/')
+        return &vals;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::vector<double>>& all() const { return results_; }
+
+ private:
+  std::map<std::string, std::vector<double>> results_;
+};
+
+/// Standard main body: run registered benchmarks with the capturing reporter
+/// then invoke `summary`.
+template <class Summary>
+int run_benchmarks(int argc, char** argv, Summary&& summary) {
+  benchmark::Initialize(&argc, argv);
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  summary(reporter);
+  return 0;
+}
+
+inline void print_shape_check(const char* what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "OK " : "??? ", what);
+}
+
+}  // namespace pitk::bench

@@ -1,0 +1,91 @@
+/// \file fig3_speedups.cpp
+/// Figure 3: speedups of the three parallel smoothers (Odd-Even,
+/// Odd-Even-NC, Associative) relative to their own 1-core running time, for
+/// both Section 5.2 workloads.
+///
+/// Paper shape to reproduce: speedups grow with cores; Odd-Even scales at
+/// least as well as Associative; n=48 scales somewhat better than n=6
+/// (better computation-to-communication ratio).
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pitk;
+using namespace pitk::bench;
+
+struct Config {
+  index n;
+  index k;
+};
+
+std::vector<Config> configs() { return {{6, k_for_n6()}, {48, k_for_n48()}}; }
+
+std::string bench_name(Variant v, const Config& c, unsigned cores) {
+  return std::string("Fig3/") + variant_name(v) + "/n=" + std::to_string(c.n) +
+         "/k=" + std::to_string(c.k) + "/cores=" + std::to_string(cores);
+}
+
+constexpr Variant kParallel[] = {Variant::OddEven, Variant::OddEvenNC, Variant::Associative};
+
+void register_all() {
+  for (const Config& c : configs()) {
+    (void)workload(c.n, c.k);
+    for (Variant v : kParallel) {
+      for (unsigned cores : core_sweep()) {
+        benchmark::RegisterBenchmark(bench_name(v, c, cores).c_str(),
+                                     [v, c, cores](benchmark::State& state) {
+                                       const Workload& w = workload(c.n, c.k);
+                                       par::ThreadPool pool(cores);
+                                       for (auto _ : state) {
+                                         benchmark::DoNotOptimize(
+                                             run_variant(v, w, pool, par::default_grain));
+                                       }
+                                     })
+            ->Unit(benchmark::kSecond)
+            ->UseRealTime()
+            ->Iterations(1)
+            ->Repetitions(repetitions())
+            ->ReportAggregatesOnly(false);
+      }
+    }
+  }
+}
+
+void summary(const CapturingReporter& rep) {
+  std::printf("\n=== Figure 3: speedups relative to the same code on 1 core ===\n");
+  for (const Config& c : configs()) {
+    std::printf("\n-- n=%lld k=%lld --\n%-16s", static_cast<long long>(c.n),
+                static_cast<long long>(c.k), "cores");
+    for (unsigned cores : core_sweep()) std::printf("%8u", cores);
+    std::printf("\n");
+    double oe_best = 0.0;
+    double assoc_best = 0.0;
+    for (Variant v : kParallel) {
+      const double t1 = rep.median_seconds(bench_name(v, c, 1));
+      std::printf("%-16s", variant_name(v));
+      for (unsigned cores : core_sweep()) {
+        const double tc = rep.median_seconds(bench_name(v, c, cores));
+        const double s = tc > 0.0 ? t1 / tc : 0.0;
+        std::printf("%8.2f", s);
+        if (v == Variant::OddEven) oe_best = std::max(oe_best, s);
+        if (v == Variant::Associative) assoc_best = std::max(assoc_best, s);
+      }
+      std::printf("\n");
+    }
+    std::printf("\nshape checks:\n");
+    if (core_sweep().back() > 1) {
+      print_shape_check("Odd-Even achieves speedup > 1", oe_best > 1.0);
+      print_shape_check("Odd-Even speedup >= Associative speedup", oe_best >= assoc_best * 0.9);
+    } else {
+      std::printf("  (single core available: speedup sweep degenerate)\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return run_benchmarks(argc, argv, summary);
+}

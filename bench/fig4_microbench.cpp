@@ -1,0 +1,155 @@
+/// \file fig4_microbench.cpp
+/// Figure 4: the embarrassingly-parallel micro-benchmark that characterizes
+/// the hardware and the runtime, with the paper's four phases:
+///
+///   1. allocate k step structures (pointer array)
+///   2. allocate a 2n-by-n matrix per step
+///   3. fill every matrix with A_ij = i + j
+///   4. QR-factorize every matrix
+///
+/// Each phase is one parallel_for with block size 8 (as in Section 5.3).
+/// Paper shape: the QR phase scales nearly linearly; the allocation phases
+/// scale poorly (allocator contention / memory bandwidth) but are cheap.
+
+#include <memory>
+
+#include "bench_util.hpp"
+#include "la/qr.hpp"
+
+namespace {
+
+using namespace pitk;
+using namespace pitk::bench;
+
+constexpr index kBlock = 8;
+
+struct Step {
+  std::unique_ptr<la::Matrix> a;
+  std::vector<double> tau;
+};
+
+index micro_n() { return env_long("PITK_MICRO_N", 48); }
+index micro_k() { return env_long("PITK_MICRO_K", 4000); }
+
+std::string bench_name(const char* phase, unsigned cores) {
+  return std::string("Fig4/") + phase + "/n=" + std::to_string(micro_n()) +
+         "/k=" + std::to_string(micro_k()) + "/cores=" + std::to_string(cores);
+}
+
+/// Shared across phases so later phases operate on phase-1/2 results.
+std::vector<std::unique_ptr<Step>>& steps() {
+  static std::vector<std::unique_ptr<Step>> s;
+  return s;
+}
+
+void phase_allocate_structs(par::ThreadPool& pool) {
+  auto& s = steps();
+  s.clear();
+  s.resize(static_cast<std::size_t>(micro_k()));
+  par::parallel_for(pool, 0, micro_k(), kBlock,
+                    [&](index i) { s[static_cast<std::size_t>(i)] = std::make_unique<Step>(); });
+}
+
+void phase_allocate_matrices(par::ThreadPool& pool) {
+  const index n = micro_n();
+  auto& s = steps();
+  par::parallel_for(pool, 0, micro_k(), kBlock, [&, n](index i) {
+    Step& st = *s[static_cast<std::size_t>(i)];
+    st.a = std::make_unique<la::Matrix>(2 * n, n);
+    st.tau.assign(static_cast<std::size_t>(n), 0.0);
+  });
+}
+
+void phase_fill(par::ThreadPool& pool) {
+  const index n = micro_n();
+  auto& s = steps();
+  par::parallel_for(pool, 0, micro_k(), kBlock, [&, n](index idx) {
+    la::Matrix& a = *s[static_cast<std::size_t>(idx)]->a;
+    for (index j = 0; j < n; ++j)
+      for (index i = 0; i < 2 * n; ++i) a(i, j) = static_cast<double>(i + j);
+  });
+}
+
+void phase_qr(par::ThreadPool& pool) {
+  auto& s = steps();
+  par::parallel_for(pool, 0, micro_k(), kBlock, [&](index idx) {
+    Step& st = *s[static_cast<std::size_t>(idx)];
+    la::qr_factor(st.a->view(), st.tau);
+  });
+}
+
+using PhaseFn = void (*)(par::ThreadPool&);
+
+struct Phase {
+  const char* name;
+  PhaseFn fn;
+};
+
+constexpr Phase kPhases[] = {
+    {"AllocateStructure", &phase_allocate_structs},
+    {"AllocateMatrix", &phase_allocate_matrices},
+    {"FillMatrix", &phase_fill},
+    {"QRFactorization", &phase_qr},
+};
+
+void register_all() {
+  for (unsigned cores : core_sweep()) {
+    for (const Phase& ph : kPhases) {
+      benchmark::RegisterBenchmark(bench_name(ph.name, cores).c_str(),
+                                   [ph, cores](benchmark::State& state) {
+                                     par::ThreadPool pool(cores);
+                                     for (auto _ : state) {
+                                       state.PauseTiming();
+                                       // Earlier phases provide this phase's input.
+                                       for (const Phase& prev : kPhases) {
+                                         if (prev.fn == ph.fn) break;
+                                         prev.fn(pool);
+                                       }
+                                       state.ResumeTiming();
+                                       ph.fn(pool);
+                                       state.PauseTiming();
+                                       if (ph.fn == kPhases[0].fn) steps().clear();
+                                       state.ResumeTiming();
+                                     }
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->UseRealTime()
+          ->Iterations(1)
+          ->Repetitions(repetitions())
+          ->ReportAggregatesOnly(false);
+    }
+  }
+}
+
+void summary(const CapturingReporter& rep) {
+  std::printf("\n=== Figure 4: micro-benchmark speedups (vs 1 core), n=%lld k=%lld, block=8 ===\n",
+              static_cast<long long>(micro_n()), static_cast<long long>(micro_k()));
+  std::printf("%-20s", "cores");
+  for (unsigned cores : core_sweep()) std::printf("%8u", cores);
+  std::printf("\n");
+  double qr_best = 0.0;
+  for (const Phase& ph : kPhases) {
+    const double t1 = rep.median_seconds(bench_name(ph.name, 1));
+    std::printf("%-20s", ph.name);
+    for (unsigned cores : core_sweep()) {
+      const double tc = rep.median_seconds(bench_name(ph.name, cores));
+      const double s = tc > 0.0 ? t1 / tc : 0.0;
+      std::printf("%8.2f", s);
+      if (std::string(ph.name) == "QRFactorization") qr_best = std::max(qr_best, s);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape checks:\n");
+  if (core_sweep().back() > 1)
+    print_shape_check("QR phase achieves speedup > 1 (compute-bound, scales best)",
+                      qr_best > 1.0);
+  else
+    std::printf("  (single core available: speedups degenerate)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return run_benchmarks(argc, argv, summary);
+}

@@ -1,0 +1,124 @@
+/// \file fig5_variability.cpp
+/// Figure 5: distribution of Odd-Even running times under the randomized
+/// work-stealing scheduler, on 1 core and on all cores.  The paper runs 100
+/// repetitions and plots histograms whose horizontal span is 20% of the
+/// median; it observes variation up to ±2.4% (many cores) and < 0.9%
+/// (1 core, scheduler never invoked).
+///
+/// PITK_RUNS overrides the repetition count (default 25 to keep the default
+/// suite quick; set 100 for the paper's protocol).
+
+#include <cmath>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pitk;
+using namespace pitk::bench;
+
+int runs() { return static_cast<int>(env_long("PITK_RUNS", 25)); }
+index fig5_n() { return env_long("PITK_FIG5_N", 48); }
+index fig5_k() { return env_long("PITK_FIG5_K", k_for_n48()); }
+
+std::string bench_name(unsigned cores) {
+  return "Fig5/Odd-Even/n=" + std::to_string(fig5_n()) + "/k=" + std::to_string(fig5_k()) +
+         "/cores=" + std::to_string(cores);
+}
+
+std::vector<unsigned> fig5_cores() {
+  const unsigned maxc = core_sweep().back();
+  if (maxc == 1) return {1};
+  return {1, maxc};
+}
+
+void register_all() {
+  (void)workload(fig5_n(), fig5_k());
+  for (unsigned cores : fig5_cores()) {
+    benchmark::RegisterBenchmark(bench_name(cores).c_str(),
+                                 [cores](benchmark::State& state) {
+                                   const Workload& w = workload(fig5_n(), fig5_k());
+                                   par::ThreadPool pool(cores);
+                                   for (auto _ : state) {
+                                     benchmark::DoNotOptimize(
+                                         run_variant(Variant::OddEven, w, pool,
+                                                     par::default_grain));
+                                   }
+                                 })
+        ->Unit(benchmark::kSecond)
+        ->UseRealTime()
+        ->Iterations(1)
+        ->Repetitions(runs())
+        ->ReportAggregatesOnly(false);
+  }
+}
+
+void print_histogram(const std::vector<double>& samples) {
+  std::vector<double> v = samples;
+  std::sort(v.begin(), v.end());
+  const double median = v[v.size() / 2];
+  // 20% span centered on the median, 20 buckets — the paper's layout.
+  const double lo = median * 0.9;
+  const double hi = median * 1.1;
+  constexpr int nbuckets = 20;
+  std::vector<int> buckets(nbuckets, 0);
+  int outliers = 0;
+  double max_dev = 0.0;
+  for (double t : v) {
+    max_dev = std::max(max_dev, std::abs(t - median) / median);
+    int b = static_cast<int>((t - lo) / (hi - lo) * nbuckets);
+    if (b < 0 || b >= nbuckets) {
+      ++outliers;
+      continue;
+    }
+    buckets[static_cast<std::size_t>(b)]++;
+  }
+  for (int b = 0; b < nbuckets; ++b) {
+    const double left = lo + (hi - lo) * b / nbuckets;
+    std::printf("  %8.4fs |", left);
+    for (int q = 0; q < buckets[static_cast<std::size_t>(b)]; ++q) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("  median %.4fs, max |deviation| %.2f%%, outliers beyond +-10%%: %d\n",
+              median, 100.0 * max_dev, outliers);
+}
+
+void summary(const CapturingReporter& rep) {
+  std::printf("\n=== Figure 5: run-time distribution of Odd-Even (%d runs, span = 20%% of median) ===\n",
+              runs());
+  double dev1 = 0.0;
+  double devmax = 0.0;
+  for (unsigned cores : fig5_cores()) {
+    std::printf("\n-- %u core(s) --\n", cores);
+    const std::vector<double>* s = rep.samples(bench_name(cores));
+    if (s == nullptr || s->empty()) {
+      std::printf("  (no samples)\n");
+      continue;
+    }
+    print_histogram(*s);
+    std::vector<double> v = *s;
+    std::sort(v.begin(), v.end());
+    const double med = v[v.size() / 2];
+    double dev = 0.0;
+    for (double t : v) dev = std::max(dev, std::abs(t - med) / med);
+    if (cores == 1)
+      dev1 = dev;
+    else
+      devmax = dev;
+  }
+  std::printf("\nshape checks:\n");
+  if (fig5_cores().size() > 1) {
+    print_shape_check("1-core runs vary less than multi-core runs (no scheduler)",
+                      dev1 <= devmax + 0.01);
+    print_shape_check("multi-core variation is moderate (< 25% of median)", devmax < 0.25);
+  } else {
+    std::printf("  (single core available: distribution comparison degenerate)\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return run_benchmarks(argc, argv, summary);
+}

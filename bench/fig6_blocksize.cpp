@@ -1,0 +1,78 @@
+/// \file fig6_blocksize.cpp
+/// Figure 6 (left): Odd-Even running time on all cores as a function of the
+/// parallel_for block-size (grain) parameter, n = 6.
+///
+/// Paper shape to reproduce: performance is flat for block sizes from 1 up
+/// to about 1,000, then degrades once blocks are so large that there is not
+/// enough parallelism left (>= 5,000 at the paper's k; the knee scales with
+/// k / cores).
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pitk;
+using namespace pitk::bench;
+
+index fig6_k() { return k_for_n6(); }
+
+std::vector<index> block_sizes() {
+  std::vector<index> sizes;
+  for (index b = 1; b <= 1000000; b *= 10) sizes.push_back(b);
+  return sizes;
+}
+
+std::string bench_name(index block) {
+  return "Fig6L/Odd-Even/n=6/k=" + std::to_string(fig6_k()) + "/block=" + std::to_string(block);
+}
+
+void register_all() {
+  (void)workload(6, fig6_k());
+  const unsigned cores = core_sweep().back();
+  for (index block : block_sizes()) {
+    benchmark::RegisterBenchmark(bench_name(block).c_str(),
+                                 [block, cores](benchmark::State& state) {
+                                   const Workload& w = workload(6, fig6_k());
+                                   par::ThreadPool pool(cores);
+                                   for (auto _ : state) {
+                                     benchmark::DoNotOptimize(
+                                         run_variant(Variant::OddEven, w, pool, block));
+                                   }
+                                 })
+        ->Unit(benchmark::kSecond)
+        ->UseRealTime()
+        ->Iterations(1)
+        ->Repetitions(repetitions())
+        ->ReportAggregatesOnly(false);
+  }
+}
+
+void summary(const CapturingReporter& rep) {
+  const unsigned cores = core_sweep().back();
+  std::printf("\n=== Figure 6 (left): Odd-Even time vs parallel_for block size "
+              "(n=6, k=%lld, %u cores) ===\n",
+              static_cast<long long>(fig6_k()), cores);
+  std::printf("%-12s %10s\n", "block", "median(s)");
+  double small_best = 1e300;
+  double huge = 0.0;
+  for (index block : block_sizes()) {
+    const double t = rep.median_seconds(bench_name(block));
+    std::printf("%-12lld %10.3f\n", static_cast<long long>(block), t);
+    if (block <= 1000) small_best = std::min(small_best, t);
+    if (block >= fig6_k()) huge = t;  // block >= k: a single chunk, serial
+  }
+  std::printf("\nshape checks:\n");
+  if (cores > 1) {
+    print_shape_check("small blocks (<= 1000) outperform one-chunk execution",
+                      small_best < huge);
+  } else {
+    std::printf("  (single core available: block size has no effect)\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return run_benchmarks(argc, argv, summary);
+}

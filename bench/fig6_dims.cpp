@@ -1,0 +1,94 @@
+/// \file fig6_dims.cpp
+/// Figure 6 (right): Odd-Even speedups for problems of different shapes:
+/// tiny states/huge k (n=6), the balanced case (n=48), and large states with
+/// a small k (paper: n=500, k=500; here n/k are scaled down by default —
+/// override with PITK_N_LARGE / PITK_K_LARGE).
+///
+/// Paper shape: n=48 scales best (computation-to-communication ratio), n=6
+/// close behind, and the large-n/small-k case scales worst (insufficient
+/// parallelism in time: only k/2^level independent QRs per level).  Block
+/// size 10 for the small dims, 1 for the large one, as in the paper.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pitk;
+using namespace pitk::bench;
+
+struct Config {
+  index n;
+  index k;
+  index block;
+};
+
+std::vector<Config> configs() {
+  return {{6, k_for_n6(), 10},
+          {48, k_for_n48(), 10},
+          {env_long("PITK_N_LARGE", 96), env_long("PITK_K_LARGE", 200), 1}};
+}
+
+std::string bench_name(const Config& c, unsigned cores) {
+  return "Fig6R/Odd-Even/n=" + std::to_string(c.n) + "/k=" + std::to_string(c.k) +
+         "/cores=" + std::to_string(cores);
+}
+
+void register_all() {
+  for (const Config& c : configs()) {
+    (void)workload(c.n, c.k);
+    for (unsigned cores : core_sweep()) {
+      benchmark::RegisterBenchmark(bench_name(c, cores).c_str(),
+                                   [c, cores](benchmark::State& state) {
+                                     const Workload& w = workload(c.n, c.k);
+                                     par::ThreadPool pool(cores);
+                                     for (auto _ : state) {
+                                       benchmark::DoNotOptimize(
+                                           run_variant(Variant::OddEven, w, pool, c.block));
+                                     }
+                                   })
+          ->Unit(benchmark::kSecond)
+          ->UseRealTime()
+          ->Iterations(1)
+          ->Repetitions(repetitions())
+          ->ReportAggregatesOnly(false);
+    }
+  }
+}
+
+void summary(const CapturingReporter& rep) {
+  std::printf("\n=== Figure 6 (right): Odd-Even speedups by problem shape ===\n");
+  std::printf("%-24s", "cores");
+  for (unsigned cores : core_sweep()) std::printf("%8u", cores);
+  std::printf("\n");
+  std::vector<double> best;
+  for (const Config& c : configs()) {
+    const double t1 = rep.median_seconds(bench_name(c, 1));
+    char label[64];
+    std::snprintf(label, sizeof label, "n=%lld k=%lld (b=%lld)", static_cast<long long>(c.n),
+                  static_cast<long long>(c.k), static_cast<long long>(c.block));
+    std::printf("%-24s", label);
+    double mx = 0.0;
+    for (unsigned cores : core_sweep()) {
+      const double tc = rep.median_seconds(bench_name(c, cores));
+      const double s = tc > 0.0 ? t1 / tc : 0.0;
+      mx = std::max(mx, s);
+      std::printf("%8.2f", s);
+    }
+    best.push_back(mx);
+    std::printf("\n");
+  }
+  std::printf("\nshape checks:\n");
+  if (core_sweep().back() > 1 && best.size() == 3) {
+    print_shape_check("large-n/small-k scales worst (insufficient parallelism)",
+                      best[2] <= std::max(best[0], best[1]) + 0.05);
+  } else {
+    std::printf("  (single core available: speedups degenerate)\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return run_benchmarks(argc, argv, summary);
+}

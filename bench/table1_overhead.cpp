@@ -1,0 +1,98 @@
+/// \file table1_overhead.cpp
+/// "Table 1" — the single-core work-overhead ratios reported in the text of
+/// Section 5.4:
+///
+///   Odd-Even    vs Paige-Saunders     : 1.8 - 2.5x   (with covariances)
+///   Odd-Even-NC vs Paige-Saunders-NC  : 1.8 - 2.0x
+///   Associative vs Kalman (RTS)       : 1.8 - 2.7x
+///
+/// The parallel-in-time algorithms perform more arithmetic than their
+/// sequential counterparts by a constant factor; this binary measures those
+/// factors on 1 core for both Section 5.2 workloads.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace pitk;
+using namespace pitk::bench;
+
+struct Config {
+  index n;
+  index k;
+};
+
+std::vector<Config> configs() { return {{6, k_for_n6()}, {48, k_for_n48()}}; }
+
+std::string bench_name(Variant v, const Config& c) {
+  return std::string("Table1/") + variant_name(v) + "/n=" + std::to_string(c.n) +
+         "/k=" + std::to_string(c.k);
+}
+
+constexpr Variant kAll[] = {Variant::OddEven,       Variant::OddEvenNC,
+                            Variant::Associative,   Variant::PaigeSaunders,
+                            Variant::PaigeSaundersNC, Variant::Kalman};
+
+void register_all() {
+  for (const Config& c : configs()) {
+    (void)workload(c.n, c.k);
+    for (Variant v : kAll) {
+      benchmark::RegisterBenchmark(bench_name(v, c).c_str(),
+                                   [v, c](benchmark::State& state) {
+                                     const Workload& w = workload(c.n, c.k);
+                                     par::ThreadPool pool(1);  // 1 core: pure work
+                                     for (auto _ : state) {
+                                       benchmark::DoNotOptimize(
+                                           run_variant(v, w, pool, par::default_grain));
+                                     }
+                                   })
+          ->Unit(benchmark::kSecond)
+          ->UseRealTime()
+          ->Iterations(1)
+          ->Repetitions(repetitions())
+          ->ReportAggregatesOnly(false);
+    }
+  }
+}
+
+void summary(const CapturingReporter& rep) {
+  std::printf("\n=== Table 1: single-core work overhead of parallel-in-time algorithms ===\n");
+  std::printf("%-44s %-10s %-10s %-8s %s\n", "ratio", "n=6", "n=48", "paper", "");
+  struct Row {
+    const char* label;
+    Variant num;
+    Variant den;
+    double paper_lo;
+    double paper_hi;
+  };
+  const Row rows[] = {
+      {"Odd-Even / Paige-Saunders", Variant::OddEven, Variant::PaigeSaunders, 1.8, 2.5},
+      {"Odd-Even-NC / Paige-Saunders-NC", Variant::OddEvenNC, Variant::PaigeSaundersNC, 1.8, 2.0},
+      {"Associative / Kalman", Variant::Associative, Variant::Kalman, 1.8, 2.7},
+  };
+  bool all_overhead = true;
+  for (const Row& r : rows) {
+    double ratio[2] = {0.0, 0.0};
+    int idx = 0;
+    for (const Config& c : configs()) {
+      const double num = rep.median_seconds(bench_name(r.num, c));
+      const double den = rep.median_seconds(bench_name(r.den, c));
+      ratio[idx++] = den > 0.0 ? num / den : 0.0;
+    }
+    std::printf("%-44s %-10.2f %-10.2f %.1f-%.1fx\n", r.label, ratio[0], ratio[1], r.paper_lo,
+                r.paper_hi);
+    for (double q : ratio) all_overhead = all_overhead && q > 1.0;
+  }
+  std::printf("\nshape checks:\n");
+  print_shape_check("every parallel algorithm does more work than its sequential baseline",
+                    all_overhead);
+  std::printf("  (absolute ratios depend on the kernel substitution; the paper's "
+              "MKL/ARMPL-backed blocks shift constants)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  return run_benchmarks(argc, argv, summary);
+}

@@ -1,0 +1,148 @@
+/// \file navigation_unknown_init.cpp
+/// Features only the QR-based smoothers support (paper Section 6):
+///
+///   1. Unknown initial state: an inertial-navigation-style scenario where
+///      nothing is known about u_0 — no prior at all.  Conventional and
+///      associative smoothers cannot pose this problem.
+///   2. Rectangular H_i / state dimension change mid-trajectory: the target
+///      acquires a sensor bias state halfway through (dimension grows 2->3).
+///
+/// Both are solved with the parallel Odd-Even smoother and cross-checked
+/// against the sequential Paige-Saunders smoother.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace pitk;
+using kalman::CovFactor;
+
+/// Part 1: dead-reckoning chain with no prior.  Velocity observed rarely;
+/// the initial state is recovered purely from later observations flowing
+/// backward through the dynamics.
+int unknown_initial_state(par::ThreadPool& pool) {
+  std::printf("== part 1: unknown initial state (no prior anywhere) ==\n");
+  la::Rng rng(4);
+  const la::index k = 60;
+  const double dt = 0.1;
+  la::Matrix f({{1.0, dt}, {0.0, 1.0}});
+
+  // Truth.
+  std::vector<la::Vector> truth;
+  la::Vector u({3.0, -0.5});  // the smoother never sees this directly
+  truth.push_back(u);
+  kalman::Problem p;
+  p.start(2);
+  for (la::index i = 1; i <= k; ++i) {
+    la::Vector next(2);
+    la::gemv(1.0, f.view(), la::Trans::No, u.span(), 0.0, next.span());
+    next[0] += 0.01 * rng.gaussian();
+    next[1] += 0.01 * rng.gaussian();
+    u = next;
+    truth.push_back(u);
+    p.evolve(f, la::Vector(), CovFactor::scaled_identity(2, 1e-4));
+    if (i % 10 == 0) {
+      // Sparse position fixes only; 6 fixes over the whole trajectory.
+      p.observe(la::Matrix({{1.0, 0.0}}), la::Vector({u[0] + 0.05 * rng.gaussian()}),
+                CovFactor::scaled_identity(1, 0.0025));
+    }
+  }
+
+  kalman::SmootherResult oe = kalman::oddeven_smooth(p, pool, {});
+  kalman::SmootherResult ps = kalman::paige_saunders_smooth(p, {});
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < oe.means.size(); ++i)
+    max_diff = std::max(max_diff, la::max_abs_diff(oe.means[i].span(), ps.means[i].span()));
+
+  std::printf("  recovered u_0 = (%.3f, %.3f), truth = (%.3f, %.3f)\n", oe.means[0][0],
+              oe.means[0][1], truth[0][0], truth[0][1]);
+  std::printf("  sigma(u_0) = (%.3f, %.3f)  [uncertainty from SelInv]\n",
+              std::sqrt(oe.covariances[0](0, 0)), std::sqrt(oe.covariances[0](1, 1)));
+  std::printf("  max |odd-even - paige-saunders| = %.3e\n", max_diff);
+
+  const bool ok = std::abs(oe.means[0][0] - truth[0][0]) < 0.5 &&
+                  std::abs(oe.means[0][1] - truth[0][1]) < 0.5 && max_diff < 1e-7;
+  std::printf("  %s\n\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+/// Part 2: the state dimension grows from 2 (position, velocity) to
+/// 3 (position, velocity, sensor bias) at step 30 using a rectangular H.
+int dimension_change(par::ThreadPool& pool) {
+  std::printf("== part 2: rectangular H, state dimension 2 -> 3 ==\n");
+  la::Rng rng(8);
+  const la::index k = 60;
+  const la::index switch_step = 30;
+  const double dt = 0.1;
+  const double bias_true = 0.7;
+
+  kalman::Problem p;
+  p.start(2);
+  p.observe(la::Matrix::identity(2), la::Vector({0.0, 1.0}), CovFactor::scaled_identity(2, 0.01));
+
+  la::Vector u({0.0, 1.0});
+  for (la::index i = 1; i <= k; ++i) {
+    u[0] += dt * u[1];
+    u[0] += 0.005 * rng.gaussian();
+
+    if (i < switch_step) {
+      p.evolve(la::Matrix({{1.0, dt}, {0.0, 1.0}}), la::Vector(),
+               CovFactor::scaled_identity(2, 1e-4));
+      p.observe(la::Matrix({{1.0, 0.0}}), la::Vector({u[0] + 0.02 * rng.gaussian()}),
+                CovFactor::scaled_identity(1, 4e-4));
+    } else if (i == switch_step) {
+      // Dimension change: H is 2x3 (it only constrains the two physical
+      // components of the new state; the bias is free until observed).
+      la::Matrix h(2, 3);
+      h(0, 0) = 1.0;
+      h(1, 1) = 1.0;
+      la::Matrix f({{1.0, dt}, {0.0, 1.0}});
+      p.evolve_rect(3, h, f, la::Vector(), CovFactor::scaled_identity(2, 1e-4));
+      // From now on the sensor reads position + bias.
+      p.observe(la::Matrix({{1.0, 0.0, 1.0}}),
+                la::Vector({u[0] + bias_true + 0.02 * rng.gaussian()}),
+                CovFactor::scaled_identity(1, 4e-4));
+    } else {
+      la::Matrix f(3, 3);
+      f(0, 0) = 1.0;
+      f(0, 1) = dt;
+      f(1, 1) = 1.0;
+      f(2, 2) = 1.0;  // bias is constant
+      p.evolve(f, la::Vector(), CovFactor::diagonal(la::Vector({1e-4, 1e-4, 1e-8})));
+      p.observe(la::Matrix({{1.0, 0.0, 1.0}}),
+                la::Vector({u[0] + bias_true + 0.02 * rng.gaussian()}),
+                CovFactor::scaled_identity(1, 4e-4));
+    }
+  }
+
+  kalman::SmootherResult oe = kalman::oddeven_smooth(p, pool, {});
+  kalman::SmootherResult ps = kalman::paige_saunders_smooth(p, {});
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < oe.means.size(); ++i)
+    max_diff = std::max(max_diff, la::max_abs_diff(oe.means[i].span(), ps.means[i].span()));
+
+  const la::Vector& last = oe.means.back();
+  std::printf("  estimated sensor bias = %.4f (truth %.4f), sigma = %.4f\n", last[2], bias_true,
+              std::sqrt(oe.covariances.back()(2, 2)));
+  std::printf("  max |odd-even - paige-saunders| = %.3e\n", max_diff);
+  const bool ok = std::abs(last[2] - bias_true) < 0.1 && max_diff < 1e-7;
+  std::printf("  %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  par::ThreadPool pool;
+  int rc = unknown_initial_state(pool);
+  rc += dimension_change(pool);
+  return rc;
+}

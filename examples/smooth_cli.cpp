@@ -1,0 +1,126 @@
+/// \file smooth_cli.cpp
+/// Command-line smoother: the library as a downstream user would script it.
+///
+///   smooth_cli generate <n> <k> <seed> <file>   write a Section-5.2 problem
+///   smooth_cli run <file> [options]             smooth a problem file
+///
+/// Options for `run`:
+///   --algorithm oddeven|ps|cyclic   (default oddeven)
+///   --threads N                     (default: hardware)
+///   --grain B                       (default 10, the paper's block size)
+///   --no-cov                        skip the covariance phase (NC variant)
+///   --output FILE                   CSV destination (default stdout)
+///
+/// Only the prior-less QR/normal-equations algorithms are exposed: a problem
+/// file is self-contained, while RTS/associative would need a prior supplied
+/// out of band.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/normal_equations.hpp"
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "kalman/io.hpp"
+#include "kalman/simulate.hpp"
+#include "la/random.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace pitk;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  smooth_cli generate <n> <k> <seed> <file>\n"
+               "  smooth_cli run <file> [--algorithm oddeven|ps|cyclic] [--threads N]\n"
+               "                [--grain B] [--no-cov] [--output FILE]\n");
+  return 2;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc != 6) return usage();
+  const la::index n = std::atoll(argv[2]);
+  const la::index k = std::atoll(argv[3]);
+  la::Rng rng(static_cast<std::uint64_t>(std::atoll(argv[4])));
+  kalman::Problem p = kalman::make_paper_benchmark(rng, n, k);
+  kalman::save_problem(argv[5], p);
+  std::fprintf(stderr, "wrote %lld states (n=%lld) to %s\n",
+               static_cast<long long>(p.num_states()), static_cast<long long>(n), argv[5]);
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string algorithm = "oddeven";
+  std::string output;
+  unsigned threads = par::ThreadPool::hardware_cores();
+  la::index grain = par::default_grain;
+  bool with_cov = true;
+  for (int a = 3; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* {
+      if (a + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (arg == "--algorithm") algorithm = next();
+    else if (arg == "--threads") threads = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--grain") grain = std::atoll(next());
+    else if (arg == "--no-cov") with_cov = false;
+    else if (arg == "--output") output = next();
+    else return usage();
+  }
+
+  kalman::Problem p = kalman::load_problem(argv[2]);
+  par::ThreadPool pool(threads);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  kalman::SmootherResult result;
+  if (algorithm == "oddeven") {
+    result = kalman::oddeven_smooth(p, pool, {.compute_covariance = with_cov, .grain = grain});
+  } else if (algorithm == "ps") {
+    result = kalman::paige_saunders_smooth(p, {.compute_covariance = with_cov});
+  } else if (algorithm == "cyclic") {
+    result.means = kalman::normal_cyclic_smooth(p, pool, {.grain = grain});
+  } else {
+    return usage();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::fprintf(stderr, "%s: %lld states smoothed in %.3fs on %u threads\n", algorithm.c_str(),
+               static_cast<long long>(p.num_states()), seconds, pool.concurrency());
+
+  if (output.empty()) {
+    kalman::write_result_csv(std::cout, result);
+  } else {
+    std::ofstream os(output);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", output.c_str());
+      return 1;
+    }
+    kalman::write_result_csv(os, result);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+    if (std::strcmp(argv[1], "run") == 0) return cmd_run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,300 @@
+#include "core/associative.hpp"
+
+#include <stdexcept>
+
+#include "kalman/rts.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "parallel/parallel_scan.hpp"
+
+namespace pitk::kalman {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::index;
+using la::Trans;
+
+/// Solve the (generally non-symmetric) square system S X = B; B is
+/// overwritten with X.  Used for (I + C_i J_j)^{-1}.  Partial-pivoting LU is
+/// the right tool: S is well conditioned whenever the combined elements
+/// represent proper Gaussians, and LU costs a third of a QR solve.
+void solve_square(Matrix s, la::MatrixView b) {
+  if (!la::solve_inplace(std::move(s), b))
+    throw std::runtime_error("associative_smooth: singular combination system (I + C J)");
+}
+
+/// Filtering scan element: p(x_i | x_{i-1}, y_i) = N(x_i; A x_{i-1} + b, C)
+/// together with the likelihood information pair (eta, J) in x_{i-1}.
+struct FilterElement {
+  Matrix A;    ///< n_i x n_{i-1}
+  Vector b;    ///< n_i
+  Matrix C;    ///< n_i x n_i
+  Vector eta;  ///< n_{i-1}
+  Matrix J;    ///< n_{i-1} x n_{i-1}
+};
+
+/// Associative filtering combination (Lemma 8 of the TAC paper): the result
+/// represents the composition of element `l` (earlier) with `r` (later).
+FilterElement combine_filter(const FilterElement& l, const FilterElement& r) {
+  const index nm = l.C.rows();      // shared middle dimension
+  const index nin = l.A.cols();     // input dimension
+  const index nout = r.A.rows();    // output dimension
+
+  // S = I + C_l J_r; X = S^{-1} [A_l | C_l | v], v = b_l + C_l eta_r.
+  Matrix s = Matrix::identity(nm);
+  la::gemm(1.0, l.C.view(), Trans::No, r.J.view(), Trans::No, 1.0, s.view());
+  Matrix stack(nm, nin + nm + 1);
+  stack.block(0, 0, nm, nin).assign(l.A.view());
+  stack.block(0, nin, nm, nm).assign(l.C.view());
+  {
+    Vector v = l.b;
+    la::gemv(1.0, l.C.view(), Trans::No, r.eta.span(), 1.0, v.span());
+    for (index q = 0; q < nm; ++q) stack(q, nin + nm) = v[q];
+  }
+  solve_square(std::move(s), stack.view());
+  ConstMatrixView x = stack.block(0, 0, nm, nin);        // S^{-1} A_l
+  ConstMatrixView y = stack.block(0, nin, nm, nm);       // S^{-1} C_l
+  ConstMatrixView v = stack.block(0, nin + nm, nm, 1);   // S^{-1} (b_l + C_l eta_r)
+
+  FilterElement out;
+  out.A.resize(nout, nin);
+  la::gemm(1.0, r.A.view(), Trans::No, x, Trans::No, 0.0, out.A.view());
+
+  out.b = r.b;
+  la::gemv(1.0, r.A.view(), Trans::No, v.col_span(0), 1.0, out.b.span());
+
+  Matrix ay(nout, nm);
+  la::gemm(1.0, r.A.view(), Trans::No, y, Trans::No, 0.0, ay.view());
+  out.C = r.C;
+  la::gemm(1.0, ay.view(), Trans::No, r.A.view(), Trans::Yes, 1.0, out.C.view());
+  la::symmetrize(out.C.view());
+
+  // eta = A_l^T (I + J_r C_l)^{-1} (eta_r - J_r b_l) + eta_l
+  //     = X^T (eta_r - J_r b_l) + eta_l      (X = (I + C_l J_r)^{-1} A_l).
+  Vector w = r.eta;
+  la::gemv(-1.0, r.J.view(), Trans::No, l.b.span(), 1.0, w.span());
+  out.eta = l.eta;
+  la::gemv(1.0, x, Trans::Yes, w.span(), 1.0, out.eta.span());
+
+  // J = X^T J_r A_l + J_l.
+  Matrix ja(nm, nin);
+  la::gemm(1.0, r.J.view(), Trans::No, l.A.view(), Trans::No, 0.0, ja.view());
+  out.J = l.J;
+  la::gemm(1.0, x, Trans::Yes, ja.view(), Trans::No, 1.0, out.J.view());
+  la::symmetrize(out.J.view());
+  return out;
+}
+
+/// Build the filtering element of step i >= 1 (general element of the TAC
+/// paper, extended with the control/forcing term c_i).
+FilterElement make_filter_element(const TimeStep& s) {
+  const Evolution& e = *s.evolution;
+  const index n = s.n;
+  const index np = e.F.cols();
+  const Matrix q = e.noise.covariance();
+  Vector c = e.c.empty() ? Vector::zero(n) : e.c;
+
+  FilterElement el;
+  if (!s.observation) {
+    el.A = e.F;
+    el.b = std::move(c);
+    el.C = q;
+    el.eta = Vector::zero(np);
+    el.J = Matrix(np, np);
+    return el;
+  }
+
+  const Observation& ob = *s.observation;
+  const index m = ob.rows();
+  const Matrix lcov = ob.noise.covariance();
+
+  // S_obs = G Q G^T + L (innovation covariance of the one-step prediction).
+  Matrix gq = la::multiply(ob.G.view(), q.view());  // m x n
+  Matrix sobs = lcov;
+  la::gemm(1.0, gq.view(), Trans::No, ob.G.view(), Trans::Yes, 1.0, sobs.view());
+  la::symmetrize(sobs.view());
+  Matrix schol = sobs;
+  if (!la::cholesky_lower(schol.view()))
+    throw std::runtime_error("associative_smooth: innovation covariance not SPD");
+
+  // K = Q G^T S^{-1}  (kt = S^{-1} G Q = K^T).
+  Matrix kt = gq;
+  la::chol_solve(schol.view(), kt.view());
+
+  // IKG = I - K G.
+  Matrix ikg = Matrix::identity(n);
+  la::gemm(-1.0, kt.view(), Trans::Yes, ob.G.view(), Trans::No, 1.0, ikg.view());
+
+  el.A.resize(n, np);
+  la::gemm(1.0, ikg.view(), Trans::No, e.F.view(), Trans::No, 0.0, el.A.view());
+
+  // b = (I - K G) c + K o.
+  el.b.resize(n);
+  la::gemv(1.0, ikg.view(), Trans::No, c.span(), 0.0, el.b.span());
+  la::gemv(1.0, kt.view(), Trans::Yes, ob.o.span(), 1.0, el.b.span());
+
+  el.C.resize(n, n);
+  la::gemm(1.0, ikg.view(), Trans::No, q.view(), Trans::No, 0.0, el.C.view());
+  la::symmetrize(el.C.view());
+
+  // Residual-of-control innovation: r = o - G c.
+  Vector r = ob.o;
+  la::gemv(-1.0, ob.G.view(), Trans::No, c.span(), 1.0, r.span());
+
+  // eta = F^T G^T S^{-1} r.
+  Vector sr = r;
+  la::chol_solve(schol.view(), sr.span());
+  Vector gtsr(n);
+  la::gemv(1.0, ob.G.view(), Trans::Yes, sr.span(), 0.0, gtsr.span());
+  el.eta.resize(np);
+  la::gemv(1.0, e.F.view(), Trans::Yes, gtsr.span(), 0.0, el.eta.span());
+
+  // J = (G F)^T S^{-1} (G F).
+  Matrix gf(m, np);
+  la::gemm(1.0, ob.G.view(), Trans::No, e.F.view(), Trans::No, 0.0, gf.view());
+  Matrix sgf = gf;
+  la::chol_solve(schol.view(), sgf.view());
+  el.J.resize(np, np);
+  la::gemm(1.0, gf.view(), Trans::Yes, sgf.view(), Trans::No, 0.0, el.J.view());
+  la::symmetrize(el.J.view());
+  return el;
+}
+
+/// Smoothing scan element (E_i, g_i, L_i).
+struct SmoothElement {
+  Matrix E;
+  Vector g;
+  Matrix L;
+};
+
+/// Associative smoothing combination for `l` (earlier) with `r` (later).
+SmoothElement combine_smooth(const SmoothElement& l, const SmoothElement& r) {
+  SmoothElement out;
+  out.E = la::multiply(l.E.view(), r.E.view());
+  out.g = l.g;
+  la::gemv(1.0, l.E.view(), Trans::No, r.g.span(), 1.0, out.g.span());
+  Matrix el(l.E.rows(), r.L.cols());
+  la::gemm(1.0, l.E.view(), Trans::No, r.L.view(), Trans::No, 0.0, el.view());
+  out.L = l.L;
+  la::gemm(1.0, el.view(), Trans::No, l.E.view(), Trans::Yes, 1.0, out.L.view());
+  la::symmetrize(out.L.view());
+  return out;
+}
+
+void require_identity_h(const Problem& p) {
+  for (index i = 1; i <= p.last_index(); ++i)
+    if (!p.step(i).evolution->identity_h())
+      throw std::invalid_argument(
+          "associative smoothing requires H_i = I; use the odd-even smoother");
+}
+
+std::vector<FilterElement> run_filter_scan(const Problem& p, const GaussianPrior& prior,
+                                           par::ThreadPool& pool,
+                                           const AssociativeOptions& opts) {
+  if (auto err = p.validate()) throw std::invalid_argument("associative_smooth: " + *err);
+  require_identity_h(p);
+  const index k = p.last_index();
+  std::vector<FilterElement> elems(static_cast<std::size_t>(k + 1));
+
+  // Element 0 carries the filtered distribution of u_0 directly.
+  {
+    Vector x = prior.mean;
+    Matrix pcov = prior.cov;
+    if (p.step(0).observation) kf_measurement_update(*p.step(0).observation, x, pcov);
+    FilterElement& e0 = elems[0];
+    const index n0 = p.state_dim(0);
+    e0.A = Matrix(n0, n0);
+    e0.b = std::move(x);
+    e0.C = std::move(pcov);
+    e0.eta = Vector::zero(n0);
+    e0.J = Matrix(n0, n0);
+  }
+
+  par::parallel_for(pool, 1, k + 1, opts.grain, [&](index i) {
+    elems[static_cast<std::size_t>(i)] = make_filter_element(p.step(i));
+  });
+
+  par::parallel_inclusive_scan(pool, std::span<FilterElement>(elems), opts.grain,
+                               combine_filter);
+  return elems;
+}
+
+}  // namespace
+
+FilterResult associative_filter(const Problem& p, const GaussianPrior& prior,
+                                par::ThreadPool& pool, const AssociativeOptions& opts) {
+  std::vector<FilterElement> elems = run_filter_scan(p, prior, pool, opts);
+  FilterResult out;
+  out.means.resize(elems.size());
+  out.covariances.resize(elems.size());
+  par::parallel_for(pool, 0, static_cast<index>(elems.size()), opts.grain, [&](index i) {
+    out.means[static_cast<std::size_t>(i)] = std::move(elems[static_cast<std::size_t>(i)].b);
+    out.covariances[static_cast<std::size_t>(i)] =
+        std::move(elems[static_cast<std::size_t>(i)].C);
+  });
+  return out;
+}
+
+SmootherResult associative_smooth(const Problem& p, const GaussianPrior& prior,
+                                  par::ThreadPool& pool, const AssociativeOptions& opts) {
+  std::vector<FilterElement> filt = run_filter_scan(p, prior, pool, opts);
+  const index k = p.last_index();
+
+  std::vector<SmoothElement> elems(static_cast<std::size_t>(k + 1));
+  par::parallel_for(pool, 0, k + 1, opts.grain, [&](index i) {
+    const Vector& m = filt[static_cast<std::size_t>(i)].b;   // m_{i|i}
+    const Matrix& pc = filt[static_cast<std::size_t>(i)].C;  // P_{i|i}
+    SmoothElement& el = elems[static_cast<std::size_t>(i)];
+    if (i == k) {
+      el.E = Matrix(pc.rows(), pc.rows());
+      el.g = m;
+      el.L = pc;
+      return;
+    }
+    const Evolution& e = *p.step(i + 1).evolution;
+
+    const index nn = p.state_dim(i + 1);
+    // Predicted covariance P_pred = F P F^T + Q and gain E = P F^T P_pred^{-1}.
+    Matrix fp = la::multiply(e.F.view(), pc.view());  // nn x n
+    Matrix ppred = e.noise.covariance();
+    la::gemm(1.0, fp.view(), Trans::No, e.F.view(), Trans::Yes, 1.0, ppred.view());
+    la::symmetrize(ppred.view());
+    Matrix et = fp;  // will become E^T = P_pred^{-1} F P
+    {
+      Matrix pchol = ppred;
+      if (!la::cholesky_lower(pchol.view()))
+        throw std::runtime_error("associative_smooth: predicted covariance not SPD");
+      la::chol_solve(pchol.view(), et.view());
+    }
+    el.E = et.transposed();  // n x nn
+
+    // g = m - E (F m + c).
+    Vector fm(nn);
+    la::gemv(1.0, e.F.view(), Trans::No, m.span(), 0.0, fm.span());
+    if (!e.c.empty()) la::axpy(1.0, e.c.span(), fm.span());
+    el.g = m;
+    la::gemv(-1.0, el.E.view(), Trans::No, fm.span(), 1.0, el.g.span());
+
+    // L = P - E F P.
+    el.L = pc;
+    la::gemm(-1.0, el.E.view(), Trans::No, fp.view(), Trans::No, 1.0, el.L.view());
+    la::symmetrize(el.L.view());
+  });
+
+  par::parallel_reverse_inclusive_scan(pool, std::span<SmoothElement>(elems), opts.grain,
+                                       combine_smooth);
+
+  SmootherResult res;
+  res.means.resize(elems.size());
+  res.covariances.resize(elems.size());
+  par::parallel_for(pool, 0, k + 1, opts.grain, [&](index i) {
+    res.means[static_cast<std::size_t>(i)] = std::move(elems[static_cast<std::size_t>(i)].g);
+    res.covariances[static_cast<std::size_t>(i)] =
+        std::move(elems[static_cast<std::size_t>(i)].L);
+  });
+  return res;
+}
+
+}  // namespace pitk::kalman

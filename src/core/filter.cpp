@@ -1,0 +1,187 @@
+#include "core/filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/selinv.hpp"
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+
+namespace pitk::kalman {
+
+namespace {
+
+using la::index;
+
+/// Relative threshold below which a triangular diagonal entry is treated as
+/// a rank deficiency (the state is not yet determined by the data).
+constexpr double kRankTol = 1e-12;
+
+bool full_rank(const Matrix& r) {
+  double mx = 0.0;
+  for (index i = 0; i < r.rows(); ++i) mx = std::max(mx, std::abs(r(i, i)));
+  if (mx == 0.0) return false;
+  for (index i = 0; i < r.rows(); ++i)
+    if (std::abs(r(i, i)) <= kRankTol * mx) return false;
+  return true;
+}
+
+}  // namespace
+
+IncrementalFilter::IncrementalFilter(la::index n0) : n_(n0), pending_(0, n0) {
+  if (n0 <= 0) throw std::invalid_argument("IncrementalFilter: n0 must be positive");
+}
+
+void IncrementalFilter::evolve(Matrix f, Vector c, CovFactor k) {
+  const index n_new = f.rows();
+  Matrix h;  // empty = identity
+  evolve_rect(n_new, std::move(h), std::move(f), std::move(c), std::move(k));
+}
+
+void IncrementalFilter::evolve_rect(la::index n_new, Matrix h, Matrix f, Vector c, CovFactor k) {
+  if (f.cols() != n_)
+    throw std::invalid_argument("IncrementalFilter::evolve: F must have current-dim columns");
+  const index l = f.rows();
+  if (!h.empty() && (h.rows() != l || h.cols() != n_new))
+    throw std::invalid_argument("IncrementalFilter::evolve: H shape mismatch");
+  if (h.empty() && l != n_new)
+    throw std::invalid_argument("IncrementalFilter::evolve: identity H requires F rows == n_new");
+  if (k.dim() != l) throw std::invalid_argument("IncrementalFilter::evolve: noise dim mismatch");
+
+  // Weighted blocks: B = V F, D = V H, c_w = V c.
+  Matrix b = k.weighted(f.view());
+  Matrix d;
+  if (h.empty()) {
+    d = Matrix::identity(n_new);
+    k.weight_in_place(d.view());
+  } else {
+    d = k.weighted(h.view());
+  }
+  Vector cw = c.empty() ? Vector::zero(l) : k.weighted(c.span());
+
+  // Panel over (u_i, u_{i+1}): [pending 0; -B D].
+  const index rp = pending_.rows();
+  Matrix s(rp + l, n_ + n_new);
+  Vector srhs(rp + l);
+  if (rp > 0) {
+    s.block(0, 0, rp, n_).assign(pending_.view());
+    for (index q = 0; q < rp; ++q) srhs[q] = pending_rhs_[q];
+  }
+  {
+    la::MatrixView bblk = s.block(rp, 0, l, n_);
+    bblk.assign(b.view());
+    la::scale(-1.0, bblk);
+    s.block(rp, n_, l, n_new).assign(d.view());
+    for (index q = 0; q < l; ++q) srhs[rp + q] = cw[q];
+  }
+  la::QrScratch scratch;
+  scratch.factor_apply(s.view(), srhs.as_matrix());
+
+  // Finalize the R row block of the state being left behind.
+  Matrix diag(n_, n_);
+  Matrix sup(n_, n_new);
+  Vector rrhs(n_);
+  const index avail = std::min(s.rows(), n_);
+  for (index j = 0; j < n_ + n_new; ++j)
+    for (index q = 0; q < std::min(avail, j + 1); ++q) {
+      if (j < n_)
+        diag(q, j) = s(q, j);
+      else
+        sup(q, j - n_) = s(q, j);
+    }
+  for (index q = 0; q < avail; ++q) rrhs[q] = srhs[q];
+  finished_.diag.push_back(std::move(diag));
+  finished_.sup.push_back(std::move(sup));
+  finished_.rhs.push_back(std::move(rrhs));
+
+  // The trapezoidal leftover constrains the new state.
+  const index rem = std::max<index>(0, std::min(s.rows() - n_, n_new));
+  Matrix next_pending(rem, n_new);
+  Vector next_rhs(rem);
+  for (index j = 0; j < n_new; ++j)
+    for (index q = 0; q < rem; ++q)
+      next_pending(q, j) = (q <= j) ? s(n_ + q, n_ + j) : 0.0;
+  for (index q = 0; q < rem; ++q) next_rhs[q] = srhs[n_ + q];
+  pending_ = std::move(next_pending);
+  pending_rhs_ = std::move(next_rhs);
+  n_ = n_new;
+  ++step_;
+}
+
+void IncrementalFilter::observe(Matrix g, Vector o, CovFactor l) {
+  if (g.cols() != n_)
+    throw std::invalid_argument("IncrementalFilter::observe: G must have current-dim columns");
+  if (o.size() != g.rows() || l.dim() != g.rows())
+    throw std::invalid_argument("IncrementalFilter::observe: observation shape mismatch");
+  Matrix c = l.weighted(g.view());
+  Vector ow = l.weighted(o.span());
+
+  const index rp = pending_.rows();
+  Matrix stacked(rp + c.rows(), n_);
+  Vector rhs(rp + c.rows());
+  if (rp > 0) {
+    stacked.block(0, 0, rp, n_).assign(pending_.view());
+    for (index q = 0; q < rp; ++q) rhs[q] = pending_rhs_[q];
+  }
+  stacked.block(rp, 0, c.rows(), n_).assign(c.view());
+  for (index q = 0; q < c.rows(); ++q) rhs[rp + q] = ow[q];
+
+  if (stacked.rows() > n_) {
+    // Keep the invariant of at most n pending rows (streaming compression).
+    la::QrScratch scratch;
+    scratch.factor_apply(stacked.view(), rhs.as_matrix());
+    Matrix compressed(n_, n_);
+    la::qr_extract_r_square(stacked.view(), compressed.view());
+    Vector crhs(n_);
+    for (index q = 0; q < std::min(stacked.rows(), n_); ++q) crhs[q] = rhs[q];
+    pending_ = std::move(compressed);
+    pending_rhs_ = std::move(crhs);
+  } else {
+    pending_ = std::move(stacked);
+    pending_rhs_ = std::move(rhs);
+  }
+}
+
+std::optional<std::pair<Matrix, Vector>> IncrementalFilter::compressed() const {
+  Matrix m = pending_;
+  Vector rhs = pending_rhs_;
+  la::QrScratch scratch;
+  scratch.factor_apply(m.view(), rhs.as_matrix());
+  Matrix r(n_, n_);
+  la::qr_extract_r_square(m.view(), r.view());
+  if (!full_rank(r)) return std::nullopt;
+  Vector rr(n_);
+  for (index q = 0; q < std::min(m.rows(), n_); ++q) rr[q] = rhs[q];
+  return std::make_pair(std::move(r), std::move(rr));
+}
+
+std::optional<Vector> IncrementalFilter::estimate() const {
+  auto c = compressed();
+  if (!c) return std::nullopt;
+  Vector x = std::move(c->second);
+  la::trsv(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit, c->first.view(), x.span());
+  return x;
+}
+
+std::optional<Matrix> IncrementalFilter::covariance() const {
+  auto c = compressed();
+  if (!c) return std::nullopt;
+  return tri_inv_gram(c->first.view());
+}
+
+SmootherResult IncrementalFilter::smooth(bool with_covariances) const {
+  auto c = compressed();
+  if (!c)
+    throw std::runtime_error(
+        "IncrementalFilter::smooth: the current state is not yet fully determined");
+  BidiagonalFactor f = finished_;
+  f.diag.push_back(std::move(c->first));
+  f.sup.emplace_back();
+  f.rhs.push_back(std::move(c->second));
+  SmootherResult res;
+  res.means = paige_saunders_solve(f);
+  if (with_covariances) res.covariances = selinv_bidiagonal(f);
+  return res;
+}
+
+}  // namespace pitk::kalman

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file filter.hpp
+/// Incremental QR information filter (UltimateKalman-style API).
+///
+/// The paper builds on UltimateKalman's evolve/observe interface (Section
+/// 5.1); this module provides that streaming interface for *filtering*:
+/// each step is orthogonally absorbed as it arrives, and the filtered
+/// estimate of the current state (with covariance) can be read at any time.
+/// Like all QR-based algorithms here it needs no prior, supports rectangular
+/// H_i, changing state dimensions, and steps without observations.  The
+/// factor rows it finalizes are exactly the Paige-Saunders bidiagonal R, so
+/// a full smoothing pass can be completed at any point.
+
+#include <optional>
+
+#include "core/paige_saunders.hpp"
+#include "kalman/model.hpp"
+
+namespace pitk::kalman {
+
+class IncrementalFilter {
+ public:
+  /// Begin at state u_0 of dimension n0 (no prior; add one via observe()).
+  explicit IncrementalFilter(la::index n0);
+
+  /// Advance to the next state: H u_{i+1} = F u_i + c + noise, H = I.
+  void evolve(Matrix f, Vector c, CovFactor k);
+
+  /// Advance with explicit (possibly rectangular) H and a new dimension.
+  void evolve_rect(la::index n_new, Matrix h, Matrix f, Vector c, CovFactor k);
+
+  /// Absorb an observation of the current state: o = G u_i + noise.
+  void observe(Matrix g, Vector o, CovFactor l);
+
+  /// Index of the current state (0-based).
+  [[nodiscard]] la::index current_step() const noexcept { return step_; }
+
+  /// Dimension of the current state.
+  [[nodiscard]] la::index current_dim() const noexcept { return n_; }
+
+  /// Filtered estimate E(u_i | o_0..o_i); nullopt while the accumulated
+  /// information is rank deficient (e.g. before enough observations).
+  [[nodiscard]] std::optional<Vector> estimate() const;
+
+  /// Covariance of the filtered estimate; nullopt under the same condition.
+  [[nodiscard]] std::optional<Matrix> covariance() const;
+
+  /// Finish: hand the accumulated factor rows to the smoother's back
+  /// substitution, producing smoothed estimates of *all* states seen so far
+  /// (optionally with SelInv covariances).  The filter remains usable.
+  [[nodiscard]] SmootherResult smooth(bool with_covariances) const;
+
+ private:
+  /// Compress a copy of the pending rows to a square triangle; returns
+  /// nullopt if rank deficient (diagonal entry ~ 0).
+  [[nodiscard]] std::optional<std::pair<Matrix, Vector>> compressed() const;
+
+  la::index step_ = 0;
+  la::index n_ = 0;
+  Matrix pending_;      ///< rows still constraining the current state
+  Vector pending_rhs_;
+  BidiagonalFactor finished_;  ///< finalized R rows of eliminated states
+};
+
+}  // namespace pitk::kalman

@@ -1,0 +1,210 @@
+#include "core/gauss_newton.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace pitk::kalman {
+
+namespace {
+
+using la::index;
+
+void check_model(const NonlinearModel& model) {
+  if (model.k + 1 != static_cast<index>(model.dims.size()))
+    throw std::invalid_argument("gauss_newton: dims must have k+1 entries");
+  if (static_cast<index>(model.obs.size()) != model.k + 1)
+    throw std::invalid_argument("gauss_newton: obs must have k+1 entries (empty = none)");
+  if (!model.f || !model.f_jac || !model.process_noise)
+    throw std::invalid_argument("gauss_newton: evolution callbacks are required");
+  if (!model.g || !model.g_jac || !model.obs_noise)
+    throw std::invalid_argument("gauss_newton: observation callbacks are required");
+}
+
+/// Linearize around `traj`, returning the linear correction problem with an
+/// optional LM damping observation sqrt(lambda) delta_i = 0 on every state.
+Problem linearize(const NonlinearModel& model, const std::vector<Vector>& traj, double lambda,
+                  par::ThreadPool& pool, index grain) {
+  const index k = model.k;
+  std::vector<TimeStep> steps(static_cast<std::size_t>(k + 1));
+  par::parallel_for(pool, 0, k + 1, grain, [&](index i) {
+    TimeStep& s = steps[static_cast<std::size_t>(i)];
+    const index n = model.dims[static_cast<std::size_t>(i)];
+    s.n = n;
+    if (i > 0) {
+      const Vector& uprev = traj[static_cast<std::size_t>(i - 1)];
+      Evolution e;
+      e.F = model.f_jac(i, uprev);
+      // c = f(u_{i-1}) - u_i: the evolution residual.
+      Vector c = model.f(i, uprev);
+      la::axpy(-1.0, traj[static_cast<std::size_t>(i)].span(), c.span());
+      e.c = std::move(c);
+      e.noise = model.process_noise(i);
+      s.evolution = std::move(e);
+    }
+    const Vector& oi = model.obs[static_cast<std::size_t>(i)];
+    const bool has_obs = !oi.empty();
+    const bool damped = lambda > 0.0;
+    if (has_obs || damped) {
+      const Vector& ui = traj[static_cast<std::size_t>(i)];
+      Matrix g;
+      Vector r;
+      index m = 0;
+      if (has_obs) {
+        g = model.g_jac(i, ui);
+        // r = o_i - g(u_i): the measurement residual.
+        r = oi;
+        Vector gi = model.g(i, ui);
+        la::axpy(-1.0, gi.span(), r.span());
+        m = g.rows();
+      }
+      Observation ob;
+      if (damped) {
+        // Append sqrt(lambda)-weighted zero pseudo-observations of delta by
+        // stacking an identity block with variance 1/lambda.
+        Matrix gd(m + n, n);
+        Vector rd(m + n);
+        if (m > 0) {
+          gd.block(0, 0, m, n).assign(g.view());
+          for (index q = 0; q < m; ++q) rd[q] = r[q];
+        }
+        for (index q = 0; q < n; ++q) gd(m + q, q) = 1.0;
+        Vector vars(m + n);
+        if (m > 0) {
+          const Matrix lc = model.obs_noise(i).covariance();
+          // Keep the true observation weighting by folding it into the block
+          // before stacking; damping rows get variance 1/lambda.
+          // (Weight observation rows explicitly: W r, W G.)
+          CovFactor lf = model.obs_noise(i);
+          la::MatrixView gtop = gd.block(0, 0, m, n);
+          lf.weight_in_place(gtop);
+          lf.weight_in_place(std::span<double>(rd.data(), static_cast<std::size_t>(m)));
+          (void)lc;
+        }
+        for (index q = 0; q < m; ++q) vars[q] = 1.0;
+        for (index q = 0; q < n; ++q) vars[m + q] = 1.0 / lambda;
+        ob.G = std::move(gd);
+        ob.o = std::move(rd);
+        ob.noise = CovFactor::diagonal(std::move(vars));
+      } else {
+        ob.G = std::move(g);
+        ob.o = std::move(r);
+        ob.noise = model.obs_noise(i);
+      }
+      s.observation = std::move(ob);
+    }
+  });
+  return Problem::from_steps(std::move(steps));
+}
+
+double step_norm(const std::vector<Vector>& delta) {
+  double acc = 0.0;
+  for (const Vector& d : delta) acc += la::dot(d.span(), d.span());
+  return std::sqrt(acc);
+}
+
+double traj_norm(const std::vector<Vector>& traj) {
+  double acc = 0.0;
+  for (const Vector& u : traj) acc += la::dot(u.span(), u.span());
+  return std::sqrt(acc);
+}
+
+std::vector<Vector> apply_step(const std::vector<Vector>& traj, const std::vector<Vector>& delta) {
+  std::vector<Vector> out = traj;
+  for (std::size_t i = 0; i < out.size(); ++i) la::axpy(1.0, delta[i].span(), out[i].span());
+  return out;
+}
+
+}  // namespace
+
+double nonlinear_cost(const NonlinearModel& model, const std::vector<Vector>& traj) {
+  double cost = 0.0;
+  for (index i = 0; i <= model.k; ++i) {
+    if (i > 0) {
+      // eps = u_i - f(u_{i-1}); weighted by V_i.
+      Vector eps = traj[static_cast<std::size_t>(i)];
+      Vector fi = model.f(i, traj[static_cast<std::size_t>(i - 1)]);
+      la::axpy(-1.0, fi.span(), eps.span());
+      model.process_noise(i).weight_in_place(eps.span());
+      cost += la::dot(eps.span(), eps.span());
+    }
+    const Vector& oi = model.obs[static_cast<std::size_t>(i)];
+    if (!oi.empty()) {
+      Vector r = oi;
+      Vector gi = model.g(i, traj[static_cast<std::size_t>(i)]);
+      la::axpy(-1.0, gi.span(), r.span());
+      model.obs_noise(i).weight_in_place(r.span());
+      cost += la::dot(r.span(), r.span());
+    }
+  }
+  return cost;
+}
+
+GaussNewtonResult gauss_newton_smooth(const NonlinearModel& model, std::vector<Vector> init,
+                                      par::ThreadPool& pool, const GaussNewtonOptions& opts) {
+  check_model(model);
+  if (static_cast<index>(init.size()) != model.k + 1)
+    throw std::invalid_argument("gauss_newton: init must have k+1 states");
+
+  GaussNewtonResult res;
+  res.states = std::move(init);
+  double cost = nonlinear_cost(model, res.states);
+  res.cost_history.push_back(cost);
+  double lambda = opts.levenberg_marquardt ? opts.lm_lambda0 : 0.0;
+
+  OddEvenOptions linear = opts.linear;
+  linear.compute_covariance = false;  // the NC fast path: Section 6
+
+  for (index it = 0; it < opts.max_iterations; ++it) {
+    res.iterations = it + 1;
+    Problem lp = linearize(model, res.states, lambda, pool, linear.grain);
+    SmootherResult delta = oddeven_smooth(lp, pool, linear);
+
+    std::vector<Vector> candidate = apply_step(res.states, delta.means);
+    const double new_cost = nonlinear_cost(model, candidate);
+    const bool tiny_step =
+        step_norm(delta.means) <= opts.tolerance * (1.0 + traj_norm(res.states));
+
+    if (opts.levenberg_marquardt) {
+      // Accept with a rounding allowance: at the optimum the recomputed cost
+      // can exceed the old one by a few ulps, which must not read as ascent.
+      if (new_cost <= cost + 1e-10 * (1.0 + cost)) {
+        res.states = std::move(candidate);
+        cost = std::min(cost, new_cost);
+        lambda = std::max(1e-12, lambda * opts.lm_down);
+        res.cost_history.push_back(cost);
+      } else {
+        if (tiny_step) {
+          res.converged = true;  // proposal negligible: we are at the optimum
+          break;
+        }
+        lambda *= opts.lm_up;
+        if (lambda > 1e12) break;  // stuck: give up rather than loop forever
+        continue;                  // re-linearize with stronger damping
+      }
+    } else {
+      res.states = std::move(candidate);
+      cost = new_cost;
+      res.cost_history.push_back(cost);
+    }
+
+    if (tiny_step) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.final_cost = cost;
+
+  if (opts.final_covariance) {
+    Problem lp = linearize(model, res.states, 0.0, pool, linear.grain);
+    OddEvenOptions with_cov = opts.linear;
+    with_cov.compute_covariance = true;
+    SmootherResult final_pass = oddeven_smooth(lp, pool, with_cov);
+    res.covariances = std::move(final_pass.covariances);
+  }
+  return res;
+}
+
+}  // namespace pitk::kalman

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file gauss_newton.hpp
+/// Iterated (Gauss-Newton / Levenberg-Marquardt) nonlinear Kalman smoothing.
+///
+/// Section 2.2 of the paper: smoothing a nonlinear dynamic system reduces to
+/// a sequence of *linear* smoothing problems whose matrices are the Jacobians
+/// of F_i and G_i at the current trajectory estimate, and whose right-hand
+/// sides are the nonlinear residuals.  The covariances of these inner linear
+/// problems are never needed, which is exactly why the paper's smoothers have
+/// the "NC" (no-covariance) fast path — this module drives the Odd-Even NC
+/// solver as its inner engine.  Optional Levenberg-Marquardt damping follows
+/// Särkkä & Svensson (ICASSP 2020): damping rows are extra observations
+/// sqrt(lambda) * I * delta_i = 0 on the correction.
+
+#include <functional>
+
+#include "core/oddeven.hpp"
+#include "kalman/model.hpp"
+
+namespace pitk::kalman {
+
+/// A nonlinear state-space model with H_i = I:
+///   u_i = f(i, u_{i-1}) + eps_i,   o_i = g(i, u_i) + delta_i.
+struct NonlinearModel {
+  la::index k = 0;              ///< steps 0..k
+  std::vector<la::index> dims;  ///< n_i for every state (size k+1)
+
+  std::function<Vector(la::index, const Vector&)> f;      ///< evolution, i >= 1
+  std::function<Matrix(la::index, const Vector&)> f_jac;  ///< df_i/du at u_{i-1}
+  std::function<CovFactor(la::index)> process_noise;      ///< K_i
+
+  /// Observations; steps without one have no entry (empty Vector signals
+  /// absence in `obs`).
+  std::vector<Vector> obs;                                ///< o_i (size k+1)
+  std::function<Vector(la::index, const Vector&)> g;      ///< measurement fn
+  std::function<Matrix(la::index, const Vector&)> g_jac;  ///< dg_i/du at u_i
+  std::function<CovFactor(la::index)> obs_noise;          ///< L_i
+};
+
+struct GaussNewtonOptions {
+  la::index max_iterations = 25;
+  /// Stop when the correction norm falls below tol * (1 + trajectory norm).
+  double tolerance = 1e-10;
+  /// Levenberg-Marquardt damping (adaptive lambda, accept/reject steps).
+  bool levenberg_marquardt = false;
+  double lm_lambda0 = 1e-3;
+  double lm_up = 10.0;
+  double lm_down = 0.1;
+  /// Compute covariances from the final linearization (one extra pass with
+  /// the covariance phase enabled).
+  bool final_covariance = false;
+  OddEvenOptions linear;  ///< options of the inner Odd-Even solver
+};
+
+struct GaussNewtonResult {
+  std::vector<Vector> states;
+  std::vector<Matrix> covariances;  ///< only when final_covariance
+  la::index iterations = 0;
+  bool converged = false;
+  double final_cost = 0.0;
+  std::vector<double> cost_history;  ///< cost after each accepted iterate
+};
+
+/// Weighted nonlinear least-squares cost (4) of the paper at `traj`.
+[[nodiscard]] double nonlinear_cost(const NonlinearModel& model,
+                                    const std::vector<Vector>& traj);
+
+/// Iterated smoother starting from `init` (size k+1, e.g. an extended-KF pass
+/// or the observations mapped to state space).
+[[nodiscard]] GaussNewtonResult gauss_newton_smooth(const NonlinearModel& model,
+                                                    std::vector<Vector> init,
+                                                    par::ThreadPool& pool,
+                                                    const GaussNewtonOptions& opts = {});
+
+}  // namespace pitk::kalman

@@ -1,0 +1,246 @@
+#include "core/normal_equations.hpp"
+
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/lu.hpp"
+
+namespace pitk::kalman {
+
+namespace {
+
+using la::index;
+using la::Trans;
+
+/// LU factor of one odd pivot block, kept for the back-substitution pass.
+struct PivotFactor {
+  Matrix lu;
+  std::vector<index> piv;
+
+  void factor(const Matrix& t) {
+    lu = t;
+    piv.assign(static_cast<std::size_t>(t.rows()), 0);
+    if (!la::lu_factor(lu.view(), piv))
+      throw std::runtime_error("normal_cyclic_smooth: singular pivot block (the normal "
+                               "equations squared the conditioning past breakdown)");
+  }
+
+  void solve(la::MatrixView b) const { la::lu_solve(lu.view(), piv, b); }
+  void solve(std::span<double> x) const { la::lu_solve(lu.view(), piv, x); }
+};
+
+/// One reduction level of cyclic reduction: everything the back substitution
+/// needs to recover the odd unknowns of this level.
+struct CrLevel {
+  std::vector<index> cols;          ///< original state index per position
+  std::vector<Matrix> u;            ///< U blocks of this level (coupling pos, pos+1)
+  std::vector<Vector> g;            ///< RHS of this level
+  std::vector<PivotFactor> odd_lu;  ///< factor of T_j for each odd position j (index j/2)
+};
+
+}  // namespace
+
+BlockTridiagonal assemble_normal_equations(const Problem& p, par::ThreadPool& pool,
+                                           la::index grain) {
+  if (auto err = p.validate(true))
+    throw std::invalid_argument("assemble_normal_equations: " + *err);
+  const index k = p.last_index();
+
+  // Weigh all steps once, in parallel.
+  std::vector<WeightedStep> w(static_cast<std::size_t>(k + 1));
+  par::parallel_for(pool, 0, k + 1, grain,
+                    [&](index i) { w[static_cast<std::size_t>(i)] = weigh_step(p.step(i)); });
+
+  BlockTridiagonal sys;
+  sys.T.resize(static_cast<std::size_t>(k + 1));
+  sys.U.resize(static_cast<std::size_t>(k + 1));
+  sys.g.resize(static_cast<std::size_t>(k + 1));
+
+  par::parallel_for(pool, 0, k + 1, grain, [&](index i) {
+    const index n = p.state_dim(i);
+    const WeightedStep& wi = w[static_cast<std::size_t>(i)];
+    Matrix t(n, n);
+    Vector gi(n);
+    if (wi.C.rows() > 0) {
+      la::gemm(1.0, wi.C.view(), Trans::Yes, wi.C.view(), Trans::No, 1.0, t.view());
+      la::gemv(1.0, wi.C.view(), Trans::Yes, wi.ow.span(), 1.0, gi.span());
+    }
+    if (i > 0) {
+      la::gemm(1.0, wi.D.view(), Trans::Yes, wi.D.view(), Trans::No, 1.0, t.view());
+      la::gemv(1.0, wi.D.view(), Trans::Yes, wi.cw.span(), 1.0, gi.span());
+    }
+    if (i < k) {
+      const WeightedStep& wn = w[static_cast<std::size_t>(i + 1)];
+      la::gemm(1.0, wn.B.view(), Trans::Yes, wn.B.view(), Trans::No, 1.0, t.view());
+      la::gemv(-1.0, wn.B.view(), Trans::Yes, wn.cw.span(), 1.0, gi.span());
+      // U_i = -B_{i+1}^T D_{i+1}.
+      Matrix u(n, p.state_dim(i + 1));
+      la::gemm(-1.0, wn.B.view(), Trans::Yes, wn.D.view(), Trans::No, 0.0, u.view());
+      sys.U[static_cast<std::size_t>(i)] = std::move(u);
+    }
+    la::symmetrize(t.view());
+    sys.T[static_cast<std::size_t>(i)] = std::move(t);
+    sys.g[static_cast<std::size_t>(i)] = std::move(gi);
+  });
+  return sys;
+}
+
+std::vector<Vector> normal_cyclic_smooth(const Problem& p, par::ThreadPool& pool,
+                                         const NormalCyclicOptions& opts) {
+  BlockTridiagonal sys = assemble_normal_equations(p, pool, opts.grain);
+  const index nstates = sys.size();
+
+  // ---- Reduction sweep: eliminate the odd positions of each level. ----
+  std::vector<CrLevel> levels;
+  std::vector<index> cols(static_cast<std::size_t>(nstates));
+  for (index i = 0; i < nstates; ++i) cols[static_cast<std::size_t>(i)] = i;
+
+  std::vector<Matrix> t = std::move(sys.T);
+  std::vector<Matrix> u = std::move(sys.U);
+  std::vector<Vector> g = std::move(sys.g);
+
+  while (static_cast<index>(t.size()) > 1) {
+    const index size = static_cast<index>(t.size());
+    const index last = size - 1;
+    const index n_odd = size / 2;
+    const index n_even = (size + 1) / 2;
+
+    CrLevel lev;
+    lev.cols = std::move(cols);
+    lev.u = std::move(u);  // back substitution needs this level's couplings
+    lev.g = std::move(g);
+    lev.odd_lu.resize(static_cast<std::size_t>(n_odd));
+    par::parallel_for(pool, 0, n_odd, opts.grain, [&](index jo) {
+      lev.odd_lu[static_cast<std::size_t>(jo)].factor(t[static_cast<std::size_t>(2 * jo + 1)]);
+    });
+
+    std::vector<Matrix> t2(static_cast<std::size_t>(n_even));
+    std::vector<Matrix> u2(static_cast<std::size_t>(n_even));
+    std::vector<Vector> g2(static_cast<std::size_t>(n_even));
+    std::vector<index> cols2(static_cast<std::size_t>(n_even));
+
+    par::parallel_for(pool, 0, n_even, opts.grain, [&](index e) {
+      const index i = 2 * e;
+      cols2[static_cast<std::size_t>(e)] = lev.cols[static_cast<std::size_t>(i)];
+      Matrix tn = t[static_cast<std::size_t>(i)];
+      Vector gn = lev.g[static_cast<std::size_t>(i)];
+      if (i >= 1) {
+        // Left odd neighbor i-1: subtract U_{i-1}^T T_{i-1}^{-1} [U_{i-1} | g_{i-1}].
+        const PivotFactor& f = lev.odd_lu[static_cast<std::size_t>((i - 1) / 2)];
+        const Matrix& ul = lev.u[static_cast<std::size_t>(i - 1)];
+        Matrix x = ul;  // T_{i-1}^{-1} U_{i-1}
+        f.solve(x.view());
+        la::gemm(-1.0, ul.view(), Trans::Yes, x.view(), Trans::No, 1.0, tn.view());
+        Vector y = lev.g[static_cast<std::size_t>(i - 1)];
+        f.solve(y.span());
+        la::gemv(-1.0, ul.view(), Trans::Yes, y.span(), 1.0, gn.span());
+      }
+      if (i < last) {
+        // Right odd neighbor i+1: the coupling is U_i (this row) and the
+        // equation of i+1 couples onward through U_{i+1}.
+        const PivotFactor& f = lev.odd_lu[static_cast<std::size_t>(i / 2)];
+        const Matrix& ur = lev.u[static_cast<std::size_t>(i)];
+        // X = T_{i+1}^{-1} U_i^T.
+        Matrix x = ur.transposed();
+        f.solve(x.view());
+        la::gemm(-1.0, ur.view(), Trans::No, x.view(), Trans::No, 1.0, tn.view());
+        Vector y = lev.g[static_cast<std::size_t>(i + 1)];
+        f.solve(y.span());
+        la::gemv(-1.0, ur.view(), Trans::No, y.span(), 1.0, gn.span());
+        if (i + 2 <= last) {
+          // New coupling to the next even: U' = -U_i T_{i+1}^{-1} U_{i+1}.
+          Matrix z = lev.u[static_cast<std::size_t>(i + 1)];
+          f.solve(z.view());
+          Matrix un(tn.rows(), z.cols());
+          la::gemm(-1.0, ur.view(), Trans::No, z.view(), Trans::No, 0.0, un.view());
+          u2[static_cast<std::size_t>(e)] = std::move(un);
+        }
+      }
+      la::symmetrize(tn.view());
+      t2[static_cast<std::size_t>(e)] = std::move(tn);
+      g2[static_cast<std::size_t>(e)] = std::move(gn);
+    });
+
+    levels.push_back(std::move(lev));
+    t = std::move(t2);
+    u = std::move(u2);
+    g = std::move(g2);
+    cols = std::move(cols2);
+  }
+
+  // ---- Base case and back substitution. ----
+  std::vector<Vector> sol(static_cast<std::size_t>(nstates));
+  {
+    PivotFactor f;
+    f.factor(t[0]);
+    Vector x = g[0];
+    f.solve(x.span());
+    sol[static_cast<std::size_t>(cols[0])] = std::move(x);
+  }
+  for (index lv = static_cast<index>(levels.size()) - 1; lv >= 0; --lv) {
+    const CrLevel& lev = levels[static_cast<std::size_t>(lv)];
+    const index size = static_cast<index>(lev.cols.size());
+    const index last = size - 1;
+    const index n_odd = size / 2;
+    par::parallel_for(pool, 0, n_odd, opts.grain, [&](index jo) {
+      const index j = 2 * jo + 1;
+      Vector x = lev.g[static_cast<std::size_t>(j)];
+      // x_j = T_j^{-1} (g_j - U_{j-1}^T x_{j-1} - U_j x_{j+1}).
+      const Vector& xl = sol[static_cast<std::size_t>(lev.cols[static_cast<std::size_t>(j - 1)])];
+      la::gemv(-1.0, lev.u[static_cast<std::size_t>(j - 1)].view(), Trans::Yes, xl.span(), 1.0,
+               x.span());
+      if (j < last) {
+        const Vector& xr =
+            sol[static_cast<std::size_t>(lev.cols[static_cast<std::size_t>(j + 1)])];
+        la::gemv(-1.0, lev.u[static_cast<std::size_t>(j)].view(), Trans::No, xr.span(), 1.0,
+                 x.span());
+      }
+      lev.odd_lu[static_cast<std::size_t>(jo)].solve(x.span());
+      sol[static_cast<std::size_t>(lev.cols[static_cast<std::size_t>(j)])] = std::move(x);
+    });
+  }
+  return sol;
+}
+
+std::vector<Vector> normal_thomas_smooth(const Problem& p) {
+  par::ThreadPool serial(1);
+  BlockTridiagonal sys = assemble_normal_equations(p, serial, 1);
+  const index nstates = sys.size();
+  const index last = nstates - 1;
+
+  // Forward sweep: S_i = T_i - U_{i-1}^T S_{i-1}^{-1} U_{i-1}, carried as LU
+  // factors; y_i = g_i - U_{i-1}^T S_{i-1}^{-1} y_{i-1}.
+  std::vector<PivotFactor> s(static_cast<std::size_t>(nstates));
+  std::vector<Vector> y = std::move(sys.g);
+  s[0].factor(sys.T[0]);
+  for (index i = 1; i <= last; ++i) {
+    const Matrix& ul = sys.U[static_cast<std::size_t>(i - 1)];
+    Matrix x = ul;
+    s[static_cast<std::size_t>(i - 1)].solve(x.view());
+    Matrix ti = sys.T[static_cast<std::size_t>(i)];
+    la::gemm(-1.0, ul.view(), Trans::Yes, x.view(), Trans::No, 1.0, ti.view());
+    la::symmetrize(ti.view());
+    s[static_cast<std::size_t>(i)].factor(ti);
+    Vector z = y[static_cast<std::size_t>(i - 1)];
+    s[static_cast<std::size_t>(i - 1)].solve(z.span());
+    la::gemv(-1.0, ul.view(), Trans::Yes, z.span(), 1.0, y[static_cast<std::size_t>(i)].span());
+  }
+
+  // Backward sweep.
+  std::vector<Vector> sol(static_cast<std::size_t>(nstates));
+  {
+    Vector x = y[static_cast<std::size_t>(last)];
+    s[static_cast<std::size_t>(last)].solve(x.span());
+    sol[static_cast<std::size_t>(last)] = std::move(x);
+  }
+  for (index i = last - 1; i >= 0; --i) {
+    Vector x = y[static_cast<std::size_t>(i)];
+    la::gemv(-1.0, sys.U[static_cast<std::size_t>(i)].view(), Trans::No,
+             sol[static_cast<std::size_t>(i + 1)].span(), 1.0, x.span());
+    s[static_cast<std::size_t>(i)].solve(x.span());
+    sol[static_cast<std::size_t>(i)] = std::move(x);
+  }
+  return sol;
+}
+
+}  // namespace pitk::kalman

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file normal_equations.hpp
+/// The paper's "third parallel algorithm" (Section 6): since
+/// (U A)^T (U A) is block tridiagonal, the smoothed states can also be
+/// computed by block odd-even (cyclic) reduction of the *normal equations*
+/// [Buzbee-Golub-Nielson 1970, Heller 1976].  The paper notes this approach
+/// "is unstable and does not appear to have any advantage over our new
+/// algorithm" — this module implements it so the claim can be measured
+/// (tests/bench compare its accuracy against the QR-based smoothers as the
+/// covariance conditioning degrades: forming A^T A squares the condition
+/// number).
+///
+/// Two solvers share the assembled tridiagonal system:
+///  * normal_cyclic_smooth - parallel block cyclic reduction (log k levels);
+///  * normal_thomas_smooth - sequential block LDL-style forward/backward
+///    sweep (the classical Thomas recursion), the natural sequential
+///    baseline for the cyclic variant.
+
+#include "kalman/model.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pitk::kalman {
+
+/// The block tridiagonal normal-equations system
+///   U_{i-1}^T x_{i-1} + T_i x_i + U_i x_{i+1} = g_i.
+struct BlockTridiagonal {
+  std::vector<Matrix> T;  ///< diagonal blocks, n_i x n_i (SPD in exact arithmetic)
+  std::vector<Matrix> U;  ///< super-diagonal blocks, n_i x n_{i+1}; entry k empty
+  std::vector<Vector> g;  ///< right-hand side
+
+  [[nodiscard]] la::index size() const noexcept { return static_cast<la::index>(T.size()); }
+};
+
+/// Assemble (U A)^T (U A) and (U A)^T U b from the weighted step blocks;
+/// one parallel pass over the steps.
+[[nodiscard]] BlockTridiagonal assemble_normal_equations(const Problem& p,
+                                                         par::ThreadPool& pool,
+                                                         la::index grain = par::default_grain);
+
+struct NormalCyclicOptions {
+  la::index grain = par::default_grain;
+};
+
+/// Parallel block cyclic reduction solve; means only (the covariance path
+/// has no advantage over SelInv, per the paper, and is omitted).
+/// Throws std::runtime_error if a pivot block is exactly singular.
+[[nodiscard]] std::vector<Vector> normal_cyclic_smooth(const Problem& p, par::ThreadPool& pool,
+                                                       const NormalCyclicOptions& opts = {});
+
+/// Sequential block-Thomas solve of the same system.
+[[nodiscard]] std::vector<Vector> normal_thomas_smooth(const Problem& p);
+
+}  // namespace pitk::kalman

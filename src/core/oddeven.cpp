@@ -1,0 +1,417 @@
+#include "core/oddeven.hpp"
+
+#include <stdexcept>
+
+#include "core/selinv.hpp"
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "la/triangular.hpp"
+
+namespace pitk::kalman {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::index;
+using la::MatrixView;
+using la::Trans;
+
+/// Working state of one block column at the current reduction level.
+struct ColState {
+  index col = -1;  ///< original state index
+  index n = 0;     ///< state dimension
+  Matrix C;        ///< local rows (r x n, r may be 0)
+  Vector crhs;     ///< r
+  bool has_evo = false;
+  Matrix E;        ///< evolution rows, previous column's block (l x n_prev)
+  Matrix D;        ///< evolution rows, own block (l x n)
+  Vector erhs;     ///< l
+};
+
+/// Per-even-position products of one reduction step.
+struct EvenOut {
+  OddEvenRow row;
+  // Phase-A leftover rows for the right neighbor's local block.
+  Matrix dtil;
+  Vector dtil_rhs;
+  // Phase-B leftover rows: [Z | Xtil] evolution row for the reduced level
+  // (Xtil empty for the last even position; Z then joins the left
+  // neighbor's local block instead).
+  Matrix z;
+  Matrix xtil;
+  Vector z_rhs;
+};
+
+/// Copy the top min(avail, dst.rows()) rows of src into dst, zero-padding.
+void copy_top_padded(ConstMatrixView src, MatrixView dst) {
+  dst.set_zero();
+  const index take = std::min(src.rows(), dst.rows());
+  for (index j = 0; j < dst.cols(); ++j)
+    for (index i = 0; i < take; ++i) dst(i, j) = src(i, j);
+}
+
+void copy_top_padded(std::span<const double> src, index avail, Vector& dst) {
+  const index take = std::min<index>(avail, dst.size());
+  for (index i = 0; i < take; ++i) dst[i] = src[static_cast<std::size_t>(i)];
+  for (index i = take; i < dst.size(); ++i) dst[i] = 0.0;
+}
+
+/// Rows [from, src.rows()) of src as a fresh matrix (possibly 0 rows).
+Matrix tail_rows(ConstMatrixView src, index from) {
+  const index r = std::max<index>(0, src.rows() - from);
+  Matrix out(r, src.cols());
+  if (r > 0) out.view().assign(src.block(from, 0, r, src.cols()));
+  return out;
+}
+
+
+/// Build the top level from the problem: one ColState per state, weighted.
+std::vector<ColState> build_top_level(const Problem& p, par::ThreadPool& pool, index grain) {
+  const index k = p.last_index();
+  std::vector<ColState> level(static_cast<std::size_t>(k + 1));
+  par::parallel_for(pool, 0, k + 1, grain, [&](index i) {
+    ColState& cs = level[static_cast<std::size_t>(i)];
+    cs.col = i;
+    cs.n = p.state_dim(i);
+    WeightedStep w = weigh_step(p.step(i));
+    cs.C = std::move(w.C);
+    cs.crhs = std::move(w.ow);
+    if (i > 0) {
+      cs.has_evo = true;
+      la::scale(-1.0, w.B.view());  // the matrix block is -B_i
+      cs.E = std::move(w.B);
+      cs.D = std::move(w.D);
+      cs.erhs = std::move(w.cw);
+    }
+  });
+  return level;
+}
+
+/// Phases A and B for the even position `pos` of the current level
+/// (Section 3's two batches of 2-block-row QR factorizations).
+EvenOut reduce_even(const std::vector<ColState>& level, index pos) {
+  const index last = static_cast<index>(level.size()) - 1;
+  const ColState& cs = level[static_cast<std::size_t>(pos)];
+  const index n = cs.n;
+  EvenOut out;
+  out.row.col = cs.col;
+
+  la::QrScratch scratch;
+
+  // ---- Phase A: QR of [C_pos; E_{pos+1}], Q^T applied to [0; D_{pos+1}]
+  // and the stacked right-hand side.
+  Matrix rtil(n, n);     // \tilde R_pos, zero-padded square
+  Matrix x;              // fill block X_pos (n x n_right)
+  Vector rtil_rhs(n);
+  index n_right = 0;
+  if (pos < last) {
+    const ColState& nx = level[static_cast<std::size_t>(pos + 1)];
+    n_right = nx.n;
+    const index r = cs.C.rows();
+    const index l = nx.E.rows();
+    Matrix m(r + l, n);
+    if (r > 0) m.block(0, 0, r, n).assign(cs.C.view());
+    m.block(r, 0, l, n).assign(nx.E.view());
+    // attached = [ 0 | rhs_top ; D_{pos+1} | rhs_bot ].
+    Matrix att(r + l, n_right + 1);
+    att.block(r, 0, l, n_right).assign(nx.D.view());
+    for (index q = 0; q < r; ++q) att(q, n_right) = cs.crhs[q];
+    for (index q = 0; q < l; ++q) att(r + q, n_right) = nx.erhs[q];
+
+    scratch.factor_apply(m.view(), att.view());
+
+    la::qr_extract_r_square(m.view(), rtil.view());
+    x.resize(n, n_right);
+    copy_top_padded(att.block(0, 0, att.rows(), n_right), x.view());
+    copy_top_padded(att.view().col_span(n_right), std::min(att.rows(), n), rtil_rhs);
+    out.dtil = tail_rows(att.block(0, 0, att.rows(), n_right), n);
+    out.dtil_rhs.resize(out.dtil.rows());
+    for (index q = 0; q < out.dtil.rows(); ++q) out.dtil_rhs[q] = att(n + q, n_right);
+  } else {
+    // Last even position: nothing to pair with; compress C alone.
+    Matrix m = cs.C;
+    Vector rhs = cs.crhs;
+    scratch.factor_apply(m.view(), rhs.as_matrix());
+    la::qr_extract_r_square(m.view(), rtil.view());
+    copy_top_padded(rhs.span(), std::min(m.rows(), n), rtil_rhs);
+    // Rows beyond n are pure residual (zero matrix entries) and are dropped.
+  }
+
+  // ---- Phase B: QR of [D_pos; \tilde R_pos], Q^T applied to [E_pos 0; 0 X]
+  // and the stacked right-hand side.
+  if (cs.has_evo) {
+    const index l = cs.D.rows();
+    const index n_left = cs.E.cols();
+    Matrix m2(l + n, n);
+    m2.block(0, 0, l, n).assign(cs.D.view());
+    m2.block(l, 0, n, n).assign(rtil.view());
+    Matrix att2(l + n, n_left + n_right + 1);
+    att2.block(0, 0, l, n_left).assign(cs.E.view());
+    if (n_right > 0) att2.block(l, n_left, n, n_right).assign(x.view());
+    for (index q = 0; q < l; ++q) att2(q, n_left + n_right) = cs.erhs[q];
+    for (index q = 0; q < n; ++q) att2(l + q, n_left + n_right) = rtil_rhs[q];
+
+    scratch.factor_apply(m2.view(), att2.view());
+
+    out.row.R.resize(n, n);
+    la::qr_extract_r_square(m2.view(), out.row.R.view());
+    out.row.left = level[static_cast<std::size_t>(pos - 1)].col;
+    out.row.Eblk.resize(n, n_left);
+    copy_top_padded(att2.block(0, 0, att2.rows(), n_left), out.row.Eblk.view());
+    if (n_right > 0) {
+      out.row.right = level[static_cast<std::size_t>(pos + 1)].col;
+      out.row.Yblk.resize(n, n_right);
+      copy_top_padded(att2.block(0, n_left, att2.rows(), n_right), out.row.Yblk.view());
+    }
+    out.row.rhs.resize(n);
+    copy_top_padded(att2.view().col_span(n_left + n_right), att2.rows(), out.row.rhs);
+
+    // Leftover evolution rows (exactly l of them).
+    out.z = tail_rows(att2.block(0, 0, att2.rows(), n_left), n);
+    if (n_right > 0) out.xtil = tail_rows(att2.block(0, n_left, att2.rows(), n_right), n);
+    out.z_rhs.resize(l);
+    for (index q = 0; q < l; ++q) out.z_rhs[q] = att2(n + q, n_left + n_right);
+  } else {
+    // Position 0: Phase A already produced the final row.
+    out.row.R = std::move(rtil);
+    out.row.rhs = std::move(rtil_rhs);
+    if (n_right > 0) {
+      out.row.right = level[static_cast<std::size_t>(pos + 1)].col;
+      out.row.Yblk = std::move(x);
+    }
+  }
+  return out;
+}
+
+/// Phase C: build the reduced-level column for odd position `pos` by
+/// stacking the Phase-A leftover rows, the local rows, and (for the last
+/// odd position when the level ends even) the Phase-B leftover of the last
+/// even position, then recompressing by QR when taller than n.  Each EvenOut
+/// leftover is consumed by exactly one odd position, so blocks are moved,
+/// not copied.
+ColState reduce_odd(const std::vector<ColState>& level, std::vector<EvenOut>& evens, index pos) {
+  const index last = static_cast<index>(level.size()) - 1;
+  const ColState& cs = level[static_cast<std::size_t>(pos)];
+  EvenOut& leftev = evens[static_cast<std::size_t>((pos - 1) / 2)];
+  const index n = cs.n;
+
+  const Matrix* extra = nullptr;
+  const Vector* extra_rhs = nullptr;
+  if (pos + 1 == last && last % 2 == 0) {
+    // The level ends on an even position whose Z-leftover has no D part; it
+    // is additional local information about this (its left) column.
+    const EvenOut& rightev = evens[static_cast<std::size_t>((pos + 1) / 2)];
+    extra = &rightev.z;
+    extra_rhs = &rightev.z_rhs;
+  }
+
+  const index r_d = leftev.dtil.rows();
+  const index r_c = cs.C.rows();
+  const index r_x = extra ? extra->rows() : 0;
+  Matrix m(r_d + r_c + r_x, n);
+  Vector rhs(r_d + r_c + r_x);
+  if (r_d > 0) {
+    m.block(0, 0, r_d, n).assign(leftev.dtil.view());
+    for (index q = 0; q < r_d; ++q) rhs[q] = leftev.dtil_rhs[q];
+  }
+  if (r_c > 0) {
+    m.block(r_d, 0, r_c, n).assign(cs.C.view());
+    for (index q = 0; q < r_c; ++q) rhs[r_d + q] = cs.crhs[q];
+  }
+  if (r_x > 0) {
+    m.block(r_d + r_c, 0, r_x, n).assign(extra->view());
+    for (index q = 0; q < r_x; ++q) rhs[r_d + r_c + q] = (*extra_rhs)[q];
+  }
+
+  ColState out;
+  out.col = cs.col;
+  out.n = n;
+  if (m.rows() > n) {
+    // Restore the O(n)-row invariant (the paper's step 3).
+    la::QrScratch scratch;
+    scratch.factor_apply(m.view(), rhs.as_matrix());
+    Matrix c(n, n);
+    la::qr_extract_r_square(m.view(), c.view());
+    Vector crhs(n);
+    copy_top_padded(rhs.span(), std::min(m.rows(), n), crhs);
+    out.C = std::move(c);
+    out.crhs = std::move(crhs);
+  } else {
+    out.C = std::move(m);
+    out.crhs = std::move(rhs);
+  }
+
+  // The reduced level's evolution row for this column (absent for the first
+  // odd position) is the Phase-B leftover of the even position to our left.
+  if (pos >= 2) {
+    out.has_evo = true;
+    out.E = std::move(leftev.z);
+    out.D = std::move(leftev.xtil);
+    out.erhs = std::move(leftev.z_rhs);
+  }
+  return out;
+}
+
+}  // namespace
+
+OddEvenFactor oddeven_factor(const Problem& p, par::ThreadPool& pool, index grain) {
+  if (auto err = p.validate(true)) throw std::invalid_argument("oddeven_factor: " + *err);
+  OddEvenFactor f;
+  const index k = p.last_index();
+  f.dims.resize(static_cast<std::size_t>(k + 1));
+  for (index i = 0; i <= k; ++i) f.dims[static_cast<std::size_t>(i)] = p.state_dim(i);
+
+  std::vector<ColState> level = build_top_level(p, pool, grain);
+
+  while (static_cast<index>(level.size()) > 1) {
+    const index size = static_cast<index>(level.size());
+    const index n_even = (size + 1) / 2;
+    const index n_odd = size / 2;
+
+    std::vector<EvenOut> evens(static_cast<std::size_t>(n_even));
+    par::parallel_for(pool, 0, n_even, grain,
+                      [&](index e) { evens[static_cast<std::size_t>(e)] = reduce_even(level, 2 * e); });
+
+    std::vector<ColState> reduced(static_cast<std::size_t>(n_odd));
+    par::parallel_for(pool, 0, n_odd, grain, [&](index j) {
+      reduced[static_cast<std::size_t>(j)] = reduce_odd(level, evens, 2 * j + 1);
+    });
+
+    OddEvenLevel lev;
+    lev.rows.reserve(static_cast<std::size_t>(n_even));
+    for (auto& e : evens) lev.rows.push_back(std::move(e.row));
+    f.levels.push_back(std::move(lev));
+    level = std::move(reduced);
+  }
+
+  // Base case: a single remaining column.
+  {
+    ColState& cs = level.front();
+    la::QrScratch scratch;
+    scratch.factor_apply(cs.C.view(), cs.crhs.as_matrix());
+    OddEvenRow row;
+    row.col = cs.col;
+    row.R.resize(cs.n, cs.n);
+    la::qr_extract_r_square(cs.C.view(), row.R.view());
+    row.rhs.resize(cs.n);
+    copy_top_padded(cs.crhs.span(), std::min(cs.C.rows(), cs.n), row.rhs);
+    OddEvenLevel lev;
+    lev.rows.push_back(std::move(row));
+    f.levels.push_back(std::move(lev));
+  }
+  return f;
+}
+
+std::vector<Vector> oddeven_solve(const OddEvenFactor& f, par::ThreadPool& pool, index grain) {
+  std::vector<Vector> sol(static_cast<std::size_t>(f.num_states()));
+  for (index lev = static_cast<index>(f.levels.size()) - 1; lev >= 0; --lev) {
+    const auto& rows = f.levels[static_cast<std::size_t>(lev)].rows;
+    par::parallel_for(pool, 0, static_cast<index>(rows.size()), grain, [&](index ri) {
+      const OddEvenRow& row = rows[static_cast<std::size_t>(ri)];
+      Vector x = row.rhs;
+      if (row.left >= 0)
+        la::gemv(-1.0, row.Eblk.view(), Trans::No, sol[static_cast<std::size_t>(row.left)].span(),
+                 1.0, x.span());
+      if (row.right >= 0)
+        la::gemv(-1.0, row.Yblk.view(), Trans::No,
+                 sol[static_cast<std::size_t>(row.right)].span(), 1.0, x.span());
+      la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, row.R.view(), x.span());
+      sol[static_cast<std::size_t>(row.col)] = std::move(x);
+    });
+  }
+  return sol;
+}
+
+namespace {
+
+/// Per-state S-blocks computed by Algorithm 2.  Each state is the diagonal
+/// of exactly one R row; `row` points at it once processed.
+struct CovSlot {
+  const OddEvenRow* row = nullptr;
+  Matrix diag;     ///< S_{col,col}
+  Matrix s_left;   ///< S_{col,left}
+  Matrix s_right;  ///< S_{col,right}
+};
+
+/// S_{a,b} for a < b, both already processed: stored either as a's right
+/// cross block or as the transpose of b's left cross block (one of the two
+/// rows necessarily lists the other column as its neighbor; see DESIGN.md).
+Matrix lookup_cross(const std::vector<CovSlot>& cov, index a, index b) {
+  const CovSlot& ca = cov[static_cast<std::size_t>(a)];
+  if (ca.row != nullptr && ca.row->right == b) return ca.s_right;
+  const CovSlot& cb = cov[static_cast<std::size_t>(b)];
+  assert(cb.row != nullptr && cb.row->left == a);
+  return cb.s_left.transposed();
+}
+
+}  // namespace
+
+std::vector<Matrix> oddeven_covariances(const OddEvenFactor& f, par::ThreadPool& pool,
+                                        index grain) {
+  std::vector<CovSlot> cov(static_cast<std::size_t>(f.num_states()));
+  for (index lev = static_cast<index>(f.levels.size()) - 1; lev >= 0; --lev) {
+    const auto& rows = f.levels[static_cast<std::size_t>(lev)].rows;
+    par::parallel_for(pool, 0, static_cast<index>(rows.size()), grain, [&](index ri) {
+      const OddEvenRow& row = rows[static_cast<std::size_t>(ri)];
+      CovSlot& slot = cov[static_cast<std::size_t>(row.col)];
+      slot.row = &row;
+      Matrix sjj = tri_inv_gram(row.R.view());  // R^{-1} R^{-T} source term
+      const bool hl = row.left >= 0;
+      const bool hr = row.right >= 0;
+      Matrix wl;
+      Matrix wr;
+      if (hl) {
+        wl = row.Eblk;
+        la::trsm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, row.R.view(), wl.view());
+      }
+      if (hr) {
+        wr = row.Yblk;
+        la::trsm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, row.R.view(), wr.view());
+      }
+      // S_{j,I} = -W S_{I,I} with I = {left, right} (either may be absent).
+      if (hl) {
+        Matrix sl(wl.rows(), wl.cols());
+        la::gemm(-1.0, wl.view(), Trans::No, cov[static_cast<std::size_t>(row.left)].diag.view(),
+                 Trans::No, 0.0, sl.view());
+        if (hr) {
+          // minus W_r * S_{right,left} = minus W_r * S_{left,right}^T.
+          Matrix slr = lookup_cross(cov, row.left, row.right);
+          la::gemm(-1.0, wr.view(), Trans::No, slr.view(), Trans::Yes, 1.0, sl.view());
+        }
+        slot.s_left = std::move(sl);
+      }
+      if (hr) {
+        Matrix sr(wr.rows(), wr.cols());
+        la::gemm(-1.0, wr.view(), Trans::No, cov[static_cast<std::size_t>(row.right)].diag.view(),
+                 Trans::No, 0.0, sr.view());
+        if (hl) {
+          Matrix slr = lookup_cross(cov, row.left, row.right);
+          la::gemm(-1.0, wl.view(), Trans::No, slr.view(), Trans::No, 1.0, sr.view());
+        }
+        slot.s_right = std::move(sr);
+      }
+      // S_jj = R^{-1}R^{-T} - S_{j,I} W^T.
+      if (hl) la::gemm(-1.0, slot.s_left.view(), Trans::No, wl.view(), Trans::Yes, 1.0, sjj.view());
+      if (hr)
+        la::gemm(-1.0, slot.s_right.view(), Trans::No, wr.view(), Trans::Yes, 1.0, sjj.view());
+      la::symmetrize(sjj.view());
+      slot.diag = std::move(sjj);
+    });
+  }
+
+  std::vector<Matrix> out(static_cast<std::size_t>(f.num_states()));
+  for (index i = 0; i < f.num_states(); ++i)
+    out[static_cast<std::size_t>(i)] = std::move(cov[static_cast<std::size_t>(i)].diag);
+  return out;
+}
+
+SmootherResult oddeven_smooth(const Problem& p, par::ThreadPool& pool,
+                              const OddEvenOptions& opts) {
+  OddEvenFactor f = oddeven_factor(p, pool, opts.grain);
+  SmootherResult res;
+  res.means = oddeven_solve(f, pool, opts.grain);
+  if (opts.compute_covariance) res.covariances = oddeven_covariances(f, pool, opts.grain);
+  return res;
+}
+
+}  // namespace pitk::kalman

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file oddeven.hpp
+/// The Odd-Even parallel-in-time Kalman smoother — the paper's primary
+/// contribution (Sections 3 and 4).
+///
+/// The smoother computes a QR factorization of a recursive odd-even
+/// block-column permutation of the weighted least-squares matrix U A.  Each
+/// reduction level finalizes the R rows of its even block columns with three
+/// batches of small independent QR factorizations (perfectly parallel across
+/// columns), and hands the odd columns — recompressed to O(n) rows — to the
+/// next level.  Work is Theta(k n^3) like the sequential Paige-Saunders
+/// algorithm (with a ~2x constant), span is Theta(log k * n log n).
+///
+/// Covariances come from the parallel odd-even SelInv (Algorithm 2): levels
+/// are replayed bottom-up and all even rows of a level are processed
+/// concurrently, each needing only S-blocks of adjacent odd columns already
+/// produced by deeper levels.
+
+#include "kalman/model.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pitk::kalman {
+
+struct OddEvenOptions {
+  /// Compute cov(\hat u_i) with parallel SelInv (Algorithm 2).  false is the
+  /// paper's "NC" variant (for Levenberg-Marquardt nonlinear smoothing).
+  bool compute_covariance = true;
+  /// parallel_for grain: the TBB block-size parameter of Section 5.1
+  /// (default 10, as in the paper).
+  la::index grain = par::default_grain;
+};
+
+/// One finalized block row of the permuted R factor.  `col` is the original
+/// state index of the diagonal block; `left`/`right` are the original state
+/// indices of the off-diagonal coupling blocks (-1 when absent).  Both
+/// neighbors are odd columns of this row's level, i.e. they come later in
+/// the permuted ordering, so the row is genuinely upper triangular.
+struct OddEvenRow {
+  la::index col = -1;
+  la::index left = -1;
+  la::index right = -1;
+  Matrix R;     ///< n_col x n_col, upper triangular (zero-padded square)
+  Matrix Eblk;  ///< n_col x n_left: R_{col,left}
+  Matrix Yblk;  ///< n_col x n_right: R_{col,right}
+  Vector rhs;   ///< transformed right-hand side rows of this block row
+};
+
+/// The rows finalized by one reduction level (its even columns).
+struct OddEvenLevel {
+  std::vector<OddEvenRow> rows;
+};
+
+/// Complete odd-even factorization of U A P: all levels, top first.
+struct OddEvenFactor {
+  std::vector<OddEvenLevel> levels;
+  std::vector<la::index> dims;  ///< n_i per state
+
+  [[nodiscard]] la::index num_states() const noexcept {
+    return static_cast<la::index>(dims.size());
+  }
+};
+
+/// Factor the problem (parallel across block columns within each level).
+[[nodiscard]] OddEvenFactor oddeven_factor(const Problem& p, par::ThreadPool& pool,
+                                           la::index grain = par::default_grain);
+
+/// Back substitution: levels in reverse, all rows of a level in parallel.
+[[nodiscard]] std::vector<Vector> oddeven_solve(const OddEvenFactor& f, par::ThreadPool& pool,
+                                                la::index grain = par::default_grain);
+
+/// Parallel odd-even SelInv (Algorithm 2): cov(\hat u_i) for every state.
+[[nodiscard]] std::vector<Matrix> oddeven_covariances(const OddEvenFactor& f,
+                                                      par::ThreadPool& pool,
+                                                      la::index grain = par::default_grain);
+
+/// The full smoother: factor + solve (+ covariances unless disabled).
+[[nodiscard]] SmootherResult oddeven_smooth(const Problem& p, par::ThreadPool& pool,
+                                            const OddEvenOptions& opts = {});
+
+}  // namespace pitk::kalman

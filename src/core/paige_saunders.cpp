@@ -1,0 +1,153 @@
+#include "core/paige_saunders.hpp"
+
+#include <stdexcept>
+
+#include "core/selinv.hpp"
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+
+namespace pitk::kalman {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::MatrixView;
+using la::Trans;
+
+/// Copy the top `take` transformed rows of (block, rhs) into a square-padded
+/// (rows x cols) triangle-extraction target.  Rows beyond `avail` stay zero
+/// (the 0*u = 0 padding convention of DESIGN.md).
+void extract_padded(ConstMatrixView src, std::span<const double> src_rhs, index avail,
+                    MatrixView dst_left, MatrixView dst_right, std::span<double> dst_rhs) {
+  const index take = std::min(avail, dst_left.rows());
+  for (index j = 0; j < dst_left.cols(); ++j)
+    for (index i = 0; i < take; ++i) dst_left(i, j) = src(i, j);
+  for (index j = 0; j < dst_right.cols(); ++j)
+    for (index i = 0; i < take; ++i) dst_right(i, j) = src(i, dst_left.cols() + j);
+  for (index i = 0; i < take; ++i) dst_rhs[static_cast<std::size_t>(i)] = src_rhs[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
+BidiagonalFactor paige_saunders_factor(const Problem& p) {
+  if (auto err = p.validate(true)) throw std::invalid_argument("paige_saunders: " + *err);
+  const index k = p.last_index();
+
+  BidiagonalFactor f;
+  f.diag.resize(static_cast<std::size_t>(k + 1));
+  f.sup.resize(static_cast<std::size_t>(k + 1));
+  f.rhs.resize(static_cast<std::size_t>(k + 1));
+
+  la::QrScratch scratch;
+
+  // `pending` carries every row that still constrains the current state:
+  // initially the weighted observation of step 0, later the triangular
+  // leftovers of each elimination stacked with fresh observation rows.
+  WeightedStep w0 = weigh_step(p.step(0));
+  Matrix pending = std::move(w0.C);
+  Vector pending_rhs = std::move(w0.ow);
+
+  for (index i = 1; i <= k; ++i) {
+    const index n_prev = p.state_dim(i - 1);
+    const index n_cur = p.state_dim(i);
+    WeightedStep w = weigh_step(p.step(i));
+    const index l = w.D.rows();
+    const index rp = pending.rows();
+
+    // Stacked panel over states (i-1, i):
+    //   [ pending   0  ]   rhs: [ pending_rhs ]
+    //   [  -B_i    D_i ]        [     c_w     ]
+    Matrix s(rp + l, n_prev + n_cur);
+    Vector srhs(rp + l);
+    if (rp > 0) {
+      s.block(0, 0, rp, n_prev).assign(pending.view());
+      for (index q = 0; q < rp; ++q) srhs[q] = pending_rhs[q];
+    }
+    {
+      MatrixView bblk = s.block(rp, 0, l, n_prev);
+      bblk.assign(w.B.view());
+      la::scale(-1.0, bblk);
+      s.block(rp, n_prev, l, n_cur).assign(w.D.view());
+      for (index q = 0; q < l; ++q) srhs[rp + q] = w.cw[q];
+    }
+
+    scratch.factor_apply(s.view(), srhs.as_matrix());
+
+    // Top n_prev rows are the final R rows of state i-1.
+    f.diag[static_cast<std::size_t>(i - 1)].resize(n_prev, n_prev);
+    f.sup[static_cast<std::size_t>(i - 1)].resize(n_prev, n_cur);
+    f.rhs[static_cast<std::size_t>(i - 1)].resize(n_prev);
+    // Zero below-diagonal reflector storage before extraction: only the
+    // upper triangle of the factored panel is R.
+    {
+      Matrix rtop(n_prev, n_prev + n_cur);
+      const index avail = std::min(s.rows(), n_prev);
+      for (index j = 0; j < n_prev + n_cur; ++j)
+        for (index q = 0; q < std::min(avail, j + 1); ++q) rtop(q, j) = s(q, j);
+      extract_padded(rtop.view(), srhs.span(), avail, f.diag[static_cast<std::size_t>(i - 1)].view(),
+                     f.sup[static_cast<std::size_t>(i - 1)].view(),
+                     f.rhs[static_cast<std::size_t>(i - 1)].span());
+    }
+
+    // Remaining rows (triangular leftover in the u_i columns) + fresh
+    // observation rows become the new pending block.  Rows below the panel's
+    // R factor (beyond its column count) are identically zero and must be
+    // dropped, otherwise the pending block grows by ~n rows per step and the
+    // sweep degrades from O(k n^3) to O(k^2 n^3).
+    const index rem = std::max<index>(0, std::min(s.rows() - n_prev, n_cur));
+    const index m = w.C.rows();
+    Matrix next_pending(rem + m, n_cur);
+    Vector next_rhs(rem + m);
+    for (index j = 0; j < n_cur; ++j)
+      for (index q = 0; q < rem; ++q) {
+        // Upper-trapezoidal part only; below-diagonal entries of the panel
+        // hold Householder vectors, not matrix values.
+        const index row = n_prev + q;
+        next_pending(q, j) = (row <= n_prev + j) ? s(row, n_prev + j) : 0.0;
+      }
+    for (index q = 0; q < rem; ++q) next_rhs[q] = srhs[n_prev + q];
+    if (m > 0) {
+      next_pending.block(rem, 0, m, n_cur).assign(w.C.view());
+      for (index q = 0; q < m; ++q) next_rhs[rem + q] = w.ow[q];
+    }
+    pending = std::move(next_pending);
+    pending_rhs = std::move(next_rhs);
+  }
+
+  // Final state: compress the pending rows into R_kk.
+  const index nk = p.state_dim(k);
+  scratch.factor_apply(pending.view(), pending_rhs.as_matrix());
+  f.diag[static_cast<std::size_t>(k)].resize(nk, nk);
+  f.sup[static_cast<std::size_t>(k)] = Matrix();
+  f.rhs[static_cast<std::size_t>(k)].resize(nk);
+  la::qr_extract_r_square(pending.view(), f.diag[static_cast<std::size_t>(k)].view());
+  const index avail = std::min(pending.rows(), nk);
+  for (index q = 0; q < avail; ++q) f.rhs[static_cast<std::size_t>(k)][q] = pending_rhs[q];
+  return f;
+}
+
+std::vector<Vector> paige_saunders_solve(const BidiagonalFactor& f) {
+  const index k = static_cast<index>(f.diag.size()) - 1;
+  std::vector<Vector> u(static_cast<std::size_t>(k + 1));
+  for (index i = k; i >= 0; --i) {
+    Vector x = f.rhs[static_cast<std::size_t>(i)];
+    if (i < k) {
+      la::gemv(-1.0, f.sup[static_cast<std::size_t>(i)].view(), Trans::No,
+               u[static_cast<std::size_t>(i + 1)].span(), 1.0, x.span());
+    }
+    la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit,
+             f.diag[static_cast<std::size_t>(i)].view(), x.span());
+    u[static_cast<std::size_t>(i)] = std::move(x);
+  }
+  return u;
+}
+
+SmootherResult paige_saunders_smooth(const Problem& p, const PaigeSaundersOptions& opts) {
+  BidiagonalFactor f = paige_saunders_factor(p);
+  SmootherResult res;
+  res.means = paige_saunders_solve(f);
+  if (opts.compute_covariance) res.covariances = selinv_bidiagonal(f);
+  return res;
+}
+
+}  // namespace pitk::kalman

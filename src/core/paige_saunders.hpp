@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file paige_saunders.hpp
+/// Sequential Paige-Saunders QR smoother (the paper's sequential QR baseline).
+///
+/// Streams through the steps once, orthogonally eliminating each state column
+/// as soon as its successor's evolution rows arrive, producing a block
+/// *bidiagonal* R factor (diagonal blocks R_ii and super-diagonal blocks
+/// R_{i,i+1}) and the transformed right-hand side.  Back substitution then
+/// yields the smoothed states; covariances come from sequential SelInv
+/// (Algorithm 1 of the paper) applied to the bidiagonal R.
+///
+/// Like the paper's implementation (based on UltimateKalman), this smoother
+/// needs no prior on the initial state, and supports rectangular H_i,
+/// varying state dimensions and missing observations.
+
+#include "kalman/model.hpp"
+
+namespace pitk::kalman {
+
+/// Block-bidiagonal R factor and transformed RHS of QR = U A.
+struct BidiagonalFactor {
+  std::vector<Matrix> diag;  ///< R_ii, square n_i x n_i (zero-padded if rank deficient)
+  std::vector<Matrix> sup;   ///< R_{i,i+1}; entry k is empty
+  std::vector<Vector> rhs;   ///< (Q^T U b)_i, length n_i
+};
+
+struct PaigeSaundersOptions {
+  /// Compute cov(\hat u_i) with sequential SelInv.  false = the "NC" variant
+  /// of the paper (used inside Gauss-Newton/LM nonlinear smoothers).
+  bool compute_covariance = true;
+};
+
+/// Factor the problem; exposed separately for tests and for SelInv.
+[[nodiscard]] BidiagonalFactor paige_saunders_factor(const Problem& p);
+
+/// Back substitution on a bidiagonal factor.
+[[nodiscard]] std::vector<Vector> paige_saunders_solve(const BidiagonalFactor& f);
+
+/// Full smoother: factor + solve (+ covariances unless disabled).
+[[nodiscard]] SmootherResult paige_saunders_smooth(const Problem& p,
+                                                   const PaigeSaundersOptions& opts = {});
+
+}  // namespace pitk::kalman

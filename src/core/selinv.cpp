@@ -1,0 +1,40 @@
+#include "core/selinv.hpp"
+
+#include "la/blas.hpp"
+#include "la/triangular.hpp"
+
+namespace pitk::kalman {
+
+Matrix tri_inv_gram(la::ConstMatrixView r) {
+  Matrix rinv = la::to_matrix(r);
+  la::tri_inverse_upper(rinv.view());
+  Matrix s(r.rows(), r.rows());
+  la::gemm(1.0, rinv.view(), la::Trans::No, rinv.view(), la::Trans::Yes, 0.0, s.view());
+  la::symmetrize(s.view());
+  return s;
+}
+
+std::vector<Matrix> selinv_bidiagonal(const BidiagonalFactor& f) {
+  const index k = static_cast<index>(f.diag.size()) - 1;
+  std::vector<Matrix> s(static_cast<std::size_t>(k + 1));
+  s[static_cast<std::size_t>(k)] = tri_inv_gram(f.diag[static_cast<std::size_t>(k)].view());
+  for (index j = k - 1; j >= 0; --j) {
+    const Matrix& rjj = f.diag[static_cast<std::size_t>(j)];
+    const Matrix& rjn = f.sup[static_cast<std::size_t>(j)];
+    // W = R_jj^{-1} R_{j,j+1}.
+    Matrix w = rjn;
+    la::trsm_left(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit, rjj.view(), w.view());
+    // S_{j,j+1} = -W S_{j+1,j+1}.
+    Matrix soff(w.rows(), w.cols());
+    la::gemm(-1.0, w.view(), la::Trans::No, s[static_cast<std::size_t>(j + 1)].view(),
+             la::Trans::No, 0.0, soff.view());
+    // S_jj = R_jj^{-1} R_jj^{-T} - S_{j,j+1} W^T.
+    Matrix sjj = tri_inv_gram(rjj.view());
+    la::gemm(-1.0, soff.view(), la::Trans::No, w.view(), la::Trans::Yes, 1.0, sjj.view());
+    la::symmetrize(sjj.view());
+    s[static_cast<std::size_t>(j)] = std::move(sjj);
+  }
+  return s;
+}
+
+}  // namespace pitk::kalman

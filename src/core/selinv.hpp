@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file selinv.hpp
+/// Sequential block SelInv (Algorithm 1 of the paper).
+///
+/// Computes the diagonal blocks of S = (R^T R)^{-1} for the block-bidiagonal
+/// R produced by the Paige-Saunders sweep; these are exactly cov(\hat u_i)
+/// (Section 4).  The paper's mapping onto the Lin et al. LDL^T SelInv is
+///   D_ii = R_ii^T R_ii,   L_ii = I,   L_ij = R_ji^T R_jj^{-T},
+/// which turns the selected-inversion recurrences into operations on R's
+/// blocks only:
+///   S_{j,I} = -R_jj^{-1} R_{j,I} S_{I,I}
+///   S_jj    =  R_jj^{-1} R_jj^{-T} - S_{j,I} (R_jj^{-1} R_{j,I})^T
+/// with I = {j+1} in the bidiagonal case.
+
+#include "core/paige_saunders.hpp"
+#include "kalman/model.hpp"
+
+namespace pitk::kalman {
+
+/// cov(\hat u_i) for every state from a bidiagonal factor (Algorithm 1).
+[[nodiscard]] std::vector<Matrix> selinv_bidiagonal(const BidiagonalFactor& f);
+
+/// Helper shared by both SelInv variants: R^{-1} R^{-T} for an upper
+/// triangular R (the "diagonal source" term of the recurrence).
+[[nodiscard]] Matrix tri_inv_gram(la::ConstMatrixView r);
+
+}  // namespace pitk::kalman

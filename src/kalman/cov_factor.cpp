@@ -1,0 +1,124 @@
+#include "kalman/cov_factor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+
+namespace pitk::kalman {
+
+CovFactor CovFactor::identity(index n) {
+  CovFactor f;
+  f.kind_ = Kind::Identity;
+  f.dim_ = n;
+  return f;
+}
+
+CovFactor CovFactor::scaled_identity(index n, double variance) {
+  Vector v(n);
+  for (index i = 0; i < n; ++i) v[i] = variance;
+  return diagonal(std::move(v));
+}
+
+CovFactor CovFactor::diagonal(Vector variances) {
+  CovFactor f;
+  f.kind_ = Kind::Diagonal;
+  f.dim_ = variances.size();
+  f.diag_std_ = std::move(variances);
+  for (index i = 0; i < f.dim_; ++i) {
+    if (!(f.diag_std_[i] > 0.0))
+      throw std::invalid_argument("CovFactor::diagonal: variances must be positive");
+    f.diag_std_[i] = std::sqrt(f.diag_std_[i]);
+  }
+  return f;
+}
+
+CovFactor CovFactor::dense(Matrix covariance) {
+  if (covariance.rows() != covariance.cols())
+    throw std::invalid_argument("CovFactor::dense: covariance must be square");
+  if (!la::cholesky_lower(covariance.view()))
+    throw std::invalid_argument("CovFactor::dense: covariance is not positive definite");
+  return dense_chol(std::move(covariance));
+}
+
+CovFactor CovFactor::dense_chol(Matrix chol_lower) {
+  CovFactor f;
+  f.kind_ = Kind::Dense;
+  f.dim_ = chol_lower.rows();
+  f.chol_ = std::move(chol_lower);
+  return f;
+}
+
+void CovFactor::weight_in_place(la::MatrixView b) const {
+  assert(b.rows() == dim_);
+  switch (kind_) {
+    case Kind::Identity:
+      return;
+    case Kind::Diagonal:
+      for (index j = 0; j < b.cols(); ++j) {
+        double* col = b.col_span(j).data();
+        for (index i = 0; i < dim_; ++i) col[i] /= diag_std_[i];
+      }
+      return;
+    case Kind::Dense:
+      la::trsm_left(la::Uplo::Lower, la::Trans::No, la::Diag::NonUnit, chol_.view(), b);
+      return;
+  }
+}
+
+void CovFactor::weight_in_place(std::span<double> v) const {
+  la::MatrixView m(v.data(), static_cast<index>(v.size()), 1, static_cast<index>(v.size()));
+  weight_in_place(m);
+}
+
+Matrix CovFactor::weighted(la::ConstMatrixView b) const {
+  Matrix out = la::to_matrix(b);
+  weight_in_place(out.view());
+  return out;
+}
+
+Vector CovFactor::weighted(std::span<const double> v) const {
+  Vector out(static_cast<index>(v.size()));
+  for (index i = 0; i < out.size(); ++i) out[i] = v[static_cast<std::size_t>(i)];
+  weight_in_place(out.span());
+  return out;
+}
+
+Vector CovFactor::sample(la::Rng& rng) const {
+  Vector z = la::random_gaussian_vector(rng, dim_);
+  switch (kind_) {
+    case Kind::Identity:
+      return z;
+    case Kind::Diagonal:
+      for (index i = 0; i < dim_; ++i) z[i] *= diag_std_[i];
+      return z;
+    case Kind::Dense: {
+      la::trmm_left(la::Uplo::Lower, la::Trans::No, la::Diag::NonUnit, 1.0, chol_.view(),
+                    z.as_matrix());
+      return z;
+    }
+  }
+  return z;
+}
+
+Matrix CovFactor::covariance() const {
+  switch (kind_) {
+    case Kind::Identity:
+      return Matrix::identity(dim_);
+    case Kind::Diagonal: {
+      Matrix c(dim_, dim_);
+      for (index i = 0; i < dim_; ++i) c(i, i) = diag_std_[i] * diag_std_[i];
+      return c;
+    }
+    case Kind::Dense: {
+      Matrix c(dim_, dim_);
+      la::gemm(1.0, chol_.view(), la::Trans::No, chol_.view(), la::Trans::Yes, 0.0, c.view());
+      la::symmetrize(c.view());
+      return c;
+    }
+  }
+  return {};
+}
+
+}  // namespace pitk::kalman

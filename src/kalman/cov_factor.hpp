@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file cov_factor.hpp
+/// Covariance matrices and the weighting factors derived from them.
+///
+/// Section 2.1 of the paper weights each equation block by the inverse
+/// factor of its noise covariance: V_i^T V_i = K_i^{-1}, W_i^T W_i = L_i^{-1}.
+/// A CovFactor stores a covariance in factored form (identity / diagonal /
+/// dense lower Cholesky) and applies the weighting V = C^{-1} (C the lower
+/// Cholesky factor of the covariance) without ever forming an inverse.
+/// Diagonal covariances — the common case the paper's stability argument
+/// singles out — use O(n) storage and O(n) weighting per column.
+
+#include <span>
+
+#include "la/matrix.hpp"
+#include "la/random.hpp"
+
+namespace pitk::kalman {
+
+using la::index;
+using la::Matrix;
+using la::Vector;
+
+class CovFactor {
+ public:
+  enum class Kind : std::uint8_t { Identity, Diagonal, Dense };
+
+  /// Default: identity covariance of dimension zero (useful as placeholder).
+  CovFactor() = default;
+
+  /// Identity covariance I_n.
+  [[nodiscard]] static CovFactor identity(index n);
+
+  /// sigma2 * I_n.
+  [[nodiscard]] static CovFactor scaled_identity(index n, double variance);
+
+  /// diag(variances); every variance must be positive.
+  [[nodiscard]] static CovFactor diagonal(Vector variances);
+
+  /// Dense SPD covariance; throws std::invalid_argument if the Cholesky
+  /// factorization fails.
+  [[nodiscard]] static CovFactor dense(Matrix covariance);
+
+  /// Dense covariance given directly by its lower Cholesky factor.
+  [[nodiscard]] static CovFactor dense_chol(Matrix chol_lower);
+
+  [[nodiscard]] index dim() const noexcept { return dim_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  /// B <- V B where V^T V = Cov^{-1}: the row-weighting applied to every
+  /// block of U A and U b.
+  void weight_in_place(la::MatrixView b) const;
+  void weight_in_place(std::span<double> v) const;
+
+  /// Fresh weighted copy V * B.
+  [[nodiscard]] Matrix weighted(la::ConstMatrixView b) const;
+  [[nodiscard]] Vector weighted(std::span<const double> v) const;
+
+  /// Draw a noise sample with this covariance (C * z, z ~ N(0, I)).
+  [[nodiscard]] Vector sample(la::Rng& rng) const;
+
+  /// Reconstruct the dense covariance matrix (tests, RTS baseline).
+  [[nodiscard]] Matrix covariance() const;
+
+ private:
+  Kind kind_ = Kind::Identity;
+  index dim_ = 0;
+  Vector diag_std_;  // Diagonal: sqrt of the variances
+  Matrix chol_;      // Dense: lower Cholesky factor of the covariance
+};
+
+}  // namespace pitk::kalman

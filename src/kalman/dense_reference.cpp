@@ -1,0 +1,94 @@
+#include "kalman/dense_reference.hpp"
+
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "la/triangular.hpp"
+
+namespace pitk::kalman {
+
+DenseSystem build_dense_system(const Problem& p) {
+  DenseSystem sys;
+  const index k = p.last_index();
+  sys.col_off.resize(static_cast<std::size_t>(k + 1));
+  index cols = 0;
+  for (index i = 0; i <= k; ++i) {
+    sys.col_off[static_cast<std::size_t>(i)] = cols;
+    cols += p.state_dim(i);
+  }
+  const index rows = p.total_row_dim();
+  sys.A.resize(rows, cols);
+  sys.b.resize(rows);
+
+  index r = 0;
+  for (index i = 0; i <= k; ++i) {
+    const WeightedStep w = weigh_step(p.step(i));
+    if (i > 0) {
+      const index l = w.D.rows();
+      // Evolution block row: [-B_i  D_i] at columns of states i-1 and i.
+      la::MatrixView bblk =
+          sys.A.block(r, sys.col_off[static_cast<std::size_t>(i - 1)], l, w.B.cols());
+      bblk.assign(w.B.view());
+      la::scale(-1.0, bblk);
+      sys.A.block(r, sys.col_off[static_cast<std::size_t>(i)], l, w.D.cols()).assign(w.D.view());
+      for (index q = 0; q < l; ++q) sys.b[r + q] = w.cw[q];
+      r += l;
+    }
+    if (w.C.rows() > 0) {
+      sys.A.block(r, sys.col_off[static_cast<std::size_t>(i)], w.C.rows(), w.C.cols())
+          .assign(w.C.view());
+      for (index q = 0; q < w.C.rows(); ++q) sys.b[r + q] = w.ow[q];
+      r += w.C.rows();
+    }
+  }
+  assert(r == rows);
+  return sys;
+}
+
+SmootherResult dense_smooth(const Problem& p, bool with_cov) {
+  if (auto err = p.validate(true)) throw std::invalid_argument("dense_smooth: " + *err);
+  DenseSystem sys = build_dense_system(p);
+  const index cols = sys.A.cols();
+  const index k = p.last_index();
+
+  Matrix a = sys.A;  // keep sys.A for covariance path readability
+  Vector b = sys.b;
+  std::vector<double> tau(static_cast<std::size_t>(std::min(a.rows(), a.cols())));
+  la::qr_factor(a.view(), tau);
+  la::qr_apply_qt(a.view(), tau, b.as_matrix());
+
+  Vector x(cols);
+  for (index i = 0; i < cols; ++i) x[i] = b[i];
+  la::trsv(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit, a.block(0, 0, cols, cols), x.span());
+
+  SmootherResult res;
+  res.means.reserve(static_cast<std::size_t>(k + 1));
+  for (index i = 0; i <= k; ++i) {
+    const index off = sys.col_off[static_cast<std::size_t>(i)];
+    const index n = p.state_dim(i);
+    Vector u(n);
+    for (index q = 0; q < n; ++q) u[q] = x[off + q];
+    res.means.push_back(std::move(u));
+  }
+
+  if (with_cov) {
+    // S = (R^T R)^{-1} = R^{-1} R^{-T}.
+    Matrix rinv = la::to_matrix(a.block(0, 0, cols, cols));
+    for (index j = 0; j < cols; ++j)
+      for (index i = j + 1; i < cols; ++i) rinv(i, j) = 0.0;  // clear reflector storage
+    la::tri_inverse_upper(rinv.view());
+    Matrix s(cols, cols);
+    la::gemm(1.0, rinv.view(), la::Trans::No, rinv.view(), la::Trans::Yes, 0.0, s.view());
+    la::symmetrize(s.view());
+    res.covariances.reserve(static_cast<std::size_t>(k + 1));
+    for (index i = 0; i <= k; ++i) {
+      const index off = sys.col_off[static_cast<std::size_t>(i)];
+      const index n = p.state_dim(i);
+      res.covariances.push_back(la::to_matrix(s.block(off, off, n, n)));
+    }
+  }
+  return res;
+}
+
+}  // namespace pitk::kalman

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file dense_reference.hpp
+/// Dense-matrix reference solver: the test oracle.
+///
+/// Assembles the full weighted least-squares system U A, U b of Section 2.1
+/// as explicit dense matrices and solves it with a dense Householder QR;
+/// covariances come from (R^T R)^{-1} formed densely.  O((kn)^2) memory, so
+/// only suitable for small problems — exactly what tests need to validate
+/// every structured smoother against first principles.
+
+#include "kalman/model.hpp"
+
+namespace pitk::kalman {
+
+/// The assembled dense system and the per-state column offsets.
+struct DenseSystem {
+  Matrix A;                    ///< U * A, (sum rows) x (sum n_i)
+  Vector b;                    ///< U * b
+  std::vector<index> col_off;  ///< column offset of each state's block
+};
+
+/// Build the dense weighted system for `p` (must validate()).
+[[nodiscard]] DenseSystem build_dense_system(const Problem& p);
+
+/// Solve by dense QR; with_cov additionally computes every cov(\hat u_i) as a
+/// diagonal block of (R^T R)^{-1}.
+[[nodiscard]] SmootherResult dense_smooth(const Problem& p, bool with_cov);
+
+}  // namespace pitk::kalman

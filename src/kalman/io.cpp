@@ -1,0 +1,250 @@
+#include "kalman/io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pitk::kalman {
+
+namespace {
+
+using la::index;
+
+void write_matrix_values(std::ostream& os, la::ConstMatrixView m) {
+  for (index i = 0; i < m.rows(); ++i)
+    for (index j = 0; j < m.cols(); ++j) os << ' ' << m(i, j);
+}
+
+void write_cov(std::ostream& os, const char* label, const CovFactor& f) {
+  os << label << ' ';
+  switch (f.kind()) {
+    case CovFactor::Kind::Identity:
+      os << "identity " << f.dim();
+      break;
+    case CovFactor::Kind::Diagonal: {
+      os << "diagonal " << f.dim();
+      const Matrix c = f.covariance();
+      for (index i = 0; i < f.dim(); ++i) os << ' ' << c(i, i);
+      break;
+    }
+    case CovFactor::Kind::Dense: {
+      os << "dense " << f.dim();
+      write_matrix_values(os, f.covariance().view());
+      break;
+    }
+  }
+  os << '\n';
+}
+
+/// Tokenizing reader with line tracking for useful error messages.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  std::string word() {
+    std::string w;
+    if (!(is_ >> w)) fail("unexpected end of input");
+    return w;
+  }
+
+  index integer() {
+    index v = 0;
+    if (!(is_ >> v)) fail("expected an integer");
+    return v;
+  }
+
+  double real() {
+    double v = 0.0;
+    if (!(is_ >> v)) fail("expected a number");
+    return v;
+  }
+
+  void expect(const std::string& token) {
+    const std::string w = word();
+    if (w != token) fail("expected '" + token + "', found '" + w + "'");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("read_problem: " + what);
+  }
+
+  Matrix matrix(index rows, index cols) {
+    Matrix m(rows, cols);
+    for (index i = 0; i < rows; ++i)
+      for (index j = 0; j < cols; ++j) m(i, j) = real();
+    return m;
+  }
+
+  Vector vector(index n) {
+    Vector v(n);
+    for (index i = 0; i < n; ++i) v[i] = real();
+    return v;
+  }
+
+  CovFactor cov(index expected_dim) {
+    const std::string kind = word();
+    const index dim = integer();
+    if (dim != expected_dim) fail("covariance dimension mismatch");
+    if (kind == "identity") return CovFactor::identity(dim);
+    if (kind == "diagonal") return CovFactor::diagonal(vector(dim));
+    if (kind == "dense") return CovFactor::dense(matrix(dim, dim));
+    fail("unknown covariance kind '" + kind + "'");
+  }
+
+ private:
+  std::istream& is_;
+};
+
+}  // namespace
+
+void write_problem(std::ostream& os, const Problem& p) {
+  os << std::setprecision(17);
+  os << "pitk-problem 1\n";
+  os << "states " << p.num_states() << '\n';
+  for (index i = 0; i < p.num_states(); ++i) {
+    const TimeStep& s = p.step(i);
+    os << "state " << i << ' ' << s.n << '\n';
+    if (s.evolution) {
+      const Evolution& e = *s.evolution;
+      os << "evolution " << e.rows() << ' ' << (e.identity_h() ? "identity" : "H") << '\n';
+      os << "F";
+      write_matrix_values(os, e.F.view());
+      os << '\n';
+      if (!e.identity_h()) {
+        os << "H";
+        write_matrix_values(os, e.H.view());
+        os << '\n';
+      }
+      if (e.c.empty()) {
+        os << "c zero\n";
+      } else {
+        os << "c";
+        for (index q = 0; q < e.c.size(); ++q) os << ' ' << e.c[q];
+        os << '\n';
+      }
+      write_cov(os, "K", e.noise);
+    }
+    if (s.observation) {
+      const Observation& ob = *s.observation;
+      os << "observation " << ob.rows() << '\n';
+      os << "G";
+      write_matrix_values(os, ob.G.view());
+      os << '\n';
+      os << "o";
+      for (index q = 0; q < ob.o.size(); ++q) os << ' ' << ob.o[q];
+      os << '\n';
+      write_cov(os, "L", ob.noise);
+    }
+  }
+  os << "end\n";
+}
+
+Problem read_problem(std::istream& is) {
+  Reader r(is);
+  r.expect("pitk-problem");
+  if (r.integer() != 1) r.fail("unsupported format version");
+  r.expect("states");
+  const index count = r.integer();
+  if (count <= 0) r.fail("state count must be positive");
+
+  std::vector<TimeStep> steps(static_cast<std::size_t>(count));
+  index cur = -1;  // state currently being filled
+  for (;;) {
+    const std::string tok = r.word();
+    if (tok == "end") break;
+
+    if (tok == "state") {
+      const index i = r.integer();
+      if (i != cur + 1) r.fail("state indices must be consecutive from 0");
+      if (i >= count) r.fail("more states than declared");
+      cur = i;
+      steps[static_cast<std::size_t>(cur)].n = r.integer();
+      if (steps[static_cast<std::size_t>(cur)].n <= 0)
+        r.fail("state dimension must be positive");
+      continue;
+    }
+
+    if (cur < 0) r.fail("'" + tok + "' before the first state");
+    TimeStep& s = steps[static_cast<std::size_t>(cur)];
+
+    if (tok == "evolution") {
+      if (cur == 0) r.fail("state 0 cannot have an evolution");
+      if (s.evolution) r.fail("duplicate evolution");
+      const index prev_n = steps[static_cast<std::size_t>(cur - 1)].n;
+      Evolution e;
+      const index l = r.integer();
+      const std::string hkind = r.word();
+      r.expect("F");
+      e.F = r.matrix(l, prev_n);
+      if (hkind == "H") {
+        r.expect("H");
+        e.H = r.matrix(l, s.n);
+      } else if (hkind != "identity") {
+        r.fail("evolution H kind must be 'identity' or 'H'");
+      }
+      r.expect("c");
+      {
+        const std::string first = r.word();
+        if (first != "zero") {
+          Vector c(l);
+          std::istringstream head(first);
+          if (!(head >> c[0])) r.fail("expected 'zero' or numbers after c");
+          for (index q = 1; q < l; ++q) c[q] = r.real();
+          e.c = std::move(c);
+        }
+      }
+      r.expect("K");
+      e.noise = r.cov(l);
+      s.evolution = std::move(e);
+    } else if (tok == "observation") {
+      if (s.observation) r.fail("duplicate observation");
+      Observation ob;
+      const index m = r.integer();
+      r.expect("G");
+      ob.G = r.matrix(m, s.n);
+      r.expect("o");
+      ob.o = r.vector(m);
+      r.expect("L");
+      ob.noise = r.cov(m);
+      s.observation = std::move(ob);
+    } else {
+      r.fail("unexpected token '" + tok + "'");
+    }
+  }
+  if (cur + 1 != count) r.fail("fewer states than declared");
+
+  Problem p = Problem::from_steps(std::move(steps));
+  if (auto err = p.validate()) throw std::runtime_error("read_problem: invalid problem: " + *err);
+  return p;
+}
+
+void save_problem(const std::string& path, const Problem& p) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_problem: cannot open " + path);
+  write_problem(os, p);
+}
+
+Problem load_problem(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_problem: cannot open " + path);
+  return read_problem(is);
+}
+
+void write_result_csv(std::ostream& os, const SmootherResult& result) {
+  os << std::setprecision(17);
+  const bool with_cov = result.has_covariances();
+  os << "state,component,mean" << (with_cov ? ",sigma" : "") << '\n';
+  for (std::size_t i = 0; i < result.means.size(); ++i) {
+    for (index q = 0; q < result.means[i].size(); ++q) {
+      os << i << ',' << q << ',' << result.means[i][q];
+      if (with_cov) os << ',' << std::sqrt(result.covariances[i](q, q));
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace pitk::kalman

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text serialization of smoothing problems and results.
+///
+/// The format is line-oriented and self-describing (see write_problem), so
+/// datasets can be produced by other tools/languages, versioned, and diffed.
+/// Covariances are stored in their CovFactor form (identity / diagonal /
+/// dense) to round-trip exactly.
+
+#include <iosfwd>
+#include <string>
+
+#include "kalman/model.hpp"
+
+namespace pitk::kalman {
+
+/// Serialize a problem.  Format sketch:
+///
+///   pitk-problem 1
+///   states <count>
+///   state <i> <n_i>
+///   evolution <l> <H|identity>
+///   F <l x n_prev doubles, row major>
+///   [H <l x n_i doubles>]
+///   c <l doubles> | c zero
+///   K identity <l> | K diagonal <l> <v...> | K dense <l> <cov row major>
+///   observation <m>
+///   G ... / o ... / L ...
+///   end
+void write_problem(std::ostream& os, const Problem& p);
+
+/// Parse a problem written by write_problem.
+/// Throws std::runtime_error with a line-context message on malformed input.
+[[nodiscard]] Problem read_problem(std::istream& is);
+
+/// File-path conveniences.
+void save_problem(const std::string& path, const Problem& p);
+[[nodiscard]] Problem load_problem(const std::string& path);
+
+/// Write a smoothing result as CSV: one row per state with the mean
+/// components and (when present) the 1-sigma standard deviations.
+void write_result_csv(std::ostream& os, const SmootherResult& result);
+
+}  // namespace pitk::kalman

@@ -1,0 +1,171 @@
+#include "kalman/model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pitk::kalman {
+
+Problem Problem::from_steps(std::vector<TimeStep> steps) {
+  Problem p;
+  p.steps_ = std::move(steps);
+  return p;
+}
+
+void Problem::start(index n0) {
+  if (!steps_.empty()) throw std::logic_error("Problem::start: already started");
+  TimeStep s;
+  s.n = n0;
+  steps_.push_back(std::move(s));
+}
+
+void Problem::evolve(Matrix f, Vector c, CovFactor k) {
+  if (steps_.empty()) throw std::logic_error("Problem::evolve: call start() first");
+  const index n_new = f.rows();
+  TimeStep s;
+  s.n = n_new;
+  Evolution e;
+  e.F = std::move(f);
+  e.c = std::move(c);
+  e.noise = std::move(k);
+  s.evolution = std::move(e);
+  steps_.push_back(std::move(s));
+}
+
+void Problem::evolve_rect(index n_new, Matrix h, Matrix f, Vector c, CovFactor k) {
+  if (steps_.empty()) throw std::logic_error("Problem::evolve_rect: call start() first");
+  TimeStep s;
+  s.n = n_new;
+  Evolution e;
+  e.H = std::move(h);
+  e.F = std::move(f);
+  e.c = std::move(c);
+  e.noise = std::move(k);
+  s.evolution = std::move(e);
+  steps_.push_back(std::move(s));
+}
+
+void Problem::observe(Matrix g, Vector o, CovFactor l) {
+  if (steps_.empty()) throw std::logic_error("Problem::observe: call start() first");
+  Observation ob;
+  ob.G = std::move(g);
+  ob.o = std::move(o);
+  ob.noise = std::move(l);
+  steps_.back().observation = std::move(ob);
+}
+
+index Problem::total_state_dim() const noexcept {
+  index total = 0;
+  for (const auto& s : steps_) total += s.n;
+  return total;
+}
+
+index Problem::total_row_dim() const noexcept {
+  index total = 0;
+  for (const auto& s : steps_) total += s.obs_rows() + s.evo_rows();
+  return total;
+}
+
+std::optional<std::string> Problem::validate(bool require_overdetermined) const {
+  auto fail = [](index i, const std::string& what) {
+    std::ostringstream os;
+    os << "step " << i << ": " << what;
+    return os.str();
+  };
+  for (index i = 0; i < num_states(); ++i) {
+    const TimeStep& s = step(i);
+    if (s.n <= 0) return fail(i, "state dimension must be positive");
+    if (i == 0 && s.evolution) return fail(i, "step 0 must not have an evolution");
+    if (i > 0) {
+      if (!s.evolution) return fail(i, "steps after the first need an evolution");
+      const Evolution& e = *s.evolution;
+      const index l = e.F.rows();
+      if (e.F.cols() != step(i - 1).n)
+        return fail(i, "F has " + std::to_string(e.F.cols()) + " cols, expected previous n");
+      if (e.identity_h()) {
+        if (l != s.n) return fail(i, "implicit identity H requires F rows == n_i");
+      } else {
+        if (e.H.rows() != l || e.H.cols() != s.n) return fail(i, "H shape mismatch");
+      }
+      if (!e.c.empty() && e.c.size() != l) return fail(i, "c length mismatch");
+      if (e.noise.dim() != l) return fail(i, "evolution noise dimension mismatch");
+    }
+    if (s.observation) {
+      const Observation& ob = *s.observation;
+      if (ob.G.cols() != s.n) return fail(i, "G cols must equal n_i");
+      if (ob.o.size() != ob.G.rows()) return fail(i, "o length must equal G rows");
+      if (ob.noise.dim() != ob.G.rows()) return fail(i, "observation noise dimension mismatch");
+      if (ob.G.rows() == 0) return fail(i, "empty observation should be absent, not zero-row");
+    }
+  }
+  // Without a prior, the problem must be (dimensionally) over-determined.
+  if (require_overdetermined && total_row_dim() < total_state_dim())
+    return std::string("problem is under-determined: fewer equation rows than unknowns");
+  return std::nullopt;
+}
+
+Problem with_prior_observation(const Problem& p, const GaussianPrior& prior) {
+  if (p.num_states() == 0) throw std::invalid_argument("with_prior_observation: empty problem");
+  Problem out = p;
+  TimeStep& s0 = out.step(0);
+  const index n0 = s0.n;
+  if (prior.mean.size() != n0 || prior.cov.rows() != n0 || prior.cov.cols() != n0)
+    throw std::invalid_argument("with_prior_observation: prior shape mismatch");
+  Matrix g;
+  Vector o;
+  Matrix cov;
+  if (s0.observation) {
+    const Observation& ob = *s0.observation;
+    // Stack [prior; existing observation] with block-diagonal covariance.
+    const index m = ob.rows();
+    g = la::vstack(Matrix::identity(n0), ob.G);
+    o.resize(n0 + m);
+    for (index i = 0; i < n0; ++i) o[i] = prior.mean[i];
+    for (index i = 0; i < m; ++i) o[n0 + i] = ob.o[i];
+    cov.resize(n0 + m, n0 + m);
+    cov.block(0, 0, n0, n0).assign(prior.cov.view());
+    cov.block(n0, n0, m, m).assign(ob.noise.covariance().view());
+  } else {
+    g = Matrix::identity(n0);
+    o = prior.mean;
+    cov = prior.cov;
+  }
+  Observation ob;
+  ob.G = std::move(g);
+  ob.o = std::move(o);
+  ob.noise = CovFactor::dense(std::move(cov));
+  s0.observation = std::move(ob);
+  return out;
+}
+
+WeightedStep weigh_step(const TimeStep& s) {
+  WeightedStep w;
+  if (s.observation) {
+    const Observation& ob = *s.observation;
+    w.C = ob.noise.weighted(ob.G.view());
+    w.ow = ob.noise.weighted(ob.o.span());
+  } else {
+    w.C.resize(0, s.n);
+    w.ow.resize(0);
+  }
+  if (s.evolution) {
+    const Evolution& e = *s.evolution;
+    const index l = e.rows();
+    w.B = e.noise.weighted(e.F.view());
+    if (e.identity_h()) {
+      // D = V * I: the weighting applied to an identity block.
+      Matrix d = Matrix::identity(s.n);
+      e.noise.weight_in_place(d.view());
+      w.D = std::move(d);
+    } else {
+      w.D = e.noise.weighted(e.H.view());
+    }
+    if (e.c.empty()) {
+      w.cw.resize(l);
+    } else {
+      w.cw = e.noise.weighted(e.c.span());
+    }
+  }
+  return w;
+}
+
+}  // namespace pitk::kalman

@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file model.hpp
+/// The linear Kalman smoothing problem of Section 2.1.
+///
+/// A Problem is a sequence of states u_0 .. u_k with
+///   evolution:    H_i u_i = F_i u_{i-1} + c_i + eps_i,  cov(eps_i) = K_i
+///   observation:  o_i = G_i u_i + delta_i,              cov(delta_i) = L_i
+/// State dimensions n_i may vary, H_i may be rectangular (paper allows both;
+/// conventional smoothers do not), observations are optional per step, and
+/// no prior on u_0 is required.  A Gaussian prior, when available, is simply
+/// an extra observation of the full state (G = I, o = mean, L = cov) — see
+/// with_prior_observation().
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kalman/cov_factor.hpp"
+#include "la/matrix.hpp"
+
+namespace pitk::kalman {
+
+/// Evolution part of a step: H u_i = F u_{i-1} + c + noise.
+struct Evolution {
+  Matrix F;         ///< l x n_{i-1}
+  Matrix H;         ///< l x n_i; empty means identity (then l == n_i)
+  Vector c;         ///< l; empty means zero
+  CovFactor noise;  ///< cov(eps) of dimension l
+
+  [[nodiscard]] index rows() const noexcept { return F.rows(); }
+  [[nodiscard]] bool identity_h() const noexcept { return H.empty(); }
+};
+
+/// Observation part of a step: o = G u_i + noise.
+struct Observation {
+  Matrix G;         ///< m x n_i
+  Vector o;         ///< m
+  CovFactor noise;  ///< cov(delta) of dimension m
+
+  [[nodiscard]] index rows() const noexcept { return G.rows(); }
+};
+
+/// One state of the dynamic system plus the equations that constrain it.
+struct TimeStep {
+  index n = 0;                            ///< dimension of u_i
+  std::optional<Evolution> evolution;     ///< absent exactly for i == 0
+  std::optional<Observation> observation; ///< absent when the step is unobserved
+
+  [[nodiscard]] index obs_rows() const noexcept {
+    return observation ? observation->rows() : 0;
+  }
+  [[nodiscard]] index evo_rows() const noexcept { return evolution ? evolution->rows() : 0; }
+};
+
+/// Gaussian prior on the initial (or any) state.
+struct GaussianPrior {
+  Vector mean;
+  Matrix cov;
+};
+
+/// A full smoothing problem: the ordered steps 0..k.
+class Problem {
+ public:
+  Problem() = default;
+
+  /// Take ownership of pre-built steps (parallel problem construction path;
+  /// the paper notes inputs are typically produced in parallel upstream).
+  [[nodiscard]] static Problem from_steps(std::vector<TimeStep> steps);
+
+  // ---- incremental builder (UltimateKalman-style evolve/observe) ----
+
+  /// Begin with the initial state of dimension n0.
+  void start(index n0);
+
+  /// Append state i+1 with H = I (square) evolution: u_{i+1} = F u_i + c + e.
+  void evolve(Matrix f, Vector c, CovFactor k);
+
+  /// Append state with explicit (possibly rectangular) H and new dimension.
+  void evolve_rect(index n_new, Matrix h, Matrix f, Vector c, CovFactor k);
+
+  /// Attach an observation to the most recent state.
+  void observe(Matrix g, Vector o, CovFactor l);
+
+  // ---- access ----
+
+  [[nodiscard]] index num_states() const noexcept { return static_cast<index>(steps_.size()); }
+  [[nodiscard]] index last_index() const noexcept { return num_states() - 1; }
+  [[nodiscard]] const TimeStep& step(index i) const { return steps_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] TimeStep& step(index i) { return steps_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const std::vector<TimeStep>& steps() const noexcept { return steps_; }
+  [[nodiscard]] std::vector<TimeStep>& steps() noexcept { return steps_; }
+
+  [[nodiscard]] index state_dim(index i) const { return step(i).n; }
+
+  /// Sum of all state dimensions (columns of U A).
+  [[nodiscard]] index total_state_dim() const noexcept;
+
+  /// Sum of all equation rows (rows of U A).
+  [[nodiscard]] index total_row_dim() const noexcept;
+
+  /// Shape-consistency check; returns a description of the first problem
+  /// found, or nullopt when the model is well formed.  QR smoothers (which
+  /// have no prior to anchor the estimate) additionally require at least as
+  /// many equation rows as unknowns; prior-based smoothers must not, since
+  /// the prior supplies the missing information.
+  [[nodiscard]] std::optional<std::string> validate(
+      bool require_overdetermined = false) const;
+
+ private:
+  std::vector<TimeStep> steps_;
+};
+
+/// Copy `p` and prepend a prior on u_0 as an extra observation row block
+/// (G = I, o = prior.mean, L = prior.cov), stacked above any existing
+/// observation of step 0.  This makes QR smoothers solve exactly the same
+/// regularized problem that RTS/associative smoothers solve with `prior`.
+[[nodiscard]] Problem with_prior_observation(const Problem& p, const GaussianPrior& prior);
+
+/// Weighted equation blocks of one step (Section 3 notation):
+///   C = W G, o_w = W o, B = V F, D = V H, c_w = V c.
+struct WeightedStep {
+  Matrix C;   ///< m x n_i
+  Vector ow;  ///< m
+  Matrix B;   ///< l x n_{i-1} (unsigned; the matrix block is -B)
+  Matrix D;   ///< l x n_i
+  Vector cw;  ///< l
+};
+
+/// Compute the weighted blocks of step i (i == 0 has only C, ow).
+[[nodiscard]] WeightedStep weigh_step(const TimeStep& s);
+
+/// Result of a smoothing pass.
+struct SmootherResult {
+  std::vector<Vector> means;        ///< \hat u_i, i = 0..k
+  std::vector<Matrix> covariances;  ///< cov(\hat u_i); empty when skipped (NC)
+
+  [[nodiscard]] bool has_covariances() const noexcept { return !covariances.empty(); }
+};
+
+/// Result of a (forward) filtering pass.
+struct FilterResult {
+  std::vector<Vector> means;        ///< E(u_i | o_0..o_i)
+  std::vector<Matrix> covariances;  ///< cov of the above
+};
+
+}  // namespace pitk::kalman

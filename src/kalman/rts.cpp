@@ -1,0 +1,169 @@
+#include "kalman/rts.hpp"
+
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+
+namespace pitk::kalman {
+
+namespace {
+
+using la::ConstMatrixView;
+using la::Trans;
+
+struct FilterState {
+  std::vector<Vector> filt_mean;
+  std::vector<Matrix> filt_cov;
+  std::vector<Vector> pred_mean;  // x_{i|i-1}; entry 0 is the prior mean
+  std::vector<Matrix> pred_cov;
+};
+
+void require_identity_h(const Problem& p) {
+  for (index i = 1; i <= p.last_index(); ++i)
+    if (!p.step(i).evolution->identity_h())
+      throw std::invalid_argument(
+          "conventional Kalman filtering requires H_i = I; use a QR-based smoother");
+}
+
+}  // namespace
+
+/// Joseph-form measurement update of (x, P) with observation (G, o, L).
+void kf_measurement_update(const Observation& ob, Vector& x, Matrix& pcov) {
+  const index n = x.size();
+  const index m = ob.rows();
+  const Matrix lcov = ob.noise.covariance();
+
+  // S = G P G^T + L.
+  Matrix gp = la::multiply(ob.G.view(), pcov.view());  // m x n
+  Matrix s = lcov;
+  la::gemm(1.0, gp.view(), Trans::No, ob.G.view(), Trans::Yes, 1.0, s.view());
+  la::symmetrize(s.view());
+
+  // Gain K = P G^T S^{-1}  (via K^T = S^{-1} (G P)).
+  Matrix kt = la::to_matrix(gp.view());
+  {
+    Matrix schol = s;
+    if (!la::cholesky_lower(schol.view()))
+      throw std::runtime_error("kalman_filter: innovation covariance not SPD");
+    la::chol_solve(schol.view(), kt.view());
+  }
+
+  // Innovation r = o - G x.
+  Vector r = ob.o;
+  la::gemv(-1.0, ob.G.view(), Trans::No, x.span(), 1.0, r.span());
+  // x += K r = kt^T r.
+  la::gemv(1.0, kt.view(), Trans::Yes, r.span(), 1.0, x.span());
+
+  // Joseph form: P = (I - K G) P (I - K G)^T + K L K^T.
+  Matrix ikg = Matrix::identity(n);
+  la::gemm(-1.0, kt.view(), Trans::Yes, ob.G.view(), Trans::No, 1.0, ikg.view());
+  Matrix tmp = la::multiply(ikg.view(), pcov.view());
+  Matrix pnew(n, n);
+  la::gemm(1.0, tmp.view(), Trans::No, ikg.view(), Trans::Yes, 0.0, pnew.view());
+  Matrix kl(m, n);  // L K^T (m x n)
+  la::gemm(1.0, lcov.view(), Trans::No, kt.view(), Trans::No, 0.0, kl.view());
+  la::gemm(1.0, kt.view(), Trans::Yes, kl.view(), Trans::No, 1.0, pnew.view());
+  la::symmetrize(pnew.view());
+  pcov = std::move(pnew);
+}
+
+namespace {
+
+FilterState run_filter(const Problem& p, const GaussianPrior& prior) {
+  if (auto err = p.validate()) throw std::invalid_argument("kalman_filter: " + *err);
+  require_identity_h(p);
+  if (prior.mean.size() != p.state_dim(0))
+    throw std::invalid_argument("kalman_filter: prior dimension mismatch");
+
+  const index k = p.last_index();
+  FilterState fs;
+  fs.filt_mean.reserve(static_cast<std::size_t>(k + 1));
+  fs.filt_cov.reserve(static_cast<std::size_t>(k + 1));
+  fs.pred_mean.reserve(static_cast<std::size_t>(k + 1));
+  fs.pred_cov.reserve(static_cast<std::size_t>(k + 1));
+
+  Vector x = prior.mean;
+  Matrix pcov = prior.cov;
+  fs.pred_mean.push_back(x);
+  fs.pred_cov.push_back(pcov);
+  if (p.step(0).observation) kf_measurement_update(*p.step(0).observation, x, pcov);
+  fs.filt_mean.push_back(x);
+  fs.filt_cov.push_back(pcov);
+
+  for (index i = 1; i <= k; ++i) {
+    const Evolution& e = *p.step(i).evolution;
+    const index n = p.state_dim(i);
+    // Predict: x = F x + c, P = F P F^T + K.
+    Vector xp(n);
+    la::gemv(1.0, e.F.view(), Trans::No, x.span(), 0.0, xp.span());
+    if (!e.c.empty()) la::axpy(1.0, e.c.span(), xp.span());
+    Matrix fp = la::multiply(e.F.view(), pcov.view());  // n x n_prev
+    Matrix pp = e.noise.covariance();
+    la::gemm(1.0, fp.view(), Trans::No, e.F.view(), Trans::Yes, 1.0, pp.view());
+    la::symmetrize(pp.view());
+
+    fs.pred_mean.push_back(xp);
+    fs.pred_cov.push_back(pp);
+
+    x = std::move(xp);
+    pcov = std::move(pp);
+    if (p.step(i).observation) kf_measurement_update(*p.step(i).observation, x, pcov);
+    fs.filt_mean.push_back(x);
+    fs.filt_cov.push_back(pcov);
+  }
+  return fs;
+}
+
+}  // namespace
+
+FilterResult kalman_filter(const Problem& p, const GaussianPrior& prior) {
+  FilterState fs = run_filter(p, prior);
+  FilterResult out;
+  out.means = std::move(fs.filt_mean);
+  out.covariances = std::move(fs.filt_cov);
+  return out;
+}
+
+SmootherResult rts_smooth(const Problem& p, const GaussianPrior& prior) {
+  FilterState fs = run_filter(p, prior);
+  const index k = p.last_index();
+
+  SmootherResult res;
+  res.means.assign(fs.filt_mean.begin(), fs.filt_mean.end());
+  res.covariances.assign(fs.filt_cov.begin(), fs.filt_cov.end());
+
+  for (index i = k - 1; i >= 0; --i) {
+    const Evolution& e = *p.step(i + 1).evolution;
+    const index n = p.state_dim(i);
+    const index nn = p.state_dim(i + 1);
+
+    // Smoother gain G = P_{i|i} F^T P_{i+1|i}^{-1}  via G^T = P_pred^{-1} F P.
+    Matrix fp = la::multiply(e.F.view(), fs.filt_cov[static_cast<std::size_t>(i)].view());
+    Matrix gt = fp;  // nn x n
+    {
+      Matrix pchol = fs.pred_cov[static_cast<std::size_t>(i + 1)];
+      if (!la::cholesky_lower(pchol.view()))
+        throw std::runtime_error("rts_smooth: predicted covariance not SPD");
+      la::chol_solve(pchol.view(), gt.view());
+    }
+
+    // x_s = x_f + G (x_s[i+1] - x_pred[i+1]).
+    Vector dx = res.means[static_cast<std::size_t>(i + 1)];
+    la::axpy(-1.0, fs.pred_mean[static_cast<std::size_t>(i + 1)].span(), dx.span());
+    la::gemv(1.0, gt.view(), Trans::Yes, dx.span(), 1.0,
+             res.means[static_cast<std::size_t>(i)].span());
+
+    // P_s = P_f + G (P_s[i+1] - P_pred[i+1]) G^T.
+    Matrix dp = res.covariances[static_cast<std::size_t>(i + 1)];
+    la::axpy(-1.0, fs.pred_cov[static_cast<std::size_t>(i + 1)].view(), dp.view());
+    Matrix gdp(n, nn);
+    la::gemm(1.0, gt.view(), Trans::Yes, dp.view(), Trans::No, 0.0, gdp.view());
+    la::gemm(1.0, gdp.view(), Trans::No, gt.view(), Trans::No, 1.0,
+             res.covariances[static_cast<std::size_t>(i)].view());
+    la::symmetrize(res.covariances[static_cast<std::size_t>(i)].view());
+  }
+  return res;
+}
+
+}  // namespace pitk::kalman

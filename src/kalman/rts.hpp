@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file rts.hpp
+/// Conventional sequential Kalman filter and Rauch-Tung-Striebel smoother.
+///
+/// This is the paper's sequential baseline ("Kalman" in Figure 2): a forward
+/// covariance-form Kalman filter followed by the RTS backward pass.  Like
+/// all conventional smoothers it requires H_i = I and a Gaussian prior on
+/// the initial state, and it always produces covariances (Section 6 lists
+/// these restrictions when comparing against the QR-based algorithms).
+/// Measurement updates use the Joseph stabilized form.
+
+#include "kalman/model.hpp"
+
+namespace pitk::kalman {
+
+/// Forward Kalman filter.  Throws std::invalid_argument when the problem has
+/// a non-identity H (conventional filters cannot express it).
+[[nodiscard]] FilterResult kalman_filter(const Problem& p, const GaussianPrior& prior);
+
+/// Joseph-form measurement update of the Gaussian (x, pcov) with observation
+/// `ob`; shared by the conventional and the associative-scan smoothers.
+void kf_measurement_update(const Observation& ob, Vector& x, Matrix& pcov);
+
+/// Full RTS smoother (filter + backward sweep).  Covariances are always
+/// computed; the paper notes this family cannot skip them.
+[[nodiscard]] SmootherResult rts_smooth(const Problem& p, const GaussianPrior& prior);
+
+}  // namespace pitk::kalman

@@ -1,0 +1,116 @@
+#include "kalman/simulate.hpp"
+
+#include <stdexcept>
+
+#include "la/blas.hpp"
+
+namespace pitk::kalman {
+
+Problem make_paper_benchmark(la::Rng& rng, index n, index k) {
+  const Matrix f = la::random_orthonormal(rng, n);
+  const Matrix g = la::random_orthonormal(rng, n);
+  std::vector<TimeStep> steps(static_cast<std::size_t>(k + 1));
+  for (index i = 0; i <= k; ++i) {
+    TimeStep& s = steps[static_cast<std::size_t>(i)];
+    s.n = n;
+    if (i > 0) {
+      Evolution e;
+      e.F = f;
+      e.noise = CovFactor::identity(n);
+      s.evolution = std::move(e);
+    }
+    Observation ob;
+    ob.G = g;
+    ob.o = la::random_gaussian_vector(rng, n);
+    ob.noise = CovFactor::identity(n);
+    s.observation = std::move(ob);
+  }
+  return Problem::from_steps(std::move(steps));
+}
+
+GaussianPrior diffuse_prior(index n, double variance) {
+  GaussianPrior p;
+  p.mean = Vector::zero(n);
+  p.cov = Matrix(n, n);
+  for (index i = 0; i < n; ++i) p.cov(i, i) = variance;
+  return p;
+}
+
+Simulation simulate(la::Rng& rng, const SimSpec& spec) {
+  if (!spec.F || !spec.K || !spec.G || !spec.L)
+    throw std::invalid_argument("simulate: F, K, G, L callbacks are required");
+  Simulation sim;
+  sim.truth.reserve(static_cast<std::size_t>(spec.k + 1));
+  sim.truth.push_back(spec.x0);
+
+  std::vector<TimeStep> steps(static_cast<std::size_t>(spec.k + 1));
+  steps[0].n = spec.x0.size();
+
+  for (index i = 1; i <= spec.k; ++i) {
+    Matrix f = spec.F(i);
+    CovFactor noise = spec.K(i);
+    Vector c = spec.c ? spec.c(i) : Vector::zero(f.rows());
+    // x_i = F x_{i-1} + c + eps.
+    Vector x(f.rows());
+    la::gemv(1.0, f.view(), la::Trans::No, sim.truth.back().span(), 0.0, x.span());
+    la::axpy(1.0, c.span(), x.span());
+    Vector eps = noise.sample(rng);
+    la::axpy(1.0, eps.span(), x.span());
+    sim.truth.push_back(x);
+
+    TimeStep& s = steps[static_cast<std::size_t>(i)];
+    s.n = f.rows();
+    Evolution e;
+    e.F = std::move(f);
+    e.c = std::move(c);
+    e.noise = std::move(noise);
+    s.evolution = std::move(e);
+  }
+
+  for (index i = 0; i <= spec.k; ++i) {
+    Matrix g = spec.G(i);
+    if (g.empty()) continue;
+    CovFactor noise = spec.L(i);
+    Vector o(g.rows());
+    la::gemv(1.0, g.view(), la::Trans::No, sim.truth[static_cast<std::size_t>(i)].span(), 0.0,
+             o.span());
+    Vector delta = noise.sample(rng);
+    la::axpy(1.0, delta.span(), o.span());
+    TimeStep& s = steps[static_cast<std::size_t>(i)];
+    Observation ob;
+    ob.G = std::move(g);
+    ob.o = std::move(o);
+    ob.noise = std::move(noise);
+    s.observation = std::move(ob);
+  }
+
+  sim.problem = Problem::from_steps(std::move(steps));
+  return sim;
+}
+
+SimSpec constant_velocity_spec(index axes, index k, double dt, double process_std,
+                               double obs_std, Vector x0) {
+  const index n = 2 * axes;
+  if (x0.size() != n)
+    throw std::invalid_argument("constant_velocity_spec: x0 must have dimension 2*axes");
+  // State layout: [p_1, v_1, p_2, v_2, ...].
+  Matrix f = Matrix::identity(n);
+  for (index a = 0; a < axes; ++a) f(2 * a, 2 * a + 1) = dt;
+  Matrix g(axes, n);
+  for (index a = 0; a < axes; ++a) g(a, 2 * a) = 1.0;
+
+  SimSpec spec;
+  spec.x0 = std::move(x0);
+  spec.k = k;
+  spec.F = [f](index) { return f; };
+  spec.K = [n, process_std](index) {
+    return CovFactor::scaled_identity(n, process_std * process_std);
+  };
+  spec.G = [g](index) { return g; };
+  spec.L = [axes, obs_std](index) {
+    return CovFactor::scaled_identity(axes, obs_std * obs_std);
+  };
+  return spec;
+}
+
+}  // namespace pitk::kalman

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file simulate.hpp
+/// Workload generators: the paper's synthetic benchmark problems (Section
+/// 5.2) and a general trajectory simulator for examples and tests.
+
+#include <functional>
+
+#include "kalman/model.hpp"
+#include "la/random.hpp"
+
+namespace pitk::kalman {
+
+/// The benchmark problem of Section 5.2: fixed random orthonormal F and G
+/// (shared by all steps), H = I, K = L = I, random observations o_i, common
+/// dimension n = n_i = m_i, k+1 states.  Observations are synthetic random
+/// vectors, exactly as in the paper (no trajectory is simulated).
+[[nodiscard]] Problem make_paper_benchmark(la::Rng& rng, index n, index k);
+
+/// Prior compatible with the paper benchmark for smoothers that require one
+/// (RTS / associative): a diffuse zero-mean prior with variance `variance`.
+[[nodiscard]] GaussianPrior diffuse_prior(index n, double variance = 1e6);
+
+/// Specification of a time-invariant-shaped simulation; all callbacks are
+/// indexed by step (1..k for evolution, 0..k for observation).
+struct SimSpec {
+  Vector x0;                                  ///< true initial state
+  index k = 0;                                ///< number of evolutions
+  std::function<Matrix(index)> F;             ///< evolution matrix, i >= 1
+  std::function<Vector(index)> c;             ///< control; may be null (zero)
+  std::function<CovFactor(index)> K;          ///< process noise, i >= 1
+  /// Observation matrix for step i (0..k); return an empty Matrix for an
+  /// unobserved step.
+  std::function<Matrix(index)> G;
+  std::function<CovFactor(index)> L;          ///< measurement noise (observed steps)
+};
+
+/// A simulated dataset: the observed Problem plus the hidden ground truth.
+struct Simulation {
+  Problem problem;
+  std::vector<Vector> truth;  ///< true states u_0..u_k
+};
+
+/// Sample process/measurement noise and produce the observed problem.
+[[nodiscard]] Simulation simulate(la::Rng& rng, const SimSpec& spec);
+
+/// Convenience: a d-dimensional constant-velocity tracking model (position +
+/// velocity per axis, so state dimension 2d), observing positions only.
+/// Useful in examples and integration tests.
+[[nodiscard]] SimSpec constant_velocity_spec(index axes, index k, double dt, double process_std,
+                                             double obs_std, Vector x0);
+
+}  // namespace pitk::kalman

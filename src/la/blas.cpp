@@ -1,0 +1,311 @@
+#include "la/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pitk::la {
+
+namespace {
+
+inline index op_rows(ConstMatrixView a, Trans t) { return t == Trans::No ? a.rows() : a.cols(); }
+inline index op_cols(ConstMatrixView a, Trans t) { return t == Trans::No ? a.cols() : a.rows(); }
+
+inline void scale_col(double beta, std::span<double> c) {
+  if (beta == 1.0) return;
+  if (beta == 0.0) {
+    std::fill(c.begin(), c.end(), 0.0);
+    return;
+  }
+  for (double& v : c) v *= beta;
+}
+
+}  // namespace
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb, double beta,
+          MatrixView c) {
+  const index m = op_rows(a, ta);
+  const index p = op_cols(a, ta);
+  const index n = op_cols(b, tb);
+  assert(op_rows(b, tb) == p);
+  assert(c.rows() == m && c.cols() == n);
+  (void)m;
+
+  if (ta == Trans::No && tb == Trans::No) {
+    // C[:,j] = beta*C[:,j] + alpha * sum_l A[:,l] * B(l,j): pure column AXPYs.
+    for (index j = 0; j < n; ++j) {
+      scale_col(beta, c.col_span(j));
+      for (index l = 0; l < p; ++l) {
+        const double t = alpha * b(l, j);
+        if (t == 0.0) continue;
+        const double* acol = a.col_span(l).data();
+        double* ccol = c.col_span(j).data();
+        for (index i = 0; i < c.rows(); ++i) ccol[i] += t * acol[i];
+      }
+    }
+  } else if (ta == Trans::Yes && tb == Trans::No) {
+    // C(i,j) = beta*C(i,j) + alpha * dot(A[:,i], B[:,j]): contiguous dots.
+    for (index j = 0; j < n; ++j) {
+      const double* bcol = b.col_span(j).data();
+      for (index i = 0; i < c.rows(); ++i) {
+        const double* acol = a.col_span(i).data();
+        double acc = 0.0;
+        for (index l = 0; l < p; ++l) acc += acol[l] * bcol[l];
+        c(i, j) = beta * c(i, j) + alpha * acc;
+      }
+    }
+  } else if (ta == Trans::No && tb == Trans::Yes) {
+    for (index j = 0; j < n; ++j) scale_col(beta, c.col_span(j));
+    for (index l = 0; l < p; ++l) {
+      const double* acol = a.col_span(l).data();
+      for (index j = 0; j < n; ++j) {
+        const double t = alpha * b(j, l);
+        if (t == 0.0) continue;
+        double* ccol = c.col_span(j).data();
+        for (index i = 0; i < c.rows(); ++i) ccol[i] += t * acol[i];
+      }
+    }
+  } else {
+    // C(i,j) = beta*C(i,j) + alpha * sum_l A(l,i) * B(j,l).
+    for (index j = 0; j < n; ++j) {
+      for (index i = 0; i < c.rows(); ++i) {
+        const double* acol = a.col_span(i).data();
+        double acc = 0.0;
+        for (index l = 0; l < p; ++l) acc += acol[l] * b(j, l);
+        c(i, j) = beta * c(i, j) + alpha * acc;
+      }
+    }
+  }
+}
+
+Matrix multiply(ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb) {
+  Matrix c(op_rows(a, ta), op_cols(b, tb));
+  gemm(1.0, a, ta, b, tb, 0.0, c.view());
+  return c;
+}
+
+Matrix multiply(ConstMatrixView a, ConstMatrixView b) {
+  return multiply(a, Trans::No, b, Trans::No);
+}
+
+void gemv(double alpha, ConstMatrixView a, Trans ta, std::span<const double> x, double beta,
+          std::span<double> y) {
+  const index m = op_rows(a, ta);
+  const index p = op_cols(a, ta);
+  assert(static_cast<index>(x.size()) == p);
+  assert(static_cast<index>(y.size()) == m);
+  (void)m;
+  scale_col(beta, y);
+  if (ta == Trans::No) {
+    for (index l = 0; l < p; ++l) {
+      const double t = alpha * x[static_cast<std::size_t>(l)];
+      if (t == 0.0) continue;
+      const double* acol = a.col_span(l).data();
+      for (index i = 0; i < a.rows(); ++i) y[static_cast<std::size_t>(i)] += t * acol[i];
+    }
+  } else {
+    for (index i = 0; i < a.cols(); ++i) {
+      const double* acol = a.col_span(i).data();
+      double acc = 0.0;
+      for (index l = 0; l < a.rows(); ++l) acc += acol[l] * x[static_cast<std::size_t>(l)];
+      y[static_cast<std::size_t>(i)] += alpha * acc;
+    }
+  }
+}
+
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, std::span<double> x) {
+  const index n = t.rows();
+  assert(t.cols() == n && static_cast<index>(x.size()) == n);
+  const bool unit = diag == Diag::Unit;
+  // A transposed triangle behaves as the opposite triangle solved in the
+  // opposite direction; handle all four orientations explicitly so each loop
+  // walks columns of t contiguously where possible.
+  if ((uplo == Uplo::Upper && trans == Trans::No)) {
+    for (index j = n - 1; j >= 0; --j) {
+      if (!unit) x[static_cast<std::size_t>(j)] /= t(j, j);
+      const double xj = x[static_cast<std::size_t>(j)];
+      const double* tcol = t.col_span(j).data();
+      for (index i = 0; i < j; ++i) x[static_cast<std::size_t>(i)] -= tcol[i] * xj;
+    }
+  } else if (uplo == Uplo::Lower && trans == Trans::No) {
+    for (index j = 0; j < n; ++j) {
+      if (!unit) x[static_cast<std::size_t>(j)] /= t(j, j);
+      const double xj = x[static_cast<std::size_t>(j)];
+      const double* tcol = t.col_span(j).data();
+      for (index i = j + 1; i < n; ++i) x[static_cast<std::size_t>(i)] -= tcol[i] * xj;
+    }
+  } else if (uplo == Uplo::Upper && trans == Trans::Yes) {
+    // Solve T^T x = b; T^T is lower: forward substitution using columns of T.
+    for (index j = 0; j < n; ++j) {
+      const double* tcol = t.col_span(j).data();
+      double acc = x[static_cast<std::size_t>(j)];
+      for (index i = 0; i < j; ++i) acc -= tcol[i] * x[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(j)] = unit ? acc : acc / t(j, j);
+    }
+  } else {
+    // Lower transposed: back substitution using columns of T.
+    for (index j = n - 1; j >= 0; --j) {
+      const double* tcol = t.col_span(j).data();
+      double acc = x[static_cast<std::size_t>(j)];
+      for (index i = j + 1; i < n; ++i) acc -= tcol[i] * x[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(j)] = unit ? acc : acc / t(j, j);
+    }
+  }
+}
+
+void trsm_left(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b) {
+  assert(t.rows() == t.cols() && t.rows() == b.rows());
+  for (index j = 0; j < b.cols(); ++j) trsv(uplo, trans, diag, t, b.col_span(j));
+}
+
+void trsm_right(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b) {
+  const index n = t.rows();
+  assert(t.cols() == n && b.cols() == n);
+  const bool unit = diag == Diag::Unit;
+  const bool effective_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
+  // X * U = B (U effectively upper): forward over columns.
+  // X * L = B (L effectively lower): backward over columns.
+  auto entry = [&](index r, index c) { return trans == Trans::No ? t(r, c) : t(c, r); };
+  if (effective_upper) {
+    for (index j = 0; j < n; ++j) {
+      double* bj = b.col_span(j).data();
+      for (index l = 0; l < j; ++l) {
+        const double s = entry(l, j);
+        if (s == 0.0) continue;
+        const double* bl = b.col_span(l).data();
+        for (index i = 0; i < b.rows(); ++i) bj[i] -= s * bl[i];
+      }
+      if (!unit) {
+        const double d = entry(j, j);
+        for (index i = 0; i < b.rows(); ++i) bj[i] /= d;
+      }
+    }
+  } else {
+    for (index j = n - 1; j >= 0; --j) {
+      double* bj = b.col_span(j).data();
+      for (index l = j + 1; l < n; ++l) {
+        const double s = entry(l, j);
+        if (s == 0.0) continue;
+        const double* bl = b.col_span(l).data();
+        for (index i = 0; i < b.rows(); ++i) bj[i] -= s * bl[i];
+      }
+      if (!unit) {
+        const double d = entry(j, j);
+        for (index i = 0; i < b.rows(); ++i) bj[i] /= d;
+      }
+    }
+  }
+}
+
+void trmm_left(Uplo uplo, Trans trans, Diag diag, double alpha, ConstMatrixView t, MatrixView b) {
+  const index n = t.rows();
+  assert(t.cols() == n && b.rows() == n);
+  const bool unit = diag == Diag::Unit;
+  const bool effective_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
+  auto entry = [&](index r, index c) { return trans == Trans::No ? t(r, c) : t(c, r); };
+  for (index j = 0; j < b.cols(); ++j) {
+    double* bj = b.col_span(j).data();
+    if (effective_upper) {
+      // Row i of the product uses bj[i..]; ascending order keeps unread data.
+      for (index i = 0; i < n; ++i) {
+        double acc = unit ? bj[i] : entry(i, i) * bj[i];
+        for (index l = i + 1; l < n; ++l) acc += entry(i, l) * bj[l];
+        bj[i] = alpha * acc;
+      }
+    } else {
+      for (index i = n - 1; i >= 0; --i) {
+        double acc = unit ? bj[i] : entry(i, i) * bj[i];
+        for (index l = 0; l < i; ++l) acc += entry(i, l) * bj[l];
+        bj[i] = alpha * acc;
+      }
+    }
+  }
+}
+
+void syrk(double alpha, ConstMatrixView a, Trans trans, double beta, MatrixView c) {
+  gemm(alpha, a, trans, a, trans == Trans::No ? Trans::Yes : Trans::No, beta, c);
+}
+
+void axpy(double alpha, ConstMatrixView x, MatrixView y) {
+  assert(x.rows() == y.rows() && x.cols() == y.cols());
+  for (index j = 0; j < x.cols(); ++j) {
+    const double* xc = x.col_span(j).data();
+    double* yc = y.col_span(j).data();
+    for (index i = 0; i < x.rows(); ++i) yc[i] += alpha * xc[i];
+  }
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, MatrixView x) {
+  for (index j = 0; j < x.cols(); ++j) scale_col(alpha, x.col_span(j));
+}
+
+void scale(double alpha, std::span<double> x) { scale_col(alpha, x); }
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double norm_fro(ConstMatrixView a) {
+  double acc = 0.0;
+  for (index j = 0; j < a.cols(); ++j) {
+    const double* col = a.col_span(j).data();
+    for (index i = 0; i < a.rows(); ++i) acc += col[i] * col[i];
+  }
+  return std::sqrt(acc);
+}
+
+double norm_max(ConstMatrixView a) {
+  double m = 0.0;
+  for (index j = 0; j < a.cols(); ++j)
+    for (index i = 0; i < a.rows(); ++i) m = std::max(m, std::abs(a(i, j)));
+  return m;
+}
+
+double norm_max(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double m = 0.0;
+  for (index j = 0; j < a.cols(); ++j)
+    for (index i = 0; i < a.rows(); ++i) m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+void symmetrize(MatrixView a) {
+  assert(a.rows() == a.cols());
+  for (index j = 0; j < a.cols(); ++j)
+    for (index i = 0; i < j; ++i) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+}
+
+bool all_finite(ConstMatrixView a) {
+  for (index j = 0; j < a.cols(); ++j)
+    for (index i = 0; i < a.rows(); ++i)
+      if (!std::isfinite(a(i, j))) return false;
+  return true;
+}
+
+}  // namespace pitk::la

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file blas.hpp
+/// Hand-written BLAS-like dense kernels on column-major views.
+///
+/// These replace the vendor BLAS the paper links against (MKL / ARM PL).
+/// All smoother variants in this repository share these kernels, so relative
+/// performance comparisons between algorithms remain meaningful.  Kernels are
+/// single-threaded by design: the paper also uses single-threaded BLAS and
+/// exploits parallelism only at the in-time level above.
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace pitk::la {
+
+/// Transposition selector for kernels.
+enum class Trans : std::uint8_t { No, Yes };
+
+/// Triangle selector.
+enum class Uplo : std::uint8_t { Upper, Lower };
+
+/// Unit-diagonal selector for triangular kernels.
+enum class Diag : std::uint8_t { NonUnit, Unit };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// Shapes must satisfy: op(A) is m x p, op(B) is p x n, C is m x n.
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb, double beta,
+          MatrixView c);
+
+/// Convenience: C = op(A) * op(B) as a fresh matrix.
+[[nodiscard]] Matrix multiply(ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb);
+[[nodiscard]] Matrix multiply(ConstMatrixView a, ConstMatrixView b);
+
+/// y = alpha * op(A) * x + beta * y.
+void gemv(double alpha, ConstMatrixView a, Trans ta, std::span<const double> x, double beta,
+          std::span<double> y);
+
+/// Solve op(T) * x = b in place where T is triangular. x and b share storage.
+void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, std::span<double> x);
+
+/// Solve op(T) * X = B in place (left side), B overwritten with X.
+/// T must be square (n x n) and B n x m.
+void trsm_left(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b);
+
+/// Solve X * op(T) = B in place (right side), B overwritten with X.
+/// T must be square (n x n) and B m x n.
+void trsm_right(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b);
+
+/// B = alpha * op(T) * B where T triangular (left multiply, in place).
+void trmm_left(Uplo uplo, Trans trans, Diag diag, double alpha, ConstMatrixView t, MatrixView b);
+
+/// C = alpha * A * A^T + beta * C (full matrix written, C symmetric on exit
+/// when beta*C is symmetric).  trans == Trans::Yes computes A^T * A instead.
+void syrk(double alpha, ConstMatrixView a, Trans trans, double beta, MatrixView c);
+
+/// Y += alpha * X (same shape).
+void axpy(double alpha, ConstMatrixView x, MatrixView y);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Scale every entry: X *= alpha.
+void scale(double alpha, MatrixView x);
+void scale(double alpha, std::span<double> x);
+
+/// Dot product.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm of a vector (overflow-safe scaling not needed at our
+/// magnitudes, but computed with extended accumulation).
+[[nodiscard]] double norm2(std::span<const double> x);
+
+/// Frobenius norm of a matrix view.
+[[nodiscard]] double norm_fro(ConstMatrixView a);
+
+/// Largest absolute entry.
+[[nodiscard]] double norm_max(ConstMatrixView a);
+[[nodiscard]] double norm_max(std::span<const double> x);
+
+/// Largest absolute difference between two same-shaped views.
+[[nodiscard]] double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+[[nodiscard]] double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// B = (A + A^T) / 2 in place (A square). Keeps computed covariances exactly
+/// symmetric in the presence of rounding.
+void symmetrize(MatrixView a);
+
+/// True iff every entry is finite.
+[[nodiscard]] bool all_finite(ConstMatrixView a);
+
+}  // namespace pitk::la

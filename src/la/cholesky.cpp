@@ -1,0 +1,65 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/triangular.hpp"
+
+namespace pitk::la {
+
+bool cholesky_lower(MatrixView a) {
+  const index n = a.rows();
+  assert(a.cols() == n);
+  for (index j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (index l = 0; l < j; ++l) d -= a(j, l) * a(j, l);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (index i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (index l = 0; l < j; ++l) s -= a(i, l) * a(j, l);
+      a(i, j) = s * inv;
+    }
+  }
+  for (index j = 1; j < n; ++j)
+    for (index i = 0; i < j; ++i) a(i, j) = 0.0;
+  return true;
+}
+
+void chol_solve(ConstMatrixView l, std::span<double> x) {
+  trsv(Uplo::Lower, Trans::No, Diag::NonUnit, l, x);
+  trsv(Uplo::Lower, Trans::Yes, Diag::NonUnit, l, x);
+}
+
+void chol_solve(ConstMatrixView l, MatrixView b) {
+  trsm_left(Uplo::Lower, Trans::No, Diag::NonUnit, l, b);
+  trsm_left(Uplo::Lower, Trans::Yes, Diag::NonUnit, l, b);
+}
+
+Matrix chol_inverse(ConstMatrixView l) {
+  // A^{-1} = L^{-T} L^{-1}: invert the triangle, then form the product.
+  Matrix linv = to_matrix(l);
+  tri_inverse_lower(linv.view());
+  Matrix inv(l.rows(), l.rows());
+  gemm(1.0, linv, Trans::Yes, linv, Trans::No, 0.0, inv.view());
+  symmetrize(inv.view());
+  return inv;
+}
+
+std::optional<Matrix> spd_inverse(ConstMatrixView a) {
+  Matrix l = to_matrix(a);
+  if (!cholesky_lower(l.view())) return std::nullopt;
+  return chol_inverse(l.view());
+}
+
+std::optional<Matrix> spd_solve(ConstMatrixView a, ConstMatrixView b) {
+  Matrix l = to_matrix(a);
+  if (!cholesky_lower(l.view())) return std::nullopt;
+  Matrix x = to_matrix(b);
+  chol_solve(l.view(), x.view());
+  return x;
+}
+
+}  // namespace pitk::la

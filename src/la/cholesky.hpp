@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file cholesky.hpp
+/// Cholesky factorization and SPD solves/inversions.
+///
+/// Used to turn covariance matrices K_i, L_i into the weighting factors
+/// V_i, W_i of Section 2.1 (V_i^T V_i = K_i^{-1}) and to invert innovation
+/// covariances inside the RTS and associative smoothers.
+
+#include <optional>
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace pitk::la {
+
+/// In-place lower Cholesky factorization A = L L^T of the SPD matrix in the
+/// lower triangle of `a`; the strict upper triangle is zeroed on success.
+/// Returns false (leaving `a` unspecified) if a non-positive pivot occurs.
+[[nodiscard]] bool cholesky_lower(MatrixView a);
+
+/// Solve (L L^T) x = b in place given the lower Cholesky factor `l`.
+void chol_solve(ConstMatrixView l, std::span<double> x);
+
+/// Solve (L L^T) X = B in place for a block of right-hand sides.
+void chol_solve(ConstMatrixView l, MatrixView b);
+
+/// Inverse of the SPD matrix with lower Cholesky factor `l` (fresh matrix,
+/// exactly symmetric).
+[[nodiscard]] Matrix chol_inverse(ConstMatrixView l);
+
+/// Inverse of an SPD matrix; nullopt if not (numerically) positive definite.
+[[nodiscard]] std::optional<Matrix> spd_inverse(ConstMatrixView a);
+
+/// X = A^{-1} B for SPD A; nullopt if A is not positive definite.
+[[nodiscard]] std::optional<Matrix> spd_solve(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace pitk::la

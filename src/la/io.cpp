@@ -1,0 +1,34 @@
+#include "la/io.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pitk::la {
+
+std::string to_string(ConstMatrixView a, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  for (index i = 0; i < a.rows(); ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (index j = 0; j < a.cols(); ++j) {
+      os << std::setw(precision + 8) << a(i, j);
+    }
+    os << (i + 1 == a.rows() ? " ]" : "\n");
+  }
+  if (a.rows() == 0) os << "[ ] (" << a.rows() << "x" << a.cols() << ")";
+  return os.str();
+}
+
+std::string to_string(std::span<const double> v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) os << (i ? ", " : " ") << v[i];
+  os << " ]";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, ConstMatrixView a) { return os << to_string(a); }
+std::ostream& operator<<(std::ostream& os, const Matrix& a) { return os << to_string(a.view()); }
+
+}  // namespace pitk::la

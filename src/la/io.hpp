@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file io.hpp
+/// Human-readable formatting of matrices and vectors (examples, diagnostics).
+
+#include <iosfwd>
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace pitk::la {
+
+/// Format a matrix with aligned columns, `precision` significant digits.
+[[nodiscard]] std::string to_string(ConstMatrixView a, int precision = 4);
+
+/// Format a vector on a single line.
+[[nodiscard]] std::string to_string(std::span<const double> v, int precision = 4);
+
+std::ostream& operator<<(std::ostream& os, ConstMatrixView a);
+std::ostream& operator<<(std::ostream& os, const Matrix& a);
+
+}  // namespace pitk::la

@@ -1,0 +1,82 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace pitk::la {
+
+bool lu_factor(MatrixView a, std::span<index> piv) {
+  const index n = a.rows();
+  assert(a.cols() == n && static_cast<index>(piv.size()) >= n);
+  for (index j = 0; j < n; ++j) {
+    // Pivot search in column j.
+    index p = j;
+    double best = std::abs(a(j, j));
+    for (index i = j + 1; i < n; ++i) {
+      const double v = std::abs(a(i, j));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    piv[static_cast<std::size_t>(j)] = p;
+    if (best == 0.0) return false;
+    if (p != j)
+      for (index c = 0; c < n; ++c) std::swap(a(j, c), a(p, c));
+    // Eliminate below the pivot; update the trailing block column-wise.
+    const double inv = 1.0 / a(j, j);
+    for (index i = j + 1; i < n; ++i) a(i, j) *= inv;
+    for (index c = j + 1; c < n; ++c) {
+      const double ujc = a(j, c);
+      if (ujc == 0.0) continue;
+      double* col = a.col_span(c).data();
+      const double* lcol = a.col_span(j).data();
+      for (index i = j + 1; i < n; ++i) col[i] -= lcol[i] * ujc;
+    }
+  }
+  return true;
+}
+
+void lu_solve(ConstMatrixView lu, std::span<const index> piv, std::span<double> x) {
+  const index n = lu.rows();
+  assert(static_cast<index>(x.size()) == n);
+  // Apply the row interchanges, then L (unit lower), then U.
+  for (index j = 0; j < n; ++j) {
+    const index p = piv[static_cast<std::size_t>(j)];
+    if (p != j) std::swap(x[static_cast<std::size_t>(j)], x[static_cast<std::size_t>(p)]);
+  }
+  for (index j = 0; j < n; ++j) {
+    const double xj = x[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    const double* col = lu.col_span(j).data();
+    for (index i = j + 1; i < n; ++i) x[static_cast<std::size_t>(i)] -= col[i] * xj;
+  }
+  for (index j = n - 1; j >= 0; --j) {
+    x[static_cast<std::size_t>(j)] /= lu(j, j);
+    const double xj = x[static_cast<std::size_t>(j)];
+    const double* col = lu.col_span(j).data();
+    for (index i = 0; i < j; ++i) x[static_cast<std::size_t>(i)] -= col[i] * xj;
+  }
+}
+
+void lu_solve(ConstMatrixView lu, std::span<const index> piv, MatrixView b) {
+  for (index j = 0; j < b.cols(); ++j) lu_solve(lu, piv, b.col_span(j));
+}
+
+bool solve_inplace(Matrix a, MatrixView b) {
+  std::vector<index> piv(static_cast<std::size_t>(a.rows()));
+  if (!lu_factor(a.view(), piv)) return false;
+  lu_solve(a.view(), piv, b);
+  return true;
+}
+
+bool LuScratch::factor_solve(MatrixView a, MatrixView b) {
+  if (piv_.size() < static_cast<std::size_t>(a.rows()))
+    piv_.resize(static_cast<std::size_t>(a.rows()));
+  std::span<index> piv(piv_.data(), static_cast<std::size_t>(a.rows()));
+  if (!lu_factor(a, piv)) return false;
+  lu_solve(a, piv, b);
+  return true;
+}
+
+}  // namespace pitk::la

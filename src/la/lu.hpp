@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file lu.hpp
+/// LU factorization with partial pivoting and square solves.
+///
+/// Used where a general (non-symmetric, non-triangular) square system must
+/// be solved: the associative smoother's (I + C J)^{-1} products and the
+/// normal-equations cyclic-reduction smoother's pivot blocks.  Partial
+/// pivoting gives the usual practical backward stability.
+
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pitk::la {
+
+/// In-place LU with partial pivoting: on exit `a` holds L (unit lower, below
+/// the diagonal) and U (upper); `piv[j]` is the row swapped into position j
+/// at step j (LAPACK dgetrf convention).  Returns false on exact singularity.
+[[nodiscard]] bool lu_factor(MatrixView a, std::span<index> piv);
+
+/// Solve A x = b in place given a factorization from lu_factor.
+void lu_solve(ConstMatrixView lu, std::span<const index> piv, std::span<double> x);
+
+/// Solve A X = B in place for a block of right-hand sides.
+void lu_solve(ConstMatrixView lu, std::span<const index> piv, MatrixView b);
+
+/// Convenience: X = A^{-1} B; consumes `a`, overwrites `b`.
+/// Returns false if A is singular (b is then unspecified).
+[[nodiscard]] bool solve_inplace(Matrix a, MatrixView b);
+
+/// Reusable workspace wrapper for hot loops.
+class LuScratch {
+ public:
+  /// Factor `a` in place and solve for all columns of `b`.
+  /// Returns false on singularity.
+  [[nodiscard]] bool factor_solve(MatrixView a, MatrixView b);
+
+ private:
+  std::vector<index> piv_;
+};
+
+}  // namespace pitk::la

@@ -1,0 +1,31 @@
+#include "la/matrix.hpp"
+
+namespace pitk::la {
+
+Matrix to_matrix(ConstMatrixView v) {
+  Matrix m(v.rows(), v.cols());
+  m.view().assign(v);
+  return m;
+}
+
+Matrix vstack(ConstMatrixView a, ConstMatrixView b) {
+  if (a.rows() == 0) return to_matrix(b);
+  if (b.rows() == 0) return to_matrix(a);
+  assert(a.cols() == b.cols());
+  Matrix m(a.rows() + b.rows(), a.cols());
+  m.block(0, 0, a.rows(), a.cols()).assign(a);
+  m.block(a.rows(), 0, b.rows(), b.cols()).assign(b);
+  return m;
+}
+
+Matrix hstack(ConstMatrixView a, ConstMatrixView b) {
+  if (a.cols() == 0) return to_matrix(b);
+  if (b.cols() == 0) return to_matrix(a);
+  assert(a.rows() == b.rows());
+  Matrix m(a.rows(), a.cols() + b.cols());
+  m.block(0, 0, a.rows(), a.cols()).assign(a);
+  m.block(0, a.cols(), b.rows(), b.cols()).assign(b);
+  return m;
+}
+
+}  // namespace pitk::la

@@ -1,0 +1,270 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Owning dense column-major matrices plus non-owning strided views.
+///
+/// Storage is column-major (LAPACK convention): element (i, j) of a view with
+/// leading dimension `ld` lives at `data[i + j * ld]`.  Views never own
+/// memory; Matrix owns a cache-line aligned buffer with `ld == rows`.
+/// Zero-row and zero-column shapes are fully supported (they occur naturally
+/// in Kalman problems with missing observations).
+
+#include <cassert>
+#include <initializer_list>
+#include <span>
+#include <utility>
+
+#include "la/types.hpp"
+
+namespace pitk::la {
+
+class MatrixView;
+
+/// Read-only strided view of a column-major matrix block.
+class ConstMatrixView {
+ public:
+  constexpr ConstMatrixView() noexcept = default;
+  constexpr ConstMatrixView(const double* data, index rows, index cols, index ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+
+  [[nodiscard]] constexpr index rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr index cols() const noexcept { return cols_; }
+  [[nodiscard]] constexpr index ld() const noexcept { return ld_; }
+  [[nodiscard]] constexpr const double* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] const double& operator()(index i, index j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-block starting at (i0, j0) with shape r x c.
+  [[nodiscard]] ConstMatrixView block(index i0, index j0, index r, index c) const noexcept {
+    assert(i0 >= 0 && j0 >= 0 && r >= 0 && c >= 0 && i0 + r <= rows_ && j0 + c <= cols_);
+    return {data_ + i0 + j0 * ld_, r, c, ld_};
+  }
+
+  /// Column j as a contiguous span (columns are contiguous in column-major).
+  [[nodiscard]] std::span<const double> col_span(index j) const noexcept {
+    assert(j >= 0 && j < cols_);
+    return {data_ + j * ld_, static_cast<std::size_t>(rows_)};
+  }
+
+ private:
+  const double* data_ = nullptr;
+  index rows_ = 0;
+  index cols_ = 0;
+  index ld_ = 0;
+};
+
+/// Mutable strided view of a column-major matrix block.
+class MatrixView {
+ public:
+  constexpr MatrixView() noexcept = default;
+  constexpr MatrixView(double* data, index rows, index cols, index ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+
+  [[nodiscard]] constexpr index rows() const noexcept { return rows_; }
+  [[nodiscard]] constexpr index cols() const noexcept { return cols_; }
+  [[nodiscard]] constexpr index ld() const noexcept { return ld_; }
+  [[nodiscard]] constexpr double* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] double& operator()(index i, index j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  [[nodiscard]] MatrixView block(index i0, index j0, index r, index c) const noexcept {
+    assert(i0 >= 0 && j0 >= 0 && r >= 0 && c >= 0 && i0 + r <= rows_ && j0 + c <= cols_);
+    return {data_ + i0 + j0 * ld_, r, c, ld_};
+  }
+
+  [[nodiscard]] std::span<double> col_span(index j) const noexcept {
+    assert(j >= 0 && j < cols_);
+    return {data_ + j * ld_, static_cast<std::size_t>(rows_)};
+  }
+
+  /// Implicit read-only conversion so mutable views can be passed anywhere a
+  /// ConstMatrixView is expected.
+  constexpr operator ConstMatrixView() const noexcept {  // NOLINT(google-explicit-constructor)
+    return {data_, rows_, cols_, ld_};
+  }
+
+  void fill(double v) const noexcept {
+    for (index j = 0; j < cols_; ++j)
+      for (index i = 0; i < rows_; ++i) (*this)(i, j) = v;
+  }
+
+  void set_zero() const noexcept { fill(0.0); }
+
+  /// Copy `src` (same shape) into this view.
+  void assign(ConstMatrixView src) const noexcept {
+    assert(src.rows() == rows_ && src.cols() == cols_);
+    for (index j = 0; j < cols_; ++j)
+      for (index i = 0; i < rows_; ++i) (*this)(i, j) = src(i, j);
+  }
+
+ private:
+  double* data_ = nullptr;
+  index rows_ = 0;
+  index cols_ = 0;
+  index ld_ = 0;
+};
+
+/// Owning dense column-major matrix with cache-line aligned storage.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Uninitialized-size construction is intentionally zero-initializing:
+  /// Kalman blocks are assembled incrementally and zero is the correct
+  /// background value for sparse-block assembly.
+  Matrix(index rows, index cols) : data_(checked_size(rows, cols), 0.0), rows_(rows), cols_(cols) {}
+
+  /// Row-major initializer list for small literal matrices in tests/examples:
+  /// Matrix({{1,2},{3,4}}).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows_list) {
+    rows_ = static_cast<index>(rows_list.size());
+    cols_ = rows_ == 0 ? 0 : static_cast<index>(rows_list.begin()->size());
+    data_.assign(checked_size(rows_, cols_), 0.0);
+    index i = 0;
+    for (const auto& r : rows_list) {
+      assert(static_cast<index>(r.size()) == cols_);
+      index j = 0;
+      for (double v : r) (*this)(i, j++) = v;
+      ++i;
+    }
+  }
+
+  [[nodiscard]] static Matrix zero(index rows, index cols) { return Matrix(rows, cols); }
+
+  [[nodiscard]] static Matrix identity(index n) {
+    Matrix m(n, n);
+    for (index i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  /// n x n matrix with `d` on the diagonal.
+  [[nodiscard]] static Matrix diagonal(std::span<const double> d) {
+    const index n = static_cast<index>(d.size());
+    Matrix m(n, n);
+    for (index i = 0; i < n; ++i) m(i, i) = d[static_cast<std::size_t>(i)];
+    return m;
+  }
+
+  [[nodiscard]] index rows() const noexcept { return rows_; }
+  [[nodiscard]] index cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] double& operator()(index i, index j) noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  [[nodiscard]] const double& operator()(index i, index j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  [[nodiscard]] MatrixView view() noexcept { return {data_.data(), rows_, cols_, rows_}; }
+  [[nodiscard]] ConstMatrixView view() const noexcept { return {data_.data(), rows_, cols_, rows_}; }
+  [[nodiscard]] ConstMatrixView cview() const noexcept { return view(); }
+
+  operator MatrixView() noexcept { return view(); }            // NOLINT(google-explicit-constructor)
+  operator ConstMatrixView() const noexcept { return view(); } // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] MatrixView block(index i0, index j0, index r, index c) noexcept {
+    return view().block(i0, j0, r, c);
+  }
+  [[nodiscard]] ConstMatrixView block(index i0, index j0, index r, index c) const noexcept {
+    return view().block(i0, j0, r, c);
+  }
+
+  /// Destructive resize; contents become zero.
+  void resize(index rows, index cols) {
+    data_.assign(checked_size(rows, cols), 0.0);
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (index j = 0; j < cols_; ++j)
+      for (index i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  [[nodiscard]] bool operator==(const Matrix& other) const noexcept {
+    if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+    for (index j = 0; j < cols_; ++j)
+      for (index i = 0; i < rows_; ++i)
+        if ((*this)(i, j) != other(i, j)) return false;
+    return true;
+  }
+
+ private:
+  static std::size_t checked_size(index rows, index cols) {
+    assert(rows >= 0 && cols >= 0);
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+
+  aligned_buffer data_;
+  index rows_ = 0;
+  index cols_ = 0;
+};
+
+/// Owning dense vector (thin wrapper over aligned storage).
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(index n) : data_(static_cast<std::size_t>(n), 0.0) {}
+  Vector(std::initializer_list<double> vals) : data_(vals.begin(), vals.end()) {}
+
+  [[nodiscard]] static Vector zero(index n) { return Vector(n); }
+
+  [[nodiscard]] index size() const noexcept { return static_cast<index>(data_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] double& operator[](index i) noexcept {
+    assert(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const double& operator[](index i) const noexcept {
+    assert(i >= 0 && i < size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] std::span<double> span() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> span() const noexcept { return {data_.data(), data_.size()}; }
+
+  operator std::span<double>() noexcept { return span(); }             // NOLINT(google-explicit-constructor)
+  operator std::span<const double>() const noexcept { return span(); } // NOLINT(google-explicit-constructor)
+
+  /// View this vector as an n x 1 matrix (no copy).
+  [[nodiscard]] MatrixView as_matrix() noexcept { return {data_.data(), size(), 1, size()}; }
+  [[nodiscard]] ConstMatrixView as_matrix() const noexcept { return {data_.data(), size(), 1, size()}; }
+
+  void resize(index n) { data_.assign(static_cast<std::size_t>(n), 0.0); }
+
+ private:
+  aligned_buffer data_;
+};
+
+/// Deep copy of an arbitrary (possibly strided) view into an owning Matrix.
+[[nodiscard]] Matrix to_matrix(ConstMatrixView v);
+
+/// C = [A; B] stacked vertically (cols must match; either side may be empty).
+[[nodiscard]] Matrix vstack(ConstMatrixView a, ConstMatrixView b);
+
+/// C = [A, B] stacked horizontally (rows must match; either side may be empty).
+[[nodiscard]] Matrix hstack(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace pitk::la

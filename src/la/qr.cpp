@@ -1,0 +1,128 @@
+#include "la/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/triangular.hpp"
+
+namespace pitk::la {
+
+namespace {
+
+/// Generate a Householder reflector for the vector [alpha; x] such that
+/// H [alpha; x] = [beta; 0].  Returns {beta, tau}; x is overwritten with the
+/// essential part v (v0 == 1 implicit).  Mirrors LAPACK dlarfg.
+struct Reflector {
+  double beta;
+  double tau;
+};
+
+inline Reflector make_reflector(double alpha, std::span<double> x) {
+  double xnorm = norm2(x);
+  if (xnorm == 0.0) return {alpha, 0.0};
+  const double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  const double tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  for (double& v : x) v *= inv;
+  return {beta, tau};
+}
+
+/// Apply H = I - tau [1; v] [1; v]^T to the rows [row0, row0+1+v.size()) of
+/// every column of b.
+inline void apply_reflector(std::span<const double> v, double tau, index row0, MatrixView b) {
+  if (tau == 0.0) return;
+  const index nv = static_cast<index>(v.size());
+  for (index j = 0; j < b.cols(); ++j) {
+    double* col = b.col_span(j).data();
+    double w = col[row0];
+    for (index i = 0; i < nv; ++i) w += v[static_cast<std::size_t>(i)] * col[row0 + 1 + i];
+    w *= tau;
+    col[row0] -= w;
+    for (index i = 0; i < nv; ++i) col[row0 + 1 + i] -= w * v[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+void qr_factor(MatrixView a, std::span<double> tau) {
+  const index r = a.rows();
+  const index c = a.cols();
+  const index k = std::min(r, c);
+  assert(static_cast<index>(tau.size()) >= k);
+  for (index j = 0; j < k; ++j) {
+    double* col = a.col_span(j).data();
+    std::span<double> below(col + j + 1, static_cast<std::size_t>(r - j - 1));
+    const Reflector h = make_reflector(col[j], below);
+    tau[static_cast<std::size_t>(j)] = h.tau;
+    if (j + 1 < c) {
+      apply_reflector(below, h.tau, j, a.block(0, j + 1, r, c - j - 1));
+    }
+    col[j] = h.beta;
+  }
+}
+
+void qr_apply_qt(ConstMatrixView a, std::span<const double> tau, MatrixView b) {
+  assert(b.rows() == a.rows());
+  if (b.cols() == 0) return;
+  const index k = std::min(a.rows(), a.cols());
+  assert(static_cast<index>(tau.size()) >= k);
+  // Q = H_0 H_1 ... H_{k-1}, so Q^T = H_{k-1} ... H_0 but each H_j is
+  // symmetric; applying in ascending order yields Q^T b.
+  for (index j = 0; j < k; ++j) {
+    std::span<const double> v(a.col_span(j).data() + j + 1,
+                              static_cast<std::size_t>(a.rows() - j - 1));
+    apply_reflector(v, tau[static_cast<std::size_t>(j)], j, b);
+  }
+}
+
+void qr_apply_q(ConstMatrixView a, std::span<const double> tau, MatrixView b) {
+  assert(b.rows() == a.rows());
+  if (b.cols() == 0) return;
+  const index k = std::min(a.rows(), a.cols());
+  assert(static_cast<index>(tau.size()) >= k);
+  for (index j = k - 1; j >= 0; --j) {
+    std::span<const double> v(a.col_span(j).data() + j + 1,
+                              static_cast<std::size_t>(a.rows() - j - 1));
+    apply_reflector(v, tau[static_cast<std::size_t>(j)], j, b);
+  }
+}
+
+void qr_extract_r_square(ConstMatrixView a, MatrixView r) {
+  const index c = a.cols();
+  assert(r.rows() == c && r.cols() == c);
+  r.set_zero();
+  const index k = std::min(a.rows(), c);
+  for (index j = 0; j < c; ++j)
+    for (index i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = a(i, j);
+}
+
+Matrix qr_form_q(ConstMatrixView a, std::span<const double> tau) {
+  const index k = std::min(a.rows(), a.cols());
+  Matrix q(a.rows(), k);
+  for (index j = 0; j < k; ++j) q(j, j) = 1.0;
+  qr_apply_q(a, tau, q.view());
+  return q;
+}
+
+Vector qr_least_squares(Matrix a, Vector b) {
+  assert(a.rows() == b.size());
+  assert(a.rows() >= a.cols());
+  std::vector<double> tau(static_cast<std::size_t>(std::min(a.rows(), a.cols())));
+  qr_factor(a.view(), tau);
+  qr_apply_qt(a.view(), tau, b.as_matrix());
+  Vector x(a.cols());
+  for (index i = 0; i < a.cols(); ++i) x[i] = b[i];
+  trsv(Uplo::Upper, Trans::No, Diag::NonUnit, a.block(0, 0, a.cols(), a.cols()), x.span());
+  return x;
+}
+
+void QrScratch::factor_apply(MatrixView m, MatrixView attached) {
+  const std::size_t need = static_cast<std::size_t>(std::min(m.rows(), m.cols()));
+  if (tau_.size() < need) tau_.resize(need);
+  std::span<double> tau(tau_.data(), need);
+  qr_factor(m, tau);
+  if (!attached.empty()) qr_apply_qt(m, tau, attached);
+}
+
+}  // namespace pitk::la

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file qr.hpp
+/// Householder QR factorization and reflector application.
+///
+/// This is the orthogonal-transformation engine behind every QR-based
+/// smoother in the library (Paige-Saunders and Odd-Even).  The factored form
+/// mirrors LAPACK's dgeqrf storage: R in the upper triangle, the essential
+/// parts of the Householder vectors below the diagonal, scalar factors in
+/// `tau`.  Q is never formed unless explicitly requested; the smoothers only
+/// ever apply Q^T to attached right-hand-side/coupled-block columns, which is
+/// the 2-block-row primitive of Section 3 of the paper.
+
+#include <span>
+
+#include "la/matrix.hpp"
+
+namespace pitk::la {
+
+/// In-place Householder QR of `a` (any shape, including rows < cols).
+/// `tau` must have size >= min(a.rows(), a.cols()).
+void qr_factor(MatrixView a, std::span<double> tau);
+
+/// Apply Q^T (from a previous qr_factor of `a`) to `b` in place.
+/// `b` must have a.rows() rows.  No-op when b has zero columns.
+void qr_apply_qt(ConstMatrixView a, std::span<const double> tau, MatrixView b);
+
+/// Apply Q (not transposed) to `b` in place.
+void qr_apply_q(ConstMatrixView a, std::span<const double> tau, MatrixView b);
+
+/// Extract the R factor from a factored matrix, zero-padded to a square
+/// cols x cols upper-triangular matrix.  Padding rows correspond to the
+/// trivially-satisfied equations 0*u = 0 and keep downstream block shapes
+/// uniform (see DESIGN.md section 3).
+void qr_extract_r_square(ConstMatrixView a, MatrixView r);
+
+/// Form the thin Q factor explicitly: a.rows() x min(a.rows(), a.cols()).
+[[nodiscard]] Matrix qr_form_q(ConstMatrixView a, std::span<const double> tau);
+
+/// Solve the full-column-rank least-squares problem min ||A x - b||_2.
+/// Both arguments are consumed (factored / transformed in place).
+[[nodiscard]] Vector qr_least_squares(Matrix a, Vector b);
+
+/// Reusable workspace + convenience wrapper around qr_factor/qr_apply_qt for
+/// the smoothers' hot loops: factors `m` and applies Q^T to `attached`
+/// without allocating when capacity suffices.
+class QrScratch {
+ public:
+  /// Factor `m` in place and apply Q^T to `attached` (may be empty view).
+  void factor_apply(MatrixView m, MatrixView attached);
+
+ private:
+  std::vector<double> tau_;
+};
+
+}  // namespace pitk::la

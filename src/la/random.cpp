@@ -1,0 +1,138 @@
+#include "la/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "la/qr.hpp"
+
+namespace pitk::la {
+
+namespace {
+
+inline std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : s_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+double Rng::gaussian() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire's unbiased bounded generation (rejection on the low word).
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+Rng Rng::split() noexcept { return Rng(next_u64()); }
+
+void fill_gaussian(Rng& rng, MatrixView a) {
+  for (index j = 0; j < a.cols(); ++j)
+    for (index i = 0; i < a.rows(); ++i) a(i, j) = rng.gaussian();
+}
+
+Matrix random_gaussian(Rng& rng, index rows, index cols) {
+  Matrix m(rows, cols);
+  fill_gaussian(rng, m.view());
+  return m;
+}
+
+Vector random_gaussian_vector(Rng& rng, index n) {
+  Vector v(n);
+  for (index i = 0; i < n; ++i) v[i] = rng.gaussian();
+  return v;
+}
+
+Matrix random_orthonormal(Rng& rng, index rows, index cols) {
+  assert(cols <= rows);
+  Matrix g = random_gaussian(rng, rows, cols);
+  std::vector<double> tau(static_cast<std::size_t>(cols));
+  qr_factor(g.view(), tau);
+  // Sign fix: multiply column j of Q by sign(R_jj) so the distribution is the
+  // Haar measure rather than biased by the QR sign convention.
+  std::vector<double> signs(static_cast<std::size_t>(cols));
+  for (index j = 0; j < cols; ++j)
+    signs[static_cast<std::size_t>(j)] = g(j, j) >= 0.0 ? 1.0 : -1.0;
+  Matrix q = qr_form_q(g.view(), tau);
+  for (index j = 0; j < cols; ++j) {
+    const double s = signs[static_cast<std::size_t>(j)];
+    for (index i = 0; i < rows; ++i) q(i, j) *= s;
+  }
+  return q;
+}
+
+Matrix random_orthonormal(Rng& rng, index n) { return random_orthonormal(rng, n, n); }
+
+Matrix random_spd(Rng& rng, index n, double cond) {
+  assert(cond >= 1.0);
+  Matrix q = random_orthonormal(rng, n);
+  Matrix a(n, n);
+  for (index j = 0; j < n; ++j) {
+    const double t = n == 1 ? 0.0 : static_cast<double>(j) / static_cast<double>(n - 1);
+    const double lambda = std::pow(cond, -t);  // log-spaced in [1/cond, 1]
+    for (index i = 0; i < n; ++i) a(i, j) = q(i, j) * lambda;
+  }
+  Matrix out(n, n);
+  // out = Q * diag(lambda) * Q^T  (a holds Q*diag already).
+  for (index j = 0; j < n; ++j)
+    for (index i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (index l = 0; l < n; ++l) acc += a(i, l) * q(j, l);
+      out(i, j) = acc;
+    }
+  for (index j = 0; j < n; ++j)
+    for (index i = 0; i < j; ++i) {
+      const double v = 0.5 * (out(i, j) + out(j, i));
+      out(i, j) = v;
+      out(j, i) = v;
+    }
+  return out;
+}
+
+}  // namespace pitk::la

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file random.hpp
+/// Deterministic, seedable random number generation for workloads and tests.
+///
+/// The paper's benchmark problems (Section 5.2) use "random fixed orthonormal
+/// F_i and G_i" and random observations; xoshiro256++ gives fast, reproducible
+/// streams that can be split per-step for parallel problem construction.
+
+#include <array>
+#include <cstdint>
+
+#include "la/matrix.hpp"
+
+namespace pitk::la {
+
+/// xoshiro256++ PRNG (public-domain algorithm by Blackman & Vigna), seeded
+/// through splitmix64 so that any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Next raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal deviate (Box-Muller; one spare cached).
+  double gaussian() noexcept;
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// A statistically independent generator (jump-free split via re-seeding
+  /// from this stream); handy for per-step parallel workload construction.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Fill a view with i.i.d. standard normal entries.
+void fill_gaussian(Rng& rng, MatrixView a);
+
+/// Fresh rows x cols matrix of i.i.d. standard normal entries.
+[[nodiscard]] Matrix random_gaussian(Rng& rng, index rows, index cols);
+
+/// Fresh vector of i.i.d. standard normal entries.
+[[nodiscard]] Vector random_gaussian_vector(Rng& rng, index n);
+
+/// Haar-distributed orthonormal matrix (rows x cols, cols <= rows): thin Q of
+/// a Gaussian matrix with the sign fix that makes the distribution uniform.
+[[nodiscard]] Matrix random_orthonormal(Rng& rng, index rows, index cols);
+[[nodiscard]] Matrix random_orthonormal(Rng& rng, index n);
+
+/// Random symmetric positive-definite matrix Q diag(lambda) Q^T with
+/// eigenvalues log-spaced in [1/cond, 1].
+[[nodiscard]] Matrix random_spd(Rng& rng, index n, double cond);
+
+}  // namespace pitk::la

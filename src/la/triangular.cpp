@@ -1,0 +1,62 @@
+#include "la/triangular.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pitk::la {
+
+void tri_inverse_upper(MatrixView r) {
+  const index n = r.rows();
+  assert(r.cols() == n);
+  // Unblocked LAPACK dtrti2 scheme: when column j is processed, the leading
+  // (j x j) block already holds its own inverse, so
+  //   X(0:j, j) = -X(0:j, 0:j) * R(0:j, j) / R(j, j).
+  for (index j = 0; j < n; ++j) {
+    const double ajj = 1.0 / r(j, j);
+    r(j, j) = ajj;
+    // In-place upper TRMV: ascending i reads r(l, j) only for l >= i, which
+    // still hold original column values.
+    for (index i = 0; i < j; ++i) {
+      double acc = 0.0;
+      for (index l = i; l < j; ++l) acc += r(i, l) * r(l, j);
+      r(i, j) = acc;
+    }
+    for (index i = 0; i < j; ++i) r(i, j) *= -ajj;
+  }
+}
+
+void tri_inverse_lower(MatrixView l) {
+  const index n = l.rows();
+  assert(l.cols() == n);
+  // Mirror of the upper case: process columns right-to-left so the trailing
+  // block already holds its inverse, then
+  //   X(j+1:, j) = -X(j+1:, j+1:) * L(j+1:, j) / L(j, j).
+  for (index j = n - 1; j >= 0; --j) {
+    const double ajj = 1.0 / l(j, j);
+    l(j, j) = ajj;
+    // In-place lower TRMV: descending i reads l(k, j) only for k <= i, which
+    // still hold original column values.
+    for (index i = n - 1; i > j; --i) {
+      double acc = 0.0;
+      for (index k = j + 1; k <= i; ++k) acc += l(i, k) * l(k, j);
+      l(i, j) = acc;
+    }
+    for (index i = j + 1; i < n; ++i) l(i, j) *= -ajj;
+  }
+}
+
+double tri_diag_cond(ConstMatrixView t) {
+  const index n = std::min(t.rows(), t.cols());
+  if (n == 0) return 1.0;
+  double mx = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  for (index i = 0; i < n; ++i) {
+    const double v = std::abs(t(i, i));
+    mx = std::max(mx, v);
+    mn = std::min(mn, v);
+  }
+  return mn == 0.0 ? std::numeric_limits<double>::infinity() : mx / mn;
+}
+
+}  // namespace pitk::la

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file triangular.hpp
+/// Triangular matrix inversion helpers used by SelInv (Section 4: the
+/// algorithm repeatedly needs R_jj^{-1} applied from both sides).
+
+#include "la/matrix.hpp"
+
+namespace pitk::la {
+
+/// In-place inversion of an upper-triangular matrix (non-unit diagonal).
+void tri_inverse_upper(MatrixView r);
+
+/// In-place inversion of a lower-triangular matrix (non-unit diagonal).
+void tri_inverse_lower(MatrixView l);
+
+/// Condition-number estimate (max |diag| / min |diag|) of a triangular
+/// factor; a cheap proxy used by diagnostics and tests.
+[[nodiscard]] double tri_diag_cond(ConstMatrixView t);
+
+}  // namespace pitk::la

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental scalar/index types and aligned storage used across pitk.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace pitk::la {
+
+/// Signed index type used for all matrix dimensions and loops.
+/// Signed (as recommended by the C++ Core Guidelines for arithmetic-heavy
+/// index code) and 64-bit so that k = 5e6-step problems index safely.
+using index = std::ptrdiff_t;
+
+/// Cache line size used for alignment decisions (avoids false sharing between
+/// blocks written by different workers; mirrors the paper's use of
+/// posix_memalign-to-64-bytes).
+inline constexpr std::size_t cache_line_bytes = 64;
+
+/// Minimal aligned allocator so that std::vector-backed matrix storage starts
+/// on a cache-line boundary.
+template <class T, std::size_t Alignment = cache_line_bytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  /// Explicit rebind: the default allocator_traits rebind cannot rewrite a
+  /// class template with a non-type (alignment) parameter.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc();
+    const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = ::operator new(bytes, std::align_val_t(Alignment));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// Cache-line aligned contiguous buffer of doubles.
+using aligned_buffer = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace pitk::la

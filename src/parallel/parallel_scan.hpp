@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file parallel_scan.hpp
+/// Parallel prefix (scan) over an arbitrary associative operation.
+///
+/// Replaces tbb::parallel_scan for the Särkkä & García-Fernández smoother,
+/// whose forward filtering pass and backward smoothing pass are generalized
+/// prefix sums of *non-commutative* associative operators on small matrix
+/// tuples.  The implementation is the classic tiled two-pass scheme:
+///
+///   1. split into chunks of `grain` elements; in parallel, fold each chunk
+///      to its total (left-associated, order preserved);
+///   2. scan the chunk totals (recursively in parallel when there are many
+///      chunks) to obtain the carry-in prefix of every chunk;
+///   3. in parallel, re-scan each chunk seeded with its carry-in, writing
+///      results in place.
+///
+/// Each element is combined twice (phases 1 and 3), so the scan performs
+/// ~2x the arithmetic of a sequential prefix pass — this is precisely the
+/// work overhead of parallel-in-time smoothers the paper measures (1.8-2.6x).
+
+#include <span>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace pitk::par {
+
+/// In-place inclusive prefix scan:
+///   data[i] <- data[0] op data[1] op ... op data[i]   (left associated).
+/// `op(const T&, const T&) -> T` must be associative; commutativity is NOT
+/// required.  Serial pools (or small inputs) fall back to one sequential
+/// sweep with no extra arithmetic.
+template <class T, class Op>
+void parallel_inclusive_scan(ThreadPool& pool, std::span<T> data, index grain, Op&& op) {
+  const index n = static_cast<index>(data.size());
+  if (n <= 1) return;
+  grain = std::max<index>(1, grain);
+  if (pool.is_serial() || n <= 2 * grain) {
+    for (index i = 1; i < n; ++i) data[i] = op(data[i - 1], data[i]);
+    return;
+  }
+
+  const index nchunks = (n + grain - 1) / grain;
+  std::vector<T> totals(static_cast<std::size_t>(nchunks));
+
+  // Phase 1: fold each chunk to its total, preserving element order.
+  parallel_for(pool, 0, nchunks, 1, [&](index c) {
+    const index b = c * grain;
+    const index e = std::min(b + grain, n);
+    T acc = data[b];
+    for (index i = b + 1; i < e; ++i) acc = op(acc, data[i]);
+    totals[static_cast<std::size_t>(c)] = std::move(acc);
+  });
+
+  // Phase 2: inclusive scan of the totals (recursive when worthwhile).
+  parallel_inclusive_scan(pool, std::span<T>(totals), std::max<index>(grain, 16),
+                          std::forward<Op>(op));
+
+  // Phase 3: final scan of each chunk seeded by the previous chunk's prefix.
+  parallel_for(pool, 0, nchunks, 1, [&](index c) {
+    const index b = c * grain;
+    const index e = std::min(b + grain, n);
+    if (c == 0) {
+      for (index i = b + 1; i < e; ++i) data[i] = op(data[i - 1], data[i]);
+    } else {
+      const T& carry = totals[static_cast<std::size_t>(c - 1)];
+      data[b] = op(carry, data[b]);
+      for (index i = b + 1; i < e; ++i) data[i] = op(data[i - 1], data[i]);
+    }
+  });
+}
+
+/// In-place inclusive suffix scan:
+///   data[i] <- data[i] op data[i+1] op ... op data[n-1]  (left associated).
+/// Used for the backward smoothing pass.
+template <class T, class Op>
+void parallel_reverse_inclusive_scan(ThreadPool& pool, std::span<T> data, index grain, Op&& op) {
+  const index n = static_cast<index>(data.size());
+  if (n <= 1) return;
+  grain = std::max<index>(1, grain);
+  if (pool.is_serial() || n <= 2 * grain) {
+    for (index i = n - 2; i >= 0; --i) data[i] = op(data[i], data[i + 1]);
+    return;
+  }
+
+  const index nchunks = (n + grain - 1) / grain;
+  std::vector<T> totals(static_cast<std::size_t>(nchunks));
+
+  parallel_for(pool, 0, nchunks, 1, [&](index c) {
+    const index b = c * grain;
+    const index e = std::min(b + grain, n);
+    T acc = data[e - 1];
+    for (index i = e - 2; i >= b; --i) acc = op(data[i], acc);
+    totals[static_cast<std::size_t>(c)] = std::move(acc);
+  });
+
+  // Reverse scan of the totals: totals[c] <- totals[c] op ... op totals[last].
+  parallel_reverse_inclusive_scan(pool, std::span<T>(totals), std::max<index>(grain, 16),
+                                  std::forward<Op>(op));
+
+  parallel_for(pool, 0, nchunks, 1, [&](index c) {
+    const index b = c * grain;
+    const index e = std::min(b + grain, n);
+    if (c == nchunks - 1) {
+      for (index i = e - 2; i >= b; --i) data[i] = op(data[i], data[i + 1]);
+    } else {
+      const T& carry = totals[static_cast<std::size_t>(c + 1)];
+      data[e - 1] = op(data[e - 1], carry);
+      for (index i = e - 2; i >= b; --i) data[i] = op(data[i], data[i + 1]);
+    }
+  });
+}
+
+}  // namespace pitk::par

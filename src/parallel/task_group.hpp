@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file task_group.hpp
+/// Structured fork-join task group (tbb::task_group replacement).
+///
+/// Supports irregular nested parallelism: the odd-even recursion and the
+/// examples spawn subtasks and join them; a joining thread *helps* execute
+/// pending pool tasks instead of blocking, so nested groups cannot deadlock
+/// the pool.
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace pitk::par {
+
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() { wait(); }
+
+  /// Schedule `fn` to run on the pool (or inline for serial pools).
+  template <class F>
+  void run(F&& fn) {
+    if (pool_.is_serial()) {
+      invoke_noexcept(std::forward<F>(fn));
+      return;
+    }
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    pool_.submit([this, f = std::forward<F>(fn)]() mutable {
+      invoke_noexcept(std::move(f));
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        outstanding_.notify_all();
+    });
+  }
+
+  /// Block until every task submitted through run() has finished, helping
+  /// with pool work meanwhile.  Rethrows the first captured exception.
+  void wait() {
+    unsigned n = outstanding_.load(std::memory_order_acquire);
+    while (n != 0) {
+      if (!pool_.run_one()) outstanding_.wait(n, std::memory_order_acquire);
+      n = outstanding_.load(std::memory_order_acquire);
+    }
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  template <class F>
+  void invoke_noexcept(F&& fn) noexcept {
+    try {
+      std::forward<F>(fn)();
+    } catch (...) {
+      std::call_once(error_once_, [this] { error_ = std::current_exception(); });
+    }
+  }
+
+  ThreadPool& pool_;
+  std::atomic<unsigned> outstanding_{0};
+  std::exception_ptr error_;
+  std::once_flag error_once_;
+};
+
+}  // namespace pitk::par

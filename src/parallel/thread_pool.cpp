@@ -1,0 +1,124 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace pitk::par {
+
+namespace {
+/// Which worker queue (if any) the current thread drains; -1 for external
+/// threads such as the pool owner.
+thread_local int tls_worker_id = -1;
+/// Pool the current worker belongs to (submit() routes to own deque only when
+/// the submitting thread is a worker of the *same* pool).
+thread_local const void* tls_worker_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  nthreads_ = std::max(1u, threads);
+  const unsigned workers = nthreads_ - 1;
+  queues_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) queues_.push_back(std::make_unique<Worker>());
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+unsigned ThreadPool::hardware_cores() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (queues_.empty()) {
+    // Serial pool: run inline; there is nobody else to run it.
+    task();
+    return;
+  }
+  unsigned target;
+  if (tls_worker_pool == this && tls_worker_id >= 0) {
+    target = static_cast<unsigned>(tls_worker_id);
+  } else {
+    target = rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    wake_cv_.notify_one();
+  }
+}
+
+bool ThreadPool::pop_from(unsigned victim, bool back, std::function<void()>& out) {
+  Worker& w = *queues_[victim];
+  std::lock_guard<std::mutex> lk(w.mu);
+  if (w.tasks.empty()) return false;
+  if (back) {
+    out = std::move(w.tasks.back());
+    w.tasks.pop_back();
+  } else {
+    out = std::move(w.tasks.front());
+    w.tasks.pop_front();
+  }
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool ThreadPool::find_task(unsigned self, std::function<void()>& out) {
+  const unsigned n = static_cast<unsigned>(queues_.size());
+  if (n == 0) return false;
+  // Own deque first (LIFO for cache locality), then steal FIFO from victims
+  // in a rotated order so thieves spread out (randomized-enough stealing).
+  if (self < n && pop_from(self, /*back=*/true, out)) return true;
+  const unsigned start = self < n ? self + 1 : rr_.fetch_add(1, std::memory_order_relaxed);
+  for (unsigned d = 0; d < n; ++d) {
+    const unsigned victim = (start + d) % n;
+    if (victim == self) continue;
+    if (pop_from(victim, /*back=*/false, out)) return true;
+  }
+  return false;
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  const unsigned self =
+      (tls_worker_pool == this && tls_worker_id >= 0) ? static_cast<unsigned>(tls_worker_id)
+                                                      : static_cast<unsigned>(queues_.size());
+  if (!find_task(self, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  tls_worker_id = static_cast<int>(id);
+  tls_worker_pool = this;
+  std::function<void()> task;
+  for (;;) {
+    if (find_task(id, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait(lk, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+}  // namespace pitk::par

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Work-stealing thread pool: the substitute for TBB's task scheduler.
+///
+/// The paper implements its smoothers on Intel TBB (randomized work-stealing
+/// scheduler, parallel_for / parallel_scan, nested parallelism).  This pool
+/// provides the same contract: N-way concurrency where the *calling* thread
+/// participates as one of the N, per-worker deques with LIFO pop / FIFO
+/// steal, and helping (a thread that blocks on a join executes other pending
+/// tasks instead of sleeping), which is what makes nested parallelism safe.
+///
+/// A pool constructed with `threads == 1` runs everything inline on the
+/// caller; the higher-level loops detect this and skip all scheduling
+/// machinery, which matches the paper's separately-compiled sequential
+/// variants ("replace tbb::parallel_for with simple C loops").
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pitk::par {
+
+class ThreadPool {
+ public:
+  /// Create a pool with total concurrency `threads` (caller + threads-1
+  /// workers).  threads == 0 is promoted to 1.
+  explicit ThreadPool(unsigned threads = hardware_cores());
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Total concurrency including the calling thread.
+  [[nodiscard]] unsigned concurrency() const noexcept { return nthreads_; }
+
+  /// True when everything runs inline on the caller (no workers).
+  [[nodiscard]] bool is_serial() const noexcept { return nthreads_ <= 1; }
+
+  /// Submit a detached task.  When called from a pool worker the task goes to
+  /// that worker's own deque (LIFO locality, like TBB spawn); otherwise it is
+  /// placed round-robin.
+  void submit(std::function<void()> task);
+
+  /// Execute one pending task on the calling thread if any is available.
+  /// Used by joins to help instead of blocking.  Returns false if no task
+  /// was found.
+  bool run_one();
+
+  /// Number of physical/logical cores reported by the OS (never 0).
+  static unsigned hardware_cores() noexcept;
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned id);
+  bool pop_from(unsigned victim, bool back, std::function<void()>& out);
+  bool find_task(unsigned self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> queues_;  // one per worker thread
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<unsigned> rr_{0};
+  unsigned nthreads_ = 1;
+};
+
+}  // namespace pitk::par

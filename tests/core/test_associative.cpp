@@ -1,0 +1,124 @@
+#include "core/associative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kalman/dense_reference.hpp"
+#include "kalman/rts.hpp"
+#include "kalman/simulate.hpp"
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+class AssociativeChainTest : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(AssociativeChainTest, MatchesRtsForEveryChainLength) {
+  auto [k, threads] = GetParam();
+  Rng rng(500 + k);
+  par::ThreadPool pool(threads);
+  test::CommonProblem cp = test::common_problem(rng, 2, k);
+  SmootherResult assoc = associative_smooth(cp.for_conventional, cp.prior, pool, {.grain = 2});
+  SmootherResult rts = rts_smooth(cp.for_conventional, cp.prior);
+  test::expect_means_near(assoc.means, rts.means, 1e-7, "k=" + std::to_string(k));
+  test::expect_covs_near(assoc.covariances, rts.covariances, 1e-7, "k=" + std::to_string(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, AssociativeChainTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 5, 9, 16, 33),
+                                            ::testing::Values(1u, 4u)));
+
+TEST(Associative, FilterMatchesSequentialKalmanFilter) {
+  Rng rng(520);
+  par::ThreadPool pool(4);
+  test::CommonProblem cp = test::common_problem(rng, 3, 25);
+  FilterResult par_filt = associative_filter(cp.for_conventional, cp.prior, pool, {.grain = 3});
+  FilterResult seq_filt = kalman_filter(cp.for_conventional, cp.prior);
+  test::expect_means_near(par_filt.means, seq_filt.means, 1e-8);
+  test::expect_covs_near(par_filt.covariances, seq_filt.covariances, 1e-8);
+}
+
+TEST(Associative, MatchesDenseReferenceWithDenseCovariances) {
+  Rng rng(530);
+  par::ThreadPool pool(2);
+  test::CommonProblem cp = test::common_problem(rng, 3, 14, /*dense_cov=*/true);
+  SmootherResult assoc = associative_smooth(cp.for_conventional, cp.prior, pool, {});
+  SmootherResult ref = dense_smooth(cp.for_qr, true);
+  test::expect_means_near(assoc.means, ref.means, 1e-7);
+  test::expect_covs_near(assoc.covariances, ref.covariances, 1e-7);
+}
+
+TEST(Associative, HandlesUnobservedSteps) {
+  Rng rng(540);
+  par::ThreadPool pool(4);
+  SimSpec spec = constant_velocity_spec(1, 40, 0.1, 0.05, 0.3, Vector({0.0, 1.0}));
+  auto base_g = spec.G;
+  spec.G = [base_g](index i) { return i % 4 == 0 ? base_g(i) : Matrix(); };
+  Simulation sim = simulate(rng, spec);
+  GaussianPrior prior;
+  prior.mean = Vector({0.0, 1.0});
+  prior.cov = Matrix::identity(2);
+  SmootherResult assoc = associative_smooth(sim.problem, prior, pool, {});
+  SmootherResult rts = rts_smooth(sim.problem, prior);
+  test::expect_means_near(assoc.means, rts.means, 1e-7);
+  test::expect_covs_near(assoc.covariances, rts.covariances, 1e-7);
+}
+
+TEST(Associative, UnobservedFirstStep) {
+  Rng rng(550);
+  test::CommonProblem cp = test::common_problem(rng, 2, 10);
+  // common_problem already strips the step-0 observation; double-check.
+  ASSERT_FALSE(cp.for_conventional.step(0).observation.has_value());
+  par::ThreadPool pool(2);
+  SmootherResult assoc = associative_smooth(cp.for_conventional, cp.prior, pool, {});
+  SmootherResult rts = rts_smooth(cp.for_conventional, cp.prior);
+  test::expect_means_near(assoc.means, rts.means, 1e-7);
+}
+
+TEST(Associative, DeterministicAcrossThreadsAndGrain) {
+  Rng rng(560);
+  test::CommonProblem cp = test::common_problem(rng, 2, 30);
+  par::ThreadPool p1(1);
+  par::ThreadPool p4(4);
+  SmootherResult a = associative_smooth(cp.for_conventional, cp.prior, p1, {.grain = 7});
+  SmootherResult b = associative_smooth(cp.for_conventional, cp.prior, p4, {.grain = 3});
+  // Different grains change the association tree, so results agree only to
+  // rounding  - but must be deterministic for equal configuration.
+  test::expect_means_near(a.means, b.means, 1e-9);
+  SmootherResult c = associative_smooth(cp.for_conventional, cp.prior, p4, {.grain = 3});
+  test::expect_means_near(b.means, c.means, 0.0, "exact determinism");
+}
+
+TEST(Associative, RejectsRectangularH) {
+  Problem p;
+  p.start(2);
+  p.observe(Matrix::identity(2), Vector({0.0, 0.0}), CovFactor::identity(2));
+  Matrix h(3, 2);
+  h(0, 0) = 1.0;
+  h(1, 1) = 1.0;
+  h(2, 0) = 1.0;
+  p.evolve_rect(2, h, Matrix(3, 2), Vector(), CovFactor::identity(3));
+  p.observe(Matrix::identity(2), Vector({0.0, 0.0}), CovFactor::identity(2));
+  GaussianPrior prior;
+  prior.mean = Vector({0.0, 0.0});
+  prior.cov = Matrix::identity(2);
+  par::ThreadPool pool(2);
+  EXPECT_THROW((void)associative_smooth(p, prior, pool, {}), std::invalid_argument);
+}
+
+TEST(Associative, AlwaysProducesCovariances) {
+  Rng rng(570);
+  test::CommonProblem cp = test::common_problem(rng, 2, 8);
+  par::ThreadPool pool(2);
+  SmootherResult res = associative_smooth(cp.for_conventional, cp.prior, pool, {});
+  EXPECT_TRUE(res.has_covariances());
+  EXPECT_EQ(res.covariances.size(), res.means.size());
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/associative.hpp"
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "kalman/dense_reference.hpp"
+#include "kalman/rts.hpp"
+#include "kalman/simulate.hpp"
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+/// The headline integration test: on problems in the common domain of all
+/// four smoother families (H = I, prior available), every implementation in
+/// the library must produce the same smoothed means and covariances.
+class AllSmoothersTest : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(AllSmoothersTest, AgreeOnCommonProblems) {
+  auto [n, k, dense_cov] = GetParam();
+  Rng rng(700 + n * 100 + k);
+  par::ThreadPool pool(4);
+  test::CommonProblem cp = test::common_problem(rng, n, k, dense_cov);
+
+  SmootherResult rts = rts_smooth(cp.for_conventional, cp.prior);
+  SmootherResult assoc = associative_smooth(cp.for_conventional, cp.prior, pool, {});
+  SmootherResult ps = paige_saunders_smooth(cp.for_qr, {});
+  SmootherResult oe = oddeven_smooth(cp.for_qr, pool, {});
+  SmootherResult ref = dense_smooth(cp.for_qr, true);
+
+  const std::string tag =
+      "n=" + std::to_string(n) + " k=" + std::to_string(k) + (dense_cov ? " dense" : "");
+  test::expect_means_near(rts.means, ref.means, 1e-7, "rts " + tag);
+  test::expect_means_near(assoc.means, ref.means, 1e-7, "assoc " + tag);
+  test::expect_means_near(ps.means, ref.means, 1e-7, "ps " + tag);
+  test::expect_means_near(oe.means, ref.means, 1e-7, "oe " + tag);
+
+  test::expect_covs_near(rts.covariances, ref.covariances, 1e-7, "rts cov " + tag);
+  test::expect_covs_near(assoc.covariances, ref.covariances, 1e-7, "assoc cov " + tag);
+  test::expect_covs_near(ps.covariances, ref.covariances, 1e-7, "ps cov " + tag);
+  test::expect_covs_near(oe.covariances, ref.covariances, 1e-7, "oe cov " + tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AllSmoothersTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 6, 23),
+                                            ::testing::Values(false, true)));
+
+TEST(CrossValidation, PaperBenchmarkProblemAllSmoothers) {
+  // The exact workload of Section 5.2, scaled down.
+  Rng rng(800);
+  const index n = 6;
+  const index k = 64;
+  Problem p = make_paper_benchmark(rng, n, k);
+  par::ThreadPool pool(4);
+
+  // QR methods need no prior; conventional ones get the step-0 observation
+  // converted into an exact Gaussian prior (G orthonormal, L = I):
+  //   u_0 ~ N(G^T o_0, I).
+  const Observation& ob0 = *p.step(0).observation;
+  GaussianPrior prior;
+  prior.mean = Vector(n);
+  la::gemv(1.0, ob0.G.view(), la::Trans::Yes, ob0.o.span(), 0.0, prior.mean.span());
+  prior.cov = Matrix::identity(n);
+  Problem p_conv = p;
+  p_conv.step(0).observation.reset();
+
+  SmootherResult oe = oddeven_smooth(p, pool, {});
+  SmootherResult ps = paige_saunders_smooth(p, {});
+  SmootherResult rts = rts_smooth(p_conv, prior);
+  SmootherResult assoc = associative_smooth(p_conv, prior, pool, {});
+
+  test::expect_means_near(oe.means, ps.means, 1e-8, "oe vs ps");
+  test::expect_means_near(rts.means, ps.means, 1e-7, "rts vs ps");
+  test::expect_means_near(assoc.means, ps.means, 1e-7, "assoc vs ps");
+  test::expect_covs_near(oe.covariances, ps.covariances, 1e-8, "oe vs ps cov");
+  test::expect_covs_near(rts.covariances, ps.covariances, 1e-7, "rts vs ps cov");
+  test::expect_covs_near(assoc.covariances, ps.covariances, 1e-7, "assoc vs ps cov");
+}
+
+TEST(CrossValidation, QrMethodsAgreeBeyondConventionalDomain) {
+  // Rectangular H + varying dims + missing observations: only the QR pair
+  // can solve these; they must agree with each other and the dense oracle.
+  Rng rng(810);
+  par::ThreadPool pool(4);
+  test::RandomProblemSpec spec;
+  spec.k = 27;
+  spec.n_min = 2;
+  spec.n_max = 4;
+  spec.varying_dims = true;
+  spec.rectangular_h = true;
+  spec.obs_probability = 0.5;
+  Problem p = test::random_problem(rng, spec);
+
+  SmootherResult oe = oddeven_smooth(p, pool, {});
+  SmootherResult ps = paige_saunders_smooth(p, {});
+  SmootherResult ref = dense_smooth(p, true);
+  test::expect_means_near(oe.means, ref.means, 1e-7);
+  test::expect_means_near(ps.means, ref.means, 1e-7);
+  test::expect_covs_near(oe.covariances, ref.covariances, 1e-6);
+  test::expect_covs_near(ps.covariances, ref.covariances, 1e-6);
+}
+
+TEST(CrossValidation, SimulatedTrackingScenarioEndToEnd) {
+  // Simulate, smooth with all four, verify everyone beats the raw
+  // observations on RMSE and agrees with each other.
+  Rng rng(820);
+  par::ThreadPool pool(4);
+  SimSpec spec = constant_velocity_spec(2, 120, 0.1, 0.05, 0.4,
+                                        Vector({0.0, 1.0, 0.0, -0.5}));
+  Simulation sim = simulate(rng, spec);
+  GaussianPrior prior;
+  prior.mean = Vector({0.0, 1.0, 0.0, -0.5});
+  prior.cov = Matrix::identity(4);
+
+  Problem qr_problem = with_prior_observation(sim.problem, prior);
+  SmootherResult oe = oddeven_smooth(qr_problem, pool, {});
+  SmootherResult rts = rts_smooth(sim.problem, prior);
+  test::expect_means_near(oe.means, rts.means, 1e-7);
+
+  double obs_rmse = 0.0;
+  double oe_rmse = 0.0;
+  index cnt = 0;
+  for (index i = 0; i <= spec.k; ++i) {
+    const auto& truth = sim.truth[static_cast<std::size_t>(i)];
+    const auto& est = oe.means[static_cast<std::size_t>(i)];
+    if (sim.problem.step(i).observation) {
+      const auto& o = sim.problem.step(i).observation->o;
+      obs_rmse += std::pow(o[0] - truth[0], 2) + std::pow(o[1] - truth[2], 2);
+      oe_rmse += std::pow(est[0] - truth[0], 2) + std::pow(est[2] - truth[2], 2);
+      ++cnt;
+    }
+  }
+  EXPECT_LT(oe_rmse, obs_rmse) << "smoothing must denoise (" << cnt << " observed steps)";
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,149 @@
+#include "core/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paige_saunders.hpp"
+#include "kalman/dense_reference.hpp"
+#include "kalman/rts.hpp"
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+/// Feed a Problem through the incremental interface.
+IncrementalFilter replay(const Problem& p, index upto) {
+  IncrementalFilter f(p.state_dim(0));
+  for (index i = 0; i <= upto; ++i) {
+    if (i > 0) {
+      const Evolution& e = *p.step(i).evolution;
+      if (e.identity_h())
+        f.evolve(e.F, e.c, e.noise);
+      else
+        f.evolve_rect(p.state_dim(i), e.H, e.F, e.c, e.noise);
+    }
+    if (p.step(i).observation) {
+      const Observation& ob = *p.step(i).observation;
+      f.observe(ob.G, ob.o, ob.noise);
+    }
+  }
+  return f;
+}
+
+TEST(IncrementalFilter, MatchesConventionalKalmanFilter) {
+  Rng rng(900);
+  test::CommonProblem cp = test::common_problem(rng, 3, 15);
+  FilterResult ref = kalman_filter(cp.for_conventional, cp.prior);
+  IncrementalFilter f(3);
+  // Prior as first observation.
+  f.observe(Matrix::identity(3), cp.prior.mean, CovFactor::dense(cp.prior.cov));
+  for (index i = 0; i <= cp.for_conventional.last_index(); ++i) {
+    if (i > 0) {
+      const Evolution& e = *cp.for_conventional.step(i).evolution;
+      f.evolve(e.F, e.c, e.noise);
+    }
+    if (cp.for_conventional.step(i).observation) {
+      const Observation& ob = *cp.for_conventional.step(i).observation;
+      f.observe(ob.G, ob.o, ob.noise);
+    }
+    auto est = f.estimate();
+    auto cov = f.covariance();
+    ASSERT_TRUE(est.has_value()) << i;
+    ASSERT_TRUE(cov.has_value()) << i;
+    test::expect_near(est->span(), ref.means[static_cast<std::size_t>(i)].span(), 1e-7,
+                      "mean @" + std::to_string(i));
+    test::expect_near(cov->view(), ref.covariances[static_cast<std::size_t>(i)].view(), 1e-7,
+                      "cov @" + std::to_string(i));
+  }
+}
+
+TEST(IncrementalFilter, SmoothMatchesBatchSmoother) {
+  Rng rng(910);
+  test::RandomProblemSpec spec;
+  spec.k = 20;
+  spec.n_min = spec.n_max = 3;
+  spec.obs_probability = 0.7;
+  Problem p = test::random_problem(rng, spec);
+  IncrementalFilter f = replay(p, p.last_index());
+  SmootherResult inc = f.smooth(true);
+  SmootherResult batch = paige_saunders_smooth(p, {});
+  test::expect_means_near(inc.means, batch.means, 1e-8);
+  test::expect_covs_near(inc.covariances, batch.covariances, 1e-8);
+}
+
+TEST(IncrementalFilter, RankDeficiencyReportedThenResolved) {
+  // Two-dimensional state observed one component at a time: after the first
+  // scalar observation the state is still undetermined.
+  IncrementalFilter f(2);
+  EXPECT_FALSE(f.estimate().has_value());
+  f.observe(Matrix({{1.0, 0.0}}), Vector({5.0}), CovFactor::identity(1));
+  EXPECT_FALSE(f.estimate().has_value());
+  EXPECT_FALSE(f.covariance().has_value());
+  EXPECT_THROW((void)f.smooth(false), std::runtime_error);
+  f.observe(Matrix({{0.0, 1.0}}), Vector({7.0}), CovFactor::identity(1));
+  auto est = f.estimate();
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR((*est)[0], 5.0, 1e-12);
+  EXPECT_NEAR((*est)[1], 7.0, 1e-12);
+}
+
+TEST(IncrementalFilter, InformationFlowsThroughEvolutionOnly) {
+  // Observe only the SECOND state; the first state's estimate becomes
+  // available only through smoothing, not filtering.
+  IncrementalFilter f(1);
+  f.evolve(Matrix({{2.0}}), Vector(), CovFactor::scaled_identity(1, 1e-12));
+  f.observe(Matrix({{1.0}}), Vector({6.0}), CovFactor::identity(1));
+  auto est = f.estimate();
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR((*est)[0], 6.0, 1e-6);
+  SmootherResult sm = f.smooth(false);
+  EXPECT_NEAR(sm.means[0][0], 3.0, 1e-5);  // 6 / F with F = 2
+}
+
+TEST(IncrementalFilter, DimensionChangeViaRectangularH) {
+  Rng rng(920);
+  IncrementalFilter f(2);
+  f.observe(Matrix::identity(2), Vector({1.0, 2.0}), CovFactor::identity(2));
+  // Grow 2 -> 3 with H selecting the first two components.
+  Matrix h(2, 3);
+  h(0, 0) = 1.0;
+  h(1, 1) = 1.0;
+  Matrix fmat = Matrix::identity(2);
+  f.evolve_rect(3, h, fmat, Vector(), CovFactor::scaled_identity(2, 0.01));
+  EXPECT_EQ(f.current_dim(), 3);
+  EXPECT_FALSE(f.estimate().has_value());  // third component unobserved
+  f.observe(Matrix({{0.0, 0.0, 1.0}}), Vector({9.0}), CovFactor::identity(1));
+  auto est = f.estimate();
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR((*est)[2], 9.0, 1e-9);
+}
+
+TEST(IncrementalFilter, MisuseThrows) {
+  EXPECT_THROW(IncrementalFilter bad(0), std::invalid_argument);
+  IncrementalFilter f(2);
+  EXPECT_THROW(f.observe(Matrix({{1.0}}), Vector({1.0}), CovFactor::identity(1)),
+               std::invalid_argument);
+  EXPECT_THROW(f.evolve(Matrix({{1.0}}), Vector(), CovFactor::identity(1)),
+               std::invalid_argument);
+  EXPECT_THROW(f.evolve(Matrix::identity(2), Vector(), CovFactor::identity(3)),
+               std::invalid_argument);
+}
+
+TEST(IncrementalFilter, FilteredCovarianceShrinksWithObservations) {
+  Rng rng(930);
+  IncrementalFilter f(2);
+  f.observe(Matrix::identity(2), Vector({0.0, 0.0}), CovFactor::identity(2));
+  const double var_before = (*f.covariance())(0, 0);
+  f.observe(Matrix::identity(2), Vector({0.1, -0.1}), CovFactor::identity(2));
+  const double var_after = (*f.covariance())(0, 0);
+  EXPECT_LT(var_after, var_before);
+  EXPECT_NEAR(var_after, 0.5, 1e-12);  // two unit-variance measurements
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,199 @@
+#include "core/gauss_newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kalman/dense_reference.hpp"
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+/// Noisy pendulum: state (angle, angular velocity), nonlinear dynamics
+/// theta'' = -(g/l) sin(theta), observed through sin(theta) (nonlinear).
+NonlinearModel pendulum_model(Rng& rng, index k, double dt, std::vector<Vector>* truth_out) {
+  const double gl = 9.81;
+  NonlinearModel m;
+  m.k = k;
+  m.dims.assign(static_cast<std::size_t>(k + 1), 2);
+  m.f = [dt, gl](index, const Vector& u) {
+    Vector v(2);
+    v[0] = u[0] + dt * u[1];
+    v[1] = u[1] - dt * gl * std::sin(u[0]);
+    return v;
+  };
+  m.f_jac = [dt, gl](index, const Vector& u) {
+    Matrix j({{1.0, dt}, {-dt * gl * std::cos(u[0]), 1.0}});
+    return j;
+  };
+  m.process_noise = [](index) { return CovFactor::scaled_identity(2, 1e-4); };
+  m.g = [](index, const Vector& u) {
+    Vector v(1);
+    v[0] = std::sin(u[0]);
+    return v;
+  };
+  m.g_jac = [](index, const Vector& u) {
+    Matrix j(1, 2);
+    j(0, 0) = std::cos(u[0]);
+    return j;
+  };
+  m.obs_noise = [](index) { return CovFactor::scaled_identity(1, 0.01); };
+
+  // Simulate the truth and observations.
+  std::vector<Vector> truth;
+  Vector u({0.5, 0.0});
+  truth.push_back(u);
+  m.obs.resize(static_cast<std::size_t>(k + 1));
+  for (index i = 0; i <= k; ++i) {
+    if (i > 0) {
+      u = m.f(i, u);
+      u[0] += 0.01 * rng.gaussian();
+      u[1] += 0.01 * rng.gaussian();
+      truth.push_back(u);
+    }
+    Vector o(1);
+    o[0] = std::sin(u[0]) + 0.1 * rng.gaussian();
+    m.obs[static_cast<std::size_t>(i)] = o;
+  }
+  if (truth_out) *truth_out = truth;
+  return m;
+}
+
+std::vector<Vector> zero_init(index k) {
+  // Deliberately poor initial trajectory: all states at (0.1, 0).
+  std::vector<Vector> init(static_cast<std::size_t>(k + 1));
+  for (auto& v : init) v = Vector({0.1, 0.0});
+  return init;
+}
+
+TEST(GaussNewton, ConvergesOnPendulum) {
+  Rng rng(600);
+  std::vector<Vector> truth;
+  NonlinearModel m = pendulum_model(rng, 60, 0.02, &truth);
+  par::ThreadPool pool(4);
+  GaussNewtonResult res = gauss_newton_smooth(m, zero_init(m.k), pool, {});
+  EXPECT_TRUE(res.converged);
+  // Cost must decrease monotonically for plain GN on this mild problem.
+  for (std::size_t i = 1; i < res.cost_history.size(); ++i)
+    EXPECT_LE(res.cost_history[i], res.cost_history[i - 1] + 1e-9);
+  // The smoothed angle must track the truth far better than the init.
+  double err = 0.0;
+  for (index i = 0; i <= m.k; ++i)
+    err += std::abs(res.states[static_cast<std::size_t>(i)][0] -
+                    truth[static_cast<std::size_t>(i)][0]);
+  err /= static_cast<double>(m.k + 1);
+  EXPECT_LT(err, 0.08) << "mean absolute angle error";
+}
+
+TEST(GaussNewton, LevenbergMarquardtAlsoConverges) {
+  Rng rng(610);
+  NonlinearModel m = pendulum_model(rng, 40, 0.02, nullptr);
+  par::ThreadPool pool(2);
+  GaussNewtonOptions opts;
+  opts.levenberg_marquardt = true;
+  GaussNewtonResult res = gauss_newton_smooth(m, zero_init(m.k), pool, opts);
+  EXPECT_TRUE(res.converged);
+  // LM never accepts an uphill step.
+  for (std::size_t i = 1; i < res.cost_history.size(); ++i)
+    EXPECT_LE(res.cost_history[i], res.cost_history[i - 1] + 1e-12);
+}
+
+TEST(GaussNewton, LinearModelConvergesInOneIteration) {
+  // With linear f and g, the first GN step solves the problem exactly.
+  Rng rng(620);
+  NonlinearModel m;
+  m.k = 10;
+  m.dims.assign(11, 2);
+  Matrix f = la::random_orthonormal(rng, 2);
+  m.f = [f](index, const Vector& u) {
+    Vector v(2);
+    la::gemv(1.0, f.view(), la::Trans::No, u.span(), 0.0, v.span());
+    return v;
+  };
+  m.f_jac = [f](index, const Vector&) { return f; };
+  m.process_noise = [](index) { return CovFactor::identity(2); };
+  m.g = [](index, const Vector& u) {
+    Vector v(2);
+    v[0] = u[0];
+    v[1] = u[1];
+    return v;
+  };
+  m.g_jac = [](index, const Vector&) { return Matrix::identity(2); };
+  m.obs_noise = [](index) { return CovFactor::identity(2); };
+  m.obs.resize(11);
+  for (auto& o : m.obs) o = la::random_gaussian_vector(rng, 2);
+
+  par::ThreadPool pool(2);
+  GaussNewtonOptions opts;
+  opts.max_iterations = 3;
+  std::vector<Vector> init(11, Vector({0.0, 0.0}));
+  GaussNewtonResult res = gauss_newton_smooth(m, init, pool, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 2);
+
+  // Cross-check against the linear smoother on the equivalent Problem.
+  Problem p;
+  p.start(2);
+  p.observe(Matrix::identity(2), m.obs[0], CovFactor::identity(2));
+  for (index i = 1; i <= 10; ++i) {
+    p.evolve(f, Vector(), CovFactor::identity(2));
+    p.observe(Matrix::identity(2), m.obs[static_cast<std::size_t>(i)], CovFactor::identity(2));
+  }
+  SmootherResult ref = dense_smooth(p, false);
+  test::expect_means_near(res.states, ref.means, 1e-8);
+}
+
+TEST(GaussNewton, FinalCovarianceOption) {
+  Rng rng(630);
+  NonlinearModel m = pendulum_model(rng, 20, 0.02, nullptr);
+  par::ThreadPool pool(2);
+  GaussNewtonOptions opts;
+  opts.final_covariance = true;
+  GaussNewtonResult res = gauss_newton_smooth(m, zero_init(m.k), pool, opts);
+  ASSERT_EQ(res.covariances.size(), static_cast<std::size_t>(m.k + 1));
+  for (const Matrix& c : res.covariances) {
+    EXPECT_EQ(c.rows(), 2);
+    EXPECT_GT(c(0, 0), 0.0);
+    EXPECT_GT(c(1, 1), 0.0);
+  }
+}
+
+TEST(GaussNewton, CostFunctionIsExactAtTruth) {
+  // For a noise-free trajectory the cost is exactly zero.
+  NonlinearModel m;
+  m.k = 5;
+  m.dims.assign(6, 1);
+  m.f = [](index, const Vector& u) { return Vector({u[0] * 0.9}); };
+  m.f_jac = [](index, const Vector&) { return Matrix({{0.9}}); };
+  m.process_noise = [](index) { return CovFactor::identity(1); };
+  m.g = [](index, const Vector& u) { return Vector({u[0]}); };
+  m.g_jac = [](index, const Vector&) { return Matrix::identity(1); };
+  m.obs_noise = [](index) { return CovFactor::identity(1); };
+  std::vector<Vector> traj;
+  double x = 2.0;
+  m.obs.resize(6);
+  for (index i = 0; i <= 5; ++i) {
+    if (i > 0) x *= 0.9;
+    traj.push_back(Vector({x}));
+    m.obs[static_cast<std::size_t>(i)] = Vector({x});
+  }
+  EXPECT_EQ(nonlinear_cost(m, traj), 0.0);
+}
+
+TEST(GaussNewton, InvalidInputsThrow) {
+  NonlinearModel m;
+  m.k = 2;
+  m.dims.assign(3, 1);
+  par::ThreadPool pool(1);
+  EXPECT_THROW((void)gauss_newton_smooth(m, {}, pool, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

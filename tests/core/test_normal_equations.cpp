@@ -1,0 +1,172 @@
+#include "core/normal_equations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/oddeven.hpp"
+#include "kalman/dense_reference.hpp"
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Trans;
+using la::Vector;
+
+TEST(NormalEquations, AssemblyMatchesDenseGram) {
+  Rng rng(950);
+  test::RandomProblemSpec spec;
+  spec.k = 9;
+  spec.n_min = 2;
+  spec.n_max = 4;
+  spec.varying_dims = true;
+  spec.rectangular_h = true;
+  spec.obs_probability = 0.7;
+  Problem p = test::random_problem(rng, spec);
+
+  par::ThreadPool pool(2);
+  BlockTridiagonal sys = assemble_normal_equations(p, pool, 2);
+
+  DenseSystem dense = build_dense_system(p);
+  Matrix ata = la::multiply(dense.A.view(), Trans::Yes, dense.A.view(), Trans::No);
+  Vector atb(dense.A.cols());
+  la::gemv(1.0, dense.A.view(), Trans::Yes, dense.b.span(), 0.0, atb.span());
+
+  for (index i = 0; i <= p.last_index(); ++i) {
+    const index off = dense.col_off[static_cast<std::size_t>(i)];
+    const index n = p.state_dim(i);
+    test::expect_near(sys.T[static_cast<std::size_t>(i)].view(), ata.view().block(off, off, n, n),
+                      1e-10, "T_" + std::to_string(i));
+    if (i < p.last_index()) {
+      const index off2 = dense.col_off[static_cast<std::size_t>(i + 1)];
+      test::expect_near(sys.U[static_cast<std::size_t>(i)].view(),
+                        ata.view().block(off, off2, n, p.state_dim(i + 1)), 1e-10,
+                        "U_" + std::to_string(i));
+    }
+    for (index q = 0; q < n; ++q)
+      EXPECT_NEAR(sys.g[static_cast<std::size_t>(i)][q], atb[off + q], 1e-10);
+  }
+}
+
+class NormalCyclicChainTest : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(NormalCyclicChainTest, MatchesDenseForEveryChainLength) {
+  auto [k, threads] = GetParam();
+  par::ThreadPool pool(threads);
+  Rng rng(960 + k);
+  test::RandomProblemSpec spec;
+  spec.k = k;
+  spec.n_min = spec.n_max = 2;
+  spec.obs_probability = 0.8;
+  Problem p = test::random_problem(rng, spec);
+  std::vector<Vector> got = normal_cyclic_smooth(p, pool, {.grain = 2});
+  SmootherResult ref = dense_smooth(p, false);
+  test::expect_means_near(got, ref.means, 1e-6, "k=" + std::to_string(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShortChains, NormalCyclicChainTest,
+                         ::testing::Combine(::testing::Range(0, 18), ::testing::Values(1u, 4u)));
+
+TEST(NormalEquations, ThomasMatchesCyclic) {
+  Rng rng(970);
+  test::RandomProblemSpec spec;
+  spec.k = 40;
+  spec.n_min = spec.n_max = 3;
+  spec.obs_probability = 0.6;
+  spec.dense_covariances = true;
+  Problem p = test::random_problem(rng, spec);
+  par::ThreadPool pool(4);
+  std::vector<Vector> cyclic = normal_cyclic_smooth(p, pool, {});
+  std::vector<Vector> thomas = normal_thomas_smooth(p);
+  for (std::size_t i = 0; i < cyclic.size(); ++i)
+    test::expect_near(cyclic[i].span(), thomas[i].span(), 1e-7, "state " + std::to_string(i));
+}
+
+TEST(NormalEquations, VaryingDimsAndRectangularH) {
+  Rng rng(980);
+  test::RandomProblemSpec spec;
+  spec.k = 13;
+  spec.n_min = 2;
+  spec.n_max = 4;
+  spec.varying_dims = true;
+  spec.rectangular_h = true;
+  Problem p = test::random_problem(rng, spec);
+  par::ThreadPool pool(2);
+  std::vector<Vector> got = normal_cyclic_smooth(p, pool, {});
+  SmootherResult ref = dense_smooth(p, false);
+  test::expect_means_near(got, ref.means, 1e-6);
+}
+
+/// The paper's Section-6 stability claim, measured.  Note the metric:
+/// cyclic reduction is backward stable *for the normal equations*, so its
+/// A^T A-residual looks healthy — the damage appears in the FORWARD error,
+/// which grows like eps * cond(A)^2 versus eps * cond(A) for the QR route.
+/// Disparate observation accuracies (variances spanning many decades) make
+/// cond(A) genuinely large.
+TEST(NormalEquations, InstabilityRelativeToQr) {
+  Rng rng(990);
+  par::ThreadPool pool(2);
+
+  // Läuchli-style observations: a very precise measurement of u_1 + u_2
+  // stacked with an ordinary measurement of u_1.  The weighted rows are
+  // nearly collinear at scale w = 1/delta, so cond(A) ~ w while forming
+  // A^T A cancels the O(1) information against w^2 terms: the classic
+  // situation where the normal equations lose twice the digits.
+  const double delta2 = 1e-14;  // variance of the precise row; weight 1e7
+  const index n = 2;
+  const index k = 24;
+  const Matrix f = la::random_orthonormal(rng, n);
+  std::vector<TimeStep> steps(static_cast<std::size_t>(k + 1));
+  for (index i = 0; i <= k; ++i) {
+    TimeStep& s = steps[static_cast<std::size_t>(i)];
+    s.n = n;
+    if (i > 0) {
+      Evolution e;
+      e.F = f;
+      e.noise = CovFactor::identity(n);
+      s.evolution = std::move(e);
+    }
+    Observation ob;
+    ob.G = Matrix({{1.0, 1.0}, {1.0, 0.0}});
+    ob.o = la::random_gaussian_vector(rng, n);
+    ob.noise = CovFactor::diagonal(Vector({delta2, 1.0}));
+    s.observation = std::move(ob);
+  }
+  Problem p = Problem::from_steps(std::move(steps));
+
+  SmootherResult ref = dense_smooth(p, false);  // dense Householder QR oracle
+  SmootherResult qr = oddeven_smooth(p, pool, {.compute_covariance = false});
+  std::vector<Vector> ne = normal_cyclic_smooth(p, pool, {});
+
+  auto forward_error = [&](const std::vector<Vector>& means) {
+    double err = 0.0;
+    double scale = 0.0;
+    for (std::size_t i = 0; i < means.size(); ++i) {
+      err = std::max(err, la::max_abs_diff(means[i].span(), ref.means[i].span()));
+      scale = std::max(scale, la::norm_max(ref.means[i].span()));
+    }
+    return err / (1.0 + scale);
+  };
+
+  const double err_qr = forward_error(qr.means);
+  const double err_ne = forward_error(ne);
+  EXPECT_LE(err_qr, 1e-7) << "QR route must stay near eps * cond(A)";
+  EXPECT_GT(err_ne, 100.0 * err_qr)
+      << "normal equations should lose ~cond(A) extra digits (err_qr=" << err_qr
+      << ", err_ne=" << err_ne << ")";
+}
+
+TEST(NormalEquations, RejectsInvalidProblem) {
+  Problem p;
+  p.start(2);
+  par::ThreadPool pool(1);
+  EXPECT_THROW((void)normal_cyclic_smooth(p, pool, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "core/selinv.hpp"
+#include "kalman/dense_reference.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+
+/// Algorithm 2 must match the dense (R^T R)^{-1} diagonal blocks for every
+/// chain length (parity edge cases live in short chains).
+class OddEvenCovChainTest : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(OddEvenCovChainTest, MatchesDenseInverse) {
+  auto [k, threads] = GetParam();
+  par::ThreadPool pool(threads);
+  Rng rng(400 + k);
+  test::RandomProblemSpec spec;
+  spec.k = k;
+  spec.n_min = spec.n_max = 2;
+  spec.obs_probability = 0.75;
+  Problem p = test::random_problem(rng, spec);
+  SmootherResult got = oddeven_smooth(p, pool, {.compute_covariance = true, .grain = 2});
+  SmootherResult ref = dense_smooth(p, true);
+  test::expect_covs_near(got.covariances, ref.covariances, 1e-7, "k=" + std::to_string(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShortChains, OddEvenCovChainTest,
+                         ::testing::Combine(::testing::Range(0, 20), ::testing::Values(1u, 4u)));
+
+TEST(OddEvenCovariance, AgreesWithSequentialSelInv) {
+  // Algorithm 2 (parallel, odd-even R) and Algorithm 1 (sequential,
+  // bidiagonal R) factor different matrices but must produce identical
+  // covariances: both equal diag blocks of (A^T U^T U A)^{-1}.
+  Rng rng(405);
+  test::RandomProblemSpec spec;
+  spec.k = 29;
+  spec.n_min = spec.n_max = 3;
+  spec.obs_probability = 0.6;
+  spec.dense_covariances = true;
+  Problem p = test::random_problem(rng, spec);
+  par::ThreadPool pool(4);
+
+  std::vector<Matrix> alg2 = oddeven_covariances(oddeven_factor(p, pool, 4), pool, 4);
+  std::vector<Matrix> alg1 = selinv_bidiagonal(paige_saunders_factor(p));
+  test::expect_covs_near(alg2, alg1, 1e-8, "Alg2 vs Alg1");
+}
+
+TEST(OddEvenCovariance, VaryingDimsAndRectangularH) {
+  Rng rng(407);
+  test::RandomProblemSpec spec;
+  spec.k = 15;
+  spec.n_min = 2;
+  spec.n_max = 4;
+  spec.varying_dims = true;
+  spec.rectangular_h = true;
+  Problem p = test::random_problem(rng, spec);
+  par::ThreadPool pool(4);
+  SmootherResult got = oddeven_smooth(p, pool, {});
+  SmootherResult ref = dense_smooth(p, true);
+  test::expect_covs_near(got.covariances, ref.covariances, 1e-7);
+}
+
+TEST(OddEvenCovariance, SymmetricPositiveDefinite) {
+  Rng rng(409);
+  test::RandomProblemSpec spec;
+  spec.k = 40;
+  spec.n_min = spec.n_max = 3;
+  Problem p = test::random_problem(rng, spec);
+  par::ThreadPool pool(4);
+  std::vector<Matrix> covs = oddeven_covariances(oddeven_factor(p, pool, 4), pool, 4);
+  for (const Matrix& c : covs) {
+    for (index j = 0; j < c.cols(); ++j)
+      for (index i = 0; i < c.rows(); ++i) EXPECT_EQ(c(i, j), c(j, i));
+    Matrix l = c;
+    EXPECT_TRUE(la::cholesky_lower(l.view()));
+  }
+}
+
+TEST(OddEvenCovariance, NcVariantSkipsCovariancePhase) {
+  Rng rng(411);
+  test::RandomProblemSpec spec;
+  spec.k = 12;
+  spec.n_min = spec.n_max = 2;
+  Problem p = test::random_problem(rng, spec);
+  par::ThreadPool pool(2);
+  SmootherResult nc = oddeven_smooth(p, pool, {.compute_covariance = false});
+  EXPECT_FALSE(nc.has_covariances());
+  EXPECT_EQ(nc.means.size(), 13u);
+}
+
+TEST(OddEvenCovariance, LargeProblemSpotCheck) {
+  // k = 500: verify a handful of states against the sequential SelInv
+  // (dense reference would be 1000x1000 — still fine, but unnecessary).
+  Rng rng(413);
+  test::RandomProblemSpec spec;
+  spec.k = 500;
+  spec.n_min = spec.n_max = 2;
+  Problem p = test::random_problem(rng, spec);
+  par::ThreadPool pool(4);
+  std::vector<Matrix> alg2 = oddeven_covariances(oddeven_factor(p, pool, 10), pool, 10);
+  std::vector<Matrix> alg1 = selinv_bidiagonal(paige_saunders_factor(p));
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{249}, std::size_t{499},
+                        std::size_t{500}}) {
+    test::expect_near(alg2[i].view(), alg1[i].view(), 1e-8, "state " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "kalman/dense_reference.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Trans;
+using la::Vector;
+
+/// Flatten a per-state solution into one long vector.
+Vector flatten(const Problem& p, const std::vector<Vector>& means) {
+  Vector x(p.total_state_dim());
+  index off = 0;
+  for (const Vector& m : means) {
+    for (index q = 0; q < m.size(); ++q) x[off + q] = m[q];
+    off += m.size();
+  }
+  return x;
+}
+
+/// Normal-equations residual: || A^T (A x - b) || / (||A||_F^2 ||x||).
+double stationarity_residual(const Problem& p, const std::vector<Vector>& means) {
+  DenseSystem sys = build_dense_system(p);
+  Vector x = flatten(p, means);
+  Vector r(sys.A.rows());
+  la::gemv(1.0, sys.A.view(), Trans::No, x.span(), 0.0, r.span());
+  la::axpy(-1.0, sys.b.span(), r.span());
+  Vector atr(sys.A.cols());
+  la::gemv(1.0, sys.A.view(), Trans::Yes, r.span(), 0.0, atr.span());
+  const double scale = la::norm_fro(sys.A.view());
+  return la::norm2(atr.span()) / (scale * scale * (1.0 + la::norm2(x.span())));
+}
+
+/// Property: the smoothed trajectory is the exact least-squares minimizer
+/// (residual orthogonal to the column space), for many random seeds.
+class StationarityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StationarityProperty, OddEvenSolutionIsStationary) {
+  Rng rng(1000 + GetParam());
+  par::ThreadPool pool(4);
+  test::RandomProblemSpec spec;
+  spec.k = 5 + static_cast<index>(rng.below(40));
+  spec.n_min = 1 + static_cast<index>(rng.below(3));
+  spec.n_max = spec.n_min + static_cast<index>(rng.below(3));
+  spec.varying_dims = rng.uniform() < 0.5;
+  spec.rectangular_h = rng.uniform() < 0.3;
+  spec.obs_probability = 0.4 + 0.6 * rng.uniform();
+  spec.dense_covariances = rng.uniform() < 0.5;
+  Problem p = test::random_problem(rng, spec);
+
+  SmootherResult oe = oddeven_smooth(p, pool, {.compute_covariance = false, .grain = 3});
+  EXPECT_LE(stationarity_residual(p, oe.means), 1e-10)
+      << "seed " << GetParam() << " k=" << spec.k;
+
+  SmootherResult ps = paige_saunders_smooth(p, {.compute_covariance = false});
+  EXPECT_LE(stationarity_residual(p, ps.means), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StationarityProperty, ::testing::Range(0, 12));
+
+/// Property: covariance shrinks (in the PSD order) when an observation is
+/// added — checked on the diagonal.
+TEST(Properties, AddingObservationsShrinksCovariance) {
+  Rng rng(1100);
+  par::ThreadPool pool(2);
+  test::RandomProblemSpec spec;
+  spec.k = 10;
+  spec.n_min = spec.n_max = 3;
+  spec.obs_probability = 0.5;
+  Problem p = test::random_problem(rng, spec);
+
+  SmootherResult before = oddeven_smooth(p, pool, {});
+
+  // Add one more observation to an unobserved middle step.
+  for (index i = 1; i <= p.last_index(); ++i) {
+    if (p.step(i).observation) continue;
+    Observation ob;
+    ob.G = la::random_gaussian(rng, 1, p.state_dim(i));
+    ob.o = Vector({0.0});
+    ob.noise = CovFactor::identity(1);
+    p.step(i).observation = std::move(ob);
+    break;
+  }
+  SmootherResult after = oddeven_smooth(p, pool, {});
+  for (std::size_t i = 0; i < before.covariances.size(); ++i)
+    for (index q = 0; q < before.covariances[i].rows(); ++q)
+      EXPECT_LE(after.covariances[i](q, q), before.covariances[i](q, q) + 1e-10);
+}
+
+/// Property: scaling all noise covariances by s scales the solution not at
+/// all and the covariances by exactly s.
+TEST(Properties, CovarianceScalingEquivariance) {
+  Rng rng(1200);
+  par::ThreadPool pool(2);
+  const double s = 4.0;
+
+  test::RandomProblemSpec spec;
+  spec.k = 8;
+  spec.n_min = spec.n_max = 2;
+  Problem p1 = test::random_problem(rng, spec);
+  Problem p2 = p1;
+  for (index i = 0; i <= p2.last_index(); ++i) {
+    if (p2.step(i).evolution)
+      p2.step(i).evolution->noise = CovFactor::scaled_identity(p2.step(i).evo_rows(), s);
+    if (p2.step(i).observation)
+      p2.step(i).observation->noise = CovFactor::scaled_identity(p2.step(i).obs_rows(), s);
+  }
+  // p1 uses identity everywhere already (default spec), so p2 = s * cov(p1).
+  SmootherResult r1 = oddeven_smooth(p1, pool, {});
+  SmootherResult r2 = oddeven_smooth(p2, pool, {});
+  test::expect_means_near(r1.means, r2.means, 1e-9, "means invariant under rescaling");
+  for (std::size_t i = 0; i < r1.covariances.size(); ++i) {
+    Matrix scaled = r1.covariances[i];
+    la::scale(s, scaled.view());
+    test::expect_near(scaled.view(), r2.covariances[i].view(), 1e-9, "cov scales by s");
+  }
+}
+
+/// Property: conditional backward stability — with well-conditioned input
+/// covariances, the stationarity residual stays tiny even for long chains
+/// and moderately ill-conditioned dense covariance inputs.
+TEST(Properties, StationarityUnderIllConditionedCovariances) {
+  Rng rng(1300);
+  par::ThreadPool pool(4);
+  test::RandomProblemSpec spec;
+  spec.k = 64;
+  spec.n_min = spec.n_max = 3;
+  spec.dense_covariances = true;
+  spec.covariance_condition = 1e6;
+  Problem p = test::random_problem(rng, spec);
+  SmootherResult oe = oddeven_smooth(p, pool, {.compute_covariance = false});
+  EXPECT_LE(stationarity_residual(p, oe.means), 1e-7);
+}
+
+/// Property: the objective value at the smoothed solution never exceeds the
+/// objective at any perturbed trajectory (local minimality spot check).
+TEST(Properties, PerturbationsNeverImproveObjective) {
+  Rng rng(1400);
+  par::ThreadPool pool(2);
+  test::RandomProblemSpec spec;
+  spec.k = 6;
+  spec.n_min = spec.n_max = 2;
+  Problem p = test::random_problem(rng, spec);
+  SmootherResult oe = oddeven_smooth(p, pool, {.compute_covariance = false});
+
+  DenseSystem sys = build_dense_system(p);
+  auto objective = [&](const Vector& x) {
+    Vector r(sys.A.rows());
+    la::gemv(1.0, sys.A.view(), Trans::No, x.span(), 0.0, r.span());
+    la::axpy(-1.0, sys.b.span(), r.span());
+    return la::dot(r.span(), r.span());
+  };
+  Vector xstar = flatten(p, oe.means);
+  const double fstar = objective(xstar);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector x = xstar;
+    for (index q = 0; q < x.size(); ++q) x[q] += 0.01 * rng.gaussian();
+    EXPECT_GE(objective(x), fstar - 1e-12);
+  }
+}
+
+/// Property: duplicating an observation halves its effective variance —
+/// equivalent to a single observation with variance 1/2.
+TEST(Properties, StackedObservationsEquivalence) {
+  par::ThreadPool pool(2);
+  auto build = [&](bool duplicated) {
+    Problem p;
+    p.start(1);
+    if (duplicated) {
+      p.observe(Matrix({{1.0}, {1.0}}), Vector({2.0, 2.0}), CovFactor::identity(2));
+    } else {
+      p.observe(Matrix({{1.0}}), Vector({2.0}), CovFactor::scaled_identity(1, 0.5));
+    }
+    p.evolve(Matrix({{1.0}}), Vector(), CovFactor::identity(1));
+    p.observe(Matrix({{1.0}}), Vector({3.0}), CovFactor::identity(1));
+    return oddeven_smooth(p, pool, {});
+  };
+  SmootherResult a = build(true);
+  SmootherResult b = build(false);
+  test::expect_means_near(a.means, b.means, 1e-12);
+  test::expect_covs_near(a.covariances, b.covariances, 1e-12);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

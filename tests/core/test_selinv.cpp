@@ -1,0 +1,90 @@
+#include "core/selinv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/cholesky.hpp"
+
+#include "kalman/dense_reference.hpp"
+#include "la/blas.hpp"
+#include "la/triangular.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Trans;
+
+TEST(TriInvGram, MatchesExplicitInverse) {
+  Rng rng(89);
+  for (index n : {1, 2, 5}) {
+    Matrix r(n, n);
+    for (index j = 0; j < n; ++j) {
+      for (index i = 0; i < j; ++i) r(i, j) = rng.gaussian() * 0.3;
+      r(j, j) = 1.5 + rng.uniform();
+    }
+    Matrix s = tri_inv_gram(r.view());
+    // s must satisfy (R^T R) s == I.
+    Matrix rtr = la::multiply(r.view(), Trans::Yes, r.view(), Trans::No);
+    Matrix prod = la::multiply(rtr.view(), s.view());
+    test::expect_near(prod.view(), Matrix::identity(n).view(), 1e-11);
+  }
+}
+
+class SelInvBidiagonalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelInvBidiagonalTest, DiagonalBlocksMatchDenseInverse) {
+  Rng rng(97 + GetParam());
+  test::RandomProblemSpec spec;
+  spec.k = GetParam();
+  spec.n_min = 2;
+  spec.n_max = 3;
+  spec.varying_dims = true;
+  spec.obs_probability = 0.7;
+  Problem p = test::random_problem(rng, spec);
+
+  BidiagonalFactor f = paige_saunders_factor(p);
+  std::vector<Matrix> covs = selinv_bidiagonal(f);
+
+  SmootherResult ref = dense_smooth(p, true);
+  test::expect_covs_near(covs, ref.covariances, 1e-7, "selinv k=" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, SelInvBidiagonalTest, ::testing::Values(0, 1, 2, 3, 7, 16));
+
+TEST(SelInvBidiagonal, ScalarChainAgainstHandComputation) {
+  // Scalar states, R = [[2, 1], [0, 3]]: S = (R^T R)^{-1} computed by hand.
+  BidiagonalFactor f;
+  f.diag.resize(2);
+  f.sup.resize(2);
+  f.rhs.resize(2);
+  f.diag[0] = Matrix({{2.0}});
+  f.diag[1] = Matrix({{3.0}});
+  f.sup[0] = Matrix({{1.0}});
+  std::vector<Matrix> s = selinv_bidiagonal(f);
+  // R^{-1} = [[1/2, -1/6], [0, 1/3]]; S = R^{-1} R^{-T}.
+  EXPECT_NEAR(s[1](0, 0), 1.0 / 9.0, 1e-14);
+  EXPECT_NEAR(s[0](0, 0), 0.25 + 1.0 / 36.0, 1e-14);
+}
+
+TEST(SelInvBidiagonal, CovariancesAreSymmetricPsd) {
+  Rng rng(101);
+  test::RandomProblemSpec spec;
+  spec.k = 10;
+  spec.n_min = spec.n_max = 3;
+  spec.dense_covariances = true;
+  Problem p = test::random_problem(rng, spec);
+  BidiagonalFactor f = paige_saunders_factor(p);
+  std::vector<Matrix> covs = selinv_bidiagonal(f);
+  for (const Matrix& c : covs) {
+    for (index j = 0; j < c.cols(); ++j)
+      for (index i = 0; i < c.rows(); ++i) EXPECT_EQ(c(i, j), c(j, i));
+    Matrix l = c;
+    EXPECT_TRUE(la::cholesky_lower(l.view())) << "covariance must be PSD";
+  }
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "core/associative.hpp"
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "kalman/dense_reference.hpp"
+#include "kalman/rts.hpp"
+#include "kalman/simulate.hpp"
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+TEST(Stress, LongChainWithCovariancesMultiThread) {
+  // k = 4999 with covariances: exercises deep recursion (13 levels), the
+  // covariance cross-block lookups at every level, and the parallel runtime
+  // under sustained load.  Spot-check against sequential SelInv.
+  Rng rng(2000);
+  Problem p = make_paper_benchmark(rng, 4, 4999);
+  par::ThreadPool pool(4);
+  SmootherResult oe = oddeven_smooth(p, pool, {.compute_covariance = true, .grain = 10});
+  SmootherResult ps = paige_saunders_smooth(p, {});
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{2499}, std::size_t{4998},
+                        std::size_t{4999}}) {
+    test::expect_near(oe.means[i].span(), ps.means[i].span(), 1e-8,
+                      "mean " + std::to_string(i));
+    test::expect_near(oe.covariances[i].view(), ps.covariances[i].view(), 1e-8,
+                      "cov " + std::to_string(i));
+  }
+}
+
+TEST(Stress, ConcurrentSmoothersShareOnePool) {
+  // Several externally-launched threads driving independent smoothers
+  // through the same pool: exercises helping joins and external submitters.
+  Rng rng(2010);
+  std::vector<Problem> problems;
+  for (int t = 0; t < 4; ++t) problems.push_back(make_paper_benchmark(rng, 3, 400));
+  par::ThreadPool pool(4);
+  std::vector<SmootherResult> results(4);
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] =
+          oddeven_smooth(problems[static_cast<std::size_t>(t)], pool, {.grain = 5});
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    SmootherResult ref = paige_saunders_smooth(problems[static_cast<std::size_t>(t)], {});
+    test::expect_means_near(results[static_cast<std::size_t>(t)].means, ref.means, 1e-8,
+                            "thread " + std::to_string(t));
+  }
+}
+
+TEST(Stress, RepeatedSmoothingIsDeterministic) {
+  Rng rng(2020);
+  Problem p = make_paper_benchmark(rng, 5, 333);
+  par::ThreadPool pool(4);
+  SmootherResult first = oddeven_smooth(p, pool, {});
+  for (int rep = 0; rep < 5; ++rep) {
+    SmootherResult again = oddeven_smooth(p, pool, {});
+    test::expect_means_near(again.means, first.means, 0.0, "rep " + std::to_string(rep));
+    test::expect_covs_near(again.covariances, first.covariances, 0.0,
+                           "rep " + std::to_string(rep));
+  }
+}
+
+TEST(FailureInjection, NanObservationPropagatesWithoutCrashing) {
+  // Garbage in, garbage out — but never a hang, crash, or silent wrong
+  // answer masquerading as clean data.
+  Rng rng(2030);
+  Problem p = make_paper_benchmark(rng, 3, 50);
+  p.step(25).observation->o[1] = std::numeric_limits<double>::quiet_NaN();
+  par::ThreadPool pool(2);
+  SmootherResult res = oddeven_smooth(p, pool, {.compute_covariance = false});
+  bool any_nan = false;
+  for (const Vector& m : res.means)
+    for (index q = 0; q < m.size(); ++q) any_nan = any_nan || std::isnan(m[q]);
+  EXPECT_TRUE(any_nan) << "a NaN observation must not silently disappear";
+}
+
+TEST(FailureInjection, SingularEvolutionStillSolvesWhenObserved) {
+  // F = 0 destroys all dynamic information; direct observations must still
+  // determine every state.
+  par::ThreadPool pool(2);
+  Problem p;
+  p.start(2);
+  p.observe(Matrix::identity(2), Vector({1.0, 2.0}), CovFactor::identity(2));
+  for (int i = 0; i < 6; ++i) {
+    p.evolve(Matrix(2, 2), Vector(), CovFactor::identity(2));  // F = 0
+    p.observe(Matrix::identity(2), Vector({1.0 + i, 2.0}), CovFactor::identity(2));
+  }
+  SmootherResult oe = oddeven_smooth(p, pool, {});
+  SmootherResult ref = dense_smooth(p, true);
+  test::expect_means_near(oe.means, ref.means, 1e-9);
+  test::expect_covs_near(oe.covariances, ref.covariances, 1e-9);
+}
+
+TEST(FailureInjection, HugeDynamicRangeObservations) {
+  // Observation magnitudes spanning 12 decades: QR handles the scaling.
+  par::ThreadPool pool(2);
+  Rng rng(2040);
+  Problem p;
+  p.start(1);
+  p.observe(Matrix({{1.0}}), Vector({1e-6}), CovFactor::scaled_identity(1, 1e-12));
+  for (int i = 0; i < 10; ++i) {
+    p.evolve(Matrix({{1.0}}), Vector(), CovFactor::scaled_identity(1, 1e6));
+    p.observe(Matrix({{1.0}}), Vector({1e6}), CovFactor::scaled_identity(1, 1e12));
+  }
+  SmootherResult oe = oddeven_smooth(p, pool, {.compute_covariance = false});
+  SmootherResult ref = dense_smooth(p, false);
+  for (std::size_t i = 0; i < oe.means.size(); ++i) {
+    const double scale = std::max(1.0, std::abs(ref.means[i][0]));
+    EXPECT_LE(std::abs(oe.means[i][0] - ref.means[i][0]) / scale, 1e-9) << i;
+  }
+}
+
+TEST(Stress, ManySmallProblemsBackToBack) {
+  // Churn: 200 independent small problems through one pool (allocator and
+  // scheduler lifecycle coverage).
+  Rng rng(2050);
+  par::ThreadPool pool(4);
+  for (int rep = 0; rep < 200; ++rep) {
+    test::RandomProblemSpec spec;
+    spec.k = 3 + (rep % 7);
+    spec.n_min = spec.n_max = 1 + (rep % 3);
+    Problem p = test::random_problem(rng, spec);
+    SmootherResult oe = oddeven_smooth(p, pool, {.compute_covariance = rep % 2 == 0});
+    ASSERT_EQ(oe.means.size(), static_cast<std::size_t>(spec.k + 1));
+    for (const Vector& m : oe.means) ASSERT_TRUE(std::isfinite(m[0]));
+  }
+}
+
+TEST(Stress, AssociativeLongChain) {
+  Rng rng(2060);
+  test::CommonProblem cp = test::common_problem(rng, 3, 2000);
+  par::ThreadPool pool(4);
+  SmootherResult assoc = associative_smooth(cp.for_conventional, cp.prior, pool, {.grain = 16});
+  SmootherResult rts = rts_smooth(cp.for_conventional, cp.prior);
+  for (std::size_t i : {std::size_t{0}, std::size_t{999}, std::size_t{2000}}) {
+    test::expect_near(assoc.means[i].span(), rts.means[i].span(), 1e-6,
+                      "state " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace pitk::kalman

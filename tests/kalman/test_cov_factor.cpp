@@ -1,0 +1,113 @@
+#include "kalman/cov_factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/random.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Trans;
+using la::Vector;
+
+/// For any factor: (V B)^T (V B) must equal B^T Cov^{-1} B.
+void check_weighting_identity(const CovFactor& f, Rng& rng) {
+  const index n = f.dim();
+  Matrix b = la::random_gaussian(rng, n, 3);
+  Matrix vb = f.weighted(b.view());
+  Matrix lhs = la::multiply(vb.view(), Trans::Yes, vb.view(), Trans::No);
+
+  auto cinv = la::spd_inverse(f.covariance().view());
+  ASSERT_TRUE(cinv.has_value());
+  Matrix cb = la::multiply(cinv->view(), b.view());
+  Matrix rhs = la::multiply(b.view(), Trans::Yes, cb.view(), Trans::No);
+  test::expect_near(lhs.view(), rhs.view(), 1e-10);
+}
+
+TEST(CovFactor, IdentityWeightingIsNoop) {
+  Rng rng(3);
+  CovFactor f = CovFactor::identity(4);
+  EXPECT_EQ(f.kind(), CovFactor::Kind::Identity);
+  EXPECT_EQ(f.dim(), 4);
+  Matrix b = la::random_gaussian(rng, 4, 2);
+  Matrix w = f.weighted(b.view());
+  test::expect_near(w.view(), b.view(), 0.0);
+  test::expect_near(f.covariance().view(), Matrix::identity(4).view(), 0.0);
+}
+
+TEST(CovFactor, DiagonalWeighting) {
+  Rng rng(5);
+  Vector v({4.0, 9.0, 16.0});
+  CovFactor f = CovFactor::diagonal(std::move(v));
+  EXPECT_EQ(f.kind(), CovFactor::Kind::Diagonal);
+  Vector x({8.0, 9.0, 4.0});
+  Vector w = f.weighted(x.span());
+  EXPECT_NEAR(w[0], 4.0, 1e-15);   // 8/2
+  EXPECT_NEAR(w[1], 3.0, 1e-15);   // 9/3
+  EXPECT_NEAR(w[2], 1.0, 1e-15);   // 4/4
+  check_weighting_identity(f, rng);
+}
+
+TEST(CovFactor, DiagonalRejectsNonPositive) {
+  EXPECT_THROW((void)CovFactor::diagonal(Vector({1.0, 0.0})), std::invalid_argument);
+  EXPECT_THROW((void)CovFactor::diagonal(Vector({-1.0})), std::invalid_argument);
+}
+
+TEST(CovFactor, DenseRoundTripsCovariance) {
+  Rng rng(7);
+  Matrix cov = la::random_spd(rng, 5, 40.0);
+  CovFactor f = CovFactor::dense(cov);
+  EXPECT_EQ(f.kind(), CovFactor::Kind::Dense);
+  test::expect_near(f.covariance().view(), cov.view(), 1e-12);
+  check_weighting_identity(f, rng);
+}
+
+TEST(CovFactor, DenseRejectsIndefinite) {
+  Matrix bad({{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_THROW((void)CovFactor::dense(bad), std::invalid_argument);
+  Matrix rect(2, 3);
+  EXPECT_THROW((void)CovFactor::dense(rect), std::invalid_argument);
+}
+
+TEST(CovFactor, ScaledIdentity) {
+  Rng rng(11);
+  CovFactor f = CovFactor::scaled_identity(3, 0.25);
+  Vector x({2.0, 4.0, 6.0});
+  Vector w = f.weighted(x.span());
+  EXPECT_NEAR(w[0], 4.0, 1e-14);  // x / 0.5
+  check_weighting_identity(f, rng);
+}
+
+TEST(CovFactor, SampleCovarianceMatchesRequested) {
+  Rng rng(13);
+  Matrix cov({{2.0, 0.6}, {0.6, 1.0}});
+  CovFactor f = CovFactor::dense(cov);
+  const int n = 40000;
+  Matrix acc(2, 2);
+  for (int s = 0; s < n; ++s) {
+    Vector z = f.sample(rng);
+    for (index i = 0; i < 2; ++i)
+      for (index j = 0; j < 2; ++j) acc(i, j) += z[i] * z[j];
+  }
+  la::scale(1.0 / n, acc.view());
+  test::expect_near(acc.view(), cov.view(), 0.08, "empirical covariance");
+}
+
+TEST(CovFactor, WeightInPlaceMatchesWeighted) {
+  Rng rng(17);
+  CovFactor f = CovFactor::dense(la::random_spd(rng, 4, 10.0));
+  Matrix b = la::random_gaussian(rng, 4, 3);
+  Matrix copy = b;
+  f.weight_in_place(copy.view());
+  Matrix w = f.weighted(b.view());
+  test::expect_near(copy.view(), w.view(), 0.0);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,113 @@
+#include "kalman/dense_reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Trans;
+using la::Vector;
+
+TEST(DenseSystem, AssemblyLayout) {
+  // 1-D constant position: u_1 = u_0 + c, both states observed directly.
+  Problem p;
+  p.start(1);
+  p.observe(Matrix({{2.0}}), Vector({4.0}), CovFactor::identity(1));
+  p.evolve(Matrix({{1.0}}), Vector({0.5}), CovFactor::scaled_identity(1, 4.0));
+  p.observe(Matrix({{1.0}}), Vector({3.0}), CovFactor::identity(1));
+
+  DenseSystem sys = build_dense_system(p);
+  ASSERT_EQ(sys.A.rows(), 3);
+  ASSERT_EQ(sys.A.cols(), 2);
+  // Row 0: observation of state 0 (unweighted: identity L).
+  EXPECT_EQ(sys.A(0, 0), 2.0);
+  EXPECT_EQ(sys.A(0, 1), 0.0);
+  EXPECT_EQ(sys.b[0], 4.0);
+  // Row 1: evolution [-B D] weighted by V = 1/2.
+  EXPECT_NEAR(sys.A(1, 0), -0.5, 1e-15);
+  EXPECT_NEAR(sys.A(1, 1), 0.5, 1e-15);
+  EXPECT_NEAR(sys.b[1], 0.25, 1e-15);
+  // Row 2: observation of state 1.
+  EXPECT_EQ(sys.A(2, 1), 1.0);
+  EXPECT_EQ(sys.b[2], 3.0);
+  EXPECT_EQ(sys.col_off[0], 0);
+  EXPECT_EQ(sys.col_off[1], 1);
+}
+
+TEST(DenseSmooth, MatchesNormalEquationsOnRandomProblem) {
+  Rng rng(31);
+  test::RandomProblemSpec spec;
+  spec.k = 8;
+  spec.n_min = spec.n_max = 3;
+  spec.dense_covariances = true;
+  Problem p = test::random_problem(rng, spec);
+
+  SmootherResult res = dense_smooth(p, /*with_cov=*/true);
+
+  // Solve the same system through the normal equations as an independent
+  // oracle: (A^T A) x = A^T b with A the weighted dense matrix.
+  DenseSystem sys = build_dense_system(p);
+  Matrix ata = la::multiply(sys.A.view(), Trans::Yes, sys.A.view(), Trans::No);
+  Vector atb(sys.A.cols());
+  la::gemv(1.0, sys.A.view(), Trans::Yes, sys.b.span(), 0.0, atb.span());
+  auto x = la::spd_solve(ata.view(), atb.as_matrix());
+  ASSERT_TRUE(x.has_value());
+
+  index off = 0;
+  for (index i = 0; i <= p.last_index(); ++i) {
+    const index n = p.state_dim(i);
+    for (index q = 0; q < n; ++q)
+      EXPECT_NEAR(res.means[static_cast<std::size_t>(i)][q], (*x)(off + q, 0), 1e-8);
+    off += n;
+  }
+
+  // Covariances must equal the diagonal blocks of (A^T A)^{-1}.
+  auto sinv = la::spd_inverse(ata.view());
+  ASSERT_TRUE(sinv.has_value());
+  off = 0;
+  for (index i = 0; i <= p.last_index(); ++i) {
+    const index n = p.state_dim(i);
+    test::expect_near(res.covariances[static_cast<std::size_t>(i)].view(),
+                      sinv->view().block(off, off, n, n), 1e-8,
+                      "cov " + std::to_string(i));
+    off += n;
+  }
+}
+
+TEST(DenseSmooth, SingleStateProblem) {
+  Problem p;
+  p.start(2);
+  p.observe(Matrix::identity(2), Vector({1.0, 2.0}), CovFactor::scaled_identity(2, 0.25));
+  SmootherResult res = dense_smooth(p, true);
+  ASSERT_EQ(res.means.size(), 1u);
+  EXPECT_NEAR(res.means[0][0], 1.0, 1e-12);
+  EXPECT_NEAR(res.means[0][1], 2.0, 1e-12);
+  test::expect_near(res.covariances[0].view(), Matrix({{0.25, 0.0}, {0.0, 0.25}}).view(), 1e-12);
+}
+
+TEST(DenseSmooth, RejectsInvalidProblem) {
+  Problem p;
+  p.start(2);  // unobserved, under-determined
+  EXPECT_THROW((void)dense_smooth(p, false), std::invalid_argument);
+}
+
+TEST(DenseSmooth, NoCovRequestSkipsCovariances) {
+  Rng rng(37);
+  test::RandomProblemSpec spec;
+  spec.k = 3;
+  spec.n_min = spec.n_max = 2;
+  Problem p = test::random_problem(rng, spec);
+  SmootherResult res = dense_smooth(p, false);
+  EXPECT_FALSE(res.has_covariances());
+  EXPECT_EQ(res.means.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,139 @@
+#include "kalman/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kalman/dense_reference.hpp"
+#include "kalman/simulate.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+void expect_problems_equal(const Problem& a, const Problem& b) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  for (index i = 0; i < a.num_states(); ++i) {
+    const TimeStep& sa = a.step(i);
+    const TimeStep& sb = b.step(i);
+    ASSERT_EQ(sa.n, sb.n) << i;
+    ASSERT_EQ(sa.evolution.has_value(), sb.evolution.has_value()) << i;
+    if (sa.evolution) {
+      test::expect_near(sa.evolution->F.view(), sb.evolution->F.view(), 0.0);
+      ASSERT_EQ(sa.evolution->identity_h(), sb.evolution->identity_h()) << i;
+      if (!sa.evolution->identity_h())
+        test::expect_near(sa.evolution->H.view(), sb.evolution->H.view(), 0.0);
+      ASSERT_EQ(sa.evolution->c.empty(), sb.evolution->c.empty());
+      if (!sa.evolution->c.empty())
+        test::expect_near(sa.evolution->c.span(), sb.evolution->c.span(), 0.0);
+      test::expect_near(sa.evolution->noise.covariance().view(),
+                        sb.evolution->noise.covariance().view(), 1e-15);
+    }
+    ASSERT_EQ(sa.observation.has_value(), sb.observation.has_value()) << i;
+    if (sa.observation) {
+      test::expect_near(sa.observation->G.view(), sb.observation->G.view(), 0.0);
+      test::expect_near(sa.observation->o.span(), sb.observation->o.span(), 0.0);
+      test::expect_near(sa.observation->noise.covariance().view(),
+                        sb.observation->noise.covariance().view(), 1e-15);
+    }
+  }
+}
+
+class IoRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoRoundTrip, WriteReadPreservesEverything) {
+  Rng rng(300 + GetParam());
+  test::RandomProblemSpec spec;
+  spec.k = 7;
+  spec.n_min = 2;
+  spec.n_max = 4;
+  spec.varying_dims = GetParam() % 2 == 0;
+  spec.rectangular_h = GetParam() % 3 == 0;
+  spec.obs_probability = 0.6;
+  spec.dense_covariances = GetParam() % 2 == 1;
+  spec.diagonal_covariances = GetParam() % 3 == 1;
+  Problem p = test::random_problem(rng, spec);
+
+  std::stringstream ss;
+  write_problem(ss, p);
+  Problem q = read_problem(ss);
+  expect_problems_equal(p, q);
+
+  // The round-tripped problem must solve to the same answer.  Dense
+  // covariances re-factor (chol of chol*chol^T) on load, so agreement is to
+  // a few ulps rather than bitwise.
+  SmootherResult ra = dense_smooth(p, false);
+  SmootherResult rb = dense_smooth(q, false);
+  test::expect_means_near(ra.means, rb.means, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, IoRoundTrip, ::testing::Range(0, 6));
+
+TEST(Io, PaperBenchmarkRoundTrip) {
+  Rng rng(42);
+  Problem p = make_paper_benchmark(rng, 4, 9);
+  std::stringstream ss;
+  write_problem(ss, p);
+  expect_problems_equal(p, read_problem(ss));
+}
+
+TEST(Io, RejectsMalformedInput) {
+  auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return read_problem(ss);
+  };
+  EXPECT_THROW((void)parse(""), std::runtime_error);
+  EXPECT_THROW((void)parse("not-a-problem 1"), std::runtime_error);
+  EXPECT_THROW((void)parse("pitk-problem 2\nstates 1\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("pitk-problem 1\nstates 0\nend\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("pitk-problem 1\nstates 2\nstate 0 1\nend\n"), std::runtime_error);
+  // Observation before any state.
+  EXPECT_THROW((void)parse("pitk-problem 1\nstates 1\nobservation 1\n"), std::runtime_error);
+  // Evolution on state 0.
+  EXPECT_THROW((void)parse("pitk-problem 1\nstates 1\nstate 0 1\nevolution 1 identity\nF 1\n"
+                           "c zero\nK identity 1\nend\n"),
+               std::runtime_error);
+  // Covariance dimension mismatch.
+  EXPECT_THROW((void)parse("pitk-problem 1\nstates 1\nstate 0 1\nobservation 1\nG 1\no 2\n"
+                           "L identity 2\nend\n"),
+               std::runtime_error);
+}
+
+TEST(Io, ResultCsvLayout) {
+  SmootherResult res;
+  res.means.push_back(Vector({1.0, 2.0}));
+  res.means.push_back(Vector({3.0, 4.0}));
+  res.covariances.push_back(Matrix({{4.0, 0.0}, {0.0, 9.0}}));
+  res.covariances.push_back(Matrix({{1.0, 0.0}, {0.0, 16.0}}));
+  std::stringstream ss;
+  write_result_csv(ss, res);
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_EQ(line, "state,component,mean,sigma");
+  std::getline(ss, line);
+  EXPECT_EQ(line, "0,0,1,2");
+  std::getline(ss, line);
+  EXPECT_EQ(line, "0,1,2,3");
+  std::getline(ss, line);
+  EXPECT_EQ(line, "1,0,3,1");
+  std::getline(ss, line);
+  EXPECT_EQ(line, "1,1,4,4");
+}
+
+TEST(Io, FileRoundTrip) {
+  Rng rng(77);
+  Problem p = make_paper_benchmark(rng, 3, 4);
+  const std::string path = testing::TempDir() + "/pitk_io_test_problem.txt";
+  save_problem(path, p);
+  Problem q = load_problem(path);
+  expect_problems_equal(p, q);
+  EXPECT_THROW((void)load_problem("/nonexistent/path/x.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,173 @@
+#include "kalman/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+Problem tiny_valid_problem() {
+  Problem p;
+  p.start(2);
+  p.observe(Matrix::identity(2), Vector({1.0, 2.0}), CovFactor::identity(2));
+  p.evolve(Matrix::identity(2), Vector({0.1, 0.0}), CovFactor::identity(2));
+  p.observe(Matrix({{1.0, 0.0}}), Vector({1.5}), CovFactor::identity(1));
+  return p;
+}
+
+TEST(Model, BuilderProducesConsistentShape) {
+  Problem p = tiny_valid_problem();
+  EXPECT_EQ(p.num_states(), 2);
+  EXPECT_EQ(p.state_dim(0), 2);
+  EXPECT_EQ(p.state_dim(1), 2);
+  EXPECT_EQ(p.total_state_dim(), 4);
+  EXPECT_EQ(p.total_row_dim(), 2 + 2 + 1);
+  EXPECT_FALSE(p.validate().has_value());
+}
+
+TEST(Model, ValidateCatchesMissingEvolution) {
+  std::vector<TimeStep> steps(2);
+  steps[0].n = 2;
+  steps[1].n = 2;
+  Problem p = Problem::from_steps(std::move(steps));
+  auto err = p.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("evolution"), std::string::npos);
+}
+
+TEST(Model, ValidateCatchesShapeMismatches) {
+  Problem p;
+  p.start(2);
+  p.observe(Matrix::identity(2), Vector({1.0, 2.0}), CovFactor::identity(2));
+  p.evolve(Matrix::identity(2), Vector(), CovFactor::identity(2));
+  // Wrong G columns.
+  p.observe(Matrix({{1.0, 0.0, 0.0}}), Vector({1.0}), CovFactor::identity(1));
+  EXPECT_TRUE(p.validate().has_value());
+}
+
+TEST(Model, ValidateCatchesUnderdeterminedOnlyWhenRequired) {
+  Problem p;
+  p.start(3);  // never observed, no prior
+  p.evolve(Matrix::identity(3), Vector(), CovFactor::identity(3));
+  EXPECT_TRUE(p.validate(/*require_overdetermined=*/true).has_value());
+  // Prior-based smoothers are allowed to process it (the prior anchors u_0).
+  EXPECT_FALSE(p.validate().has_value());
+}
+
+TEST(Model, ValidateCatchesEvolutionOnStepZero) {
+  std::vector<TimeStep> steps(1);
+  steps[0].n = 2;
+  Evolution e;
+  e.F = Matrix::identity(2);
+  e.noise = CovFactor::identity(2);
+  steps[0].evolution = std::move(e);
+  Problem p = Problem::from_steps(std::move(steps));
+  EXPECT_TRUE(p.validate().has_value());
+}
+
+TEST(Model, RectangularHValidation) {
+  Problem p;
+  p.start(2);
+  p.observe(Matrix::identity(2), Vector({0.0, 0.0}), CovFactor::identity(2));
+  // H: 3x3 but F rows 3 and n stays 3 -> mismatch with declared n_new=2.
+  Matrix h(3, 2);
+  h(0, 0) = 1.0;
+  h(1, 1) = 1.0;
+  Matrix f(3, 2);
+  p.evolve_rect(2, h, f, Vector(), CovFactor::identity(3));
+  EXPECT_FALSE(p.validate().has_value());
+}
+
+TEST(Model, WeighStepAppliesFactors) {
+  Rng rng(23);
+  TimeStep s;
+  s.n = 2;
+  Evolution e;
+  e.F = la::random_gaussian(rng, 2, 2);
+  e.c = Vector({1.0, -1.0});
+  e.noise = CovFactor::scaled_identity(2, 4.0);  // weighting divides by 2
+  s.evolution = std::move(e);
+  Observation ob;
+  ob.G = la::random_gaussian(rng, 1, 2);
+  ob.o = Vector({3.0});
+  ob.noise = CovFactor::scaled_identity(1, 0.25);  // weighting multiplies by 2
+  s.observation = std::move(ob);
+
+  WeightedStep w = weigh_step(s);
+  EXPECT_EQ(w.B.rows(), 2);
+  EXPECT_NEAR(w.B(0, 0), s.evolution->F(0, 0) / 2.0, 1e-15);
+  EXPECT_NEAR(w.cw[0], 0.5, 1e-15);
+  EXPECT_NEAR(w.C(0, 0), s.observation->G(0, 0) * 2.0, 1e-15);
+  EXPECT_NEAR(w.ow[0], 6.0, 1e-15);
+  // Identity H weighted: D = V.
+  EXPECT_NEAR(w.D(0, 0), 0.5, 1e-15);
+  EXPECT_NEAR(w.D(0, 1), 0.0, 1e-15);
+}
+
+TEST(Model, WeighStepWithoutObservationGivesZeroRowC) {
+  TimeStep s;
+  s.n = 3;
+  WeightedStep w = weigh_step(s);
+  EXPECT_EQ(w.C.rows(), 0);
+  EXPECT_EQ(w.C.cols(), 3);
+  EXPECT_EQ(w.ow.size(), 0);
+}
+
+TEST(Model, WithPriorObservationNoExistingObservation) {
+  Problem p;
+  p.start(2);
+  p.evolve(Matrix::identity(2), Vector(), CovFactor::identity(2));
+  p.observe(Matrix::identity(2), Vector({1.0, 1.0}), CovFactor::identity(2));
+
+  GaussianPrior prior;
+  prior.mean = Vector({5.0, 6.0});
+  prior.cov = Matrix({{2.0, 0.0}, {0.0, 3.0}});
+  Problem q = with_prior_observation(p, prior);
+  ASSERT_TRUE(q.step(0).observation.has_value());
+  const Observation& ob = *q.step(0).observation;
+  EXPECT_EQ(ob.rows(), 2);
+  test::expect_near(ob.o.span(), prior.mean.span(), 0.0);
+  test::expect_near(ob.noise.covariance().view(), prior.cov.view(), 1e-14);
+  EXPECT_FALSE(q.validate().has_value());
+}
+
+TEST(Model, WithPriorObservationStacksExisting) {
+  Problem p = tiny_valid_problem();
+  GaussianPrior prior;
+  prior.mean = Vector({0.0, 0.0});
+  prior.cov = Matrix::identity(2);
+  Problem q = with_prior_observation(p, prior);
+  const Observation& ob = *q.step(0).observation;
+  EXPECT_EQ(ob.rows(), 4);  // 2 prior rows + 2 original rows
+  EXPECT_EQ(ob.G(0, 0), 1.0);
+  EXPECT_EQ(ob.o[2], 1.0);  // original observation follows the prior block
+  EXPECT_FALSE(q.validate().has_value());
+}
+
+TEST(Model, WithPriorObservationShapeMismatchThrows) {
+  Problem p = tiny_valid_problem();
+  GaussianPrior prior;
+  prior.mean = Vector({0.0});
+  prior.cov = Matrix::identity(1);
+  EXPECT_THROW((void)with_prior_observation(p, prior), std::invalid_argument);
+}
+
+TEST(Model, BuilderMisuseThrows) {
+  Problem p;
+  EXPECT_THROW(p.observe(Matrix::identity(2), Vector({1.0, 2.0}), CovFactor::identity(2)),
+               std::logic_error);
+  EXPECT_THROW(p.evolve(Matrix::identity(2), Vector(), CovFactor::identity(2)), std::logic_error);
+  p.start(2);
+  EXPECT_THROW(p.start(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,132 @@
+#include "kalman/rts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kalman/dense_reference.hpp"
+#include "kalman/simulate.hpp"
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+TEST(Rts, MatchesDenseReferenceOnCommonProblems) {
+  Rng rng(41);
+  for (int rep = 0; rep < 5; ++rep) {
+    test::CommonProblem cp = test::common_problem(rng, 3, 12, rep % 2 == 1);
+    SmootherResult rts = rts_smooth(cp.for_conventional, cp.prior);
+    SmootherResult ref = dense_smooth(cp.for_qr, true);
+    test::expect_means_near(rts.means, ref.means, 1e-8, "rep " + std::to_string(rep));
+    test::expect_covs_near(rts.covariances, ref.covariances, 1e-8, "rep " + std::to_string(rep));
+  }
+}
+
+TEST(Rts, FilterMatchesDenseOnLastState) {
+  // The filtered estimate of the final state equals the smoothed one.
+  Rng rng(43);
+  test::CommonProblem cp = test::common_problem(rng, 2, 9);
+  FilterResult filt = kalman_filter(cp.for_conventional, cp.prior);
+  SmootherResult ref = dense_smooth(cp.for_qr, true);
+  const std::size_t k = filt.means.size() - 1;
+  test::expect_near(filt.means[k].span(), ref.means[k].span(), 1e-8);
+  test::expect_near(filt.covariances[k].view(), ref.covariances[k].view(), 1e-8);
+}
+
+TEST(Rts, SmootherNeverInflatesFilterCovariance) {
+  Rng rng(47);
+  test::CommonProblem cp = test::common_problem(rng, 3, 15);
+  FilterResult filt = kalman_filter(cp.for_conventional, cp.prior);
+  SmootherResult smth = rts_smooth(cp.for_conventional, cp.prior);
+  for (std::size_t i = 0; i < filt.means.size(); ++i) {
+    // P_filter - P_smooth must be PSD; check the trace and diagonal.
+    for (index q = 0; q < filt.covariances[i].rows(); ++q)
+      EXPECT_GE(filt.covariances[i](q, q) - smth.covariances[i](q, q), -1e-10)
+          << "state " << i << " component " << q;
+  }
+}
+
+TEST(Rts, HandlesUnobservedSteps) {
+  Rng rng(53);
+  SimSpec spec = constant_velocity_spec(1, 30, 0.1, 0.05, 0.2, Vector({0.0, 1.0}));
+  auto base_g = spec.G;
+  spec.G = [base_g](index i) { return i % 3 == 0 ? base_g(i) : Matrix(); };
+  Simulation sim = simulate(rng, spec);
+  GaussianPrior prior;
+  prior.mean = Vector({0.0, 1.0});
+  prior.cov = Matrix::identity(2);
+  SmootherResult res = rts_smooth(sim.problem, prior);
+  SmootherResult ref = dense_smooth(with_prior_observation(sim.problem, prior), true);
+  test::expect_means_near(res.means, ref.means, 1e-8);
+  test::expect_covs_near(res.covariances, ref.covariances, 1e-8);
+}
+
+TEST(Rts, TracksSimulatedTrajectory) {
+  Rng rng(59);
+  SimSpec spec = constant_velocity_spec(1, 200, 0.1, 0.02, 0.5, Vector({0.0, 1.0}));
+  Simulation sim = simulate(rng, spec);
+  GaussianPrior prior;
+  prior.mean = Vector({0.0, 1.0});
+  prior.cov = Matrix::identity(2);
+  SmootherResult res = rts_smooth(sim.problem, prior);
+  // Smoothed positions must beat raw observations in RMSE.
+  double obs_err = 0.0;
+  double smooth_err = 0.0;
+  int count = 0;
+  for (index i = 0; i <= spec.k; ++i) {
+    if (!sim.problem.step(i).observation) continue;
+    const double truth = sim.truth[static_cast<std::size_t>(i)][0];
+    obs_err += std::pow(sim.problem.step(i).observation->o[0] - truth, 2);
+    smooth_err += std::pow(res.means[static_cast<std::size_t>(i)][0] - truth, 2);
+    ++count;
+  }
+  EXPECT_LT(smooth_err, obs_err) << "smoother should denoise the observations (count=" << count
+                                 << ")";
+}
+
+TEST(Rts, RejectsRectangularH) {
+  Problem p;
+  p.start(2);
+  p.observe(Matrix::identity(2), Vector({0.0, 0.0}), CovFactor::identity(2));
+  Matrix h(3, 2);
+  h(0, 0) = 1.0;
+  h(1, 1) = 1.0;
+  h(2, 0) = 1.0;
+  p.evolve_rect(2, h, Matrix(3, 2), Vector(), CovFactor::identity(3));
+  p.observe(Matrix::identity(2), Vector({0.0, 0.0}), CovFactor::identity(2));
+  GaussianPrior prior;
+  prior.mean = Vector({0.0, 0.0});
+  prior.cov = Matrix::identity(2);
+  EXPECT_THROW((void)rts_smooth(p, prior), std::invalid_argument);
+}
+
+TEST(Rts, PriorDimensionMismatchThrows) {
+  Rng rng(61);
+  test::CommonProblem cp = test::common_problem(rng, 2, 3);
+  GaussianPrior bad;
+  bad.mean = Vector({0.0, 0.0, 0.0});
+  bad.cov = Matrix::identity(3);
+  EXPECT_THROW((void)rts_smooth(cp.for_conventional, bad), std::invalid_argument);
+}
+
+TEST(Rts, SingleStepProblem) {
+  Problem p;
+  p.start(1);
+  p.observe(Matrix({{1.0}}), Vector({2.0}), CovFactor::identity(1));
+  GaussianPrior prior;
+  prior.mean = Vector({0.0});
+  prior.cov = Matrix({{1.0}});
+  SmootherResult res = rts_smooth(p, prior);
+  // Posterior of two unit-variance measurements 0 and 2: mean 1, var 1/2.
+  EXPECT_NEAR(res.means[0][0], 1.0, 1e-12);
+  EXPECT_NEAR(res.covariances[0](0, 0), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

@@ -1,0 +1,107 @@
+#include "kalman/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace pitk::kalman {
+namespace {
+
+using la::index;
+using la::Matrix;
+using la::Rng;
+using la::Vector;
+
+TEST(PaperBenchmark, ShapeMatchesSection52) {
+  Rng rng(1);
+  const index n = 6;
+  const index k = 20;
+  Problem p = make_paper_benchmark(rng, n, k);
+  ASSERT_EQ(p.num_states(), k + 1);
+  EXPECT_FALSE(p.validate().has_value());
+  for (index i = 0; i <= k; ++i) {
+    EXPECT_EQ(p.state_dim(i), n);
+    ASSERT_TRUE(p.step(i).observation.has_value());
+    EXPECT_EQ(p.step(i).observation->rows(), n);
+    EXPECT_EQ(p.step(i).observation->noise.kind(), CovFactor::Kind::Identity);
+    if (i > 0) {
+      ASSERT_TRUE(p.step(i).evolution.has_value());
+      EXPECT_TRUE(p.step(i).evolution->identity_h());
+      EXPECT_EQ(p.step(i).evolution->noise.kind(), CovFactor::Kind::Identity);
+    }
+  }
+}
+
+TEST(PaperBenchmark, FAndGAreOrthonormalAndSharedAcrossSteps) {
+  Rng rng(2);
+  Problem p = make_paper_benchmark(rng, 5, 8);
+  const Matrix& f = p.step(1).evolution->F;
+  Matrix ftf = la::multiply(f.view(), la::Trans::Yes, f.view(), la::Trans::No);
+  test::expect_near(ftf.view(), Matrix::identity(5).view(), 1e-12, "F^T F");
+  // Fixed across steps (the paper uses one F and one G for all i).
+  test::expect_near(p.step(3).evolution->F.view(), f.view(), 0.0);
+  test::expect_near(p.step(4).observation->G.view(), p.step(0).observation->G.view(), 0.0);
+}
+
+TEST(PaperBenchmark, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  Problem pa = make_paper_benchmark(a, 4, 5);
+  Problem pb = make_paper_benchmark(b, 4, 5);
+  test::expect_near(pa.step(2).observation->o.span(), pb.step(2).observation->o.span(), 0.0);
+}
+
+TEST(DiffusePrior, ShapeAndScale) {
+  GaussianPrior p = diffuse_prior(3, 1e4);
+  EXPECT_EQ(p.mean.size(), 3);
+  EXPECT_EQ(p.cov(1, 1), 1e4);
+  EXPECT_EQ(p.cov(0, 1), 0.0);
+}
+
+TEST(Simulate, TrajectoryFollowsDynamicsUpToNoise) {
+  Rng rng(3);
+  SimSpec spec = constant_velocity_spec(1, 50, 0.1, 1e-6, 1e-6, Vector({0.0, 1.0}));
+  Simulation sim = simulate(rng, spec);
+  ASSERT_EQ(static_cast<index>(sim.truth.size()), 51);
+  EXPECT_FALSE(sim.problem.validate().has_value());
+  // With nearly-zero noise the truth is p(t) = t*dt, v = 1.
+  EXPECT_NEAR(sim.truth[50][0], 5.0, 1e-3);
+  EXPECT_NEAR(sim.truth[50][1], 1.0, 1e-3);
+  // Observations track positions.
+  EXPECT_NEAR(sim.problem.step(50).observation->o[0], 5.0, 1e-3);
+}
+
+TEST(Simulate, MissingObservationsWhenGEmpty) {
+  Rng rng(4);
+  SimSpec spec = constant_velocity_spec(1, 10, 0.1, 0.01, 0.1, Vector({0.0, 0.0}));
+  auto base_g = spec.G;
+  spec.G = [base_g](index i) { return i % 2 == 0 ? base_g(i) : Matrix(); };
+  Simulation sim = simulate(rng, spec);
+  EXPECT_TRUE(sim.problem.step(0).observation.has_value());
+  EXPECT_FALSE(sim.problem.step(1).observation.has_value());
+  EXPECT_TRUE(sim.problem.step(2).observation.has_value());
+}
+
+TEST(Simulate, MissingCallbacksThrow) {
+  SimSpec spec;
+  spec.x0 = Vector({0.0});
+  spec.k = 1;
+  EXPECT_THROW((void)simulate(*(new Rng(1)), spec), std::invalid_argument);
+}
+
+TEST(ConstantVelocity, SpecShapes) {
+  SimSpec spec = constant_velocity_spec(2, 5, 0.5, 0.1, 0.2, Vector({0, 1, 0, -1}));
+  Matrix f = spec.F(1);
+  EXPECT_EQ(f.rows(), 4);
+  EXPECT_EQ(f(0, 1), 0.5);
+  EXPECT_EQ(f(2, 3), 0.5);
+  Matrix g = spec.G(0);
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_EQ(g(1, 2), 1.0);
+  EXPECT_THROW((void)constant_velocity_spec(2, 5, 0.5, 0.1, 0.2, Vector({0, 1})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pitk::kalman

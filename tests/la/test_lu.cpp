@@ -1,0 +1,90 @@
+#include "la/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "test_util.hpp"
+
+namespace pitk::la {
+namespace {
+
+TEST(Lu, SolvesRandomSystems) {
+  Rng rng(201);
+  for (index n : {1, 2, 5, 12, 30}) {
+    Matrix a = random_gaussian(rng, n, n);
+    Vector x_true = random_gaussian_vector(rng, n);
+    Vector b(n);
+    gemv(1.0, a.view(), Trans::No, x_true.span(), 0.0, b.span());
+    Matrix lu = a;
+    std::vector<index> piv(static_cast<std::size_t>(n));
+    ASSERT_TRUE(lu_factor(lu.view(), piv)) << n;
+    lu_solve(lu.view(), piv, b.span());
+    test::expect_near(b.span(), x_true.span(), 1e-9 * n, "n=" + std::to_string(n));
+  }
+}
+
+TEST(Lu, BlockSolve) {
+  Rng rng(203);
+  const index n = 7;
+  Matrix a = random_gaussian(rng, n, n);
+  Matrix x_true = random_gaussian(rng, n, 4);
+  Matrix b = multiply(a.view(), x_true.view());
+  ASSERT_TRUE(solve_inplace(a, b.view()));
+  test::expect_near(b.view(), x_true.view(), 1e-10);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a({{0.0, 1.0}, {1.0, 0.0}});  // singular without pivoting
+  Vector b({2.0, 3.0});
+  ASSERT_TRUE(solve_inplace(a, b.as_matrix()));
+  EXPECT_NEAR(b[0], 3.0, 1e-15);
+  EXPECT_NEAR(b[1], 2.0, 1e-15);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a({{1.0, 2.0}, {2.0, 4.0}});
+  Vector b({1.0, 2.0});
+  EXPECT_FALSE(solve_inplace(a, b.as_matrix()));
+  Matrix zero(3, 3);
+  Matrix rhs(3, 1);
+  EXPECT_FALSE(solve_inplace(zero, rhs.view()));
+}
+
+TEST(Lu, ScratchReuse) {
+  Rng rng(207);
+  LuScratch scratch;
+  for (int rep = 0; rep < 5; ++rep) {
+    const index n = 3 + rep;
+    Matrix a = random_gaussian(rng, n, n);
+    Matrix acopy = a;
+    Vector x_true = random_gaussian_vector(rng, n);
+    Vector b(n);
+    gemv(1.0, a.view(), Trans::No, x_true.span(), 0.0, b.span());
+    ASSERT_TRUE(scratch.factor_solve(acopy.view(), b.as_matrix()));
+    test::expect_near(b.span(), x_true.span(), 1e-9);
+  }
+}
+
+TEST(Lu, IllConditionedResidualStaysSmall) {
+  // Backward stability check: the residual A x - b stays tiny even when the
+  // forward error does not.
+  Rng rng(209);
+  const index n = 10;
+  Matrix a = random_spd(rng, n, 1e12);
+  Vector b = random_gaussian_vector(rng, n);
+  Matrix lu = a;
+  std::vector<index> piv(static_cast<std::size_t>(n));
+  ASSERT_TRUE(lu_factor(lu.view(), piv));
+  Vector x = b;
+  lu_solve(lu.view(), piv, x.span());
+  Vector r(n);
+  gemv(1.0, a.view(), Trans::No, x.span(), 0.0, r.span());
+  axpy(-1.0, b.span(), r.span());
+  // Backward stability bounds the residual by eps * ||A|| * ||x|| — NOT by
+  // ||b||: with cond ~ 1e12 the solution itself is huge.
+  EXPECT_LE(norm2(r.span()), 1e-12 * norm_fro(a.view()) * (1.0 + norm2(x.span())));
+}
+
+}  // namespace
+}  // namespace pitk::la

@@ -1,0 +1,150 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/io.hpp"
+
+namespace pitk::la {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructionZeroInitializes) {
+  Matrix m(3, 2);
+  for (index j = 0; j < 2; ++j)
+    for (index i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, InitializerListIsRowMajor) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, StorageIsColumnMajor) {
+  Matrix m({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.data()[0], 1.0);
+  EXPECT_EQ(m.data()[1], 3.0);  // (1,0) directly after (0,0)
+  EXPECT_EQ(m.data()[2], 2.0);
+  EXPECT_EQ(m.data()[3], 4.0);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(i3(1, 1), 1.0);
+  EXPECT_EQ(i3(0, 1), 0.0);
+  const double d[] = {2.0, 5.0};
+  Matrix dm = Matrix::diagonal(std::span<const double>(d, 2));
+  EXPECT_EQ(dm(0, 0), 2.0);
+  EXPECT_EQ(dm(1, 1), 5.0);
+  EXPECT_EQ(dm(0, 1), 0.0);
+}
+
+TEST(Matrix, BlockViewsAliasStorage) {
+  Matrix m(4, 4);
+  MatrixView b = m.block(1, 2, 2, 2);
+  b(0, 0) = 7.0;
+  b(1, 1) = 8.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+  EXPECT_EQ(m(2, 3), 8.0);
+  EXPECT_EQ(b.ld(), 4);
+}
+
+TEST(Matrix, NestedBlocks) {
+  Matrix m(6, 6);
+  for (index j = 0; j < 6; ++j)
+    for (index i = 0; i < 6; ++i) m(i, j) = static_cast<double>(10 * i + j);
+  ConstMatrixView outer = m.block(1, 1, 4, 4);
+  ConstMatrixView inner = outer.block(1, 1, 2, 2);
+  EXPECT_EQ(inner(0, 0), m(2, 2));
+  EXPECT_EQ(inner(1, 1), m(3, 3));
+}
+
+TEST(Matrix, ColSpanIsContiguousColumn) {
+  Matrix m({{1, 2}, {3, 4}, {5, 6}});
+  auto c1 = m.view().col_span(1);
+  ASSERT_EQ(c1.size(), 3u);
+  EXPECT_EQ(c1[0], 2.0);
+  EXPECT_EQ(c1[2], 6.0);
+}
+
+TEST(Matrix, AssignCopiesAcrossStrides) {
+  Matrix src({{1, 2}, {3, 4}});
+  Matrix dst(4, 4);
+  dst.block(2, 2, 2, 2).assign(src.view());
+  EXPECT_EQ(dst(2, 2), 1.0);
+  EXPECT_EQ(dst(3, 3), 4.0);
+  EXPECT_EQ(dst(0, 0), 0.0);
+}
+
+TEST(Matrix, TransposedAndEquality) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.transposed() == m);
+  EXPECT_FALSE(t == m);
+}
+
+TEST(Matrix, ZeroRowAndZeroColShapes) {
+  Matrix m(0, 5);
+  EXPECT_TRUE(m.empty());
+  Matrix n(5, 0);
+  EXPECT_TRUE(n.empty());
+  Matrix v = vstack(m.view(), Matrix(2, 5).view());
+  EXPECT_EQ(v.rows(), 2);
+  EXPECT_EQ(v.cols(), 5);
+}
+
+TEST(Matrix, VstackHstack) {
+  Matrix a({{1, 2}});
+  Matrix b({{3, 4}, {5, 6}});
+  Matrix v = vstack(a.view(), b.view());
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_EQ(v(2, 1), 6.0);
+  Matrix h = hstack(b.view(), b.view());
+  EXPECT_EQ(h.cols(), 4);
+  EXPECT_EQ(h(1, 3), 6.0);
+}
+
+TEST(Matrix, ResizeIsDestructiveAndZeroing) {
+  Matrix m({{1, 2}, {3, 4}});
+  m.resize(3, 1);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 1);
+  EXPECT_EQ(m(2, 0), 0.0);
+}
+
+TEST(Vector, BasicOpsAndMatrixView) {
+  Vector v({1.0, 2.0, 3.0});
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_EQ(v[1], 2.0);
+  auto mv = v.as_matrix();
+  EXPECT_EQ(mv.rows(), 3);
+  EXPECT_EQ(mv.cols(), 1);
+  mv(0, 0) = 9.0;
+  EXPECT_EQ(v[0], 9.0);
+}
+
+TEST(Io, ToStringDoesNotCrashOnOddShapes) {
+  EXPECT_FALSE(to_string(Matrix(0, 3).view()).empty());
+  EXPECT_FALSE(to_string(Matrix::identity(2).view()).empty());
+  Vector v({1.5});
+  EXPECT_NE(to_string(v.span()).find("1.5"), std::string::npos);
+}
+
+TEST(Matrix, AlignedStorage) {
+  Matrix m(7, 3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % cache_line_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace pitk::la

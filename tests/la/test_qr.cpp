@@ -1,0 +1,169 @@
+#include "la/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "test_util.hpp"
+
+namespace pitk::la {
+namespace {
+
+/// Reconstruct A from its factored form by applying Q to [R; 0].
+Matrix reconstruct(const Matrix& factored, std::span<const double> tau) {
+  const index r = factored.rows();
+  const index c = factored.cols();
+  Matrix rz(r, c);
+  const index k = std::min(r, c);
+  for (index j = 0; j < c; ++j)
+    for (index i = 0; i <= std::min(j, k - 1); ++i) rz(i, j) = factored(i, j);
+  qr_apply_q(factored.view(), tau, rz.view());
+  return rz;
+}
+
+class QrShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrShapeTest, ReconstructsInput) {
+  auto [r, c] = GetParam();
+  Rng rng(31 + r * 10 + c);
+  Matrix a = random_gaussian(rng, r, c);
+  Matrix f = a;
+  std::vector<double> tau(static_cast<std::size_t>(std::min(r, c)));
+  qr_factor(f.view(), tau);
+  Matrix back = reconstruct(f, tau);
+  test::expect_near(back.view(), a.view(), 1e-12);
+}
+
+TEST_P(QrShapeTest, QtQIsIdentity) {
+  auto [r, c] = GetParam();
+  Rng rng(37 + r * 10 + c);
+  Matrix a = random_gaussian(rng, r, c);
+  std::vector<double> tau(static_cast<std::size_t>(std::min(r, c)));
+  qr_factor(a.view(), tau);
+  // Apply Q then Q^T to a random block; must be the identity action.
+  Matrix x = random_gaussian(rng, r, 3);
+  Matrix y = x;
+  qr_apply_q(a.view(), tau, y.view());
+  qr_apply_qt(a.view(), tau, y.view());
+  test::expect_near(y.view(), x.view(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapeTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{4, 4}, std::pair{8, 3},
+                                           std::pair{3, 8}, std::pair{12, 12}, std::pair{2, 5},
+                                           std::pair{5, 2}, std::pair{20, 7}));
+
+TEST(Qr, ThinQHasOrthonormalColumns) {
+  Rng rng(41);
+  Matrix a = random_gaussian(rng, 9, 4);
+  std::vector<double> tau(4);
+  qr_factor(a.view(), tau);
+  Matrix q = qr_form_q(a.view(), tau);
+  EXPECT_EQ(q.rows(), 9);
+  EXPECT_EQ(q.cols(), 4);
+  Matrix qtq = multiply(q.view(), Trans::Yes, q.view(), Trans::No);
+  test::expect_near(qtq.view(), Matrix::identity(4).view(), 1e-13);
+}
+
+TEST(Qr, RAgreesWithNormalEquationsCholesky) {
+  // R^T R == A^T A up to rounding (uniqueness of the Cholesky factor).
+  Rng rng(43);
+  Matrix a = random_gaussian(rng, 10, 5);
+  Matrix ata = multiply(a.view(), Trans::Yes, a.view(), Trans::No);
+  std::vector<double> tau(5);
+  qr_factor(a.view(), tau);
+  Matrix rsq(5, 5);
+  qr_extract_r_square(a.view(), rsq.view());
+  Matrix rtr = multiply(rsq.view(), Trans::Yes, rsq.view(), Trans::No);
+  test::expect_near(rtr.view(), ata.view(), 1e-11);
+}
+
+TEST(Qr, LeastSquaresMatchesNormalEquations) {
+  Rng rng(47);
+  Matrix a = random_gaussian(rng, 12, 4);
+  Vector b = random_gaussian_vector(rng, 12);
+  Vector x = qr_least_squares(a, b);
+  // Residual must be orthogonal to the column space: A^T (A x - b) = 0.
+  Vector res(12);
+  gemv(1.0, a.view(), Trans::No, x.span(), 0.0, res.span());
+  axpy(-1.0, b.span(), res.span());
+  Vector atr(4);
+  gemv(1.0, a.view(), Trans::Yes, res.span(), 0.0, atr.span());
+  EXPECT_LE(norm_max(atr.span()), 1e-11);
+}
+
+TEST(Qr, ExtractRSquarePadsShortPanels) {
+  Rng rng(53);
+  Matrix a = random_gaussian(rng, 2, 4);  // fewer rows than columns
+  std::vector<double> tau(2);
+  qr_factor(a.view(), tau);
+  Matrix r(4, 4);
+  qr_extract_r_square(a.view(), r.view());
+  // Rows 2..3 must be zero padding.
+  for (index j = 0; j < 4; ++j) {
+    EXPECT_EQ(r(2, j), 0.0);
+    EXPECT_EQ(r(3, j), 0.0);
+  }
+  // Strictly-lower part must be zero.
+  EXPECT_EQ(r(1, 0), 0.0);
+}
+
+TEST(Qr, ZeroRowInputsAreHandled) {
+  Matrix a(0, 3);
+  std::vector<double> tau(0);
+  qr_factor(a.view(), tau);  // must not crash
+  Matrix r(3, 3);
+  qr_extract_r_square(a.view(), r.view());
+  EXPECT_EQ(norm_max(r.view()), 0.0);
+}
+
+TEST(Qr, AppliesToZeroColumnAttachment) {
+  Rng rng(59);
+  Matrix a = random_gaussian(rng, 4, 2);
+  std::vector<double> tau(2);
+  qr_factor(a.view(), tau);
+  Matrix empty(4, 0);
+  qr_apply_qt(a.view(), tau, empty.view());  // no-op, must not crash
+}
+
+TEST(Qr, ScratchFactorApplyMatchesManualPath) {
+  Rng rng(61);
+  Matrix a = random_gaussian(rng, 6, 3);
+  Matrix att = random_gaussian(rng, 6, 2);
+  Matrix a2 = a;
+  Matrix att2 = att;
+
+  QrScratch scratch;
+  scratch.factor_apply(a.view(), att.view());
+
+  std::vector<double> tau(3);
+  qr_factor(a2.view(), tau);
+  qr_apply_qt(a2.view(), tau, att2.view());
+
+  test::expect_near(att.view(), att2.view(), 1e-13);
+  test::expect_near(a.view(), a2.view(), 1e-13);
+}
+
+TEST(Qr, StableOnGradedColumns) {
+  // Columns with wildly different scales: Householder QR must not blow up.
+  Rng rng(67);
+  Matrix a = random_gaussian(rng, 8, 4);
+  for (index i = 0; i < 8; ++i) {
+    a(i, 0) *= 1e12;
+    a(i, 3) *= 1e-12;
+  }
+  Matrix f = a;
+  std::vector<double> tau(4);
+  qr_factor(f.view(), tau);
+  Matrix back = reconstruct(f, tau);
+  // Relative accuracy per column scale.
+  for (index j = 0; j < 4; ++j) {
+    double colnorm = 0.0;
+    for (index i = 0; i < 8; ++i) colnorm = std::max(colnorm, std::abs(a(i, j)));
+    for (index i = 0; i < 8; ++i)
+      EXPECT_LE(std::abs(back(i, j) - a(i, j)), 1e-12 * colnorm) << i << "," << j;
+  }
+}
+
+}  // namespace
+}  // namespace pitk::la

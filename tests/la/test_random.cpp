@@ -1,0 +1,115 @@
+#include "la/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "test_util.hpp"
+
+namespace pitk::la {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, BelowIsBoundedAndCoversRange) {
+  Rng rng(13);
+  std::array<int, 5> hits{};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.below(5);
+    ASSERT_LT(v, 5u);
+    hits[static_cast<std::size_t>(v)]++;
+  }
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng a(99);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LE(same, 1);
+}
+
+TEST(Random, OrthonormalSquare) {
+  Rng rng(17);
+  for (index n : {1, 3, 6, 20}) {
+    Matrix q = random_orthonormal(rng, n);
+    Matrix qtq = multiply(q.view(), Trans::Yes, q.view(), Trans::No);
+    test::expect_near(qtq.view(), Matrix::identity(n).view(), 1e-12);
+  }
+}
+
+TEST(Random, OrthonormalThin) {
+  Rng rng(19);
+  Matrix q = random_orthonormal(rng, 10, 4);
+  Matrix qtq = multiply(q.view(), Trans::Yes, q.view(), Trans::No);
+  test::expect_near(qtq.view(), Matrix::identity(4).view(), 1e-12);
+}
+
+TEST(Random, SpdHasRequestedConditioning) {
+  Rng rng(23);
+  Matrix a = random_spd(rng, 6, 100.0);
+  // SPD: Cholesky must succeed.
+  Matrix l = a;
+  ASSERT_TRUE(cholesky_lower(l.view()));
+  // Symmetric by construction.
+  for (index j = 0; j < 6; ++j)
+    for (index i = 0; i < 6; ++i) EXPECT_EQ(a(i, j), a(j, i));
+}
+
+TEST(Random, FillGaussianCoversWholeView) {
+  Rng rng(29);
+  Matrix m(5, 5);
+  fill_gaussian(rng, m.view());
+  int zeros = 0;
+  for (index j = 0; j < 5; ++j)
+    for (index i = 0; i < 5; ++i) zeros += m(i, j) == 0.0;
+  EXPECT_EQ(zeros, 0);
+}
+
+}  // namespace
+}  // namespace pitk::la

@@ -1,0 +1,76 @@
+#include "la/triangular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "test_util.hpp"
+
+namespace pitk::la {
+namespace {
+
+Matrix random_upper(Rng& rng, index n) {
+  Matrix t(n, n);
+  for (index j = 0; j < n; ++j) {
+    for (index i = 0; i < j; ++i) t(i, j) = rng.gaussian() * 0.5;
+    t(j, j) = 2.0 + rng.uniform();  // well away from zero
+  }
+  return t;
+}
+
+TEST(Triangular, UpperInverseTimesOriginalIsIdentity) {
+  Rng rng(101);
+  for (index n : {1, 2, 3, 7, 12}) {
+    Matrix t = random_upper(rng, n);
+    Matrix tinv = t;
+    tri_inverse_upper(tinv.view());
+    Matrix prod = multiply(t.view(), tinv.view());
+    test::expect_near(prod.view(), Matrix::identity(n).view(), 1e-11,
+                      "upper n=" + std::to_string(n));
+    // The inverse of an upper triangle stays upper triangular.
+    for (index j = 0; j < n; ++j)
+      for (index i = j + 1; i < n; ++i) EXPECT_EQ(tinv(i, j), 0.0);
+  }
+}
+
+TEST(Triangular, LowerInverseTimesOriginalIsIdentity) {
+  Rng rng(103);
+  for (index n : {1, 2, 3, 7, 12}) {
+    Matrix t = random_upper(rng, n).transposed();
+    Matrix tinv = t;
+    tri_inverse_lower(tinv.view());
+    Matrix prod = multiply(t.view(), tinv.view());
+    test::expect_near(prod.view(), Matrix::identity(n).view(), 1e-11,
+                      "lower n=" + std::to_string(n));
+    for (index j = 0; j < n; ++j)
+      for (index i = 0; i < j; ++i) EXPECT_EQ(tinv(i, j), 0.0);
+  }
+}
+
+TEST(Triangular, InverseMatchesTrsvColumnwise) {
+  Rng rng(107);
+  const index n = 6;
+  Matrix t = random_upper(rng, n);
+  Matrix tinv = t;
+  tri_inverse_upper(tinv.view());
+  // Column j of T^{-1} solves T x = e_j.
+  for (index j = 0; j < n; ++j) {
+    Vector e(n);
+    e[j] = 1.0;
+    trsv(Uplo::Upper, Trans::No, Diag::NonUnit, t.view(), e.span());
+    test::expect_near(e.span(), tinv.view().col_span(j), 1e-12);
+  }
+}
+
+TEST(Triangular, DiagCondEstimates) {
+  Matrix t({{4.0, 1.0}, {0.0, 0.5}});
+  EXPECT_NEAR(tri_diag_cond(t.view()), 8.0, 1e-15);
+  Matrix s({{0.0, 1.0}, {0.0, 1.0}});
+  EXPECT_TRUE(std::isinf(tri_diag_cond(s.view())));
+  EXPECT_EQ(tri_diag_cond(Matrix(0, 0).view()), 1.0);
+}
+
+}  // namespace
+}  // namespace pitk::la

@@ -1,0 +1,117 @@
+#include "parallel/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pitk::par {
+namespace {
+
+class ParallelForTest : public ::testing::TestWithParam<std::tuple<unsigned, index, index>> {};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  auto [threads, n, grain] = GetParam();
+  ThreadPool pool(threads);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  parallel_for(pool, 0, n, grain, [&](index i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (index i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsBySizeByGrain, ParallelForTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u), ::testing::Values<index>(0, 1, 7, 1000),
+                       ::testing::Values<index>(1, 10, 1000000)));
+
+TEST(ParallelFor, EmptyRangeDoesNothing) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for_chunked(pool, 5, 5, 10, [&](index, index) { ++calls; });
+  parallel_for_chunked(pool, 7, 3, 10, [&](index, index) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, ChunkBoundsArePreserved) {
+  ThreadPool pool(4);
+  std::atomic<index> total{0};
+  parallel_for_chunked(pool, 0, 103, 10, [&](index b, index e) {
+    EXPECT_LT(b, e);
+    EXPECT_LE(e - b, 10);
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 103);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<index> sum{0};
+  parallel_for(pool, 100, 200, 7, [&](index i) { sum.fetch_add(i); });
+  index expect = 0;
+  for (index i = 100; i < 200; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ParallelFor, GrainBelowOneIsClamped) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 10, 0, [&](index) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 1000, 10,
+                   [&](index i) {
+                     if (i == 517) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SerialPoolPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for(pool, 0, 10, 1,
+                            [&](index i) {
+                              if (i == 3) throw std::logic_error("x");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 8, 1, [&](index) {
+    parallel_for(pool, 0, 8, 1, [&](index) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, ManySmallLoopsBackToBack) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::atomic<int> c{0};
+    parallel_for(pool, 0, 16, 1, [&](index) { c.fetch_add(1); });
+    ASSERT_EQ(c.load(), 16);
+  }
+}
+
+TEST(ParallelReduce, SumsMatchSerial) {
+  ThreadPool pool(4);
+  const index n = 10001;
+  const auto sum = parallel_reduce<long long>(
+      pool, 0, n, 64, 0LL, [](index i) { return static_cast<long long>(i); },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, WorksOnSerialPool) {
+  ThreadPool pool(1);
+  const auto sum = parallel_reduce<int>(
+      pool, 0, 100, 10, 0, [](index) { return 1; }, [](int a, int b) { return a + b; });
+  EXPECT_EQ(sum, 100);
+}
+
+}  // namespace
+}  // namespace pitk::par

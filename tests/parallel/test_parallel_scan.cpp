@@ -1,0 +1,108 @@
+#include "parallel/parallel_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace pitk::par {
+namespace {
+
+/// 2x2 integer matrix: a small *non-commutative* associative monoid that
+/// catches any ordering bug a plain + scan would miss.
+struct M2 {
+  long long a = 1, b = 0, c = 0, d = 1;  // identity
+  friend bool operator==(const M2&, const M2&) = default;
+};
+
+M2 mul(const M2& x, const M2& y) {
+  return {x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d, x.c * y.a + x.d * y.c,
+          x.c * y.b + x.d * y.d};
+}
+
+std::vector<M2> random_elements(std::size_t n, unsigned seed) {
+  std::vector<M2> v(n);
+  unsigned s = seed;
+  auto next = [&s] { return s = s * 1664525u + 1013904223u; };
+  for (auto& m : v) {
+    // Entries in {0,1,2} keep products from overflowing for n <= ~2000.
+    m = {static_cast<long long>(next() % 2), static_cast<long long>(next() % 2),
+         static_cast<long long>(next() % 2), 1};
+  }
+  return v;
+}
+
+class ScanTest : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t, index>> {};
+
+TEST_P(ScanTest, InclusiveScanMatchesSerialOnNonCommutativeOp) {
+  auto [threads, n, grain] = GetParam();
+  ThreadPool pool(threads);
+  std::vector<M2> data = random_elements(n, 1234);
+  std::vector<M2> expect = data;
+  for (std::size_t i = 1; i < n; ++i) expect[i] = mul(expect[i - 1], expect[i]);
+
+  parallel_inclusive_scan(pool, std::span<M2>(data), grain, mul);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(data[i], expect[i]) << "index " << i;
+}
+
+TEST_P(ScanTest, ReverseScanMatchesSerialOnNonCommutativeOp) {
+  auto [threads, n, grain] = GetParam();
+  ThreadPool pool(threads);
+  std::vector<M2> data = random_elements(n, 777);
+  std::vector<M2> expect = data;
+  for (std::size_t i = n; i-- > 1;) {
+    expect[i - 1] = mul(expect[i - 1], expect[i]);
+  }
+  parallel_reverse_inclusive_scan(pool, std::span<M2>(data), grain, mul);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(data[i], expect[i]) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsBySizeByGrain, ScanTest,
+                         ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                                            ::testing::Values<std::size_t>(0, 1, 2, 17, 256, 1023),
+                                            ::testing::Values<index>(1, 4, 10, 64)));
+
+TEST(Scan, PrefixSumsOfIntegers) {
+  ThreadPool pool(4);
+  std::vector<long long> v(1000);
+  std::iota(v.begin(), v.end(), 1);
+  parallel_inclusive_scan(pool, std::span<long long>(v), 16,
+                          [](long long a, long long b) { return a + b; });
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const long long n = static_cast<long long>(i) + 1;
+    EXPECT_EQ(v[i], n * (n + 1) / 2);
+  }
+}
+
+TEST(Scan, StringConcatenationKeepsOrder) {
+  // The classic non-commutative smoke test.
+  ThreadPool pool(4);
+  std::vector<std::string> v;
+  v.reserve(26);
+  for (char ch = 'a'; ch <= 'z'; ++ch) v.emplace_back(1, ch);
+  parallel_inclusive_scan(pool, std::span<std::string>(v), 3,
+                          [](const std::string& a, const std::string& b) { return a + b; });
+  EXPECT_EQ(v.back(), "abcdefghijklmnopqrstuvwxyz");
+  EXPECT_EQ(v[2], "abc");
+}
+
+TEST(Scan, ReverseStringConcatenation) {
+  ThreadPool pool(4);
+  std::vector<std::string> v;
+  for (char ch = 'a'; ch <= 'f'; ++ch) v.emplace_back(1, ch);
+  parallel_reverse_inclusive_scan(pool, std::span<std::string>(v), 2,
+                                  [](const std::string& a, const std::string& b) { return a + b; });
+  EXPECT_EQ(v.front(), "abcdef");
+  EXPECT_EQ(v[4], "ef");
+}
+
+TEST(Scan, SingleElementUntouched) {
+  ThreadPool pool(2);
+  std::vector<int> v{42};
+  parallel_inclusive_scan(pool, std::span<int>(v), 10, [](int a, int b) { return a + b; });
+  EXPECT_EQ(v[0], 42);
+}
+
+}  // namespace
+}  // namespace pitk::par

@@ -1,0 +1,91 @@
+#include "parallel/task_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace pitk::par {
+namespace {
+
+TEST(TaskGroup, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  TaskGroup g(pool);
+  for (int i = 0; i < 100; ++i) g.run([&] { count.fetch_add(1); });
+  g.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskGroup, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  int count = 0;  // no atomics needed: everything is inline
+  TaskGroup g(pool);
+  for (int i = 0; i < 10; ++i) g.run([&] { ++count; });
+  EXPECT_EQ(count, 10);
+  g.wait();
+}
+
+TEST(TaskGroup, WaitIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  TaskGroup g(pool);
+  g.run([&] { count.fetch_add(1); });
+  g.wait();
+  g.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskGroup, DestructorWaits) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  {
+    TaskGroup g(pool);
+    for (int i = 0; i < 32; ++i) g.run([&] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  ThreadPool pool(4);
+  TaskGroup g(pool);
+  for (int i = 0; i < 8; ++i)
+    g.run([i] {
+      if (i == 5) throw std::runtime_error("task failed");
+    });
+  EXPECT_THROW(g.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, NestedGroupsJoinCorrectly) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.run([&] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j) inner.run([&] { count.fetch_add(1); });
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(TaskGroup, RecursiveFibonacciShape) {
+  // Classic fork-join recursion: stresses helping joins.
+  ThreadPool pool(4);
+  std::function<int(int)> fib = [&](int n) -> int {
+    if (n < 2) return n;
+    int a = 0;
+    int b = 0;
+    TaskGroup g(pool);
+    g.run([&] { a = fib(n - 1); });
+    b = fib(n - 2);
+    g.wait();
+    return a + b;
+  };
+  EXPECT_EQ(fib(12), 144);
+}
+
+}  // namespace
+}  // namespace pitk::par
