@@ -1,0 +1,148 @@
+/// \file engine_throughput.cpp
+/// Batched-engine throughput versus the one-job-at-a-time loop.
+///
+/// Workload: B independent small paper-benchmark problems (Section 5.2
+/// shape, scaled to service-request size).  The sequential baseline solves
+/// them in a plain loop with the same auto-selected backend the engine's
+/// serial path would use; the engine run submits all B as a batch over its
+/// shared pool (PITK_THREADS-way by default) and drains the futures.
+///
+/// Also verifies, end to end through the public solve interface, that every
+/// registered backend agrees with the dense reference — the bench exits
+/// nonzero on disagreement, so CI can run it as a smoke test.
+///
+///   PITK_ENGINE_JOBS   number of problems B     (default 256)
+///   PITK_ENGINE_K      steps per problem        (default 96)
+///   PITK_ENGINE_N      state dimension          (default 4)
+///   PITK_THREADS       engine pool size         (default: hardware)
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/session.hpp"
+#include "kalman/simulate.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace {
+
+using namespace pitk;
+using engine::Backend;
+using la::index;
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Max abs deviation of a result from the reference (means and covariances).
+double max_deviation(const kalman::SmootherResult& got, const kalman::SmootherResult& ref) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < ref.means.size(); ++i)
+    d = std::max(d, la::max_abs_diff(got.means[i].span(), ref.means[i].span()));
+  if (got.has_covariances() && ref.has_covariances())
+    for (std::size_t i = 0; i < ref.covariances.size(); ++i)
+      d = std::max(d, la::max_abs_diff(got.covariances[i].view(), ref.covariances[i].view()));
+  return d;
+}
+
+bool check_backend_agreement() {
+  std::printf("backend agreement vs dense reference (n=4, k=60):\n");
+  la::Rng rng(0xA9EE);
+  kalman::Problem p = kalman::make_paper_benchmark(rng, 4, 60);
+  kalman::GaussianPrior prior = kalman::diffuse_prior(4);
+  par::ThreadPool pool(4);
+  const kalman::SmootherResult ref =
+      engine::solve_with(Backend::DenseReference, p, prior, pool);
+  bool all_ok = true;
+  for (const engine::BackendInfo& info : engine::all_backends()) {
+    const kalman::SmootherResult got = engine::solve_with(info.id, p, prior, pool);
+    const double d = max_deviation(got, ref);
+    const bool ok = d < 1e-6;
+    all_ok = all_ok && ok;
+    std::printf("  [%s] %-16s max |diff| = %.3e\n", ok ? "OK " : "???", info.name, d);
+  }
+  return all_ok;
+}
+
+}  // namespace
+
+int main() {
+  const index jobs = env_long("PITK_ENGINE_JOBS", 256);
+  const index k = env_long("PITK_ENGINE_K", 96);
+  const index n = env_long("PITK_ENGINE_N", 4);
+
+  std::printf("engine throughput: B=%lld jobs, k=%lld steps, n=%lld\n",
+              static_cast<long long>(jobs), static_cast<long long>(k),
+              static_cast<long long>(n));
+
+  // Problem construction is excluded from timing, as in the paper.
+  std::vector<kalman::Problem> problems;
+  problems.reserve(static_cast<std::size_t>(jobs));
+  la::Rng rng(0xE6617E);
+  for (index b = 0; b < jobs; ++b) {
+    la::Rng job_rng = rng.split();
+    problems.push_back(kalman::make_paper_benchmark(job_rng, n, k));
+  }
+
+  // Sequential baseline: one job at a time, serial solver.
+  par::ThreadPool serial(1);
+  double checksum_seq = 0.0;
+  const auto t_seq = std::chrono::steady_clock::now();
+  for (const kalman::Problem& p : problems) {
+    const kalman::SmootherResult r = engine::solve_with(Backend::Auto, p, std::nullopt, serial);
+    checksum_seq += r.means.back()[0];
+  }
+  const double sec_seq = seconds_since(t_seq);
+
+  // Batched engine: all jobs in flight over the shared pool.
+  engine::SmootherEngine eng;
+  double checksum_eng = 0.0;
+  const auto t_eng = std::chrono::steady_clock::now();
+  auto futures = eng.submit_batch(std::move(problems), {});
+  eng.wait_idle();  // the submitting thread works as one of the pool's lanes
+  for (auto& f : futures) checksum_eng += f.get().result.means.back()[0];
+  const double sec_eng = seconds_since(t_eng);
+
+  const engine::EngineStats st = eng.stats();
+  const double tp_seq = static_cast<double>(jobs) / sec_seq;
+  const double tp_eng = static_cast<double>(jobs) / sec_eng;
+  std::printf("\n  sequential loop : %8.3f s  (%8.1f jobs/s)\n", sec_seq, tp_seq);
+  std::printf("  engine, %2u-way  : %8.3f s  (%8.1f jobs/s)  speedup %.2fx\n",
+              eng.concurrency(), sec_eng, tp_eng, sec_seq / sec_eng);
+  std::printf("  mean queue wait : %8.3f ms\n",
+              st.jobs_completed == 0
+                  ? 0.0
+                  : 1e3 * st.total_queue_seconds / static_cast<double>(st.jobs_completed));
+  std::printf("  small/large jobs: %llu / %llu\n",
+              static_cast<unsigned long long>(st.jobs_small),
+              static_cast<unsigned long long>(st.jobs_large));
+  for (const engine::BackendInfo& info : engine::all_backends()) {
+    const auto c = st.per_backend[engine::backend_index(info.id)];
+    if (c != 0)
+      std::printf("  backend %-16s %llu jobs\n", info.name,
+                  static_cast<unsigned long long>(c));
+  }
+  std::printf("  checksum drift  : %.3e\n", std::abs(checksum_seq - checksum_eng));
+
+  // The throughput criterion is about thread scaling, so it is only
+  // enforceable where 4+ threads map to 4+ actual cores.
+  const bool enforce_speedup =
+      eng.concurrency() >= 4 && par::ThreadPool::hardware_cores() >= 4;
+  const bool speedup_ok = !enforce_speedup || tp_eng >= tp_seq;
+  std::printf("  [%s] batched >= sequential at 4+ threads%s\n", speedup_ok ? "OK " : "???",
+              enforce_speedup ? "" : " (not enforced: <4 threads or <4 cores)");
+
+  std::printf("\n");
+  const bool agree = check_backend_agreement();
+  return (agree && speedup_ok) ? 0 : 1;
+}

@@ -32,6 +32,15 @@ IncrementalFilter::IncrementalFilter(la::index n0) : n_(n0), pending_(0, n0) {
   if (n0 <= 0) throw std::invalid_argument("IncrementalFilter: n0 must be positive");
 }
 
+void IncrementalFilter::reset(la::index n0) {
+  if (n0 <= 0) throw std::invalid_argument("IncrementalFilter::reset: n0 must be positive");
+  step_ = 0;
+  n_ = n0;
+  pending_ = Matrix(0, n0);
+  pending_rhs_ = Vector();
+  finished_ = BidiagonalFactor{};
+}
+
 void IncrementalFilter::evolve(Matrix f, Vector c, CovFactor k) {
   const index n_new = f.rows();
   Matrix h;  // empty = identity

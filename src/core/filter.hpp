@@ -24,6 +24,11 @@ class IncrementalFilter {
   /// Begin at state u_0 of dimension n0 (no prior; add one via observe()).
   explicit IncrementalFilter(la::index n0);
 
+  /// Discard all accumulated state and begin again at a fresh u_0 of
+  /// dimension n0.  Long-lived streaming sessions use this to start a new
+  /// track without reallocating the session object.
+  void reset(la::index n0);
+
   /// Advance to the next state: H u_{i+1} = F u_i + c + noise, H = I.
   void evolve(Matrix f, Vector c, CovFactor k);
 

@@ -1,0 +1,134 @@
+#include "engine/backend.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/associative.hpp"
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "kalman/dense_reference.hpp"
+#include "kalman/rts.hpp"
+
+namespace pitk::engine {
+
+using la::index;
+
+const std::vector<BackendInfo>& all_backends() {
+  static const std::vector<BackendInfo> registry = {
+      {Backend::DenseReference, "dense-reference",
+       /*needs_prior=*/false, /*needs_identity_h=*/false,
+       /*intra_parallel=*/false, /*can_skip_covariance=*/true},
+      {Backend::Rts, "rts",
+       /*needs_prior=*/true, /*needs_identity_h=*/true,
+       /*intra_parallel=*/false, /*can_skip_covariance=*/false},
+      {Backend::PaigeSaunders, "paige-saunders",
+       /*needs_prior=*/false, /*needs_identity_h=*/false,
+       /*intra_parallel=*/false, /*can_skip_covariance=*/true},
+      {Backend::Associative, "associative",
+       /*needs_prior=*/true, /*needs_identity_h=*/true,
+       /*intra_parallel=*/true, /*can_skip_covariance=*/false},
+      {Backend::OddEven, "odd-even",
+       /*needs_prior=*/false, /*needs_identity_h=*/false,
+       /*intra_parallel=*/true, /*can_skip_covariance=*/true},
+  };
+  return registry;
+}
+
+const BackendInfo& backend_info(Backend b) {
+  const int i = backend_index(b);
+  if (i < 0 || i >= num_backends)
+    throw std::invalid_argument("backend_info: not a concrete backend");
+  return all_backends()[static_cast<std::size_t>(i)];
+}
+
+std::optional<Backend> backend_by_name(std::string_view name) {
+  for (const BackendInfo& info : all_backends())
+    if (name == info.name) return info.id;
+  return std::nullopt;
+}
+
+bool has_identity_h(const Problem& p) {
+  for (const kalman::TimeStep& s : p.steps())
+    if (s.evolution && !s.evolution->identity_h()) return false;
+  return true;
+}
+
+bool backend_supports(Backend b, const Problem& p, bool has_prior) {
+  const BackendInfo& info = backend_info(b);
+  if (info.needs_prior && !has_prior) return false;
+  if (info.needs_identity_h && !has_identity_h(p)) return false;
+  return true;
+}
+
+double estimated_flops(const Problem& p, bool with_covariance) {
+  // Per step the structured QR smoothers factor a panel of O(obs + evo + n)
+  // rows by O(n) columns (~2 r n^2 flops) and back-substitute; SelInv adds a
+  // handful of n x n triangular solves/multiplies per state.  Constants do
+  // not matter here — only the relative size of jobs does.
+  double flops = 0.0;
+  for (const kalman::TimeStep& s : p.steps()) {
+    const double n = static_cast<double>(s.n);
+    const double rows = static_cast<double>(s.obs_rows() + s.evo_rows()) + n;
+    flops += 2.0 * rows * n * n;
+    if (with_covariance) flops += 8.0 * n * n * n;
+  }
+  return flops;
+}
+
+Backend select_backend(const Problem& p, bool has_prior, bool with_covariance,
+                       unsigned threads) {
+  const index k = p.num_states();
+  // Parallel-in-time pays off once each of the `threads` lanes gets several
+  // grains of block columns at the top reduction level (Figure 3's crossover
+  // is a few thousand steps at paper scale; this is the same shape scaled to
+  // the grain).
+  const index parallel_cutoff =
+      static_cast<index>(threads) * 8 * par::default_grain;
+  if (threads > 1 && k >= parallel_cutoff) return Backend::OddEven;
+  if (has_prior && has_identity_h(p) && with_covariance) return Backend::Rts;
+  return Backend::PaigeSaunders;
+}
+
+SmootherResult solve_with(Backend b, const Problem& p,
+                          const std::optional<GaussianPrior>& prior,
+                          par::ThreadPool& pool, const SolveOptions& opts) {
+  if (b == Backend::Auto)
+    b = select_backend(p, prior.has_value(), opts.compute_covariance, pool.concurrency());
+  if (!backend_supports(b, p, prior.has_value()))
+    throw std::invalid_argument(std::string("solve_with: backend '") + backend_info(b).name +
+                                "' cannot solve this problem (missing prior or explicit H)");
+
+  // QR-family backends absorb the prior as a step-0 observation so that all
+  // backends solve the identical regularized least-squares problem; without
+  // a prior the problem is used in place (no copy on the hot path).
+  std::optional<Problem> folded_storage;
+  if (prior && b != Backend::Rts && b != Backend::Associative)
+    folded_storage = kalman::with_prior_observation(p, *prior);
+  const Problem& folded = folded_storage ? *folded_storage : p;
+
+  switch (b) {
+    case Backend::DenseReference:
+      return kalman::dense_smooth(folded, opts.compute_covariance);
+    case Backend::Rts: {
+      SmootherResult r = kalman::rts_smooth(p, *prior);
+      if (!opts.compute_covariance) r.covariances.clear();
+      return r;
+    }
+    case Backend::PaigeSaunders:
+      return kalman::paige_saunders_smooth(folded,
+                                           {.compute_covariance = opts.compute_covariance});
+    case Backend::Associative: {
+      SmootherResult r = kalman::associative_smooth(p, *prior, pool, {.grain = opts.grain});
+      if (!opts.compute_covariance) r.covariances.clear();
+      return r;
+    }
+    case Backend::OddEven:
+      return kalman::oddeven_smooth(
+          folded, pool, {.compute_covariance = opts.compute_covariance, .grain = opts.grain});
+    case Backend::Auto:
+      break;
+  }
+  throw std::invalid_argument("solve_with: unknown backend");
+}
+
+}  // namespace pitk::engine

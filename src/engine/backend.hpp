@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file backend.hpp
+/// Pluggable smoother backends behind one solve interface.
+///
+/// The engine multiplexes many independent smoothing jobs over one shared
+/// pool; each job may be served by any of the five solvers the repository
+/// implements.  This module registers them behind a single `solve_with`
+/// entry point, normalizes their prior-handling differences (conventional
+/// smoothers take a GaussianPrior argument, QR smoothers fold it in as a
+/// step-0 pseudo-observation — Section 2.1 of the paper), and provides the
+/// auto-selection heuristic over (steps k, state dims, available threads)
+/// used when a job does not pin a backend.
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "kalman/model.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pitk::engine {
+
+using kalman::GaussianPrior;
+using kalman::Problem;
+using kalman::SmootherResult;
+
+/// The registered solver families.  `Auto` defers to select_backend().
+enum class Backend {
+  Auto,
+  DenseReference,  ///< dense QR oracle; O((kn)^2) memory, tiny problems only
+  Rts,             ///< conventional Kalman filter + RTS backward pass
+  PaigeSaunders,   ///< sequential block-bidiagonal QR + SelInv
+  Associative,     ///< Särkkä & García-Fernández parallel scans
+  OddEven,         ///< the paper's parallel odd-even QR + parallel SelInv
+};
+
+/// Number of concrete (non-Auto) backends.
+inline constexpr int num_backends = 5;
+
+/// Dense index 0..num_backends-1 of a concrete backend (registry order).
+[[nodiscard]] constexpr int backend_index(Backend b) noexcept {
+  return static_cast<int>(b) - 1;
+}
+
+/// Static capabilities of one backend.
+struct BackendInfo {
+  Backend id = Backend::Auto;
+  const char* name = "?";
+  bool needs_prior = false;         ///< must be given a GaussianPrior
+  bool needs_identity_h = false;    ///< cannot express explicit/rectangular H
+  bool intra_parallel = false;      ///< exploits the pool inside one job
+  bool can_skip_covariance = false; ///< supports the paper's NC variants
+};
+
+/// The five concrete backends in registry order (Auto excluded).
+[[nodiscard]] const std::vector<BackendInfo>& all_backends();
+
+/// Registry lookup; throws std::invalid_argument for Backend::Auto.
+[[nodiscard]] const BackendInfo& backend_info(Backend b);
+
+/// Lookup by registry name ("dense-reference", "rts", "paige-saunders",
+/// "associative", "odd-even"); nullopt when unknown.
+[[nodiscard]] std::optional<Backend> backend_by_name(std::string_view name);
+
+/// True when every evolution of `p` has the implicit identity H (the class
+/// of problems conventional smoothers can express).
+[[nodiscard]] bool has_identity_h(const Problem& p);
+
+/// True when backend `b` can solve `p` given whether a prior accompanies it.
+[[nodiscard]] bool backend_supports(Backend b, const Problem& p, bool has_prior);
+
+/// Per-solve knobs shared by every backend.
+struct SolveOptions {
+  /// Return cov(\hat u_i) alongside the means.  Backends that cannot skip
+  /// the computation (rts, associative — the paper notes this restriction)
+  /// still pay its cost when false, but drop the covariances from the
+  /// result so every backend returns the same shape.
+  bool compute_covariance = true;
+  la::index grain = par::default_grain;
+};
+
+/// Rough floating-point work of one smoothing pass over `p` (flop-ish
+/// units); the engine's small-vs-large scheduling cut compares against it.
+[[nodiscard]] double estimated_flops(const Problem& p, bool with_covariance);
+
+/// The auto-selection heuristic:
+///  - with `threads`-way concurrency and enough block columns to keep every
+///    lane busy across reduction levels, the paper's odd-even smoother;
+///  - otherwise sequential: RTS when the problem is in the conventional
+///    class (identity H + prior) and covariances are wanted anyway,
+///    Paige-Saunders in every other case (it is the only sequential solver
+///    that can skip covariances or express general H).
+/// The dense reference is never auto-selected; it exists as the oracle.
+[[nodiscard]] Backend select_backend(const Problem& p, bool has_prior,
+                                     bool with_covariance, unsigned threads);
+
+/// Solve `p` with backend `b` on `pool`.  `Auto` resolves via
+/// select_backend; a prior is folded in or passed through as the backend
+/// requires.  Throws std::invalid_argument when the backend cannot handle
+/// the problem (missing prior, non-identity H).
+[[nodiscard]] SmootherResult solve_with(Backend b, const Problem& p,
+                                        const std::optional<GaussianPrior>& prior,
+                                        par::ThreadPool& pool, const SolveOptions& opts = {});
+
+}  // namespace pitk::engine

@@ -1,0 +1,136 @@
+#include "engine/engine.hpp"
+
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "engine/session.hpp"
+
+namespace pitk::engine {
+
+SmootherEngine::SmootherEngine(EngineOptions opts)
+    : opts_(opts),
+      pool_(opts.threads == 0 ? par::ThreadPool::default_concurrency() : opts.threads) {}
+
+SmootherEngine::~SmootherEngine() { wait_idle(); }
+
+std::future<JobResult> SmootherEngine::launch(
+    std::function<SmootherResult(par::ThreadPool&)> body, Backend chosen, bool large,
+    la::index num_states) {
+  struct Pending {
+    std::promise<JobResult> promise;
+    Clock::time_point enqueued;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->enqueued = Clock::now();
+  std::future<JobResult> fut = pending->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.jobs_submitted;
+    if (large)
+      ++stats_.jobs_large;
+    else
+      ++stats_.jobs_small;
+  }
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+
+  pool_.submit([this, pending, body = std::move(body), chosen, large, num_states]() mutable {
+    const Clock::time_point start = Clock::now();
+    JobResult jr;
+    jr.metrics.backend = chosen;
+    jr.metrics.intra_parallel = large;
+    jr.metrics.num_states = num_states;
+    jr.metrics.queue_seconds =
+        std::chrono::duration<double>(start - pending->enqueued).count();
+    std::exception_ptr error;
+    try {
+      // Small jobs solve on the inline serial pool: the whole job is one
+      // pool task and spawns nothing.  Large jobs hand the shared pool to
+      // the solver so nested parallel_for fans out across idle lanes (the
+      // executing worker participates and helps, so no lane is lost).
+      jr.result = body(large ? pool_ : serial_pool_);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    jr.metrics.solve_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.total_queue_seconds += jr.metrics.queue_seconds;
+      stats_.total_solve_seconds += jr.metrics.solve_seconds;
+      if (error) {
+        ++stats_.jobs_failed;
+      } else {
+        ++stats_.jobs_completed;
+        ++stats_.per_backend[backend_index(chosen)];
+      }
+    }
+    // Fulfill the future only after accounting, so a caller that observes
+    // the job's outcome already sees it reflected in stats().
+    if (error)
+      pending->promise.set_exception(error);
+    else
+      pending->promise.set_value(std::move(jr));
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      outstanding_.notify_all();
+  });
+  return fut;
+}
+
+std::future<JobResult> SmootherEngine::submit(Problem p, JobOptions opts) {
+  const la::index num_states = p.num_states();
+  const double flops = estimated_flops(p, opts.compute_covariance);
+  // Jobs below the cut execute whole-job on one lane, so Auto must resolve
+  // for that reality (a serial lane) — otherwise mid-size jobs would get the
+  // parallel odd-even solver's ~2x work with none of its parallelism.
+  const bool small = pool_.is_serial() || flops < opts_.small_job_flops;
+  Backend chosen = opts.backend;
+  if (chosen == Backend::Auto)
+    chosen = select_backend(p, opts.prior.has_value(), opts.compute_covariance,
+                            small ? 1u : pool_.concurrency());
+  const bool large = !small && backend_info(chosen).intra_parallel;
+  const SolveOptions sopts{.compute_covariance = opts.compute_covariance, .grain = opts_.grain};
+  auto problem = std::make_shared<const Problem>(std::move(p));
+  auto prior = std::make_shared<const std::optional<GaussianPrior>>(std::move(opts.prior));
+  return launch(
+      [problem, prior, chosen, sopts](par::ThreadPool& pool) {
+        return solve_with(chosen, *problem, *prior, pool, sopts);
+      },
+      chosen, large, num_states);
+}
+
+std::vector<std::future<JobResult>> SmootherEngine::submit_batch(std::vector<Problem> problems,
+                                                                 const JobOptions& opts) {
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(problems.size());
+  for (Problem& p : problems) futures.push_back(submit(std::move(p), opts));
+  return futures;
+}
+
+Session SmootherEngine::open_session(la::index n0) {
+  return Session(std::make_shared<Session::State>(this, n0));
+}
+
+void SmootherEngine::wait_idle() {
+  // A pool worker must never sleep here: parking a lane would shrink the
+  // pool for whatever job is still running, so workers keep helping/yielding
+  // instead of blocking on the counter.
+  const bool on_worker = pool_.current_thread_in_pool();
+  std::uint64_t n = outstanding_.load(std::memory_order_acquire);
+  while (n != 0) {
+    if (!pool_.run_one()) {
+      if (on_worker)
+        std::this_thread::yield();
+      else
+        outstanding_.wait(n, std::memory_order_acquire);
+    }
+    n = outstanding_.load(std::memory_order_acquire);
+  }
+}
+
+EngineStats SmootherEngine::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace pitk::engine

@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file engine.hpp
+/// SmootherEngine: batched multi-tenant execution of smoothing jobs.
+///
+/// A production deployment does not run one smoother at a time — it serves
+/// many independent tracking/navigation problems concurrently.  The engine
+/// owns one shared work-stealing pool and multiplexes two kinds of tenants
+/// over it:
+///
+///  - batch jobs: whole `kalman::Problem`s submitted for smoothing, each
+///    returning a `std::future<JobResult>`;
+///  - streaming sessions (`engine::Session`): long-lived evolve/observe
+///    tenants wrapping `kalman::IncrementalFilter`, with on-demand smoothing.
+///
+/// Scheduling is two-level.  Small jobs execute as a single pool task from
+/// start to finish (throughput: B jobs ride B tasks with zero intra-job
+/// synchronization, the engine analogue of the paper's observation that
+/// per-column tasks are perfectly parallel).  Large jobs run their solver
+/// with intra-job `parallel_for` on the *same* pool (latency: one big job
+/// fans out across idle lanes).  Both paths place exactly one logical lane
+/// of work per worker, so mixing them never oversubscribes.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "kalman/model.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pitk::engine {
+
+class Session;
+
+struct EngineOptions {
+  /// Pool concurrency; 0 means par::ThreadPool::default_concurrency()
+  /// (which honors the PITK_THREADS environment variable).
+  unsigned threads = 0;
+  /// parallel_for grain for intra-parallel backends (the paper's block size).
+  la::index grain = par::default_grain;
+  /// Jobs whose estimated_flops() falls below this cut run as one whole-job
+  /// pool task; larger jobs additionally parallelize inside themselves.
+  double small_job_flops = 2e6;
+};
+
+/// Per-job execution options.
+struct JobOptions {
+  Backend backend = Backend::Auto;
+  bool compute_covariance = true;
+  /// Prior on u_0; required by the conventional backends (rts/associative),
+  /// folded in as a pseudo-observation by the QR backends.
+  std::optional<GaussianPrior> prior;
+};
+
+/// Measurements taken around one job.
+struct JobMetrics {
+  Backend backend = Backend::Auto;  ///< backend actually used
+  double queue_seconds = 0.0;       ///< submit -> execution start
+  double solve_seconds = 0.0;       ///< execution start -> finish
+  bool intra_parallel = false;      ///< took the large-job path
+  la::index num_states = 0;
+};
+
+struct JobResult {
+  SmootherResult result;
+  JobMetrics metrics;
+};
+
+/// Aggregate counters since engine construction (one snapshot per stats()).
+struct EngineStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;   ///< completed exceptionally
+  std::uint64_t jobs_small = 0;    ///< whole-job path
+  std::uint64_t jobs_large = 0;    ///< intra-parallel path
+  double total_queue_seconds = 0.0;
+  double total_solve_seconds = 0.0;
+  /// Completed jobs per concrete backend, in registry order
+  /// (index with backend_index()).
+  std::uint64_t per_backend[num_backends] = {0, 0, 0, 0, 0};
+};
+
+class SmootherEngine {
+ public:
+  explicit SmootherEngine(EngineOptions opts = {});
+
+  SmootherEngine(const SmootherEngine&) = delete;
+  SmootherEngine& operator=(const SmootherEngine&) = delete;
+
+  /// Drains all outstanding jobs before tearing the pool down.  Sessions
+  /// obtained from open_session() must not outlive the engine.
+  ~SmootherEngine();
+
+  /// Enqueue one smoothing job; the future completes with the result and
+  /// per-job metrics, or with the solver's exception (e.g. when a pinned
+  /// backend cannot express the problem).
+  ///
+  /// Futures become ready without any help from the consumer, but a thread
+  /// that merely blocks in future::get() contributes nothing: call
+  /// wait_idle() before draining a batch so the calling thread works as one
+  /// of the pool's lanes (the pool counts it in concurrency()).  Never
+  /// block on a job future from inside a pool task — request there, get()
+  /// outside.
+  [[nodiscard]] std::future<JobResult> submit(Problem p, JobOptions opts = {});
+
+  /// Enqueue a batch of independent jobs sharing one option set.
+  [[nodiscard]] std::vector<std::future<JobResult>> submit_batch(
+      std::vector<Problem> problems, const JobOptions& opts = {});
+
+  /// Open a streaming evolve/observe session starting at a state of
+  /// dimension n0.
+  [[nodiscard]] Session open_session(la::index n0);
+
+  /// Block until every submitted job has finished, helping the pool while
+  /// waiting (safe to call from anywhere, including pool workers).
+  void wait_idle();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] unsigned concurrency() const noexcept { return pool_.concurrency(); }
+  [[nodiscard]] par::ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  friend class Session;
+
+  using Clock = std::chrono::steady_clock;
+
+  /// Common path for batch jobs and session smooths: run `body` (with the
+  /// shared pool on the large path, an inline serial pool on the small one),
+  /// time it, account it, fulfill the future.
+  [[nodiscard]] std::future<JobResult> launch(
+      std::function<SmootherResult(par::ThreadPool&)> body, Backend chosen, bool large,
+      la::index num_states);
+
+  EngineOptions opts_;
+  std::atomic<std::uint64_t> outstanding_{0};
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+  // The pools are declared last on purpose: destruction joins the workers
+  // first, so a job's final notify/stat update can never touch an already-
+  // destroyed member.
+  par::ThreadPool pool_;
+  par::ThreadPool serial_pool_{1};  ///< inline executor for whole-job tasks
+};
+
+}  // namespace pitk::engine

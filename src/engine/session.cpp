@@ -1,0 +1,66 @@
+#include "engine/session.hpp"
+
+#include <utility>
+
+namespace pitk::engine {
+
+void Session::evolve(Matrix f, Vector c, CovFactor k) {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  state_->filter.evolve(std::move(f), std::move(c), std::move(k));
+}
+
+void Session::evolve_rect(la::index n_new, Matrix h, Matrix f, Vector c, CovFactor k) {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  state_->filter.evolve_rect(n_new, std::move(h), std::move(f), std::move(c), std::move(k));
+}
+
+void Session::observe(Matrix g, Vector o, CovFactor l) {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  state_->filter.observe(std::move(g), std::move(o), std::move(l));
+}
+
+la::index Session::current_step() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->filter.current_step();
+}
+
+la::index Session::current_dim() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->filter.current_dim();
+}
+
+std::optional<Vector> Session::estimate() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->filter.estimate();
+}
+
+std::optional<Matrix> Session::covariance() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->filter.covariance();
+}
+
+kalman::IncrementalFilter Session::snapshot() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->filter;
+}
+
+SmootherResult Session::smooth(bool with_covariances) const {
+  return snapshot().smooth(with_covariances);
+}
+
+std::future<JobResult> Session::smooth_async(bool with_covariances) const {
+  // The snapshot's factor rows are exactly the Paige-Saunders bidiagonal R,
+  // so the job is accounted under that backend.
+  auto snap = std::make_shared<const kalman::IncrementalFilter>(snapshot());
+  const la::index num_states = snap->current_step() + 1;
+  return state_->engine->launch(
+      [snap, with_covariances](par::ThreadPool&) { return snap->smooth(with_covariances); },
+      Backend::PaigeSaunders, /*large=*/false, num_states);
+}
+
+void Session::reset(la::index n0) {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  state_->filter.reset(n0);
+}
+
+}  // namespace pitk::engine

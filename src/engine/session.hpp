@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file session.hpp
+/// Long-lived streaming tenant of the SmootherEngine.
+///
+/// A Session is the engine's UltimateKalman-style interface (paper Section
+/// 5.1): measurements stream in through evolve()/observe(), the filtered
+/// estimate of the current state is available at any time, and a full
+/// smoothing pass over everything seen so far can be requested on demand —
+/// synchronously, or as a job on the engine's shared pool via
+/// smooth_async().  All methods are safe to call from any thread; the
+/// underlying IncrementalFilter is guarded by a per-session mutex, and
+/// smoothing operates on a snapshot so long smooths never block the stream.
+///
+/// Sessions are created by SmootherEngine::open_session() and must not
+/// outlive their engine.
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/filter.hpp"
+#include "engine/engine.hpp"
+
+namespace pitk::engine {
+
+using kalman::CovFactor;
+using la::Matrix;
+using la::Vector;
+
+class Session {
+ public:
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+
+  /// Advance to the next state: u_{i+1} = F u_i + c + noise (H = I).
+  void evolve(Matrix f, Vector c, CovFactor k);
+
+  /// Advance with explicit (possibly rectangular) H and a new dimension.
+  void evolve_rect(la::index n_new, Matrix h, Matrix f, Vector c, CovFactor k);
+
+  /// Absorb an observation of the current state: o = G u_i + noise.
+  void observe(Matrix g, Vector o, CovFactor l);
+
+  /// Index of the current state (0-based).
+  [[nodiscard]] la::index current_step() const;
+
+  /// Dimension of the current state.
+  [[nodiscard]] la::index current_dim() const;
+
+  /// Filtered estimate E(u_i | o_0..o_i); nullopt while rank deficient.
+  [[nodiscard]] std::optional<Vector> estimate() const;
+
+  /// Covariance of the filtered estimate; nullopt under the same condition.
+  [[nodiscard]] std::optional<Matrix> covariance() const;
+
+  /// Smooth every state seen so far, inline on the calling thread.  The
+  /// session remains usable (and streamable) afterwards.
+  [[nodiscard]] SmootherResult smooth(bool with_covariances = true) const;
+
+  /// Smooth a snapshot of the session as an engine job; the future carries
+  /// the result plus queue/solve metrics like any batch job.
+  [[nodiscard]] std::future<JobResult> smooth_async(bool with_covariances = true) const;
+
+  /// Drop all accumulated state and restart at a fresh u_0 of dimension n0.
+  void reset(la::index n0);
+
+ private:
+  friend class SmootherEngine;
+
+  struct State {
+    State(SmootherEngine* e, la::index n0) : engine(e), filter(n0) {}
+    SmootherEngine* engine;
+    mutable std::mutex mu;
+    kalman::IncrementalFilter filter;
+  };
+
+  explicit Session(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  /// Copy of the filter taken under the session lock.
+  [[nodiscard]] kalman::IncrementalFilter snapshot() const;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace pitk::engine

@@ -1,6 +1,8 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
 namespace pitk::par {
 
@@ -35,6 +37,25 @@ ThreadPool::~ThreadPool() {
 unsigned ThreadPool::hardware_cores() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
+}
+
+unsigned ThreadPool::default_concurrency() noexcept {
+  if (const char* env = std::getenv("PITK_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(env, &end, 10);
+    // Strict positive integers only; garbage, trailing junk, overflow, and
+    // non-positive values fall back, and absurd counts clamp so that a typo
+    // cannot ask the constructor for a billion threads.
+    constexpr long long max_threads = 1024;
+    if (end != env && *end == '\0' && errno == 0 && v > 0)
+      return static_cast<unsigned>(std::min(v, max_threads));
+  }
+  return hardware_cores();
+}
+
+bool ThreadPool::current_thread_in_pool() const noexcept {
+  return tls_worker_pool == this && tls_worker_id >= 0;
 }
 
 void ThreadPool::submit(std::function<void()> task) {

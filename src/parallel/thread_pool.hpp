@@ -31,7 +31,7 @@ class ThreadPool {
  public:
   /// Create a pool with total concurrency `threads` (caller + threads-1
   /// workers).  threads == 0 is promoted to 1.
-  explicit ThreadPool(unsigned threads = hardware_cores());
+  explicit ThreadPool(unsigned threads = default_concurrency());
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -54,8 +54,19 @@ class ThreadPool {
   /// was found.
   bool run_one();
 
+  /// True when the calling thread is one of this pool's workers.  Callers
+  /// that hold a slot on the pool (the engine's job bodies, nested loops)
+  /// use this to decide that waiting must help via run_one() rather than
+  /// block, so the pool never loses a lane to a sleeping worker.
+  [[nodiscard]] bool current_thread_in_pool() const noexcept;
+
   /// Number of physical/logical cores reported by the OS (never 0).
   static unsigned hardware_cores() noexcept;
+
+  /// Default concurrency for pools that do not pin a thread count: the
+  /// PITK_THREADS environment variable when set to a positive integer
+  /// (deterministic pool sizes for benches and CI), else hardware_cores().
+  static unsigned default_concurrency() noexcept;
 
  private:
   struct Worker {

@@ -1,0 +1,136 @@
+#include "engine/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kalman/dense_reference.hpp"
+#include "la/random.hpp"
+#include "parallel/thread_pool.hpp"
+#include "test_util.hpp"
+
+namespace pitk::engine {
+namespace {
+
+using la::index;
+using la::Rng;
+
+// Every backend solves the same regularized least-squares problem, so all
+// of them must reproduce the dense reference oracle.
+TEST(Backend, AllBackendsMatchDenseReferenceOnCommonProblem) {
+  Rng rng(7001);
+  par::ThreadPool pool(4);
+  for (int rep = 0; rep < 3; ++rep) {
+    const test::CommonProblem cp = test::common_problem(rng, /*n=*/3, /*k=*/40, rep == 2);
+    const SmootherResult ref = kalman::dense_smooth(cp.for_qr, /*with_cov=*/true);
+    for (const BackendInfo& info : all_backends()) {
+      SCOPED_TRACE(info.name);
+      const SmootherResult got = solve_with(info.id, cp.for_conventional, cp.prior, pool);
+      test::expect_means_near(got.means, ref.means, 1e-7, info.name);
+      test::expect_covs_near(got.covariances, ref.covariances, 1e-6, info.name);
+    }
+  }
+}
+
+// The QR family also covers the structural features the conventional class
+// cannot express: rectangular H, varying dimensions, missing observations.
+TEST(Backend, QrBackendsMatchDenseReferenceOnGeneralProblems) {
+  Rng rng(7002);
+  par::ThreadPool pool(4);
+  test::RandomProblemSpec spec;
+  spec.k = 30;
+  spec.varying_dims = true;
+  spec.rectangular_h = true;
+  spec.obs_probability = 0.6;
+  spec.dense_covariances = true;
+  const kalman::Problem p = test::random_problem(rng, spec);
+  const SmootherResult ref = kalman::dense_smooth(p, /*with_cov=*/true);
+  for (Backend b : {Backend::PaigeSaunders, Backend::OddEven}) {
+    SCOPED_TRACE(backend_info(b).name);
+    const SmootherResult got = solve_with(b, p, std::nullopt, pool);
+    test::expect_means_near(got.means, ref.means, 1e-7);
+    test::expect_covs_near(got.covariances, ref.covariances, 1e-6);
+  }
+}
+
+TEST(Backend, CovarianceOptOutYieldsTheSameShapeOnEveryBackend) {
+  Rng rng(7003);
+  par::ThreadPool pool(2);
+  const test::CommonProblem cp = test::common_problem(rng, 3, 20);
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, false);
+  // Backends that cannot skip the computation (rts, associative) still must
+  // honor the requested result shape by dropping the covariances.
+  for (const BackendInfo& info : all_backends()) {
+    SCOPED_TRACE(info.name);
+    const SmootherResult got = solve_with(info.id, cp.for_conventional, cp.prior, pool,
+                                          {.compute_covariance = false});
+    EXPECT_FALSE(got.has_covariances());
+    test::expect_means_near(got.means, ref.means, 1e-7);
+  }
+}
+
+TEST(Backend, ConventionalBackendsRejectMissingPriorOrExplicitH) {
+  Rng rng(7004);
+  par::ThreadPool pool(2);
+  const test::CommonProblem cp = test::common_problem(rng, 3, 10);
+  for (Backend b : {Backend::Rts, Backend::Associative}) {
+    EXPECT_FALSE(backend_supports(b, cp.for_conventional, /*has_prior=*/false));
+    EXPECT_THROW((void)solve_with(b, cp.for_conventional, std::nullopt, pool),
+                 std::invalid_argument);
+  }
+  test::RandomProblemSpec spec;
+  spec.k = 6;
+  spec.rectangular_h = true;
+  const kalman::Problem rect = test::random_problem(rng, spec);
+  EXPECT_FALSE(has_identity_h(rect));
+  EXPECT_FALSE(backend_supports(Backend::Rts, rect, /*has_prior=*/true));
+  EXPECT_TRUE(backend_supports(Backend::OddEven, rect, /*has_prior=*/false));
+}
+
+TEST(Backend, RegistryNamesRoundTrip) {
+  EXPECT_EQ(all_backends().size(), static_cast<std::size_t>(num_backends));
+  for (const BackendInfo& info : all_backends()) {
+    const auto found = backend_by_name(info.name);
+    ASSERT_TRUE(found.has_value()) << info.name;
+    EXPECT_EQ(*found, info.id);
+    EXPECT_EQ(backend_info(info.id).name, info.name);
+  }
+  EXPECT_FALSE(backend_by_name("no-such-solver").has_value());
+  EXPECT_THROW((void)backend_info(Backend::Auto), std::invalid_argument);
+}
+
+TEST(Backend, SelectionPrefersParallelSolverOnlyForLargeJobs) {
+  Rng rng(7005);
+  const test::CommonProblem small = test::common_problem(rng, 3, 20);
+  const test::CommonProblem big = test::common_problem(rng, 3, 2000);
+
+  // Small job, any thread count: a sequential solver.
+  for (unsigned threads : {1u, 4u}) {
+    const Backend b = select_backend(small.for_conventional, true, true, threads);
+    EXPECT_FALSE(backend_info(b).intra_parallel);
+  }
+  // Large job on a parallel pool: the paper's odd-even smoother.
+  EXPECT_EQ(select_backend(big.for_conventional, true, true, 4), Backend::OddEven);
+  // Same job without concurrency: stays sequential.
+  EXPECT_FALSE(backend_info(select_backend(big.for_conventional, true, true, 1)).intra_parallel);
+
+  // The choice is always one the problem supports.
+  for (unsigned threads : {1u, 2u, 8u}) {
+    for (bool has_prior : {false, true}) {
+      const Backend b = select_backend(big.for_conventional, has_prior, true, threads);
+      EXPECT_TRUE(backend_supports(b, big.for_conventional, has_prior));
+    }
+  }
+}
+
+TEST(Backend, EstimatedFlopsScalesWithProblemSize) {
+  Rng rng(7006);
+  const test::CommonProblem small = test::common_problem(rng, 3, 10);
+  const test::CommonProblem big = test::common_problem(rng, 3, 1000);
+  const double fs = estimated_flops(small.for_qr, true);
+  const double fb = estimated_flops(big.for_qr, true);
+  EXPECT_GT(fs, 0.0);
+  EXPECT_GT(fb, 50.0 * fs);
+  EXPECT_GT(estimated_flops(small.for_qr, true), estimated_flops(small.for_qr, false));
+}
+
+}  // namespace
+}  // namespace pitk::engine

@@ -1,0 +1,194 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "kalman/dense_reference.hpp"
+#include "la/random.hpp"
+#include "test_util.hpp"
+
+namespace pitk::engine {
+namespace {
+
+using la::index;
+using la::Rng;
+
+TEST(SmootherEngine, BatchMatchesDenseReference) {
+  Rng rng(8001);
+  SmootherEngine eng({.threads = 4});
+
+  std::vector<test::CommonProblem> cps;
+  std::vector<Problem> jobs;
+  for (int i = 0; i < 16; ++i) {
+    cps.push_back(test::common_problem(rng, 3, 25 + i));
+    jobs.push_back(cps.back().for_conventional);
+  }
+  std::vector<std::future<JobResult>> futs;
+  futs.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobOptions jo;
+    jo.prior = cps[i].prior;
+    futs.push_back(eng.submit(std::move(jobs[i]), jo));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const JobResult jr = futs[i].get();
+    const SmootherResult ref = kalman::dense_smooth(cps[i].for_qr, true);
+    test::expect_means_near(jr.result.means, ref.means, 1e-7, "job " + std::to_string(i));
+    test::expect_covs_near(jr.result.covariances, ref.covariances, 1e-6,
+                           "job " + std::to_string(i));
+    EXPECT_NE(jr.metrics.backend, Backend::Auto);
+    EXPECT_EQ(jr.metrics.num_states, cps[i].for_conventional.num_states());
+    EXPECT_GE(jr.metrics.queue_seconds, 0.0);
+    EXPECT_GE(jr.metrics.solve_seconds, 0.0);
+  }
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_submitted, 16u);
+  EXPECT_EQ(st.jobs_completed, 16u);
+  EXPECT_EQ(st.jobs_failed, 0u);
+}
+
+TEST(SmootherEngine, SubmitBatchSharesOneOptionSet) {
+  Rng rng(8002);
+  SmootherEngine eng({.threads = 2});
+  std::vector<test::CommonProblem> cps;
+  std::vector<Problem> jobs;
+  for (int i = 0; i < 6; ++i) {
+    cps.push_back(test::common_problem(rng, 2, 20));
+    jobs.push_back(cps.back().for_qr);  // prior already folded in
+  }
+  JobOptions jo;
+  jo.compute_covariance = false;
+  auto futs = eng.submit_batch(std::move(jobs), jo);
+  ASSERT_EQ(futs.size(), 6u);
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const JobResult jr = futs[i].get();
+    EXPECT_FALSE(jr.result.has_covariances());
+    const SmootherResult ref = kalman::dense_smooth(cps[i].for_qr, false);
+    test::expect_means_near(jr.result.means, ref.means, 1e-7);
+  }
+}
+
+TEST(SmootherEngine, ExplicitBackendIsHonored) {
+  Rng rng(8003);
+  SmootherEngine eng({.threads = 4});
+  const test::CommonProblem cp = test::common_problem(rng, 3, 30);
+  JobOptions jo;
+  jo.backend = Backend::OddEven;
+  jo.prior = cp.prior;
+  const JobResult jr = eng.submit(cp.for_conventional, jo).get();
+  EXPECT_EQ(jr.metrics.backend, Backend::OddEven);
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, true);
+  test::expect_means_near(jr.result.means, ref.means, 1e-7);
+}
+
+TEST(SmootherEngine, UnsupportedBackendFailsThroughTheFuture) {
+  Rng rng(8004);
+  SmootherEngine eng({.threads = 2});
+  const test::CommonProblem cp = test::common_problem(rng, 3, 10);
+  JobOptions jo;
+  jo.backend = Backend::Rts;  // no prior provided: unsupported
+  auto fut = eng.submit(cp.for_conventional, jo);
+  EXPECT_THROW((void)fut.get(), std::invalid_argument);
+  // The future is fulfilled only after accounting, so the failure is
+  // already visible in stats() without any extra synchronization.
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_failed, 1u);
+  EXPECT_EQ(st.jobs_completed, 0u);
+}
+
+TEST(SmootherEngine, LargeJobsTakeTheIntraParallelPath) {
+  Rng rng(8005);
+  // Force the cut to zero so even a modest job is "large".
+  SmootherEngine eng({.threads = 4, .small_job_flops = 0.0});
+  const test::CommonProblem cp = test::common_problem(rng, 3, 300);
+  JobOptions jo;
+  jo.backend = Backend::OddEven;
+  const JobResult jr = eng.submit(cp.for_qr, jo).get();
+  EXPECT_TRUE(jr.metrics.intra_parallel);
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, true);
+  test::expect_means_near(jr.result.means, ref.means, 1e-7);
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_large, 1u);
+  EXPECT_EQ(st.jobs_small, 0u);
+}
+
+TEST(SmootherEngine, SmallJobsStaySingleTask) {
+  Rng rng(8006);
+  // Infinite cut: everything runs whole-job, even a pinned parallel backend.
+  SmootherEngine eng({.threads = 4, .small_job_flops = 1e30});
+  const test::CommonProblem cp = test::common_problem(rng, 3, 200);
+  JobOptions jo;
+  jo.backend = Backend::OddEven;
+  const JobResult jr = eng.submit(cp.for_qr, jo).get();
+  EXPECT_FALSE(jr.metrics.intra_parallel);
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_small, 1u);
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, true);
+  test::expect_means_near(jr.result.means, ref.means, 1e-7);
+}
+
+TEST(SmootherEngine, SerialEngineStillServesJobs) {
+  Rng rng(8007);
+  SmootherEngine eng({.threads = 1});
+  EXPECT_EQ(eng.concurrency(), 1u);
+  const test::CommonProblem cp = test::common_problem(rng, 3, 20);
+  JobOptions jo;
+  jo.prior = cp.prior;
+  const JobResult jr = eng.submit(cp.for_conventional, jo).get();
+  EXPECT_FALSE(jr.metrics.intra_parallel);
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, true);
+  test::expect_means_near(jr.result.means, ref.means, 1e-7);
+}
+
+TEST(SmootherEngine, AutoSelectionRecordsTheResolvedBackend) {
+  Rng rng(8008);
+  // Zero cut so the job is classified large; auto must then resolve to the
+  // parallel odd-even solver on a 4-way pool (the selection cutoff is well
+  // below 4k states) and record it in both metrics and aggregate stats.
+  SmootherEngine eng({.threads = 4, .small_job_flops = 0.0});
+  const test::CommonProblem cp = test::common_problem(rng, 2, 4000);
+  JobOptions jo;
+  jo.prior = cp.prior;
+  const JobResult jr = eng.submit(cp.for_conventional, jo).get();
+  EXPECT_EQ(jr.metrics.backend, Backend::OddEven);
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.per_backend[backend_index(Backend::OddEven)], 1u);
+}
+
+TEST(SmootherEngine, AutoResolvesForTheLaneThatServesTheJob) {
+  Rng rng(8010);
+  SmootherEngine eng({.threads = 4});
+  // Above the thread-count selection cutoff (320 states at 4 threads) but
+  // far below the default flop cut: the job runs whole-job on one lane, so
+  // auto must pick a sequential solver, not odd-even-run-serially.
+  const test::CommonProblem cp = test::common_problem(rng, 2, 400);
+  JobOptions jo;
+  jo.prior = cp.prior;
+  const JobResult jr = eng.submit(cp.for_conventional, jo).get();
+  EXPECT_FALSE(jr.metrics.intra_parallel);
+  EXPECT_FALSE(backend_info(jr.metrics.backend).intra_parallel);
+}
+
+TEST(SmootherEngine, WaitIdleDrainsEverything) {
+  Rng rng(8009);
+  SmootherEngine eng({.threads = 4});
+  std::vector<Problem> jobs;
+  std::vector<test::CommonProblem> cps;
+  for (int i = 0; i < 24; ++i) {
+    cps.push_back(test::common_problem(rng, 2, 15));
+    jobs.push_back(cps.back().for_qr);
+  }
+  auto futs = eng.submit_batch(std::move(jobs), {});
+  eng.wait_idle();
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_submitted, 24u);
+  EXPECT_EQ(st.jobs_completed + st.jobs_failed, 24u);
+  EXPECT_EQ(st.jobs_small + st.jobs_large, 24u);
+  for (auto& f : futs)
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+}
+
+}  // namespace
+}  // namespace pitk::engine

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 namespace pitk::par {
@@ -88,6 +90,28 @@ TEST(ThreadPool, DestructorJoinsCleanly) {
 }
 
 TEST(ThreadPool, HardwareCoresIsPositive) { EXPECT_GE(ThreadPool::hardware_cores(), 1u); }
+
+TEST(ThreadPool, DefaultConcurrencyHonorsAndValidatesEnv) {
+  const char* saved = std::getenv("PITK_THREADS");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  setenv("PITK_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_concurrency(), 3u);
+  // Garbage, trailing junk, non-positive, and overflowing values fall back.
+  for (const char* bad : {"banana", "4x", "0", "-2", "", "999999999999999999999"}) {
+    setenv("PITK_THREADS", bad, 1);
+    EXPECT_EQ(ThreadPool::default_concurrency(), ThreadPool::hardware_cores()) << bad;
+  }
+  // Absurd-but-parsable counts clamp instead of truncating through a cast.
+  setenv("PITK_THREADS", "4294967297", 1);  // 2^32 + 1
+  EXPECT_EQ(ThreadPool::default_concurrency(), 1024u);
+
+  if (saved != nullptr)
+    setenv("PITK_THREADS", restore.c_str(), 1);
+  else
+    unsetenv("PITK_THREADS");
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
 
 TEST(ThreadPool, ManyPoolsSequentially) {
   // Pools must be cheap enough to create per benchmark configuration.
