@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file bench_json.hpp
+/// Dependency-free JSON benchmark harness shared by the bench binaries.
+///
+/// Every benchmark records named series of repeated wall-time samples; the
+/// harness derives robust statistics (median / p10 / p90, min, max, mean),
+/// attaches machine/build metadata, and writes one JSON document so CI and
+/// the repo's BENCH_*.json trajectory stay machine-readable.  Knobs:
+///
+///   PITK_BENCH_REPS  repetitions per configuration (default 5; CI uses 1)
+///   PITK_BENCH_OUT   output path override (default: the name the binary picks)
+///
+/// The google-benchmark-based figure binaries keep their own reporter; this
+/// harness is for the always-built std::chrono benches (kernel microbench,
+/// engine throughput) that the CI smoke job runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace pitk::bench {
+
+inline long json_env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+inline int json_repetitions() { return static_cast<int>(json_env_long("PITK_BENCH_REPS", 5)); }
+
+/// Wall time of one call, in seconds.
+template <class Fn>
+double time_once(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Linear-interpolated percentile (q in [0, 1]) of an unsorted sample set.
+inline double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// One benchmark series: repeated wall-time samples plus free-form numeric
+/// metrics (flops, dimensions, derived rates).
+struct JsonSeries {
+  std::string name;
+  std::vector<double> seconds;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class JsonBench {
+ public:
+  explicit JsonBench(std::string default_path) : path_(std::move(default_path)) {
+    if (const char* o = std::getenv("PITK_BENCH_OUT")) path_ = o;
+  }
+
+  JsonSeries& series(const std::string& name) {
+    for (JsonSeries& s : series_)
+      if (s.name == name) return s;
+    series_.push_back({name, {}, {}});
+    return series_.back();
+  }
+
+  void record(const std::string& name, std::vector<double> seconds,
+              std::vector<std::pair<std::string, double>> metrics = {}) {
+    JsonSeries& s = series(name);
+    s.seconds = std::move(seconds);
+    s.metrics = std::move(metrics);
+  }
+
+  [[nodiscard]] double median_seconds(const std::string& name) {
+    return percentile(series(name).seconds, 0.5);
+  }
+
+  /// Write the document; returns false (and prints) on I/O failure.
+  [[nodiscard]] bool write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"pitk-bench-v1\",\n");
+    std::fprintf(f, "  \"machine\": {\n");
+    std::fprintf(f, "    \"hardware_cores\": %u,\n", par::ThreadPool::hardware_cores());
+    std::fprintf(f, "    \"default_concurrency\": %u,\n", par::ThreadPool::default_concurrency());
+    std::fprintf(f, "    \"pitk_threads_env\": \"%s\",\n", env_or("PITK_THREADS", ""));
+#ifdef NDEBUG
+    std::fprintf(f, "    \"build\": \"Release\",\n");
+#else
+    std::fprintf(f, "    \"build\": \"Debug\",\n");
+#endif
+#if defined(__VERSION__)
+    std::fprintf(f, "    \"compiler\": \"%s\",\n", __VERSION__);
+#else
+    std::fprintf(f, "    \"compiler\": \"unknown\",\n");
+#endif
+    std::fprintf(f, "    \"pointer_bits\": %d\n", static_cast<int>(sizeof(void*) * 8));
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"repetitions\": %d,\n", json_repetitions());
+    std::fprintf(f, "  \"series\": [\n");
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const JsonSeries& s = series_[i];
+      std::fprintf(f, "    {\"name\": \"%s\",", escape(s.name).c_str());
+      std::fprintf(f, " \"median_s\": %.9e, \"p10_s\": %.9e, \"p90_s\": %.9e,",
+                   percentile(s.seconds, 0.5), percentile(s.seconds, 0.1),
+                   percentile(s.seconds, 0.9));
+      std::fprintf(f, " \"min_s\": %.9e, \"max_s\": %.9e, \"mean_s\": %.9e,",
+                   percentile(s.seconds, 0.0), percentile(s.seconds, 1.0), mean(s.seconds));
+      for (const auto& [k, v] : s.metrics)
+        std::fprintf(f, " \"%s\": %.9e,", escape(k).c_str(), v);
+      std::fprintf(f, " \"samples_s\": [");
+      for (std::size_t r = 0; r < s.seconds.size(); ++r)
+        std::fprintf(f, "%s%.9e", r == 0 ? "" : ", ", s.seconds[r]);
+      std::fprintf(f, "]}%s\n", i + 1 == series_.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench_json: wrote %s (%zu series)\n", path_.c_str(), series_.size());
+    return true;
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  static const char* env_or(const char* name, const char* fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? v : fallback;
+  }
+
+  static double mean(const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  }
+
+  /// Minimal escaping: the names we emit are identifiers, but stay safe.
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<JsonSeries> series_;
+};
+
+}  // namespace pitk::bench

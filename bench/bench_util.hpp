@@ -27,6 +27,11 @@
 #include <string>
 #include <vector>
 
+// JSON emission (repetitions, median/p10/p90, machine info) shared with the
+// always-built std::chrono benches; figure binaries can tee their captured
+// series into a BENCH_*.json through bench::JsonBench.
+#include "bench_json.hpp"
+
 #include "core/associative.hpp"
 #include "la/blas.hpp"
 #include "core/oddeven.hpp"

@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "engine/engine.hpp"
 #include "engine/session.hpp"
 #include "kalman/simulate.hpp"
@@ -94,31 +95,77 @@ int main() {
     problems.push_back(kalman::make_paper_benchmark(job_rng, n, k));
   }
 
-  // Sequential baseline: one job at a time, serial solver.
-  par::ThreadPool serial(1);
+  // Repeated measurements through the shared JSON harness; the paper-style
+  // single-pass numbers below use the medians.
+  const int reps = bench::json_repetitions();
+  bench::JsonBench out("BENCH_engine.json");
+  std::vector<double> seq_samples;
+  std::vector<double> eng_samples;
   double checksum_seq = 0.0;
-  const auto t_seq = std::chrono::steady_clock::now();
-  for (const kalman::Problem& p : problems) {
-    const kalman::SmootherResult r = engine::solve_with(Backend::Auto, p, std::nullopt, serial);
-    checksum_seq += r.means.back()[0];
+  double checksum_eng = 0.0;
+  std::size_t workspace_peak = 0;
+  engine::EngineStats st;
+  unsigned concurrency = 0;
+
+  // Sequential baseline: one job at a time, serial solver.
+  {
+    par::ThreadPool serial(1);
+    for (int r = 0; r < reps; ++r) {
+      checksum_seq = 0.0;
+      const auto t_seq = std::chrono::steady_clock::now();
+      for (const kalman::Problem& p : problems) {
+        const kalman::SmootherResult res =
+            engine::solve_with(Backend::Auto, p, std::nullopt, serial);
+        checksum_seq += res.means.back()[0];
+      }
+      seq_samples.push_back(seconds_since(t_seq));
+    }
   }
-  const double sec_seq = seconds_since(t_seq);
 
   // Batched engine: all jobs in flight over the shared pool.
-  engine::SmootherEngine eng;
-  double checksum_eng = 0.0;
-  const auto t_eng = std::chrono::steady_clock::now();
-  auto futures = eng.submit_batch(std::move(problems), {});
-  eng.wait_idle();  // the submitting thread works as one of the pool's lanes
-  for (auto& f : futures) checksum_eng += f.get().result.means.back()[0];
-  const double sec_eng = seconds_since(t_eng);
+  {
+    engine::SmootherEngine eng;
+    concurrency = eng.concurrency();
+    for (int r = 0; r < reps; ++r) {
+      std::vector<kalman::Problem> batch = problems;  // construction excluded
+      checksum_eng = 0.0;
+      const auto t_eng = std::chrono::steady_clock::now();
+      auto futures = eng.submit_batch(std::move(batch), {});
+      eng.wait_idle();  // the submitting thread works as one of the pool's lanes
+      for (auto& f : futures) {
+        engine::JobResult jr = f.get();
+        checksum_eng += jr.result.means.back()[0];
+        workspace_peak = std::max(workspace_peak, jr.metrics.workspace_high_water_bytes);
+      }
+      eng_samples.push_back(seconds_since(t_eng));
+    }
+    st = eng.stats();
+  }
 
-  const engine::EngineStats st = eng.stats();
+  const double sec_seq = bench::percentile(seq_samples, 0.5);
+  const double sec_eng = bench::percentile(eng_samples, 0.5);
   const double tp_seq = static_cast<double>(jobs) / sec_seq;
   const double tp_eng = static_cast<double>(jobs) / sec_eng;
-  std::printf("\n  sequential loop : %8.3f s  (%8.1f jobs/s)\n", sec_seq, tp_seq);
+  out.record("sequential_loop", seq_samples,
+             {{"jobs", static_cast<double>(jobs)},
+              {"k", static_cast<double>(k)},
+              {"n", static_cast<double>(n)},
+              {"jobs_per_second", tp_seq}});
+  out.record("engine_batched", eng_samples,
+             {{"jobs", static_cast<double>(jobs)},
+              {"k", static_cast<double>(k)},
+              {"n", static_cast<double>(n)},
+              {"threads", static_cast<double>(concurrency)},
+              {"jobs_per_second", tp_eng},
+              {"workspace_peak_bytes", static_cast<double>(workspace_peak)},
+              {"calibrated_small_job_flops", engine::calibrated_small_job_flops()},
+              {"calibrated_gemm_gflops", engine::calibrated_gemm_flops_per_second() * 1e-9}});
+  std::printf("\n  sequential loop : %8.3f s  (%8.1f jobs/s, median of %d)\n", sec_seq, tp_seq,
+              reps);
   std::printf("  engine, %2u-way  : %8.3f s  (%8.1f jobs/s)  speedup %.2fx\n",
-              eng.concurrency(), sec_eng, tp_eng, sec_seq / sec_eng);
+              concurrency, sec_eng, tp_eng, sec_seq / sec_eng);
+  std::printf("  workspace peak  : %8.1f KiB per worker arena\n",
+              static_cast<double>(workspace_peak) / 1024.0);
   std::printf("  mean queue wait : %8.3f ms\n",
               st.jobs_completed == 0
                   ? 0.0
@@ -136,13 +183,13 @@ int main() {
 
   // The throughput criterion is about thread scaling, so it is only
   // enforceable where 4+ threads map to 4+ actual cores.
-  const bool enforce_speedup =
-      eng.concurrency() >= 4 && par::ThreadPool::hardware_cores() >= 4;
+  const bool enforce_speedup = concurrency >= 4 && par::ThreadPool::hardware_cores() >= 4;
   const bool speedup_ok = !enforce_speedup || tp_eng >= tp_seq;
   std::printf("  [%s] batched >= sequential at 4+ threads%s\n", speedup_ok ? "OK " : "???",
               enforce_speedup ? "" : " (not enforced: <4 threads or <4 cores)");
 
   std::printf("\n");
   const bool agree = check_backend_agreement();
-  return (agree && speedup_ok) ? 0 : 1;
+  const bool wrote = out.write();
+  return (agree && speedup_ok && wrote) ? 0 : 1;
 }

@@ -1,11 +1,13 @@
 #include "core/associative.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "kalman/rts.hpp"
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "la/lu.hpp"
+#include "la/workspace.hpp"
 #include "parallel/parallel_scan.hpp"
 
 namespace pitk::kalman {
@@ -14,16 +16,8 @@ namespace {
 
 using la::ConstMatrixView;
 using la::index;
+using la::MatrixView;
 using la::Trans;
-
-/// Solve the (generally non-symmetric) square system S X = B; B is
-/// overwritten with X.  Used for (I + C_i J_j)^{-1}.  Partial-pivoting LU is
-/// the right tool: S is well conditioned whenever the combined elements
-/// represent proper Gaussians, and LU costs a third of a QR solve.
-void solve_square(Matrix s, la::MatrixView b) {
-  if (!la::solve_inplace(std::move(s), b))
-    throw std::runtime_error("associative_smooth: singular combination system (I + C J)");
-}
 
 /// Filtering scan element: p(x_i | x_{i-1}, y_i) = N(x_i; A x_{i-1} + b, C)
 /// together with the likelihood information pair (eta, J) in x_{i-1}.
@@ -35,133 +29,6 @@ struct FilterElement {
   Matrix J;    ///< n_{i-1} x n_{i-1}
 };
 
-/// Associative filtering combination (Lemma 8 of the TAC paper): the result
-/// represents the composition of element `l` (earlier) with `r` (later).
-FilterElement combine_filter(const FilterElement& l, const FilterElement& r) {
-  const index nm = l.C.rows();      // shared middle dimension
-  const index nin = l.A.cols();     // input dimension
-  const index nout = r.A.rows();    // output dimension
-
-  // S = I + C_l J_r; X = S^{-1} [A_l | C_l | v], v = b_l + C_l eta_r.
-  Matrix s = Matrix::identity(nm);
-  la::gemm(1.0, l.C.view(), Trans::No, r.J.view(), Trans::No, 1.0, s.view());
-  Matrix stack(nm, nin + nm + 1);
-  stack.block(0, 0, nm, nin).assign(l.A.view());
-  stack.block(0, nin, nm, nm).assign(l.C.view());
-  {
-    Vector v = l.b;
-    la::gemv(1.0, l.C.view(), Trans::No, r.eta.span(), 1.0, v.span());
-    for (index q = 0; q < nm; ++q) stack(q, nin + nm) = v[q];
-  }
-  solve_square(std::move(s), stack.view());
-  ConstMatrixView x = stack.block(0, 0, nm, nin);        // S^{-1} A_l
-  ConstMatrixView y = stack.block(0, nin, nm, nm);       // S^{-1} C_l
-  ConstMatrixView v = stack.block(0, nin + nm, nm, 1);   // S^{-1} (b_l + C_l eta_r)
-
-  FilterElement out;
-  out.A.resize(nout, nin);
-  la::gemm(1.0, r.A.view(), Trans::No, x, Trans::No, 0.0, out.A.view());
-
-  out.b = r.b;
-  la::gemv(1.0, r.A.view(), Trans::No, v.col_span(0), 1.0, out.b.span());
-
-  Matrix ay(nout, nm);
-  la::gemm(1.0, r.A.view(), Trans::No, y, Trans::No, 0.0, ay.view());
-  out.C = r.C;
-  la::gemm(1.0, ay.view(), Trans::No, r.A.view(), Trans::Yes, 1.0, out.C.view());
-  la::symmetrize(out.C.view());
-
-  // eta = A_l^T (I + J_r C_l)^{-1} (eta_r - J_r b_l) + eta_l
-  //     = X^T (eta_r - J_r b_l) + eta_l      (X = (I + C_l J_r)^{-1} A_l).
-  Vector w = r.eta;
-  la::gemv(-1.0, r.J.view(), Trans::No, l.b.span(), 1.0, w.span());
-  out.eta = l.eta;
-  la::gemv(1.0, x, Trans::Yes, w.span(), 1.0, out.eta.span());
-
-  // J = X^T J_r A_l + J_l.
-  Matrix ja(nm, nin);
-  la::gemm(1.0, r.J.view(), Trans::No, l.A.view(), Trans::No, 0.0, ja.view());
-  out.J = l.J;
-  la::gemm(1.0, x, Trans::Yes, ja.view(), Trans::No, 1.0, out.J.view());
-  la::symmetrize(out.J.view());
-  return out;
-}
-
-/// Build the filtering element of step i >= 1 (general element of the TAC
-/// paper, extended with the control/forcing term c_i).
-FilterElement make_filter_element(const TimeStep& s) {
-  const Evolution& e = *s.evolution;
-  const index n = s.n;
-  const index np = e.F.cols();
-  const Matrix q = e.noise.covariance();
-  Vector c = e.c.empty() ? Vector::zero(n) : e.c;
-
-  FilterElement el;
-  if (!s.observation) {
-    el.A = e.F;
-    el.b = std::move(c);
-    el.C = q;
-    el.eta = Vector::zero(np);
-    el.J = Matrix(np, np);
-    return el;
-  }
-
-  const Observation& ob = *s.observation;
-  const index m = ob.rows();
-  const Matrix lcov = ob.noise.covariance();
-
-  // S_obs = G Q G^T + L (innovation covariance of the one-step prediction).
-  Matrix gq = la::multiply(ob.G.view(), q.view());  // m x n
-  Matrix sobs = lcov;
-  la::gemm(1.0, gq.view(), Trans::No, ob.G.view(), Trans::Yes, 1.0, sobs.view());
-  la::symmetrize(sobs.view());
-  Matrix schol = sobs;
-  if (!la::cholesky_lower(schol.view()))
-    throw std::runtime_error("associative_smooth: innovation covariance not SPD");
-
-  // K = Q G^T S^{-1}  (kt = S^{-1} G Q = K^T).
-  Matrix kt = gq;
-  la::chol_solve(schol.view(), kt.view());
-
-  // IKG = I - K G.
-  Matrix ikg = Matrix::identity(n);
-  la::gemm(-1.0, kt.view(), Trans::Yes, ob.G.view(), Trans::No, 1.0, ikg.view());
-
-  el.A.resize(n, np);
-  la::gemm(1.0, ikg.view(), Trans::No, e.F.view(), Trans::No, 0.0, el.A.view());
-
-  // b = (I - K G) c + K o.
-  el.b.resize(n);
-  la::gemv(1.0, ikg.view(), Trans::No, c.span(), 0.0, el.b.span());
-  la::gemv(1.0, kt.view(), Trans::Yes, ob.o.span(), 1.0, el.b.span());
-
-  el.C.resize(n, n);
-  la::gemm(1.0, ikg.view(), Trans::No, q.view(), Trans::No, 0.0, el.C.view());
-  la::symmetrize(el.C.view());
-
-  // Residual-of-control innovation: r = o - G c.
-  Vector r = ob.o;
-  la::gemv(-1.0, ob.G.view(), Trans::No, c.span(), 1.0, r.span());
-
-  // eta = F^T G^T S^{-1} r.
-  Vector sr = r;
-  la::chol_solve(schol.view(), sr.span());
-  Vector gtsr(n);
-  la::gemv(1.0, ob.G.view(), Trans::Yes, sr.span(), 0.0, gtsr.span());
-  el.eta.resize(np);
-  la::gemv(1.0, e.F.view(), Trans::Yes, gtsr.span(), 0.0, el.eta.span());
-
-  // J = (G F)^T S^{-1} (G F).
-  Matrix gf(m, np);
-  la::gemm(1.0, ob.G.view(), Trans::No, e.F.view(), Trans::No, 0.0, gf.view());
-  Matrix sgf = gf;
-  la::chol_solve(schol.view(), sgf.view());
-  el.J.resize(np, np);
-  la::gemm(1.0, gf.view(), Trans::Yes, sgf.view(), Trans::No, 0.0, el.J.view());
-  la::symmetrize(el.J.view());
-  return el;
-}
-
 /// Smoothing scan element (E_i, g_i, L_i).
 struct SmoothElement {
   Matrix E;
@@ -169,18 +36,184 @@ struct SmoothElement {
   Matrix L;
 };
 
-/// Associative smoothing combination for `l` (earlier) with `r` (later).
-SmoothElement combine_smooth(const SmoothElement& l, const SmoothElement& r) {
-  SmoothElement out;
-  out.E = la::multiply(l.E.view(), r.E.view());
-  out.g = l.g;
-  la::gemv(1.0, l.E.view(), Trans::No, r.g.span(), 1.0, out.g.span());
-  Matrix el(l.E.rows(), r.L.cols());
-  la::gemm(1.0, l.E.view(), Trans::No, r.L.view(), Trans::No, 0.0, el.view());
-  out.L = l.L;
-  la::gemm(1.0, el.view(), Trans::No, l.E.view(), Trans::Yes, 1.0, out.L.view());
-  la::symmetrize(out.L.view());
-  return out;
+/// Associative filtering combination (Lemma 8 of the TAC paper): `out`
+/// becomes the composition of element `l` (earlier) with `r` (later).
+/// `out` may alias either input — every product is computed into arena
+/// borrows first and only then assigned (capacity-reusing) into `out`, so
+/// steady-state combines allocate nothing.
+void combine_filter(const FilterElement& l, const FilterElement& r, FilterElement& out) {
+  const index nm = l.C.rows();    // shared middle dimension
+  const index nin = l.A.cols();   // input dimension
+  const index nout = r.A.rows();  // output dimension
+
+  la::Workspace::Scope scope(la::tls_workspace());
+
+  // S = I + C_l J_r; X = S^{-1} [A_l | C_l | v], v = b_l + C_l eta_r.
+  MatrixView s = scope.mat(nm, nm);
+  for (index q = 0; q < nm; ++q) s(q, q) = 1.0;
+  la::gemm(1.0, l.C.view(), Trans::No, r.J.view(), Trans::No, 1.0, s);
+  MatrixView stack = scope.mat(nm, nin + nm + 1);
+  stack.block(0, 0, nm, nin).assign(l.A.view());
+  stack.block(0, nin, nm, nm).assign(l.C.view());
+  {
+    std::span<double> v = stack.col_span(nin + nm);
+    std::copy(l.b.span().begin(), l.b.span().end(), v.begin());
+    la::gemv(1.0, l.C.view(), Trans::No, r.eta.span(), 1.0, v);
+  }
+  {
+    static thread_local la::LuScratch lu;
+    if (!lu.factor_solve(s, stack))
+      throw std::runtime_error("associative_smooth: singular combination system (I + C J)");
+  }
+  ConstMatrixView x = stack.block(0, 0, nm, nin);       // S^{-1} A_l
+  ConstMatrixView y = stack.block(0, nin, nm, nm);      // S^{-1} C_l
+  ConstMatrixView v = stack.block(0, nin + nm, nm, 1);  // S^{-1} (b_l + C_l eta_r)
+
+  MatrixView a_new = scope.mat(nout, nin);
+  la::gemm(1.0, r.A.view(), Trans::No, x, Trans::No, 0.0, a_new);
+
+  std::span<double> b_new = scope.vec(nout);
+  std::copy(r.b.span().begin(), r.b.span().end(), b_new.begin());
+  la::gemv(1.0, r.A.view(), Trans::No, v.col_span(0), 1.0, b_new);
+
+  MatrixView ay = scope.mat(nout, nm);
+  la::gemm(1.0, r.A.view(), Trans::No, y, Trans::No, 0.0, ay);
+  MatrixView c_new = scope.mat(nout, nout);
+  c_new.assign(r.C.view());
+  la::gemm(1.0, ay, Trans::No, r.A.view(), Trans::Yes, 1.0, c_new);
+  la::symmetrize(c_new);
+
+  // eta = A_l^T (I + J_r C_l)^{-1} (eta_r - J_r b_l) + eta_l
+  //     = X^T (eta_r - J_r b_l) + eta_l      (X = (I + C_l J_r)^{-1} A_l).
+  std::span<double> w = scope.vec(nm);
+  std::copy(r.eta.span().begin(), r.eta.span().end(), w.begin());
+  la::gemv(-1.0, r.J.view(), Trans::No, l.b.span(), 1.0, w);
+  std::span<double> eta_new = scope.vec(nin);
+  std::copy(l.eta.span().begin(), l.eta.span().end(), eta_new.begin());
+  la::gemv(1.0, x, Trans::Yes, w, 1.0, eta_new);
+
+  // J = X^T J_r A_l + J_l.
+  MatrixView ja = scope.mat(nm, nin);
+  la::gemm(1.0, r.J.view(), Trans::No, l.A.view(), Trans::No, 0.0, ja);
+  MatrixView j_new = scope.mat(nin, nin);
+  j_new.assign(l.J.view());
+  la::gemm(1.0, x, Trans::Yes, ja, Trans::No, 1.0, j_new);
+  la::symmetrize(j_new);
+
+  out.A.assign_from(a_new);
+  out.b.assign_from(b_new);
+  out.C.assign_from(c_new);
+  out.eta.assign_from(eta_new);
+  out.J.assign_from(j_new);
+}
+
+/// Build the filtering element of step i >= 1 (general element of the TAC
+/// paper, extended with the control/forcing term c_i) into recycled storage.
+void make_filter_element_into(const TimeStep& s, FilterElement& el) {
+  const Evolution& e = *s.evolution;
+  const index n = s.n;
+  const index np = e.F.cols();
+
+  la::Workspace::Scope scope(la::tls_workspace());
+  MatrixView q = scope.mat(n, n);
+  e.noise.covariance_into(q);
+  std::span<double> c = scope.vec(n);
+  if (!e.c.empty()) std::copy(e.c.span().begin(), e.c.span().end(), c.begin());
+
+  if (!s.observation) {
+    el.A.assign_from(e.F.view());
+    el.b.assign_from(c);
+    el.C.assign_from(q);
+    el.eta.resize(np);
+    el.J.resize(np, np);
+    return;
+  }
+
+  const Observation& ob = *s.observation;
+  const index m = ob.rows();
+
+  // S_obs = G Q G^T + L (innovation covariance of the one-step prediction).
+  MatrixView gq = scope.mat(m, n);
+  la::gemm(1.0, ob.G.view(), Trans::No, q, Trans::No, 0.0, gq);
+  MatrixView sobs = scope.mat(m, m);
+  ob.noise.covariance_into(sobs);
+  la::gemm(1.0, gq, Trans::No, ob.G.view(), Trans::Yes, 1.0, sobs);
+  la::symmetrize(sobs);
+  MatrixView schol = scope.mat(m, m);
+  schol.assign(sobs);
+  if (!la::cholesky_lower(schol))
+    throw std::runtime_error("associative_smooth: innovation covariance not SPD");
+
+  // K = Q G^T S^{-1}  (kt = S^{-1} G Q = K^T).
+  MatrixView kt = scope.mat(m, n);
+  kt.assign(gq);
+  la::chol_solve(schol, kt);
+
+  // IKG = I - K G.
+  MatrixView ikg = scope.mat(n, n);
+  for (index i = 0; i < n; ++i) ikg(i, i) = 1.0;
+  la::gemm(-1.0, kt, Trans::Yes, ob.G.view(), Trans::No, 1.0, ikg);
+
+  el.A.resize(n, np);
+  la::gemm(1.0, ikg, Trans::No, e.F.view(), Trans::No, 0.0, el.A.view());
+
+  // b = (I - K G) c + K o.
+  el.b.resize(n);
+  la::gemv(1.0, ikg, Trans::No, c, 0.0, el.b.span());
+  la::gemv(1.0, kt, Trans::Yes, ob.o.span(), 1.0, el.b.span());
+
+  el.C.resize(n, n);
+  la::gemm(1.0, ikg, Trans::No, q, Trans::No, 0.0, el.C.view());
+  la::symmetrize(el.C.view());
+
+  // Residual-of-control innovation: r = o - G c.
+  std::span<double> r = scope.vec(m);
+  std::copy(ob.o.span().begin(), ob.o.span().end(), r.begin());
+  la::gemv(-1.0, ob.G.view(), Trans::No, c, 1.0, r);
+
+  // eta = F^T G^T S^{-1} r.
+  std::span<double> sr = scope.vec(m);
+  std::copy(r.begin(), r.end(), sr.begin());
+  la::chol_solve(schol, sr);
+  std::span<double> gtsr = scope.vec(n);
+  la::gemv(1.0, ob.G.view(), Trans::Yes, sr, 0.0, gtsr);
+  el.eta.resize(np);
+  la::gemv(1.0, e.F.view(), Trans::Yes, gtsr, 0.0, el.eta.span());
+
+  // J = (G F)^T S^{-1} (G F).
+  MatrixView gf = scope.mat(m, np);
+  la::gemm(1.0, ob.G.view(), Trans::No, e.F.view(), Trans::No, 0.0, gf);
+  MatrixView sgf = scope.mat(m, np);
+  sgf.assign(gf);
+  la::chol_solve(schol, sgf);
+  el.J.resize(np, np);
+  la::gemm(1.0, gf, Trans::Yes, sgf, Trans::No, 0.0, el.J.view());
+  la::symmetrize(el.J.view());
+}
+
+/// Associative smoothing combination for `l` (earlier) with `r` (later);
+/// same aliasing contract as combine_filter.
+void combine_smooth(const SmoothElement& l, const SmoothElement& r, SmoothElement& out) {
+  la::Workspace::Scope scope(la::tls_workspace());
+  const index rows = l.E.rows();
+
+  MatrixView e_new = scope.mat(rows, r.E.cols());
+  la::gemm(1.0, l.E.view(), Trans::No, r.E.view(), Trans::No, 0.0, e_new);
+
+  std::span<double> g_new = scope.vec(l.g.size());
+  std::copy(l.g.span().begin(), l.g.span().end(), g_new.begin());
+  la::gemv(1.0, l.E.view(), Trans::No, r.g.span(), 1.0, g_new);
+
+  MatrixView el = scope.mat(rows, r.L.cols());
+  la::gemm(1.0, l.E.view(), Trans::No, r.L.view(), Trans::No, 0.0, el);
+  MatrixView l_new = scope.mat(l.L.rows(), l.L.cols());
+  l_new.assign(l.L.view());
+  la::gemm(1.0, el, Trans::No, l.E.view(), Trans::Yes, 1.0, l_new);
+  la::symmetrize(l_new);
+
+  out.E.assign_from(e_new);
+  out.g.assign_from(g_new);
+  out.L.assign_from(l_new);
 }
 
 void require_identity_h(const Problem& p) {
@@ -190,109 +223,164 @@ void require_identity_h(const Problem& p) {
           "associative smoothing requires H_i = I; use the odd-even smoother");
 }
 
-std::vector<FilterElement> run_filter_scan(const Problem& p, const GaussianPrior& prior,
-                                           par::ThreadPool& pool,
-                                           const AssociativeOptions& opts) {
+}  // namespace
+
+struct AssociativeScratch::Impl {
+  std::vector<FilterElement> filt;
+  std::vector<SmoothElement> smooth;
+  Vector x0;     ///< reusable prior-mean working copy for element 0
+  Matrix pcov0;  ///< reusable prior-covariance working copy
+};
+
+AssociativeScratch::AssociativeScratch() : impl_(std::make_unique<Impl>()) {}
+AssociativeScratch::~AssociativeScratch() = default;
+
+namespace {
+
+void run_filter_scan(const Problem& p, const GaussianPrior& prior, par::ThreadPool& pool,
+                     const AssociativeOptions& opts, AssociativeScratch::Impl& im) {
   if (auto err = p.validate()) throw std::invalid_argument("associative_smooth: " + *err);
   require_identity_h(p);
   const index k = p.last_index();
-  std::vector<FilterElement> elems(static_cast<std::size_t>(k + 1));
+  std::vector<FilterElement>& elems = im.filt;
+  elems.resize(static_cast<std::size_t>(k + 1));
 
   // Element 0 carries the filtered distribution of u_0 directly.
   {
-    Vector x = prior.mean;
-    Matrix pcov = prior.cov;
-    if (p.step(0).observation) kf_measurement_update(*p.step(0).observation, x, pcov);
+    im.x0.assign_from(prior.mean.span());
+    im.pcov0.assign_from(prior.cov.view());
+    if (p.step(0).observation) kf_measurement_update(*p.step(0).observation, im.x0, im.pcov0);
     FilterElement& e0 = elems[0];
     const index n0 = p.state_dim(0);
-    e0.A = Matrix(n0, n0);
-    e0.b = std::move(x);
-    e0.C = std::move(pcov);
-    e0.eta = Vector::zero(n0);
-    e0.J = Matrix(n0, n0);
+    e0.A.resize(n0, n0);
+    e0.b.assign_from(im.x0.span());
+    e0.C.assign_from(im.pcov0.view());
+    e0.eta.resize(n0);
+    e0.J.resize(n0, n0);
   }
 
   par::parallel_for(pool, 1, k + 1, opts.grain, [&](index i) {
-    elems[static_cast<std::size_t>(i)] = make_filter_element(p.step(i));
+    make_filter_element_into(p.step(i), elems[static_cast<std::size_t>(i)]);
   });
 
-  par::parallel_inclusive_scan(pool, std::span<FilterElement>(elems), opts.grain,
-                               combine_filter);
-  return elems;
+  par::parallel_inclusive_scan_inplace(
+      pool, std::span<FilterElement>(elems), opts.grain,
+      [](FilterElement& l, const FilterElement& r) { combine_filter(l, r, l); },
+      [](const FilterElement& l, FilterElement& r) { combine_filter(l, r, r); });
+}
+
+void run_smooth_scan(const Problem& p, par::ThreadPool& pool, const AssociativeOptions& opts,
+                     const std::vector<FilterElement>& filt, std::vector<SmoothElement>& elems) {
+  const index k = p.last_index();
+  elems.resize(static_cast<std::size_t>(k + 1));
+  par::parallel_for(pool, 0, k + 1, opts.grain, [&](index i) {
+    const Vector& m = filt[static_cast<std::size_t>(i)].b;   // m_{i|i}
+    const Matrix& pc = filt[static_cast<std::size_t>(i)].C;  // P_{i|i}
+    SmoothElement& el = elems[static_cast<std::size_t>(i)];
+    if (i == k) {
+      el.E.resize(pc.rows(), pc.rows());
+      el.g.assign_from(m.span());
+      el.L.assign_from(pc.view());
+      return;
+    }
+    const Evolution& e = *p.step(i + 1).evolution;
+    const index n = pc.rows();
+    const index nn = p.state_dim(i + 1);
+
+    la::Workspace::Scope scope(la::tls_workspace());
+    // Predicted covariance P_pred = F P F^T + Q and gain E = P F^T P_pred^{-1}.
+    MatrixView fp = scope.mat(nn, n);
+    la::gemm(1.0, e.F.view(), Trans::No, pc.view(), Trans::No, 0.0, fp);
+    MatrixView ppred = scope.mat(nn, nn);
+    e.noise.covariance_into(ppred);
+    la::gemm(1.0, fp, Trans::No, e.F.view(), Trans::Yes, 1.0, ppred);
+    la::symmetrize(ppred);
+    MatrixView et = scope.mat(nn, n);  // E^T = P_pred^{-1} F P
+    et.assign(fp);
+    {
+      MatrixView pchol = scope.mat(nn, nn);
+      pchol.assign(ppred);
+      if (!la::cholesky_lower(pchol))
+        throw std::runtime_error("associative_smooth: predicted covariance not SPD");
+      la::chol_solve(pchol, et);
+    }
+    el.E.resize(n, nn);
+    for (index j = 0; j < nn; ++j)
+      for (index i2 = 0; i2 < n; ++i2) el.E(i2, j) = et(j, i2);
+
+    // g = m - E (F m + c).
+    std::span<double> fm = scope.vec(nn);
+    la::gemv(1.0, e.F.view(), Trans::No, m.span(), 0.0, fm);
+    if (!e.c.empty()) la::axpy(1.0, e.c.span(), fm);
+    el.g.assign_from(m.span());
+    la::gemv(-1.0, el.E.view(), Trans::No, fm, 1.0, el.g.span());
+
+    // L = P - E F P.
+    el.L.assign_from(pc.view());
+    la::gemm(-1.0, el.E.view(), Trans::No, fp, Trans::No, 1.0, el.L.view());
+    la::symmetrize(el.L.view());
+  });
+
+  par::parallel_reverse_inclusive_scan_inplace(
+      pool, std::span<SmoothElement>(elems), opts.grain,
+      [](SmoothElement& l, const SmoothElement& r) { combine_smooth(l, r, l); },
+      [](const SmoothElement& l, SmoothElement& r) { combine_smooth(l, r, r); });
 }
 
 }  // namespace
 
+void associative_scan(const Problem& p, const GaussianPrior& prior, par::ThreadPool& pool,
+                      const AssociativeOptions& opts, AssociativeScratch& scratch,
+                      bool with_smooth) {
+  run_filter_scan(p, prior, pool, opts, scratch.impl());
+  if (with_smooth) run_smooth_scan(p, pool, opts, scratch.impl().filt, scratch.impl().smooth);
+}
+
 FilterResult associative_filter(const Problem& p, const GaussianPrior& prior,
                                 par::ThreadPool& pool, const AssociativeOptions& opts) {
-  std::vector<FilterElement> elems = run_filter_scan(p, prior, pool, opts);
+  AssociativeScratch local;
+  AssociativeScratch& scratch = opts.scratch != nullptr ? *opts.scratch : local;
+  run_filter_scan(p, prior, pool, opts, scratch.impl());
+  std::vector<FilterElement>& elems = scratch.impl().filt;
+  const bool reuse = opts.scratch != nullptr;
+
   FilterResult out;
   out.means.resize(elems.size());
   out.covariances.resize(elems.size());
   par::parallel_for(pool, 0, static_cast<index>(elems.size()), opts.grain, [&](index i) {
-    out.means[static_cast<std::size_t>(i)] = std::move(elems[static_cast<std::size_t>(i)].b);
-    out.covariances[static_cast<std::size_t>(i)] =
-        std::move(elems[static_cast<std::size_t>(i)].C);
+    FilterElement& el = elems[static_cast<std::size_t>(i)];
+    if (reuse) {
+      // Copy so the scratch keeps its warm buffers for the next call.
+      out.means[static_cast<std::size_t>(i)].assign_from(el.b.span());
+      out.covariances[static_cast<std::size_t>(i)].assign_from(el.C.view());
+    } else {
+      out.means[static_cast<std::size_t>(i)] = std::move(el.b);
+      out.covariances[static_cast<std::size_t>(i)] = std::move(el.C);
+    }
   });
   return out;
 }
 
 SmootherResult associative_smooth(const Problem& p, const GaussianPrior& prior,
                                   par::ThreadPool& pool, const AssociativeOptions& opts) {
-  std::vector<FilterElement> filt = run_filter_scan(p, prior, pool, opts);
-  const index k = p.last_index();
-
-  std::vector<SmoothElement> elems(static_cast<std::size_t>(k + 1));
-  par::parallel_for(pool, 0, k + 1, opts.grain, [&](index i) {
-    const Vector& m = filt[static_cast<std::size_t>(i)].b;   // m_{i|i}
-    const Matrix& pc = filt[static_cast<std::size_t>(i)].C;  // P_{i|i}
-    SmoothElement& el = elems[static_cast<std::size_t>(i)];
-    if (i == k) {
-      el.E = Matrix(pc.rows(), pc.rows());
-      el.g = m;
-      el.L = pc;
-      return;
-    }
-    const Evolution& e = *p.step(i + 1).evolution;
-
-    const index nn = p.state_dim(i + 1);
-    // Predicted covariance P_pred = F P F^T + Q and gain E = P F^T P_pred^{-1}.
-    Matrix fp = la::multiply(e.F.view(), pc.view());  // nn x n
-    Matrix ppred = e.noise.covariance();
-    la::gemm(1.0, fp.view(), Trans::No, e.F.view(), Trans::Yes, 1.0, ppred.view());
-    la::symmetrize(ppred.view());
-    Matrix et = fp;  // will become E^T = P_pred^{-1} F P
-    {
-      Matrix pchol = ppred;
-      if (!la::cholesky_lower(pchol.view()))
-        throw std::runtime_error("associative_smooth: predicted covariance not SPD");
-      la::chol_solve(pchol.view(), et.view());
-    }
-    el.E = et.transposed();  // n x nn
-
-    // g = m - E (F m + c).
-    Vector fm(nn);
-    la::gemv(1.0, e.F.view(), Trans::No, m.span(), 0.0, fm.span());
-    if (!e.c.empty()) la::axpy(1.0, e.c.span(), fm.span());
-    el.g = m;
-    la::gemv(-1.0, el.E.view(), Trans::No, fm.span(), 1.0, el.g.span());
-
-    // L = P - E F P.
-    el.L = pc;
-    la::gemm(-1.0, el.E.view(), Trans::No, fp.view(), Trans::No, 1.0, el.L.view());
-    la::symmetrize(el.L.view());
-  });
-
-  par::parallel_reverse_inclusive_scan(pool, std::span<SmoothElement>(elems), opts.grain,
-                                       combine_smooth);
+  AssociativeScratch local;
+  AssociativeScratch& scratch = opts.scratch != nullptr ? *opts.scratch : local;
+  associative_scan(p, prior, pool, opts, scratch, /*with_smooth=*/true);
+  std::vector<SmoothElement>& elems = scratch.impl().smooth;
+  const bool reuse = opts.scratch != nullptr;
 
   SmootherResult res;
   res.means.resize(elems.size());
   res.covariances.resize(elems.size());
-  par::parallel_for(pool, 0, k + 1, opts.grain, [&](index i) {
-    res.means[static_cast<std::size_t>(i)] = std::move(elems[static_cast<std::size_t>(i)].g);
-    res.covariances[static_cast<std::size_t>(i)] =
-        std::move(elems[static_cast<std::size_t>(i)].L);
+  par::parallel_for(pool, 0, static_cast<index>(elems.size()), opts.grain, [&](index i) {
+    SmoothElement& el = elems[static_cast<std::size_t>(i)];
+    if (reuse) {
+      res.means[static_cast<std::size_t>(i)].assign_from(el.g.span());
+      res.covariances[static_cast<std::size_t>(i)].assign_from(el.L.view());
+    } else {
+      res.means[static_cast<std::size_t>(i)] = std::move(el.g);
+      res.covariances[static_cast<std::size_t>(i)] = std::move(el.L);
+    }
   });
   return res;
 }

@@ -15,15 +15,42 @@
 /// the initial state; covariances are always computed (they are carried by
 /// the scan elements themselves and cannot be skipped).
 
+#include <memory>
+
 #include "kalman/model.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace pitk::kalman {
 
+/// Reusable element storage for the associative scans.  The scan element
+/// buffers (five matrices/vectors per step) dominate the smoother's heap
+/// traffic; a scratch kept across calls lets repeated solves of same-shaped
+/// problems run the per-step scan loops with zero steady-state allocations
+/// (small transients remain in combine temporaries via the per-thread
+/// la::Workspace, which a warm arena serves allocation-free too).  One
+/// scratch per thread/worker — never share one across concurrent solves.
+class AssociativeScratch {
+ public:
+  AssociativeScratch();
+  ~AssociativeScratch();
+  AssociativeScratch(const AssociativeScratch&) = delete;
+  AssociativeScratch& operator=(const AssociativeScratch&) = delete;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() const noexcept { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 struct AssociativeOptions {
   /// Scan/loop grain; plays the role of the paper's TBB block size.
   la::index grain = par::default_grain;
+  /// Optional cross-call element storage (see AssociativeScratch).  When
+  /// set, results are copied out instead of moved so the scratch keeps its
+  /// warm capacity.
+  AssociativeScratch* scratch = nullptr;
 };
 
 /// Parallel filtering pass: E(u_i | o_0..o_i) and covariances for every i.
@@ -35,5 +62,14 @@ struct AssociativeOptions {
 [[nodiscard]] SmootherResult associative_smooth(const Problem& p, const GaussianPrior& prior,
                                                 par::ThreadPool& pool,
                                                 const AssociativeOptions& opts = {});
+
+/// Run only the scans, leaving the combined elements in `scratch` (no result
+/// extraction).  This is the allocation-measurable core: with a warm scratch,
+/// a warm per-thread Workspace and a serial pool, a repeat call performs
+/// zero heap allocations in the per-step loops.  `with_smooth` additionally
+/// runs the backward smoothing scan.
+void associative_scan(const Problem& p, const GaussianPrior& prior, par::ThreadPool& pool,
+                      const AssociativeOptions& opts, AssociativeScratch& scratch,
+                      bool with_smooth);
 
 }  // namespace pitk::kalman

@@ -1,11 +1,14 @@
 #include "core/filter.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/selinv.hpp"
 #include "la/blas.hpp"
 #include "la/qr.hpp"
+#include "la/workspace.hpp"
 
 namespace pitk::kalman {
 
@@ -36,9 +39,30 @@ void IncrementalFilter::reset(la::index n0) {
   if (n0 <= 0) throw std::invalid_argument("IncrementalFilter::reset: n0 must be positive");
   step_ = 0;
   n_ = n0;
-  pending_ = Matrix(0, n0);
-  pending_rhs_ = Vector();
-  finished_ = BidiagonalFactor{};
+  pending_.resize(0, n0);
+  pending_rhs_.resize(0);
+  // Retire the finalized blocks into the spare pools; the next track's
+  // evolve/observe loop resizes them in place instead of allocating.
+  for (Matrix& m : finished_.diag) spare_matrices_.push_back(std::move(m));
+  for (Matrix& m : finished_.sup) spare_matrices_.push_back(std::move(m));
+  for (Vector& v : finished_.rhs) spare_vectors_.push_back(std::move(v));
+  finished_.diag.clear();
+  finished_.sup.clear();
+  finished_.rhs.clear();
+}
+
+Matrix IncrementalFilter::take_spare_matrix() {
+  if (spare_matrices_.empty()) return {};
+  Matrix m = std::move(spare_matrices_.back());
+  spare_matrices_.pop_back();
+  return m;
+}
+
+Vector IncrementalFilter::take_spare_vector() {
+  if (spare_vectors_.empty()) return {};
+  Vector v = std::move(spare_vectors_.back());
+  spare_vectors_.pop_back();
+  return v;
 }
 
 void IncrementalFilter::evolve(Matrix f, Vector c, CovFactor k) {
@@ -57,39 +81,49 @@ void IncrementalFilter::evolve_rect(la::index n_new, Matrix h, Matrix f, Vector 
     throw std::invalid_argument("IncrementalFilter::evolve: identity H requires F rows == n_new");
   if (k.dim() != l) throw std::invalid_argument("IncrementalFilter::evolve: noise dim mismatch");
 
-  // Weighted blocks: B = V F, D = V H, c_w = V c.
-  Matrix b = k.weighted(f.view());
-  Matrix d;
+  // Weighted blocks (arena-borrowed): B = V F, D = V H, c_w = V c.
+  la::Workspace::Scope scope(la::tls_workspace());
+  la::MatrixView b = scope.mat(l, n_);
+  b.assign(f.view());
+  k.weight_in_place(b);
+  la::MatrixView d = scope.mat(l, n_new);
   if (h.empty()) {
-    d = Matrix::identity(n_new);
-    k.weight_in_place(d.view());
+    for (index q = 0; q < l; ++q) d(q, q) = 1.0;
   } else {
-    d = k.weighted(h.view());
+    d.assign(h.view());
   }
-  Vector cw = c.empty() ? Vector::zero(l) : k.weighted(c.span());
+  k.weight_in_place(d);
+  std::span<double> cw = scope.vec(l);
+  if (!c.empty()) {
+    std::copy(c.span().begin(), c.span().end(), cw.begin());
+    k.weight_in_place(cw);
+  }
 
   // Panel over (u_i, u_{i+1}): [pending 0; -B D].
   const index rp = pending_.rows();
-  Matrix s(rp + l, n_ + n_new);
-  Vector srhs(rp + l);
+  la::MatrixView s = scope.mat(rp + l, n_ + n_new);
+  std::span<double> srhs = scope.vec(rp + l);
   if (rp > 0) {
     s.block(0, 0, rp, n_).assign(pending_.view());
-    for (index q = 0; q < rp; ++q) srhs[q] = pending_rhs_[q];
+    for (index q = 0; q < rp; ++q) srhs[static_cast<std::size_t>(q)] = pending_rhs_[q];
   }
   {
     la::MatrixView bblk = s.block(rp, 0, l, n_);
-    bblk.assign(b.view());
+    bblk.assign(b);
     la::scale(-1.0, bblk);
-    s.block(rp, n_, l, n_new).assign(d.view());
-    for (index q = 0; q < l; ++q) srhs[rp + q] = cw[q];
+    s.block(rp, n_, l, n_new).assign(d);
+    for (index q = 0; q < l; ++q) srhs[static_cast<std::size_t>(rp + q)] = cw[static_cast<std::size_t>(q)];
   }
-  la::QrScratch scratch;
-  scratch.factor_apply(s.view(), srhs.as_matrix());
+  qr_.factor_apply(s, la::MatrixView(srhs.data(), rp + l, 1, rp + l));
 
-  // Finalize the R row block of the state being left behind.
-  Matrix diag(n_, n_);
-  Matrix sup(n_, n_new);
-  Vector rrhs(n_);
+  // Finalize the R row block of the state being left behind, into recycled
+  // storage (resize reuses the retired blocks' capacity).
+  Matrix diag = take_spare_matrix();
+  diag.resize(n_, n_);
+  Matrix sup = take_spare_matrix();
+  sup.resize(n_, n_new);
+  Vector rrhs = take_spare_vector();
+  rrhs.resize(n_);
   const index avail = std::min(s.rows(), n_);
   for (index j = 0; j < n_ + n_new; ++j)
     for (index q = 0; q < std::min(avail, j + 1); ++q) {
@@ -98,21 +132,22 @@ void IncrementalFilter::evolve_rect(la::index n_new, Matrix h, Matrix f, Vector 
       else
         sup(q, j - n_) = s(q, j);
     }
-  for (index q = 0; q < avail; ++q) rrhs[q] = srhs[q];
+  for (index q = 0; q < avail; ++q) rrhs[q] = srhs[static_cast<std::size_t>(q)];
   finished_.diag.push_back(std::move(diag));
   finished_.sup.push_back(std::move(sup));
   finished_.rhs.push_back(std::move(rrhs));
 
-  // The trapezoidal leftover constrains the new state.
+  // The trapezoidal leftover constrains the new state (double-buffered so
+  // the swap below never allocates).
   const index rem = std::max<index>(0, std::min(s.rows() - n_, n_new));
-  Matrix next_pending(rem, n_new);
-  Vector next_rhs(rem);
+  scratch_pending_.resize(rem, n_new);
+  scratch_rhs_.resize(rem);
   for (index j = 0; j < n_new; ++j)
-    for (index q = 0; q < rem; ++q)
-      next_pending(q, j) = (q <= j) ? s(n_ + q, n_ + j) : 0.0;
-  for (index q = 0; q < rem; ++q) next_rhs[q] = srhs[n_ + q];
-  pending_ = std::move(next_pending);
-  pending_rhs_ = std::move(next_rhs);
+    for (index q = 0; q < std::min(rem, j + 1); ++q)
+      scratch_pending_(q, j) = s(n_ + q, n_ + j);
+  for (index q = 0; q < rem; ++q) scratch_rhs_[q] = srhs[static_cast<std::size_t>(n_ + q)];
+  std::swap(pending_, scratch_pending_);
+  std::swap(pending_rhs_, scratch_rhs_);
   n_ = n_new;
   ++step_;
 }
@@ -122,32 +157,37 @@ void IncrementalFilter::observe(Matrix g, Vector o, CovFactor l) {
     throw std::invalid_argument("IncrementalFilter::observe: G must have current-dim columns");
   if (o.size() != g.rows() || l.dim() != g.rows())
     throw std::invalid_argument("IncrementalFilter::observe: observation shape mismatch");
-  Matrix c = l.weighted(g.view());
-  Vector ow = l.weighted(o.span());
+  // Weighted observation rows, staged in the arena.
+  la::Workspace::Scope scope(la::tls_workspace());
+  const index m = g.rows();
+  la::MatrixView c = scope.mat(m, n_);
+  c.assign(g.view());
+  l.weight_in_place(c);
+  std::span<double> ow = scope.vec(m);
+  std::copy(o.span().begin(), o.span().end(), ow.begin());
+  l.weight_in_place(ow);
 
   const index rp = pending_.rows();
-  Matrix stacked(rp + c.rows(), n_);
-  Vector rhs(rp + c.rows());
+  la::MatrixView stacked = scope.mat(rp + m, n_);
+  std::span<double> rhs = scope.vec(rp + m);
   if (rp > 0) {
     stacked.block(0, 0, rp, n_).assign(pending_.view());
-    for (index q = 0; q < rp; ++q) rhs[q] = pending_rhs_[q];
+    for (index q = 0; q < rp; ++q) rhs[static_cast<std::size_t>(q)] = pending_rhs_[q];
   }
-  stacked.block(rp, 0, c.rows(), n_).assign(c.view());
-  for (index q = 0; q < c.rows(); ++q) rhs[rp + q] = ow[q];
+  stacked.block(rp, 0, m, n_).assign(c);
+  for (index q = 0; q < m; ++q) rhs[static_cast<std::size_t>(rp + q)] = ow[static_cast<std::size_t>(q)];
 
   if (stacked.rows() > n_) {
     // Keep the invariant of at most n pending rows (streaming compression).
-    la::QrScratch scratch;
-    scratch.factor_apply(stacked.view(), rhs.as_matrix());
-    Matrix compressed(n_, n_);
-    la::qr_extract_r_square(stacked.view(), compressed.view());
-    Vector crhs(n_);
-    for (index q = 0; q < std::min(stacked.rows(), n_); ++q) crhs[q] = rhs[q];
-    pending_ = std::move(compressed);
-    pending_rhs_ = std::move(crhs);
+    qr_.factor_apply(stacked, la::MatrixView(rhs.data(), rp + m, 1, rp + m));
+    pending_.resize(n_, n_);
+    la::qr_extract_r_square(stacked, pending_.view());
+    pending_rhs_.resize(n_);
+    for (index q = 0; q < std::min(stacked.rows(), n_); ++q)
+      pending_rhs_[q] = rhs[static_cast<std::size_t>(q)];
   } else {
-    pending_ = std::move(stacked);
-    pending_rhs_ = std::move(rhs);
+    pending_.assign_from(stacked);
+    pending_rhs_.assign_from(rhs);
   }
 }
 

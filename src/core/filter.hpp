@@ -16,6 +16,7 @@
 
 #include "core/paige_saunders.hpp"
 #include "kalman/model.hpp"
+#include "la/qr.hpp"
 
 namespace pitk::kalman {
 
@@ -26,7 +27,10 @@ class IncrementalFilter {
 
   /// Discard all accumulated state and begin again at a fresh u_0 of
   /// dimension n0.  Long-lived streaming sessions use this to start a new
-  /// track without reallocating the session object.
+  /// track without reallocating the session object: the finalized factor
+  /// blocks are retired into spare pools and recycled by the next track's
+  /// evolve/observe loop, which therefore performs zero heap allocations
+  /// once the pools are warm (same-shaped tracks).
   void reset(la::index n0);
 
   /// Advance to the next state: H u_{i+1} = F u_i + c + noise, H = I.
@@ -61,11 +65,21 @@ class IncrementalFilter {
   /// nullopt if rank deficient (diagonal entry ~ 0).
   [[nodiscard]] std::optional<std::pair<Matrix, Vector>> compressed() const;
 
+  /// Pop a recycled block (empty when the pools are cold); the caller
+  /// resizes it, reusing its capacity.
+  [[nodiscard]] Matrix take_spare_matrix();
+  [[nodiscard]] Vector take_spare_vector();
+
   la::index step_ = 0;
   la::index n_ = 0;
   Matrix pending_;      ///< rows still constraining the current state
   Vector pending_rhs_;
+  Matrix scratch_pending_;  ///< double buffer swapped with pending_ each step
+  Vector scratch_rhs_;
   BidiagonalFactor finished_;  ///< finalized R rows of eliminated states
+  la::QrScratch qr_;           ///< reused Householder tau storage
+  std::vector<Matrix> spare_matrices_;  ///< retired factor blocks (see reset)
+  std::vector<Vector> spare_vectors_;
 };
 
 }  // namespace pitk::kalman

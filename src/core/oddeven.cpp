@@ -6,6 +6,7 @@
 #include "la/blas.hpp"
 #include "la/qr.hpp"
 #include "la/triangular.hpp"
+#include "la/workspace.hpp"
 
 namespace pitk::kalman {
 
@@ -50,10 +51,14 @@ void copy_top_padded(ConstMatrixView src, MatrixView dst) {
     for (index i = 0; i < take; ++i) dst(i, j) = src(i, j);
 }
 
+void copy_top_padded(std::span<const double> src, index avail, std::span<double> dst) {
+  const index take = std::min<index>(avail, static_cast<index>(dst.size()));
+  for (index i = 0; i < take; ++i) dst[static_cast<std::size_t>(i)] = src[static_cast<std::size_t>(i)];
+  for (index i = take; i < static_cast<index>(dst.size()); ++i) dst[static_cast<std::size_t>(i)] = 0.0;
+}
+
 void copy_top_padded(std::span<const double> src, index avail, Vector& dst) {
-  const index take = std::min<index>(avail, dst.size());
-  for (index i = 0; i < take; ++i) dst[i] = src[static_cast<std::size_t>(i)];
-  for (index i = take; i < dst.size(); ++i) dst[i] = 0.0;
+  copy_top_padded(src, avail, dst.span());
 }
 
 /// Rows [from, src.rows()) of src as a fresh matrix (possibly 0 rows).
@@ -73,15 +78,16 @@ std::vector<ColState> build_top_level(const Problem& p, par::ThreadPool& pool, i
     ColState& cs = level[static_cast<std::size_t>(i)];
     cs.col = i;
     cs.n = p.state_dim(i);
-    WeightedStep w = weigh_step(p.step(i));
-    cs.C = std::move(w.C);
-    cs.crhs = std::move(w.ow);
+    la::Workspace::Scope scope(la::tls_workspace());
+    WeightedStepView w = weigh_step_into(p.step(i), scope);
+    cs.C.assign_from(w.C);
+    cs.crhs.assign_from(w.ow);
     if (i > 0) {
       cs.has_evo = true;
-      la::scale(-1.0, w.B.view());  // the matrix block is -B_i
-      cs.E = std::move(w.B);
-      cs.D = std::move(w.D);
-      cs.erhs = std::move(w.cw);
+      la::scale(-1.0, w.B);  // the matrix block is -B_i
+      cs.E.assign_from(w.B);
+      cs.D.assign_from(w.D);
+      cs.erhs.assign_from(w.cw);
     }
   });
   return level;
@@ -96,44 +102,48 @@ EvenOut reduce_even(const std::vector<ColState>& level, index pos) {
   EvenOut out;
   out.row.col = cs.col;
 
-  la::QrScratch scratch;
+  static thread_local la::QrScratch scratch;
+  la::Workspace::Scope scope(la::tls_workspace());
 
   // ---- Phase A: QR of [C_pos; E_{pos+1}], Q^T applied to [0; D_{pos+1}]
-  // and the stacked right-hand side.
-  Matrix rtil(n, n);     // \tilde R_pos, zero-padded square
-  Matrix x;              // fill block X_pos (n x n_right)
-  Vector rtil_rhs(n);
+  // and the stacked right-hand side.  All staging panels are arena borrows.
+  MatrixView rtil = scope.mat(n, n);  // \tilde R_pos, zero-padded square
+  MatrixView x;                       // fill block X_pos (n x n_right)
+  std::span<double> rtil_rhs = scope.vec(n);
   index n_right = 0;
   if (pos < last) {
     const ColState& nx = level[static_cast<std::size_t>(pos + 1)];
     n_right = nx.n;
     const index r = cs.C.rows();
     const index l = nx.E.rows();
-    Matrix m(r + l, n);
+    MatrixView m = scope.mat(r + l, n);
     if (r > 0) m.block(0, 0, r, n).assign(cs.C.view());
     m.block(r, 0, l, n).assign(nx.E.view());
     // attached = [ 0 | rhs_top ; D_{pos+1} | rhs_bot ].
-    Matrix att(r + l, n_right + 1);
+    MatrixView att = scope.mat(r + l, n_right + 1);
     att.block(r, 0, l, n_right).assign(nx.D.view());
     for (index q = 0; q < r; ++q) att(q, n_right) = cs.crhs[q];
     for (index q = 0; q < l; ++q) att(r + q, n_right) = nx.erhs[q];
 
-    scratch.factor_apply(m.view(), att.view());
+    scratch.factor_apply(m, att);
 
-    la::qr_extract_r_square(m.view(), rtil.view());
-    x.resize(n, n_right);
-    copy_top_padded(att.block(0, 0, att.rows(), n_right), x.view());
-    copy_top_padded(att.view().col_span(n_right), std::min(att.rows(), n), rtil_rhs);
+    la::qr_extract_r_square(m, rtil);
+    x = scope.mat(n, n_right);
+    copy_top_padded(att.block(0, 0, att.rows(), n_right), x);
+    copy_top_padded(att.col_span(n_right), std::min(att.rows(), n), rtil_rhs);
     out.dtil = tail_rows(att.block(0, 0, att.rows(), n_right), n);
     out.dtil_rhs.resize(out.dtil.rows());
     for (index q = 0; q < out.dtil.rows(); ++q) out.dtil_rhs[q] = att(n + q, n_right);
   } else {
     // Last even position: nothing to pair with; compress C alone.
-    Matrix m = cs.C;
-    Vector rhs = cs.crhs;
-    scratch.factor_apply(m.view(), rhs.as_matrix());
-    la::qr_extract_r_square(m.view(), rtil.view());
-    copy_top_padded(rhs.span(), std::min(m.rows(), n), rtil_rhs);
+    const index r = cs.C.rows();
+    MatrixView m = scope.mat(r, n);
+    m.assign(cs.C.view());
+    std::span<double> rhs = scope.vec(r);
+    copy_top_padded(cs.crhs.span(), r, rhs);
+    scratch.factor_apply(m, la::MatrixView(rhs.data(), r, 1, r));
+    la::qr_extract_r_square(m, rtil);
+    copy_top_padded(rhs, std::min(r, n), rtil_rhs);
     // Rows beyond n are pure residual (zero matrix entries) and are dropped.
   }
 
@@ -142,19 +152,19 @@ EvenOut reduce_even(const std::vector<ColState>& level, index pos) {
   if (cs.has_evo) {
     const index l = cs.D.rows();
     const index n_left = cs.E.cols();
-    Matrix m2(l + n, n);
+    MatrixView m2 = scope.mat(l + n, n);
     m2.block(0, 0, l, n).assign(cs.D.view());
-    m2.block(l, 0, n, n).assign(rtil.view());
-    Matrix att2(l + n, n_left + n_right + 1);
+    m2.block(l, 0, n, n).assign(rtil);
+    MatrixView att2 = scope.mat(l + n, n_left + n_right + 1);
     att2.block(0, 0, l, n_left).assign(cs.E.view());
-    if (n_right > 0) att2.block(l, n_left, n, n_right).assign(x.view());
+    if (n_right > 0) att2.block(l, n_left, n, n_right).assign(x);
     for (index q = 0; q < l; ++q) att2(q, n_left + n_right) = cs.erhs[q];
-    for (index q = 0; q < n; ++q) att2(l + q, n_left + n_right) = rtil_rhs[q];
+    for (index q = 0; q < n; ++q) att2(l + q, n_left + n_right) = rtil_rhs[static_cast<std::size_t>(q)];
 
-    scratch.factor_apply(m2.view(), att2.view());
+    scratch.factor_apply(m2, att2);
 
     out.row.R.resize(n, n);
-    la::qr_extract_r_square(m2.view(), out.row.R.view());
+    la::qr_extract_r_square(m2, out.row.R.view());
     out.row.left = level[static_cast<std::size_t>(pos - 1)].col;
     out.row.Eblk.resize(n, n_left);
     copy_top_padded(att2.block(0, 0, att2.rows(), n_left), out.row.Eblk.view());
@@ -164,7 +174,7 @@ EvenOut reduce_even(const std::vector<ColState>& level, index pos) {
       copy_top_padded(att2.block(0, n_left, att2.rows(), n_right), out.row.Yblk.view());
     }
     out.row.rhs.resize(n);
-    copy_top_padded(att2.view().col_span(n_left + n_right), att2.rows(), out.row.rhs);
+    copy_top_padded(att2.col_span(n_left + n_right), att2.rows(), out.row.rhs);
 
     // Leftover evolution rows (exactly l of them).
     out.z = tail_rows(att2.block(0, 0, att2.rows(), n_left), n);
@@ -173,11 +183,11 @@ EvenOut reduce_even(const std::vector<ColState>& level, index pos) {
     for (index q = 0; q < l; ++q) out.z_rhs[q] = att2(n + q, n_left + n_right);
   } else {
     // Position 0: Phase A already produced the final row.
-    out.row.R = std::move(rtil);
-    out.row.rhs = std::move(rtil_rhs);
+    out.row.R.assign_from(rtil);
+    out.row.rhs.assign_from(rtil_rhs);
     if (n_right > 0) {
       out.row.right = level[static_cast<std::size_t>(pos + 1)].col;
-      out.row.Yblk = std::move(x);
+      out.row.Yblk.assign_from(x);
     }
   }
   return out;
@@ -208,37 +218,37 @@ ColState reduce_odd(const std::vector<ColState>& level, std::vector<EvenOut>& ev
   const index r_d = leftev.dtil.rows();
   const index r_c = cs.C.rows();
   const index r_x = extra ? extra->rows() : 0;
-  Matrix m(r_d + r_c + r_x, n);
-  Vector rhs(r_d + r_c + r_x);
+  const index rows = r_d + r_c + r_x;
+  la::Workspace::Scope scope(la::tls_workspace());
+  MatrixView m = scope.mat(rows, n);
+  std::span<double> rhs = scope.vec(rows);
   if (r_d > 0) {
     m.block(0, 0, r_d, n).assign(leftev.dtil.view());
-    for (index q = 0; q < r_d; ++q) rhs[q] = leftev.dtil_rhs[q];
+    for (index q = 0; q < r_d; ++q) rhs[static_cast<std::size_t>(q)] = leftev.dtil_rhs[q];
   }
   if (r_c > 0) {
     m.block(r_d, 0, r_c, n).assign(cs.C.view());
-    for (index q = 0; q < r_c; ++q) rhs[r_d + q] = cs.crhs[q];
+    for (index q = 0; q < r_c; ++q) rhs[static_cast<std::size_t>(r_d + q)] = cs.crhs[q];
   }
   if (r_x > 0) {
     m.block(r_d + r_c, 0, r_x, n).assign(extra->view());
-    for (index q = 0; q < r_x; ++q) rhs[r_d + r_c + q] = (*extra_rhs)[q];
+    for (index q = 0; q < r_x; ++q) rhs[static_cast<std::size_t>(r_d + r_c + q)] = (*extra_rhs)[q];
   }
 
   ColState out;
   out.col = cs.col;
   out.n = n;
-  if (m.rows() > n) {
+  if (rows > n) {
     // Restore the O(n)-row invariant (the paper's step 3).
-    la::QrScratch scratch;
-    scratch.factor_apply(m.view(), rhs.as_matrix());
-    Matrix c(n, n);
-    la::qr_extract_r_square(m.view(), c.view());
-    Vector crhs(n);
-    copy_top_padded(rhs.span(), std::min(m.rows(), n), crhs);
-    out.C = std::move(c);
-    out.crhs = std::move(crhs);
+    static thread_local la::QrScratch scratch;
+    scratch.factor_apply(m, la::MatrixView(rhs.data(), rows, 1, rows));
+    out.C.resize(n, n);
+    la::qr_extract_r_square(m, out.C.view());
+    out.crhs.resize(n);
+    copy_top_padded(rhs, std::min(rows, n), out.crhs);
   } else {
-    out.C = std::move(m);
-    out.crhs = std::move(rhs);
+    out.C.assign_from(m);
+    out.crhs.assign_from(rhs);
   }
 
   // The reduced level's evolution row for this column (absent for the first

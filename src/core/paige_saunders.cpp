@@ -1,92 +1,120 @@
 #include "core/paige_saunders.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/selinv.hpp"
 #include "la/blas.hpp"
 #include "la/qr.hpp"
+#include "la/workspace.hpp"
 
 namespace pitk::kalman {
 
 namespace {
 
-using la::ConstMatrixView;
 using la::MatrixView;
 using la::Trans;
-
-/// Copy the top `take` transformed rows of (block, rhs) into a square-padded
-/// (rows x cols) triangle-extraction target.  Rows beyond `avail` stay zero
-/// (the 0*u = 0 padding convention of DESIGN.md).
-void extract_padded(ConstMatrixView src, std::span<const double> src_rhs, index avail,
-                    MatrixView dst_left, MatrixView dst_right, std::span<double> dst_rhs) {
-  const index take = std::min(avail, dst_left.rows());
-  for (index j = 0; j < dst_left.cols(); ++j)
-    for (index i = 0; i < take; ++i) dst_left(i, j) = src(i, j);
-  for (index j = 0; j < dst_right.cols(); ++j)
-    for (index i = 0; i < take; ++i) dst_right(i, j) = src(i, dst_left.cols() + j);
-  for (index i = 0; i < take; ++i) dst_rhs[static_cast<std::size_t>(i)] = src_rhs[static_cast<std::size_t>(i)];
-}
 
 }  // namespace
 
 BidiagonalFactor paige_saunders_factor(const Problem& p) {
+  BidiagonalFactor f;
+  paige_saunders_factor_into(p, f);
+  return f;
+}
+
+void paige_saunders_factor_into(const Problem& p, BidiagonalFactor& f) {
   if (auto err = p.validate(true)) throw std::invalid_argument("paige_saunders: " + *err);
   const index k = p.last_index();
 
-  BidiagonalFactor f;
+  // Preallocate every result block before the sweep; Matrix::resize reuses a
+  // warm factor's capacity, so re-factoring a same-shaped problem allocates
+  // nothing inside the per-step loop below.
   f.diag.resize(static_cast<std::size_t>(k + 1));
   f.sup.resize(static_cast<std::size_t>(k + 1));
   f.rhs.resize(static_cast<std::size_t>(k + 1));
-
-  la::QrScratch scratch;
+  index maxn = 0;
+  index maxm = 0;
+  index maxl = 0;
+  for (index i = 0; i <= k; ++i) {
+    const index ni = p.state_dim(i);
+    f.diag[static_cast<std::size_t>(i)].resize(ni, ni);
+    if (i < k)
+      f.sup[static_cast<std::size_t>(i)].resize(ni, p.state_dim(i + 1));
+    else
+      f.sup[static_cast<std::size_t>(i)].resize(0, 0);
+    f.rhs[static_cast<std::size_t>(i)].resize(ni);
+    maxn = std::max(maxn, ni);
+    maxm = std::max(maxm, p.step(i).obs_rows());
+    maxl = std::max(maxl, p.step(i).evo_rows());
+  }
 
   // `pending` carries every row that still constrains the current state:
   // initially the weighted observation of step 0, later the triangular
-  // leftovers of each elimination stacked with fresh observation rows.
-  WeightedStep w0 = weigh_step(p.step(0));
-  Matrix pending = std::move(w0.C);
-  Vector pending_rhs = std::move(w0.ow);
+  // leftovers of each elimination stacked with fresh observation rows.  It
+  // lives in a fixed arena borrow (rows <= maxn + maxm) viewed at the current
+  // shape; the stacked QR panel gets its own fixed borrow.
+  const index max_pend = maxn + maxm;
+  const index max_panel = max_pend + maxl;
+  la::Workspace::Scope outer(la::tls_workspace());
+  double* pend_buf = outer.raw(static_cast<std::size_t>(max_pend * maxn));
+  double* prhs_buf = outer.raw(static_cast<std::size_t>(max_pend));
+  double* panel_buf = outer.raw(static_cast<std::size_t>(max_panel * 2 * maxn));
+  double* panel_rhs_buf = outer.raw(static_cast<std::size_t>(max_panel));
+
+  la::QrScratch scratch;
+  index pr = 0;  // current pending row count
+
+  {
+    la::Workspace::Scope scope(la::tls_workspace());
+    WeightedStepView w0 = weigh_step_into(p.step(0), scope);
+    pr = w0.C.rows();
+    MatrixView pv(pend_buf, pr, p.state_dim(0), max_pend);
+    pv.assign(w0.C);
+    std::copy(w0.ow.begin(), w0.ow.end(), prhs_buf);
+  }
 
   for (index i = 1; i <= k; ++i) {
+    la::Workspace::Scope scope(la::tls_workspace());
     const index n_prev = p.state_dim(i - 1);
     const index n_cur = p.state_dim(i);
-    WeightedStep w = weigh_step(p.step(i));
+    WeightedStepView w = weigh_step_into(p.step(i), scope);
     const index l = w.D.rows();
-    const index rp = pending.rows();
+    const index rp = pr;
 
     // Stacked panel over states (i-1, i):
     //   [ pending   0  ]   rhs: [ pending_rhs ]
     //   [  -B_i    D_i ]        [     c_w     ]
-    Matrix s(rp + l, n_prev + n_cur);
-    Vector srhs(rp + l);
+    MatrixView s(panel_buf, rp + l, n_prev + n_cur, max_panel);
+    s.set_zero();
+    std::span<double> srhs(panel_rhs_buf, static_cast<std::size_t>(rp + l));
     if (rp > 0) {
-      s.block(0, 0, rp, n_prev).assign(pending.view());
-      for (index q = 0; q < rp; ++q) srhs[q] = pending_rhs[q];
+      s.block(0, 0, rp, n_prev).assign(MatrixView(pend_buf, rp, n_prev, max_pend));
+      for (index q = 0; q < rp; ++q) srhs[static_cast<std::size_t>(q)] = prhs_buf[q];
     }
     {
       MatrixView bblk = s.block(rp, 0, l, n_prev);
-      bblk.assign(w.B.view());
+      bblk.assign(w.B);
       la::scale(-1.0, bblk);
-      s.block(rp, n_prev, l, n_cur).assign(w.D.view());
-      for (index q = 0; q < l; ++q) srhs[rp + q] = w.cw[q];
+      s.block(rp, n_prev, l, n_cur).assign(w.D);
+      for (index q = 0; q < l; ++q) srhs[static_cast<std::size_t>(rp + q)] = w.cw[static_cast<std::size_t>(q)];
     }
 
-    scratch.factor_apply(s.view(), srhs.as_matrix());
+    scratch.factor_apply(s, MatrixView(srhs.data(), rp + l, 1, rp + l));
 
-    // Top n_prev rows are the final R rows of state i-1.
-    f.diag[static_cast<std::size_t>(i - 1)].resize(n_prev, n_prev);
-    f.sup[static_cast<std::size_t>(i - 1)].resize(n_prev, n_cur);
-    f.rhs[static_cast<std::size_t>(i - 1)].resize(n_prev);
-    // Zero below-diagonal reflector storage before extraction: only the
-    // upper triangle of the factored panel is R.
+    // Top n_prev rows are the final R rows of state i-1 (upper triangle only;
+    // below-diagonal storage holds Householder vectors).  The preallocated
+    // blocks were zeroed by resize, so only the triangle is written.
     {
-      Matrix rtop(n_prev, n_prev + n_cur);
+      Matrix& dg = f.diag[static_cast<std::size_t>(i - 1)];
+      Matrix& sp = f.sup[static_cast<std::size_t>(i - 1)];
+      Vector& rh = f.rhs[static_cast<std::size_t>(i - 1)];
       const index avail = std::min(s.rows(), n_prev);
-      for (index j = 0; j < n_prev + n_cur; ++j)
-        for (index q = 0; q < std::min(avail, j + 1); ++q) rtop(q, j) = s(q, j);
-      extract_padded(rtop.view(), srhs.span(), avail, f.diag[static_cast<std::size_t>(i - 1)].view(),
-                     f.sup[static_cast<std::size_t>(i - 1)].view(),
-                     f.rhs[static_cast<std::size_t>(i - 1)].span());
+      for (index j = 0; j < n_prev; ++j)
+        for (index q = 0; q < std::min(avail, j + 1); ++q) dg(q, j) = s(q, j);
+      for (index j = 0; j < n_cur; ++j)
+        for (index q = 0; q < avail; ++q) sp(q, j) = s(q, n_prev + j);
+      for (index q = 0; q < avail; ++q) rh[q] = srhs[static_cast<std::size_t>(q)];
     }
 
     // Remaining rows (triangular leftover in the u_i columns) + fresh
@@ -96,50 +124,50 @@ BidiagonalFactor paige_saunders_factor(const Problem& p) {
     // sweep degrades from O(k n^3) to O(k^2 n^3).
     const index rem = std::max<index>(0, std::min(s.rows() - n_prev, n_cur));
     const index m = w.C.rows();
-    Matrix next_pending(rem + m, n_cur);
-    Vector next_rhs(rem + m);
+    pr = rem + m;
+    MatrixView np(pend_buf, pr, n_cur, max_pend);
     for (index j = 0; j < n_cur; ++j)
-      for (index q = 0; q < rem; ++q) {
+      for (index q = 0; q < rem; ++q)
         // Upper-trapezoidal part only; below-diagonal entries of the panel
         // hold Householder vectors, not matrix values.
-        const index row = n_prev + q;
-        next_pending(q, j) = (row <= n_prev + j) ? s(row, n_prev + j) : 0.0;
-      }
-    for (index q = 0; q < rem; ++q) next_rhs[q] = srhs[n_prev + q];
+        np(q, j) = (q <= j) ? s(n_prev + q, n_prev + j) : 0.0;
+    for (index q = 0; q < rem; ++q) prhs_buf[q] = srhs[static_cast<std::size_t>(n_prev + q)];
     if (m > 0) {
-      next_pending.block(rem, 0, m, n_cur).assign(w.C.view());
-      for (index q = 0; q < m; ++q) next_rhs[rem + q] = w.ow[q];
+      np.block(rem, 0, m, n_cur).assign(w.C);
+      for (index q = 0; q < m; ++q) prhs_buf[rem + q] = w.ow[static_cast<std::size_t>(q)];
     }
-    pending = std::move(next_pending);
-    pending_rhs = std::move(next_rhs);
   }
 
   // Final state: compress the pending rows into R_kk.
   const index nk = p.state_dim(k);
-  scratch.factor_apply(pending.view(), pending_rhs.as_matrix());
-  f.diag[static_cast<std::size_t>(k)].resize(nk, nk);
-  f.sup[static_cast<std::size_t>(k)] = Matrix();
-  f.rhs[static_cast<std::size_t>(k)].resize(nk);
-  la::qr_extract_r_square(pending.view(), f.diag[static_cast<std::size_t>(k)].view());
-  const index avail = std::min(pending.rows(), nk);
-  for (index q = 0; q < avail; ++q) f.rhs[static_cast<std::size_t>(k)][q] = pending_rhs[q];
-  return f;
+  MatrixView pv(pend_buf, pr, nk, max_pend);
+  scratch.factor_apply(pv, MatrixView(prhs_buf, pr, 1, max_pend));
+  la::qr_extract_r_square(pv, f.diag[static_cast<std::size_t>(k)].view());
+  const index avail = std::min(pr, nk);
+  for (index q = 0; q < avail; ++q) f.rhs[static_cast<std::size_t>(k)][q] = prhs_buf[q];
+  for (index q = avail; q < nk; ++q) f.rhs[static_cast<std::size_t>(k)][q] = 0.0;
 }
 
 std::vector<Vector> paige_saunders_solve(const BidiagonalFactor& f) {
+  std::vector<Vector> u;
+  paige_saunders_solve_into(f, u);
+  return u;
+}
+
+void paige_saunders_solve_into(const BidiagonalFactor& f, std::vector<Vector>& u) {
   const index k = static_cast<index>(f.diag.size()) - 1;
-  std::vector<Vector> u(static_cast<std::size_t>(k + 1));
+  u.resize(static_cast<std::size_t>(k + 1));
   for (index i = k; i >= 0; --i) {
-    Vector x = f.rhs[static_cast<std::size_t>(i)];
+    Vector& x = u[static_cast<std::size_t>(i)];
+    x.assign_from(f.rhs[static_cast<std::size_t>(i)].span());
     if (i < k) {
       la::gemv(-1.0, f.sup[static_cast<std::size_t>(i)].view(), Trans::No,
                u[static_cast<std::size_t>(i + 1)].span(), 1.0, x.span());
     }
     la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit,
              f.diag[static_cast<std::size_t>(i)].view(), x.span());
-    u[static_cast<std::size_t>(i)] = std::move(x);
   }
-  return u;
+  return;
 }
 
 SmootherResult paige_saunders_smooth(const Problem& p, const PaigeSaundersOptions& opts) {

@@ -34,8 +34,18 @@ struct PaigeSaundersOptions {
 /// Factor the problem; exposed separately for tests and for SelInv.
 [[nodiscard]] BidiagonalFactor paige_saunders_factor(const Problem& p);
 
+/// Factor into caller-owned storage, reusing its block capacity.  All scratch
+/// (weighted blocks, stacked panels) is borrowed from the calling thread's
+/// la::Workspace, so refactoring a same-shaped problem into a warm factor
+/// performs zero heap allocations in the per-step sweep.
+void paige_saunders_factor_into(const Problem& p, BidiagonalFactor& f);
+
 /// Back substitution on a bidiagonal factor.
 [[nodiscard]] std::vector<Vector> paige_saunders_solve(const BidiagonalFactor& f);
+
+/// Back substitution into caller-owned storage (capacity-reusing; the
+/// per-state loop is allocation-free once `u` is warm).
+void paige_saunders_solve_into(const BidiagonalFactor& f, std::vector<Vector>& u);
 
 /// Full smoother: factor + solve (+ covariances unless disabled).
 [[nodiscard]] SmootherResult paige_saunders_smooth(const Problem& p,

@@ -1,5 +1,9 @@
 #include "engine/backend.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -8,10 +12,64 @@
 #include "core/paige_saunders.hpp"
 #include "kalman/dense_reference.hpp"
 #include "kalman/rts.hpp"
+#include "la/blas.hpp"
 
 namespace pitk::engine {
 
 using la::index;
+
+namespace {
+
+/// Fallback kernel rate when calibration is disabled: deliberately modest so
+/// the derived small-job cut lands near the old hard-coded 2e6 flops.
+constexpr double kFallbackFlopsPerSecond = 5e9;
+
+/// Estimated scheduling cost of dispatching one parallel_for chunk (submit,
+/// steal, join share).  Not measured — pool-dependent and noisy — but only
+/// its ratio to the measured per-step cost matters, and that ratio is
+/// clamped below.
+constexpr double kSchedSecondsPerChunk = 2e-6;
+
+double measure_gemm_rate() {
+  if (const char* v = std::getenv("PITK_CALIBRATE"); v != nullptr && v[0] == '0')
+    return kFallbackFlopsPerSecond;
+  // Time the packed kernel at n = 48 (the paper's large state dimension and
+  // the mid-range the solvers live in).  Deterministic data; a handful of
+  // repetitions so the one-shot cost stays below a millisecond.
+  const index n = 48;
+  la::Matrix a(n, n);
+  la::Matrix b(n, n);
+  la::Matrix c(n, n);
+  for (index j = 0; j < n; ++j)
+    for (index i = 0; i < n; ++i) {
+      a(i, j) = 1.0 + 0.01 * static_cast<double>(i - j);
+      b(i, j) = 1.0 - 0.02 * static_cast<double>(i + j);
+    }
+  const auto run = [&] {
+    la::detail::gemm_packed(1.0, a.view(), la::Trans::No, b.view(), la::Trans::No, 0.0,
+                            c.view());
+  };
+  run();  // warm the arena and the instruction cache
+  constexpr int reps = 4;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) run();
+  const double dt = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double flops = 2.0 * static_cast<double>(n) * n * n * reps;
+  const double rate = dt > 0.0 ? flops / dt : kFallbackFlopsPerSecond;
+  return std::clamp(rate, 1e8, 1e12);
+}
+
+}  // namespace
+
+double calibrated_gemm_flops_per_second() {
+  static const double rate = measure_gemm_rate();
+  return rate;
+}
+
+double calibrated_small_job_flops() {
+  constexpr double kSmallJobTargetSeconds = 200e-6;
+  return std::clamp(calibrated_gemm_flops_per_second() * kSmallJobTargetSeconds, 5e5, 5e7);
+}
 
 const std::vector<BackendInfo>& all_backends() {
   static const std::vector<BackendInfo> registry = {
@@ -80,10 +138,19 @@ Backend select_backend(const Problem& p, bool has_prior, bool with_covariance,
   const index k = p.num_states();
   // Parallel-in-time pays off once each of the `threads` lanes gets several
   // grains of block columns at the top reduction level (Figure 3's crossover
-  // is a few thousand steps at paper scale; this is the same shape scaled to
-  // the grain).
-  const index parallel_cutoff =
-      static_cast<index>(threads) * 8 * par::default_grain;
+  // is a few thousand steps at paper scale).  How many grains a lane needs
+  // is calibrated from measured kernel throughput: the cheaper one step is,
+  // the more steps one scheduling chunk must amortize.  The clamp keeps the
+  // cutoff within sane bounds when the measurement misfires.
+  const double per_step_seconds =
+      estimated_flops(p, with_covariance) / static_cast<double>(std::max<index>(k, 1)) /
+      calibrated_gemm_flops_per_second();
+  const double chunks_per_lane = std::clamp(
+      kSchedSecondsPerChunk / (static_cast<double>(par::default_grain) * per_step_seconds),
+      4.0, 16.0);
+  const index parallel_cutoff = static_cast<index>(
+      std::ceil(static_cast<double>(threads) * chunks_per_lane *
+                static_cast<double>(par::default_grain)));
   if (threads > 1 && k >= parallel_cutoff) return Backend::OddEven;
   if (has_prior && has_identity_h(p) && with_covariance) return Backend::Rts;
   return Backend::PaigeSaunders;

@@ -85,6 +85,19 @@ struct SolveOptions {
 /// units); the engine's small-vs-large scheduling cut compares against it.
 [[nodiscard]] double estimated_flops(const Problem& p, bool with_covariance);
 
+/// One-shot measured throughput of the packed GEMM kernel on this machine
+/// (flops/second), the basis for the scheduling calibration below.  Measured
+/// lazily on first use (~a few hundred microseconds); PITK_CALIBRATE=0 skips
+/// the measurement and returns a fixed conservative default, which keeps
+/// pathological environments (qemu, heavily shared CI) deterministic.
+[[nodiscard]] double calibrated_gemm_flops_per_second();
+
+/// Engine small-job cut derived from the measured kernel rate: a job whose
+/// whole solve costs less than ~200 us of kernel time is cheaper to run as
+/// one task than to fan out.  Clamped to [5e5, 5e7] flops so a mis-measured
+/// rate can never disable either scheduling path entirely.
+[[nodiscard]] double calibrated_small_job_flops();
+
 /// The auto-selection heuristic:
 ///  - with `threads`-way concurrency and enough block columns to keep every
 ///    lane busy across reduction levels, the paper's odd-even smoother;

@@ -5,12 +5,15 @@
 #include <utility>
 
 #include "engine/session.hpp"
+#include "la/workspace.hpp"
 
 namespace pitk::engine {
 
 SmootherEngine::SmootherEngine(EngineOptions opts)
     : opts_(opts),
-      pool_(opts.threads == 0 ? par::ThreadPool::default_concurrency() : opts.threads) {}
+      pool_(opts.threads == 0 ? par::ThreadPool::default_concurrency() : opts.threads) {
+  if (opts_.small_job_flops < 0.0) opts_.small_job_flops = calibrated_small_job_flops();
+}
 
 SmootherEngine::~SmootherEngine() { wait_idle(); }
 
@@ -54,6 +57,8 @@ std::future<JobResult> SmootherEngine::launch(
       error = std::current_exception();
     }
     jr.metrics.solve_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    jr.metrics.workspace_high_water_bytes =
+        la::tls_workspace().high_water() * sizeof(double);
     {
       std::lock_guard<std::mutex> lk(stats_mu_);
       stats_.total_queue_seconds += jr.metrics.queue_seconds;

@@ -46,7 +46,10 @@ struct EngineOptions {
   la::index grain = par::default_grain;
   /// Jobs whose estimated_flops() falls below this cut run as one whole-job
   /// pool task; larger jobs additionally parallelize inside themselves.
-  double small_job_flops = 2e6;
+  /// Negative (the default) means "derive from the measured kernel rate at
+  /// construction" (calibrated_small_job_flops()); 0 forces every job onto
+  /// the intra-parallel path, huge values force whole-job execution.
+  double small_job_flops = -1.0;
 };
 
 /// Per-job execution options.
@@ -65,6 +68,10 @@ struct JobMetrics {
   double solve_seconds = 0.0;       ///< execution start -> finish
   bool intra_parallel = false;      ///< took the large-job path
   la::index num_states = 0;
+  /// Peak bytes of the executing worker's la::Workspace arena after the job:
+  /// observable evidence that batched jobs reuse one warm arena per worker
+  /// (the value plateaus instead of scaling with jobs served).
+  std::size_t workspace_high_water_bytes = 0;
 };
 
 struct JobResult {

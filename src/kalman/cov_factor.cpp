@@ -103,22 +103,27 @@ Vector CovFactor::sample(la::Rng& rng) const {
 }
 
 Matrix CovFactor::covariance() const {
+  Matrix c(dim_, dim_);
+  covariance_into(c.view());
+  return c;
+}
+
+void CovFactor::covariance_into(la::MatrixView out) const {
+  assert(out.rows() == dim_ && out.cols() == dim_);
   switch (kind_) {
     case Kind::Identity:
-      return Matrix::identity(dim_);
-    case Kind::Diagonal: {
-      Matrix c(dim_, dim_);
-      for (index i = 0; i < dim_; ++i) c(i, i) = diag_std_[i] * diag_std_[i];
-      return c;
-    }
-    case Kind::Dense: {
-      Matrix c(dim_, dim_);
-      la::gemm(1.0, chol_.view(), la::Trans::No, chol_.view(), la::Trans::Yes, 0.0, c.view());
-      la::symmetrize(c.view());
-      return c;
-    }
+      out.set_zero();
+      for (index i = 0; i < dim_; ++i) out(i, i) = 1.0;
+      return;
+    case Kind::Diagonal:
+      out.set_zero();
+      for (index i = 0; i < dim_; ++i) out(i, i) = diag_std_[i] * diag_std_[i];
+      return;
+    case Kind::Dense:
+      la::gemm(1.0, chol_.view(), la::Trans::No, chol_.view(), la::Trans::Yes, 0.0, out);
+      la::symmetrize(out);
+      return;
   }
-  return {};
 }
 
 }  // namespace pitk::kalman

@@ -63,6 +63,10 @@ class CovFactor {
   /// Reconstruct the dense covariance matrix (tests, RTS baseline).
   [[nodiscard]] Matrix covariance() const;
 
+  /// Reconstruct into caller-provided dim x dim storage (hot loops borrow it
+  /// from a Workspace instead of allocating).
+  void covariance_into(la::MatrixView out) const;
+
  private:
   Kind kind_ = Kind::Identity;
   index dim_ = 0;

@@ -1,5 +1,6 @@
 #include "kalman/model.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -135,6 +136,42 @@ Problem with_prior_observation(const Problem& p, const GaussianPrior& prior) {
   ob.noise = CovFactor::dense(std::move(cov));
   s0.observation = std::move(ob);
   return out;
+}
+
+WeightedStepView weigh_step_into(const TimeStep& s, la::Workspace::Scope& scope) {
+  WeightedStepView w;
+  if (s.observation) {
+    const Observation& ob = *s.observation;
+    w.C = scope.mat(ob.rows(), s.n);
+    w.C.assign(ob.G.view());
+    ob.noise.weight_in_place(w.C);
+    w.ow = scope.vec(ob.rows());
+    std::copy(ob.o.span().begin(), ob.o.span().end(), w.ow.begin());
+    ob.noise.weight_in_place(w.ow);
+  } else {
+    w.C = scope.mat(0, s.n);
+    w.ow = scope.vec(0);
+  }
+  if (s.evolution) {
+    const Evolution& e = *s.evolution;
+    const index l = e.rows();
+    w.B = scope.mat(l, e.F.cols());
+    w.B.assign(e.F.view());
+    e.noise.weight_in_place(w.B);
+    w.D = scope.mat(l, s.n);
+    if (e.identity_h()) {
+      for (index i = 0; i < l; ++i) w.D(i, i) = 1.0;
+    } else {
+      w.D.assign(e.H.view());
+    }
+    e.noise.weight_in_place(w.D);
+    w.cw = scope.vec(l);
+    if (!e.c.empty()) {
+      std::copy(e.c.span().begin(), e.c.span().end(), w.cw.begin());
+      e.noise.weight_in_place(w.cw);
+    }
+  }
+  return w;
 }
 
 WeightedStep weigh_step(const TimeStep& s) {

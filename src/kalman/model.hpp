@@ -19,6 +19,7 @@
 
 #include "kalman/cov_factor.hpp"
 #include "la/matrix.hpp"
+#include "la/workspace.hpp"
 
 namespace pitk::kalman {
 
@@ -130,6 +131,19 @@ struct WeightedStep {
 
 /// Compute the weighted blocks of step i (i == 0 has only C, ow).
 [[nodiscard]] WeightedStep weigh_step(const TimeStep& s);
+
+/// Views of the weighted blocks, borrowed from a Workspace scope: the
+/// allocation-free flavor the per-step solver loops use.  The views die with
+/// the scope they were borrowed from.
+struct WeightedStepView {
+  la::MatrixView C;        ///< m x n_i
+  std::span<double> ow;    ///< m
+  la::MatrixView B;        ///< l x n_{i-1}
+  la::MatrixView D;        ///< l x n_i
+  std::span<double> cw;    ///< l
+};
+
+[[nodiscard]] WeightedStepView weigh_step_into(const TimeStep& s, la::Workspace::Scope& scope);
 
 /// Result of a smoothing pass.
 struct SmootherResult {

@@ -1,9 +1,11 @@
 #include "kalman/rts.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
+#include "la/workspace.hpp"
 
 namespace pitk::kalman {
 
@@ -32,40 +34,51 @@ void require_identity_h(const Problem& p) {
 void kf_measurement_update(const Observation& ob, Vector& x, Matrix& pcov) {
   const index n = x.size();
   const index m = ob.rows();
-  const Matrix lcov = ob.noise.covariance();
+  // Per-step hot path of the RTS backend (and step 0 of the associative
+  // scan): every temporary is an arena borrow, so warm calls allocate nothing.
+  la::Workspace::Scope scope(la::tls_workspace());
+  la::MatrixView lcov = scope.mat(m, m);
+  ob.noise.covariance_into(lcov);
 
   // S = G P G^T + L.
-  Matrix gp = la::multiply(ob.G.view(), pcov.view());  // m x n
-  Matrix s = lcov;
-  la::gemm(1.0, gp.view(), Trans::No, ob.G.view(), Trans::Yes, 1.0, s.view());
-  la::symmetrize(s.view());
+  la::MatrixView gp = scope.mat(m, n);
+  la::gemm(1.0, ob.G.view(), Trans::No, pcov.view(), Trans::No, 0.0, gp);
+  la::MatrixView s = scope.mat(m, m);
+  s.assign(lcov);
+  la::gemm(1.0, gp, Trans::No, ob.G.view(), Trans::Yes, 1.0, s);
+  la::symmetrize(s);
 
   // Gain K = P G^T S^{-1}  (via K^T = S^{-1} (G P)).
-  Matrix kt = la::to_matrix(gp.view());
+  la::MatrixView kt = scope.mat(m, n);
+  kt.assign(gp);
   {
-    Matrix schol = s;
-    if (!la::cholesky_lower(schol.view()))
+    la::MatrixView schol = scope.mat(m, m);
+    schol.assign(s);
+    if (!la::cholesky_lower(schol))
       throw std::runtime_error("kalman_filter: innovation covariance not SPD");
-    la::chol_solve(schol.view(), kt.view());
+    la::chol_solve(schol, kt);
   }
 
   // Innovation r = o - G x.
-  Vector r = ob.o;
-  la::gemv(-1.0, ob.G.view(), Trans::No, x.span(), 1.0, r.span());
+  std::span<double> r = scope.vec(m);
+  std::copy(ob.o.span().begin(), ob.o.span().end(), r.begin());
+  la::gemv(-1.0, ob.G.view(), Trans::No, x.span(), 1.0, r);
   // x += K r = kt^T r.
-  la::gemv(1.0, kt.view(), Trans::Yes, r.span(), 1.0, x.span());
+  la::gemv(1.0, kt, Trans::Yes, r, 1.0, x.span());
 
   // Joseph form: P = (I - K G) P (I - K G)^T + K L K^T.
-  Matrix ikg = Matrix::identity(n);
-  la::gemm(-1.0, kt.view(), Trans::Yes, ob.G.view(), Trans::No, 1.0, ikg.view());
-  Matrix tmp = la::multiply(ikg.view(), pcov.view());
-  Matrix pnew(n, n);
-  la::gemm(1.0, tmp.view(), Trans::No, ikg.view(), Trans::Yes, 0.0, pnew.view());
-  Matrix kl(m, n);  // L K^T (m x n)
-  la::gemm(1.0, lcov.view(), Trans::No, kt.view(), Trans::No, 0.0, kl.view());
-  la::gemm(1.0, kt.view(), Trans::Yes, kl.view(), Trans::No, 1.0, pnew.view());
-  la::symmetrize(pnew.view());
-  pcov = std::move(pnew);
+  la::MatrixView ikg = scope.mat(n, n);
+  for (index i = 0; i < n; ++i) ikg(i, i) = 1.0;
+  la::gemm(-1.0, kt, Trans::Yes, ob.G.view(), Trans::No, 1.0, ikg);
+  la::MatrixView tmp = scope.mat(n, n);
+  la::gemm(1.0, ikg, Trans::No, pcov.view(), Trans::No, 0.0, tmp);
+  la::MatrixView pnew = scope.mat(n, n);
+  la::gemm(1.0, tmp, Trans::No, ikg, Trans::Yes, 0.0, pnew);
+  la::MatrixView kl = scope.mat(m, n);  // L K^T (m x n)
+  la::gemm(1.0, lcov, Trans::No, kt, Trans::No, 0.0, kl);
+  la::gemm(1.0, kt, Trans::Yes, kl, Trans::No, 1.0, pnew);
+  la::symmetrize(pnew);
+  pcov.assign_from(pnew);
 }
 
 namespace {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/workspace.hpp"
+
 namespace pitk::la {
 
 namespace {
@@ -19,63 +21,260 @@ inline void scale_col(double beta, std::span<double> c) {
   for (double& v : c) v *= beta;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Small-dimension dispatch: every dimension <= 8.  The operands are staged
+// into fixed-leading-dimension stack tiles (a register/L1 copy, not the heap
+// packing of the blocked path) and the reduction length is a template
+// parameter, so the compiler fully unrolls and vectorizes the dot products.
+// ---------------------------------------------------------------------------
 
-void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb, double beta,
-          MatrixView c) {
-  const index m = op_rows(a, ta);
-  const index p = op_cols(a, ta);
-  const index n = op_cols(b, tb);
-  assert(op_rows(b, tb) == p);
-  assert(c.rows() == m && c.cols() == n);
-  (void)m;
+constexpr index kSmallDim = 8;
 
-  if (ta == Trans::No && tb == Trans::No) {
-    // C[:,j] = beta*C[:,j] + alpha * sum_l A[:,l] * B(l,j): pure column AXPYs.
-    for (index j = 0; j < n; ++j) {
-      scale_col(beta, c.col_span(j));
-      for (index l = 0; l < p; ++l) {
-        const double t = alpha * b(l, j);
-        if (t == 0.0) continue;
-        const double* acol = a.col_span(l).data();
-        double* ccol = c.col_span(j).data();
-        for (index i = 0; i < c.rows(); ++i) ccol[i] += t * acol[i];
-      }
-    }
-  } else if (ta == Trans::Yes && tb == Trans::No) {
-    // C(i,j) = beta*C(i,j) + alpha * dot(A[:,i], B[:,j]): contiguous dots.
-    for (index j = 0; j < n; ++j) {
-      const double* bcol = b.col_span(j).data();
-      for (index i = 0; i < c.rows(); ++i) {
-        const double* acol = a.col_span(i).data();
-        double acc = 0.0;
-        for (index l = 0; l < p; ++l) acc += acol[l] * bcol[l];
-        c(i, j) = beta * c(i, j) + alpha * acc;
-      }
-    }
-  } else if (ta == Trans::No && tb == Trans::Yes) {
-    for (index j = 0; j < n; ++j) scale_col(beta, c.col_span(j));
-    for (index l = 0; l < p; ++l) {
-      const double* acol = a.col_span(l).data();
-      for (index j = 0; j < n; ++j) {
-        const double t = alpha * b(j, l);
-        if (t == 0.0) continue;
-        double* ccol = c.col_span(j).data();
-        for (index i = 0; i < c.rows(); ++i) ccol[i] += t * acol[i];
-      }
+/// Copy op(A) (m x k, both <= 8) into an 8-leading-dimension column-major
+/// stack tile.
+inline void load_small(ConstMatrixView a, Trans ta, index m, index k, double* buf) {
+  if (ta == Trans::No) {
+    for (index l = 0; l < k; ++l) {
+      const double* col = a.data() + l * a.ld();
+      for (index i = 0; i < m; ++i) buf[i + 8 * l] = col[i];
     }
   } else {
-    // C(i,j) = beta*C(i,j) + alpha * sum_l A(l,i) * B(j,l).
+    for (index i = 0; i < m; ++i) {
+      const double* col = a.data() + i * a.ld();  // column i of A = row i of op(A)
+      for (index l = 0; l < k; ++l) buf[i + 8 * l] = col[l];
+    }
+  }
+}
+
+template <int K>
+inline void small_kernel(index m, index n, const double* ab, const double* bb, double alpha,
+                         double beta, MatrixView c) {
+  for (index j = 0; j < n; ++j) {
+    double* cc = c.data() + j * c.ld();
+    const double* bj = bb + 8 * j;
+    for (index i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (int l = 0; l < K; ++l) acc += ab[i + 8 * l] * bj[l];
+      cc[i] = beta == 0.0 ? alpha * acc : alpha * acc + beta * cc[i];
+    }
+  }
+}
+
+void gemm_small_impl(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+                     double beta, MatrixView c) {
+  const index m = c.rows();
+  const index n = c.cols();
+  const index p = op_cols(a, ta);
+  double ab[64];
+  double bb[64];
+  load_small(a, ta, m, p, ab);
+  // op(B) is p x n; load as the transposed-roles tile: bb[l + 8j] = op(B)(l, j).
+  if (tb == Trans::No) {
     for (index j = 0; j < n; ++j) {
-      for (index i = 0; i < c.rows(); ++i) {
-        const double* acol = a.col_span(i).data();
-        double acc = 0.0;
-        for (index l = 0; l < p; ++l) acc += acol[l] * b(j, l);
-        c(i, j) = beta * c(i, j) + alpha * acc;
+      const double* col = b.data() + j * b.ld();
+      for (index l = 0; l < p; ++l) bb[l + 8 * j] = col[l];
+    }
+  } else {
+    for (index l = 0; l < p; ++l) {
+      const double* col = b.data() + l * b.ld();  // column l of B = row l of op(B)
+      for (index j = 0; j < n; ++j) bb[l + 8 * j] = col[j];
+    }
+  }
+  switch (p) {
+    case 1: small_kernel<1>(m, n, ab, bb, alpha, beta, c); break;
+    case 2: small_kernel<2>(m, n, ab, bb, alpha, beta, c); break;
+    case 3: small_kernel<3>(m, n, ab, bb, alpha, beta, c); break;
+    case 4: small_kernel<4>(m, n, ab, bb, alpha, beta, c); break;
+    case 5: small_kernel<5>(m, n, ab, bb, alpha, beta, c); break;
+    case 6: small_kernel<6>(m, n, ab, bb, alpha, beta, c); break;
+    case 7: small_kernel<7>(m, n, ab, bb, alpha, beta, c); break;
+    case 8: small_kernel<8>(m, n, ab, bb, alpha, beta, c); break;
+    default: assert(false); break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packed blocked path (BLIS-style).  A is packed into MR-row micro-panels, B
+// into NR-column micro-panels, both zero-padded to the register-tile size so
+// the micro-kernel always runs full tiles; stores are bounded at the edges.
+// Blocking: KC x NC panel of B in L2/L3, MC x KC panel of A in L2, one NR
+// sliver of B in L1 while MR panels of A stream through it.
+// ---------------------------------------------------------------------------
+
+constexpr index MR = 8;   ///< register-tile rows
+constexpr index NR = 4;   ///< register-tile columns
+constexpr index MC = 128;
+constexpr index KC = 256;
+constexpr index NC = 512;
+
+/// Pack op(A)(ic:ic+mc, pc:pc+kc) into MR-row micro-panels, zero padded.
+void pack_a(ConstMatrixView a, Trans ta, index ic, index pc, index mc, index kc, double* out) {
+  for (index i0 = 0; i0 < mc; i0 += MR) {
+    const index mr = std::min(MR, mc - i0);
+    double* dst = out + (i0 / MR) * kc * MR;
+    if (ta == Trans::No) {
+      for (index l = 0; l < kc; ++l) {
+        const double* col = a.data() + (pc + l) * a.ld() + ic + i0;
+        for (index ii = 0; ii < mr; ++ii) dst[l * MR + ii] = col[ii];
+        for (index ii = mr; ii < MR; ++ii) dst[l * MR + ii] = 0.0;
+      }
+    } else {
+      // op(A)(i, l) = A(pc + l, ic + i): each op-row is a contiguous A column.
+      for (index ii = 0; ii < MR; ++ii) {
+        if (ii < mr) {
+          const double* col = a.data() + (ic + i0 + ii) * a.ld() + pc;
+          for (index l = 0; l < kc; ++l) dst[l * MR + ii] = col[l];
+        } else {
+          for (index l = 0; l < kc; ++l) dst[l * MR + ii] = 0.0;
+        }
       }
     }
   }
 }
+
+/// Pack op(B)(pc:pc+kc, jc:jc+nc) into NR-column micro-panels, zero padded.
+void pack_b(ConstMatrixView b, Trans tb, index pc, index jc, index kc, index nc, double* out) {
+  for (index j0 = 0; j0 < nc; j0 += NR) {
+    const index nr = std::min(NR, nc - j0);
+    double* dst = out + (j0 / NR) * kc * NR;
+    if (tb == Trans::No) {
+      for (index jj = 0; jj < NR; ++jj) {
+        if (jj < nr) {
+          const double* col = b.data() + (jc + j0 + jj) * b.ld() + pc;
+          for (index l = 0; l < kc; ++l) dst[l * NR + jj] = col[l];
+        } else {
+          for (index l = 0; l < kc; ++l) dst[l * NR + jj] = 0.0;
+        }
+      }
+    } else {
+      // op(B)(l, j) = B(jc + j, pc + l): each op-column sliver walks a row of B.
+      for (index l = 0; l < kc; ++l) {
+        const double* col = b.data() + (pc + l) * b.ld() + jc + j0;
+        for (index jj = 0; jj < nr; ++jj) dst[l * NR + jj] = col[jj];
+        for (index jj = nr; jj < NR; ++jj) dst[l * NR + jj] = 0.0;
+      }
+    }
+  }
+}
+
+/// MR x NR register tile: C(0:mr, 0:nr) = alpha * sum_l ap[l] bp[l]^T
+/// (+ beta * C).  Accumulators live in registers across the whole kc loop;
+/// the fixed trip counts of the inner two loops unroll and vectorize.
+void micro_kernel(index kc, const double* ap, const double* bp, double alpha, double beta,
+                  double* cp, index ldc, index mr, index nr) {
+  double acc[MR * NR] = {};
+  for (index l = 0; l < kc; ++l) {
+    const double* av = ap + l * MR;
+    const double* bv = bp + l * NR;
+    for (index jj = 0; jj < NR; ++jj) {
+      const double bj = bv[jj];
+      double* accj = acc + jj * MR;
+      for (index ii = 0; ii < MR; ++ii) accj[ii] += av[ii] * bj;
+    }
+  }
+  for (index jj = 0; jj < nr; ++jj) {
+    double* cc = cp + jj * ldc;
+    const double* accj = acc + jj * MR;
+    if (beta == 0.0) {
+      for (index ii = 0; ii < mr; ++ii) cc[ii] = alpha * accj[ii];
+    } else if (beta == 1.0) {
+      for (index ii = 0; ii < mr; ++ii) cc[ii] += alpha * accj[ii];
+    } else {
+      for (index ii = 0; ii < mr; ++ii) cc[ii] = beta * cc[ii] + alpha * accj[ii];
+    }
+  }
+}
+
+void gemm_packed_impl(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+                      double beta, MatrixView c) {
+  const index m = c.rows();
+  const index n = c.cols();
+  const index p = op_cols(a, ta);
+
+  Workspace::Scope scope(tls_workspace());
+  double* apack = scope.raw(static_cast<std::size_t>(std::min(MC, (m + MR - 1) / MR * MR)) *
+                            static_cast<std::size_t>(std::min(KC, p)));
+  double* bpack = scope.raw(static_cast<std::size_t>(std::min(KC, p)) *
+                            static_cast<std::size_t>(std::min(NC, (n + NR - 1) / NR * NR)));
+
+  for (index jc = 0; jc < n; jc += NC) {
+    const index nc = std::min(NC, n - jc);
+    for (index pc = 0; pc < p; pc += KC) {
+      const index kc = std::min(KC, p - pc);
+      // The first KC slab applies the caller's beta; later slabs accumulate.
+      const double beta_eff = pc == 0 ? beta : 1.0;
+      pack_b(b, tb, pc, jc, kc, nc, bpack);
+      for (index ic = 0; ic < m; ic += MC) {
+        const index mc = std::min(MC, m - ic);
+        pack_a(a, ta, ic, pc, mc, kc, apack);
+        for (index jr = 0; jr < nc; jr += NR) {
+          const index nr = std::min(NR, nc - jr);
+          const double* bp = bpack + (jr / NR) * kc * NR;
+          for (index ir = 0; ir < mc; ir += MR) {
+            const index mr = std::min(MR, mc - ir);
+            const double* ap = apack + (ir / MR) * kc * MR;
+            micro_kernel(kc, ap, bp, alpha, beta_eff,
+                         c.data() + (ic + ir) + (jc + jr) * c.ld(), c.ld(), mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_check_shapes(ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb, MatrixView c) {
+  assert(op_rows(a, ta) == c.rows());
+  assert(op_rows(b, tb) == op_cols(a, ta));
+  assert(op_cols(b, tb) == c.cols());
+  (void)a; (void)ta; (void)b; (void)tb; (void)c;
+}
+
+}  // namespace
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb, double beta,
+          MatrixView c) {
+  gemm_check_shapes(a, ta, b, tb, c);
+  const index m = c.rows();
+  const index n = c.cols();
+  const index p = op_cols(a, ta);
+  if (m == 0 || n == 0) return;
+  if (p == 0 || alpha == 0.0) {
+    // No product term: C = beta * C (C is never read when beta == 0).
+    for (index j = 0; j < n; ++j) scale_col(beta, c.col_span(j));
+    return;
+  }
+  if (m <= kSmallDim && n <= kSmallDim && p <= kSmallDim)
+    gemm_small_impl(alpha, a, ta, b, tb, beta, c);
+  else
+    gemm_packed_impl(alpha, a, ta, b, tb, beta, c);
+}
+
+namespace detail {
+
+void gemm_small(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+                double beta, MatrixView c) {
+  gemm_check_shapes(a, ta, b, tb, c);
+  assert(c.rows() <= kSmallDim && c.cols() <= kSmallDim && op_cols(a, ta) <= kSmallDim);
+  if (c.rows() == 0 || c.cols() == 0) return;
+  if (op_cols(a, ta) == 0 || alpha == 0.0) {
+    for (index j = 0; j < c.cols(); ++j) scale_col(beta, c.col_span(j));
+    return;
+  }
+  gemm_small_impl(alpha, a, ta, b, tb, beta, c);
+}
+
+void gemm_packed(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+                 double beta, MatrixView c) {
+  gemm_check_shapes(a, ta, b, tb, c);
+  if (c.rows() == 0 || c.cols() == 0) return;
+  if (op_cols(a, ta) == 0 || alpha == 0.0) {
+    for (index j = 0; j < c.cols(); ++j) scale_col(beta, c.col_span(j));
+    return;
+  }
+  gemm_packed_impl(alpha, a, ta, b, tb, beta, c);
+}
+
+}  // namespace detail
 
 Matrix multiply(ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb) {
   Matrix c(op_rows(a, ta), op_cols(b, tb));
@@ -152,14 +351,31 @@ void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, std::span<double
   }
 }
 
-void trsm_left(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b) {
-  assert(t.rows() == t.cols() && t.rows() == b.rows());
+namespace {
+
+/// Diagonal-block size of the blocked triangular kernels.  Small enough that
+/// shapes just past the Kalman sweet spot already exercise the blocked path
+/// (and its panel updates route through the small-dimension gemm).
+constexpr index kTriBlock = 8;
+
+void trsm_left_unblocked(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b) {
   for (index j = 0; j < b.cols(); ++j) trsv(uplo, trans, diag, t, b.col_span(j));
 }
 
-void trsm_right(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b) {
+/// Sub-block (r0:r0+nr, c0:c0+nc) of op(T) together with the Trans flag that
+/// realizes it through gemm on the untransposed storage.
+struct OpBlock {
+  ConstMatrixView view;
+  Trans trans;
+};
+
+OpBlock op_block(ConstMatrixView t, Trans trans, index r0, index c0, index nr, index nc) {
+  if (trans == Trans::No) return {t.block(r0, c0, nr, nc), Trans::No};
+  return {t.block(c0, r0, nc, nr), Trans::Yes};
+}
+
+void trsm_right_unblocked(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b) {
   const index n = t.rows();
-  assert(t.cols() == n && b.cols() == n);
   const bool unit = diag == Diag::Unit;
   const bool effective_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
   // X * U = B (U effectively upper): forward over columns.
@@ -196,9 +412,9 @@ void trsm_right(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView
   }
 }
 
-void trmm_left(Uplo uplo, Trans trans, Diag diag, double alpha, ConstMatrixView t, MatrixView b) {
+void trmm_left_unblocked(Uplo uplo, Trans trans, Diag diag, double alpha, ConstMatrixView t,
+                         MatrixView b) {
   const index n = t.rows();
-  assert(t.cols() == n && b.rows() == n);
   const bool unit = diag == Diag::Unit;
   const bool effective_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
   auto entry = [&](index r, index c) { return trans == Trans::No ? t(r, c) : t(c, r); };
@@ -221,8 +437,139 @@ void trmm_left(Uplo uplo, Trans trans, Diag diag, double alpha, ConstMatrixView 
   }
 }
 
+}  // namespace
+
+void trsm_left(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b) {
+  const index n = t.rows();
+  assert(t.cols() == n && n == b.rows());
+  if (n <= kTriBlock || b.cols() < 2) {
+    trsm_left_unblocked(uplo, trans, diag, t, b);
+    return;
+  }
+  const index cols = b.cols();
+  const bool effective_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
+  if (effective_upper) {
+    // Back substitution over block rows; each solved block updates the rows
+    // above it through one gemm.
+    for (index bd = (n - 1) / kTriBlock * kTriBlock; bd >= 0; bd -= kTriBlock) {
+      const index nb = std::min(kTriBlock, n - bd);
+      trsm_left_unblocked(uplo, trans, diag, t.block(bd, bd, nb, nb), b.block(bd, 0, nb, cols));
+      if (bd > 0) {
+        const OpBlock s = op_block(t, trans, 0, bd, bd, nb);
+        gemm(-1.0, s.view, s.trans, b.block(bd, 0, nb, cols), Trans::No, 1.0,
+             b.block(0, 0, bd, cols));
+      }
+    }
+  } else {
+    for (index bd = 0; bd < n; bd += kTriBlock) {
+      const index nb = std::min(kTriBlock, n - bd);
+      trsm_left_unblocked(uplo, trans, diag, t.block(bd, bd, nb, nb), b.block(bd, 0, nb, cols));
+      const index rest = n - bd - nb;
+      if (rest > 0) {
+        const OpBlock s = op_block(t, trans, bd + nb, bd, rest, nb);
+        gemm(-1.0, s.view, s.trans, b.block(bd, 0, nb, cols), Trans::No, 1.0,
+             b.block(bd + nb, 0, rest, cols));
+      }
+    }
+  }
+}
+
+void trsm_right(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b) {
+  const index n = t.rows();
+  assert(t.cols() == n && b.cols() == n);
+  const index m = b.rows();
+  if (n <= kTriBlock || m < 2) {
+    trsm_right_unblocked(uplo, trans, diag, t, b);
+    return;
+  }
+  const bool effective_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
+  if (effective_upper) {
+    // Forward over block columns: clear the contribution of already-solved
+    // columns with one gemm, then solve against the diagonal block.
+    for (index bd = 0; bd < n; bd += kTriBlock) {
+      const index nb = std::min(kTriBlock, n - bd);
+      if (bd > 0) {
+        const OpBlock s = op_block(t, trans, 0, bd, bd, nb);
+        gemm(-1.0, b.block(0, 0, m, bd), Trans::No, s.view, s.trans, 1.0,
+             b.block(0, bd, m, nb));
+      }
+      trsm_right_unblocked(uplo, trans, diag, t.block(bd, bd, nb, nb), b.block(0, bd, m, nb));
+    }
+  } else {
+    for (index bd = (n - 1) / kTriBlock * kTriBlock; bd >= 0; bd -= kTriBlock) {
+      const index nb = std::min(kTriBlock, n - bd);
+      const index rest = n - bd - nb;
+      if (rest > 0) {
+        const OpBlock s = op_block(t, trans, bd + nb, bd, rest, nb);
+        gemm(-1.0, b.block(0, bd + nb, m, rest), Trans::No, s.view, s.trans, 1.0,
+             b.block(0, bd, m, nb));
+      }
+      trsm_right_unblocked(uplo, trans, diag, t.block(bd, bd, nb, nb), b.block(0, bd, m, nb));
+    }
+  }
+}
+
+void trmm_left(Uplo uplo, Trans trans, Diag diag, double alpha, ConstMatrixView t, MatrixView b) {
+  const index n = t.rows();
+  assert(t.cols() == n && b.rows() == n);
+  if (n <= kTriBlock || b.cols() < 2) {
+    trmm_left_unblocked(uplo, trans, diag, alpha, t, b);
+    return;
+  }
+  const index cols = b.cols();
+  const bool effective_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
+  if (effective_upper) {
+    // Ascending block rows: the strict part reads rows below, which are not
+    // yet overwritten; the diagonal block multiplies in place first.
+    for (index bd = 0; bd < n; bd += kTriBlock) {
+      const index nb = std::min(kTriBlock, n - bd);
+      trmm_left_unblocked(uplo, trans, diag, alpha, t.block(bd, bd, nb, nb),
+                          b.block(bd, 0, nb, cols));
+      const index rest = n - bd - nb;
+      if (rest > 0) {
+        const OpBlock s = op_block(t, trans, bd, bd + nb, nb, rest);
+        gemm(alpha, s.view, s.trans, b.block(bd + nb, 0, rest, cols), Trans::No, 1.0,
+             b.block(bd, 0, nb, cols));
+      }
+    }
+  } else {
+    for (index bd = (n - 1) / kTriBlock * kTriBlock; bd >= 0; bd -= kTriBlock) {
+      const index nb = std::min(kTriBlock, n - bd);
+      trmm_left_unblocked(uplo, trans, diag, alpha, t.block(bd, bd, nb, nb),
+                          b.block(bd, 0, nb, cols));
+      if (bd > 0) {
+        const OpBlock s = op_block(t, trans, bd, 0, nb, bd);
+        gemm(alpha, s.view, s.trans, b.block(0, 0, bd, cols), Trans::No, 1.0,
+             b.block(bd, 0, nb, cols));
+      }
+    }
+  }
+}
+
 void syrk(double alpha, ConstMatrixView a, Trans trans, double beta, MatrixView c) {
-  gemm(alpha, a, trans, a, trans == Trans::No ? Trans::Yes : Trans::No, beta, c);
+  const Trans tb = trans == Trans::No ? Trans::Yes : Trans::No;
+  const index n = c.rows();
+  assert(c.cols() == n);
+  // A general beta*C may be non-symmetric, in which case mirroring would be
+  // wrong; only the pure-product case takes the half-flops triangle path.
+  constexpr index kSyrkBlock = 16;
+  if (beta != 0.0 || n <= 2 * kSyrkBlock) {
+    gemm(alpha, a, trans, a, tb, beta, c);
+    return;
+  }
+  for (index j = 0; j < n; j += kSyrkBlock) {
+    const index nb = std::min(kSyrkBlock, n - j);
+    const ConstMatrixView aj =
+        trans == Trans::No ? a.block(j, 0, nb, a.cols()) : a.block(0, j, a.rows(), nb);
+    for (index i = 0; i <= j; i += kSyrkBlock) {
+      const index mb = std::min(kSyrkBlock, n - i);
+      const ConstMatrixView ai =
+          trans == Trans::No ? a.block(i, 0, mb, a.cols()) : a.block(0, i, a.rows(), mb);
+      gemm(alpha, ai, trans, aj, tb, 0.0, c.block(i, j, mb, nb));
+    }
+  }
+  for (index j = 0; j < n; ++j)
+    for (index i = j + 1; i < n; ++i) c(i, j) = c(j, i);
 }
 
 void axpy(double alpha, ConstMatrixView x, MatrixView y) {

@@ -26,8 +26,26 @@ enum class Diag : std::uint8_t { NonUnit, Unit };
 
 /// C = alpha * op(A) * op(B) + beta * C.
 /// Shapes must satisfy: op(A) is m x p, op(B) is p x n, C is m x n.
+///
+/// Dispatches on size: when every dimension is <= 8 (the Kalman state-dim
+/// sweet spot) a register-resident kernel with a compile-time trip count on
+/// the reduction runs without any packing; larger problems go through a
+/// cache-blocked (MC/KC/NC) packed path with an MR x NR register tile.
+/// BLAS semantics: C is not read when beta == 0, and non-finite values in A
+/// and B propagate (no zero-skip shortcuts).  Packing scratch comes from the
+/// calling thread's la::Workspace, so steady-state calls do not allocate.
 void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb, double beta,
           MatrixView c);
+
+namespace detail {
+/// Benchmark/test hooks: force one gemm code path regardless of the
+/// size-based dispatch above.  Same contract as gemm(); gemm_small requires
+/// every dimension <= 8.
+void gemm_small(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+                double beta, MatrixView c);
+void gemm_packed(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb,
+                 double beta, MatrixView c);
+}  // namespace detail
 
 /// Convenience: C = op(A) * op(B) as a fresh matrix.
 [[nodiscard]] Matrix multiply(ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb);
@@ -41,18 +59,24 @@ void gemv(double alpha, ConstMatrixView a, Trans ta, std::span<const double> x, 
 void trsv(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, std::span<double> x);
 
 /// Solve op(T) * X = B in place (left side), B overwritten with X.
-/// T must be square (n x n) and B n x m.
+/// T must be square (n x n) and B n x m.  Large triangles with multi-column B
+/// run blocked: per-block-column substitution on the diagonal blocks with the
+/// panel updates routed through the packed gemm.
 void trsm_left(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b);
 
 /// Solve X * op(T) = B in place (right side), B overwritten with X.
-/// T must be square (n x n) and B m x n.
+/// T must be square (n x n) and B m x n.  Blocked like trsm_left.
 void trsm_right(Uplo uplo, Trans trans, Diag diag, ConstMatrixView t, MatrixView b);
 
 /// B = alpha * op(T) * B where T triangular (left multiply, in place).
+/// Blocked like trsm_left.
 void trmm_left(Uplo uplo, Trans trans, Diag diag, double alpha, ConstMatrixView t, MatrixView b);
 
 /// C = alpha * A * A^T + beta * C (full matrix written, C symmetric on exit
 /// when beta*C is symmetric).  trans == Trans::Yes computes A^T * A instead.
+/// With beta == 0 and a large C, only the upper block triangle is computed
+/// (through the packed gemm) and mirrored, halving the flops; the result is
+/// then exactly symmetric.
 void syrk(double alpha, ConstMatrixView a, Trans trans, double beta, MatrixView c);
 
 /// Y += alpha * X (same shape).

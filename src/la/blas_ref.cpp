@@ -1,0 +1,40 @@
+#include "la/blas_ref.hpp"
+
+#include <cassert>
+
+namespace pitk::la::ref {
+
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb, double beta,
+          MatrixView c) {
+  const index m = c.rows();
+  const index n = c.cols();
+  const index p = ta == Trans::No ? a.cols() : a.rows();
+  assert((ta == Trans::No ? a.rows() : a.cols()) == m);
+  assert((tb == Trans::No ? b.rows() : b.cols()) == p);
+  assert((tb == Trans::No ? b.cols() : b.rows()) == n);
+  for (index i = 0; i < m; ++i)
+    for (index j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (index l = 0; l < p; ++l) {
+        const double av = ta == Trans::No ? a(i, l) : a(l, i);
+        const double bv = tb == Trans::No ? b(l, j) : b(j, l);
+        acc += av * bv;
+      }
+      c(i, j) = beta == 0.0 ? alpha * acc : alpha * acc + beta * c(i, j);
+    }
+}
+
+Matrix dense_triangle(ConstMatrixView t, Uplo uplo, Diag diag) {
+  const index n = t.rows();
+  assert(t.cols() == n);
+  Matrix d(n, n);
+  for (index j = 0; j < n; ++j)
+    for (index i = 0; i < n; ++i) {
+      const bool in_triangle = uplo == Uplo::Upper ? i <= j : i >= j;
+      if (!in_triangle) continue;
+      d(i, j) = (i == j && diag == Diag::Unit) ? 1.0 : t(i, j);
+    }
+  return d;
+}
+
+}  // namespace pitk::la::ref

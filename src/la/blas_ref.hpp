@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file blas_ref.hpp
+/// Naive reference kernels: straight textbook loops, no blocking, no packing.
+///
+/// These exist for two consumers only: the randomized equivalence tests
+/// (blocked kernels must reproduce these bit-for-comparable results up to
+/// reassociation rounding) and the kernel microbenchmark, where they are the
+/// "naive baseline" the packed kernels are measured against.  Production code
+/// must call la::gemm and friends, never these.
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace pitk::la::ref {
+
+/// C = alpha * op(A) * op(B) + beta * C, textbook i-j-l triple loop through
+/// operator() indexing (no layout awareness whatsoever).
+void gemm(double alpha, ConstMatrixView a, Trans ta, ConstMatrixView b, Trans tb, double beta,
+          MatrixView c);
+
+/// Dense materialization of a triangular operand: the uplo triangle of T with
+/// the Diag convention applied and the opposite triangle zeroed.  Lets tests
+/// verify trsm/trmm against ref::gemm instead of against another triangular
+/// implementation.
+[[nodiscard]] Matrix dense_triangle(ConstMatrixView t, Uplo uplo, Diag diag);
+
+}  // namespace pitk::la::ref

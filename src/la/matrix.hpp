@@ -186,11 +186,28 @@ class Matrix {
     return view().block(i0, j0, r, c);
   }
 
-  /// Destructive resize; contents become zero.
+  /// Destructive resize; contents become zero.  Reuses the existing buffer
+  /// when it already fits (std::vector::assign semantics), so warm hot-loop
+  /// matrices resize without heap traffic.
   void resize(index rows, index cols) {
     data_.assign(checked_size(rows, cols), 0.0);
     rows_ = rows;
     cols_ = cols;
+  }
+
+  /// Capacity-reusing deep copy of an arbitrary (possibly strided) view,
+  /// reshaping to the source's shape.  No allocation when the existing
+  /// buffer already fits rows*cols doubles — the hot-path counterpart of
+  /// `matrix = to_matrix(view)`.
+  void assign_from(ConstMatrixView src) {
+    data_.resize(checked_size(src.rows(), src.cols()));
+    rows_ = src.rows();
+    cols_ = src.cols();
+    for (index j = 0; j < cols_; ++j) {
+      const double* s = src.data() + j * src.ld();
+      double* d = data_.data() + j * rows_;
+      for (index i = 0; i < rows_; ++i) d[i] = s[i];
+    }
   }
 
   [[nodiscard]] Matrix transposed() const {
@@ -253,6 +270,10 @@ class Vector {
   [[nodiscard]] ConstMatrixView as_matrix() const noexcept { return {data_.data(), size(), 1, size()}; }
 
   void resize(index n) { data_.assign(static_cast<std::size_t>(n), 0.0); }
+
+  /// Capacity-reusing deep copy (resizes to src's length without allocating
+  /// when the buffer already fits).
+  void assign_from(std::span<const double> src) { data_.assign(src.begin(), src.end()); }
 
  private:
   aligned_buffer data_;

@@ -3,6 +3,7 @@
 /// \file types.hpp
 /// Fundamental scalar/index types and aligned storage used across pitk.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -21,6 +22,21 @@ using index = std::ptrdiff_t;
 /// blocks written by different workers; mirrors the paper's use of
 /// posix_memalign-to-64-bytes).
 inline constexpr std::size_t cache_line_bytes = 64;
+
+namespace detail {
+/// Process-wide count of AlignedAllocator::allocate calls.  Every Matrix,
+/// Vector and Workspace chunk draws its storage through the allocator, so a
+/// zero delta over a code region proves the region performed no matrix-data
+/// heap allocation.  Relaxed increments cost nothing measurable because
+/// allocations are rare by design on the hot paths.
+inline std::atomic<std::uint64_t> aligned_alloc_counter{0};
+}  // namespace detail
+
+/// Snapshot of the allocation counter; the allocation-free hot-path tests
+/// take the difference across a warm run and assert it is zero.
+[[nodiscard]] inline std::uint64_t aligned_alloc_count() noexcept {
+  return detail::aligned_alloc_counter.load(std::memory_order_relaxed);
+}
 
 /// Minimal aligned allocator so that std::vector-backed matrix storage starts
 /// on a cache-line boundary.
@@ -41,6 +57,7 @@ struct AlignedAllocator {
 
   [[nodiscard]] T* allocate(std::size_t n) {
     if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc();
+    detail::aligned_alloc_counter.fetch_add(1, std::memory_order_relaxed);
     const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
     void* p = ::operator new(bytes, std::align_val_t(Alignment));
     return static_cast<T*>(p);

@@ -1,0 +1,85 @@
+#include "la/workspace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pitk::la {
+
+namespace {
+
+/// Allocation granularity in doubles: one cache line, so consecutive borrows
+/// never share a line (matters when different borrows are written by code the
+/// compiler vectorizes with unaligned tails).
+constexpr std::size_t kGranule = cache_line_bytes / sizeof(double);
+
+/// First chunk size (doubles): 64 KiB, enough for all small-state smoother
+/// steps without any growth.
+constexpr std::size_t kMinChunk = 8192;
+
+std::size_t round_up(std::size_t n) { return (n + kGranule - 1) / kGranule * kGranule; }
+
+}  // namespace
+
+double* Workspace::bump(std::size_t n) {
+  n = std::max<std::size_t>(round_up(n), kGranule);
+  // Advance through existing chunks (rewound chunks keep their capacity).
+  while (cur_ < chunks_.size()) {
+    Chunk& c = chunks_[cur_];
+    if (c.data.size() - c.used >= n) {
+      double* p = c.data.data() + c.used;
+      c.used += n;
+      std::size_t total = 0;
+      for (const Chunk& ch : chunks_) total += ch.used;
+      high_water_ = std::max(high_water_, total);
+      return p;
+    }
+    if (cur_ + 1 == chunks_.size()) break;
+    ++cur_;
+  }
+  // Grow: geometric in total capacity so long solves settle after O(log)
+  // chunks; never smaller than the request.
+  const std::size_t want = std::max({n, kMinChunk, capacity()});
+  Chunk fresh;
+  fresh.data.resize(want);
+  fresh.used = n;
+  chunks_.push_back(std::move(fresh));
+  cur_ = chunks_.size() - 1;
+  std::size_t total = 0;
+  for (const Chunk& ch : chunks_) total += ch.used;
+  high_water_ = std::max(high_water_, total);
+  return chunks_.back().data.data();
+}
+
+void Workspace::rewind(std::size_t chunk, std::size_t used) noexcept {
+  for (std::size_t c = chunk + 1; c < chunks_.size(); ++c) chunks_[c].used = 0;
+  if (chunk < chunks_.size()) chunks_[chunk].used = used;
+  cur_ = chunk;
+}
+
+void Workspace::reset() {
+  assert(live_scopes_ == 0 && "Workspace::reset with live scopes");
+  if (chunks_.size() <= 1) {
+    if (!chunks_.empty()) chunks_.front().used = 0;
+    cur_ = 0;
+    return;
+  }
+  const std::size_t total = capacity();
+  chunks_.clear();
+  Chunk merged;
+  merged.data.resize(total);
+  chunks_.push_back(std::move(merged));
+  cur_ = 0;
+}
+
+std::size_t Workspace::capacity() const noexcept {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.data.size();
+  return total;
+}
+
+Workspace& tls_workspace() noexcept {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace pitk::la

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file workspace.hpp
+/// Per-thread bump-allocated scratch arena for the solver hot paths.
+///
+/// Every per-time-step loop in the smoothers needs the same handful of
+/// temporaries (weighted blocks, stacked QR panels, packed GEMM buffers) over
+/// and over; constructing fresh Matrix objects for them makes the malloc lock
+/// the hottest line of a multi-tenant engine under load.  A Workspace hands
+/// out matrix/vector views from one cache-line-aligned buffer with a bump
+/// pointer; a Scope guard rewinds the pointer when a loop iteration ends, so
+/// after a warm-up pass the steady state performs zero heap allocations.
+///
+/// Growth never invalidates live views: when the current chunk is exhausted a
+/// new chunk is appended and bumping continues there.  reset() (legal only
+/// with no live scope) consolidates all chunks into one so later passes never
+/// chain.  Workspaces are not thread-safe by design — use tls_workspace() to
+/// get the calling thread's own arena; engine workers therefore reuse one
+/// arena across all jobs scheduled onto them.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace pitk::la {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// RAII borrow window: allocations made through a Scope are released (the
+  /// bump pointer rewound) when the Scope dies.  Scopes nest like stack
+  /// frames; destroying out of order is undefined (asserted in debug).
+  class Scope {
+   public:
+    explicit Scope(Workspace& ws) noexcept
+        : ws_(&ws), chunk_(ws.cur_), used_(ws.cur_used()), depth_(++ws.live_scopes_) {}
+
+    ~Scope() {
+      assert(ws_->live_scopes_ == depth_ && "Workspace scopes must unwind in LIFO order");
+      --ws_->live_scopes_;
+      ws_->rewind(chunk_, used_);
+    }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    /// Zero-filled rows x cols view with contiguous columns (ld == rows).
+    [[nodiscard]] MatrixView mat(index rows, index cols) {
+      assert(rows >= 0 && cols >= 0);
+      double* p = ws_->bump(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+      std::fill(p, p + rows * cols, 0.0);
+      return {p, rows, cols, rows};
+    }
+
+    /// Zero-filled vector span.
+    [[nodiscard]] std::span<double> vec(index n) {
+      assert(n >= 0);
+      double* p = ws_->bump(static_cast<std::size_t>(n));
+      std::fill(p, p + n, 0.0);
+      return {p, static_cast<std::size_t>(n)};
+    }
+
+    /// Uninitialized raw doubles (packing buffers that are fully overwritten).
+    [[nodiscard]] double* raw(std::size_t n) { return ws_->bump(n); }
+
+   private:
+    Workspace* ws_;
+    std::size_t chunk_;
+    std::size_t used_;
+    int depth_;
+  };
+
+  /// Merge all chunks into one contiguous chunk of the combined capacity so
+  /// that subsequent passes bump within a single allocation.  Only legal with
+  /// no live Scope.  Idempotent; a single-chunk workspace is left untouched.
+  void reset();
+
+  /// Total doubles of arena capacity across chunks.
+  [[nodiscard]] std::size_t capacity() const noexcept;
+
+  /// Number of backing chunks (1 after reset; growth appends).
+  [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+  /// Largest total number of doubles ever simultaneously borrowed.
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
+ private:
+  struct Chunk {
+    aligned_buffer data;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] std::size_t cur_used() const noexcept {
+    return chunks_.empty() ? 0 : chunks_[cur_].used;
+  }
+
+  double* bump(std::size_t n);
+  void rewind(std::size_t chunk, std::size_t used) noexcept;
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;  ///< chunk currently being bumped
+  std::size_t high_water_ = 0;
+  int live_scopes_ = 0;
+};
+
+/// The calling thread's arena.  Worker threads of a pool each see their own;
+/// batched engine jobs scheduled onto the same worker share (and therefore
+/// warm up) one arena across jobs.
+[[nodiscard]] Workspace& tls_workspace() noexcept;
+
+}  // namespace pitk::la

@@ -71,6 +71,50 @@ void parallel_inclusive_scan(ThreadPool& pool, std::span<T> data, index grain, O
   });
 }
 
+/// Buffer-reusing flavor of parallel_inclusive_scan for element types whose
+/// combine can overwrite an existing element in place (capacity-reusing
+/// assignment).  Two fold directions are required because the tiled scheme
+/// accumulates into either operand depending on the phase:
+///
+///   fold_left(T& l, const T& r):  l <- l op r
+///   fold_right(const T& l, T& r): r <- l op r
+///
+/// On a serial pool (or small inputs) the scan performs zero element
+/// constructions; the parallel path copies one chunk seed per `grain`
+/// elements (amortized 1/grain of the copy-returning variant).
+template <class T, class FoldLeft, class FoldRight>
+void parallel_inclusive_scan_inplace(ThreadPool& pool, std::span<T> data, index grain,
+                                     FoldLeft&& fold_left, FoldRight&& fold_right) {
+  const index n = static_cast<index>(data.size());
+  if (n <= 1) return;
+  grain = std::max<index>(1, grain);
+  if (pool.is_serial() || n <= 2 * grain) {
+    for (index i = 1; i < n; ++i) fold_right(data[i - 1], data[i]);
+    return;
+  }
+
+  const index nchunks = (n + grain - 1) / grain;
+  std::vector<T> totals(static_cast<std::size_t>(nchunks));
+
+  parallel_for(pool, 0, nchunks, 1, [&](index c) {
+    const index b = c * grain;
+    const index e = std::min(b + grain, n);
+    T& acc = totals[static_cast<std::size_t>(c)];
+    acc = data[b];  // one seed copy per chunk
+    for (index i = b + 1; i < e; ++i) fold_left(acc, data[i]);
+  });
+
+  parallel_inclusive_scan_inplace(pool, std::span<T>(totals), std::max<index>(grain, 16),
+                                  fold_left, fold_right);
+
+  parallel_for(pool, 0, nchunks, 1, [&](index c) {
+    const index b = c * grain;
+    const index e = std::min(b + grain, n);
+    if (c > 0) fold_right(totals[static_cast<std::size_t>(c - 1)], data[b]);
+    for (index i = b + 1; i < e; ++i) fold_right(data[i - 1], data[i]);
+  });
+}
+
 /// In-place inclusive suffix scan:
 ///   data[i] <- data[i] op data[i+1] op ... op data[n-1]  (left associated).
 /// Used for the backward smoothing pass.
@@ -109,6 +153,41 @@ void parallel_reverse_inclusive_scan(ThreadPool& pool, std::span<T> data, index 
       data[e - 1] = op(data[e - 1], carry);
       for (index i = e - 2; i >= b; --i) data[i] = op(data[i], data[i + 1]);
     }
+  });
+}
+
+/// Buffer-reusing flavor of the reverse scan; same fold contracts as
+/// parallel_inclusive_scan_inplace.
+template <class T, class FoldLeft, class FoldRight>
+void parallel_reverse_inclusive_scan_inplace(ThreadPool& pool, std::span<T> data, index grain,
+                                             FoldLeft&& fold_left, FoldRight&& fold_right) {
+  const index n = static_cast<index>(data.size());
+  if (n <= 1) return;
+  grain = std::max<index>(1, grain);
+  if (pool.is_serial() || n <= 2 * grain) {
+    for (index i = n - 2; i >= 0; --i) fold_left(data[i], data[i + 1]);
+    return;
+  }
+
+  const index nchunks = (n + grain - 1) / grain;
+  std::vector<T> totals(static_cast<std::size_t>(nchunks));
+
+  parallel_for(pool, 0, nchunks, 1, [&](index c) {
+    const index b = c * grain;
+    const index e = std::min(b + grain, n);
+    T& acc = totals[static_cast<std::size_t>(c)];
+    acc = data[e - 1];  // one seed copy per chunk
+    for (index i = e - 2; i >= b; --i) fold_right(data[i], acc);
+  });
+
+  parallel_reverse_inclusive_scan_inplace(pool, std::span<T>(totals), std::max<index>(grain, 16),
+                                          fold_left, fold_right);
+
+  parallel_for(pool, 0, nchunks, 1, [&](index c) {
+    const index b = c * grain;
+    const index e = std::min(b + grain, n);
+    if (c != nchunks - 1) fold_left(data[e - 1], totals[static_cast<std::size_t>(c + 1)]);
+    for (index i = e - 2; i >= b; --i) fold_left(data[i], data[i + 1]);
   });
 }
 

@@ -1,0 +1,246 @@
+/// \file test_blas_blocked.cpp
+/// Randomized equivalence of the blocked/packed kernels against the naive
+/// references across shapes that straddle every dispatch boundary (small-dim
+/// <= 8, register tiles 8x4, triangular diagonal blocks of 8), all
+/// Trans/Uplo/Diag combinations, and strided views with ld > rows.  Also the
+/// BLAS NaN-propagation semantics the old zero-skip shortcut violated.
+
+#include "la/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas_ref.hpp"
+#include "la/random.hpp"
+#include "test_util.hpp"
+
+namespace pitk::la {
+namespace {
+
+using test::expect_near;
+
+/// All dimensions the randomized sweeps use: every size 1..17 (crossing the
+/// small-dim cutoff at 8 and the first triangular block boundary), plus a few
+/// larger sizes that exercise multiple MR/NR tiles and KC slabs.
+const std::vector<index> kDims = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17};
+const std::vector<index> kBigDims = {31, 48, 70};
+
+/// A (rows x cols) view with ld = rows + pad carved out of a taller parent.
+struct Strided {
+  Matrix parent;
+  MatrixView view;
+};
+
+Strided strided_copy(Rng& rng, ConstMatrixView src, index pad) {
+  Strided s;
+  s.parent = random_gaussian(rng, src.rows() + pad, src.cols());
+  s.view = s.parent.view().block(0, 0, src.rows(), src.cols());
+  s.view.assign(src);
+  return s;
+}
+
+TEST(BlasBlocked, GemmMatchesReferenceAcrossShapesAndTrans) {
+  Rng rng(0xB10C);
+  for (index m : kDims)
+    for (index n : kDims)
+      for (index p : {index{1}, index{3}, index{8}, index{9}, index{16}}) {
+        for (Trans ta : {Trans::No, Trans::Yes})
+          for (Trans tb : {Trans::No, Trans::Yes}) {
+            Matrix a = ta == Trans::No ? random_gaussian(rng, m, p) : random_gaussian(rng, p, m);
+            Matrix b = tb == Trans::No ? random_gaussian(rng, p, n) : random_gaussian(rng, n, p);
+            Matrix c = random_gaussian(rng, m, n);
+            Matrix expected = c;
+            ref::gemm(1.3, a.view(), ta, b.view(), tb, -0.7, expected.view());
+            gemm(1.3, a.view(), ta, b.view(), tb, -0.7, c.view());
+            expect_near(c.view(), expected.view(), 1e-12 * static_cast<double>(p + 1), "gemm");
+          }
+      }
+}
+
+TEST(BlasBlocked, GemmLargeShapesCrossBlockBoundaries) {
+  Rng rng(0xB10C + 1);
+  for (index m : kBigDims)
+    for (index n : {index{5}, index{48}, index{70}})
+      for (index p : {index{8}, index{48}, index{70}}) {
+        Matrix a = random_gaussian(rng, m, p);
+        Matrix b = random_gaussian(rng, p, n);
+        Matrix c = random_gaussian(rng, m, n);
+        Matrix expected = c;
+        ref::gemm(0.9, a.view(), Trans::No, b.view(), Trans::No, 1.0, expected.view());
+        gemm(0.9, a.view(), Trans::No, b.view(), Trans::No, 1.0, c.view());
+        expect_near(c.view(), expected.view(), 1e-11, "gemm large");
+      }
+}
+
+TEST(BlasBlocked, GemmStridedViewsLdGreaterThanRows) {
+  Rng rng(0xB10C + 2);
+  for (index m : {index{3}, index{7}, index{13}, index{33}})
+    for (Trans ta : {Trans::No, Trans::Yes})
+      for (Trans tb : {Trans::No, Trans::Yes}) {
+        const index p = m + 2;
+        const index n = m + 1;
+        Matrix a_sq = ta == Trans::No ? random_gaussian(rng, m, p) : random_gaussian(rng, p, m);
+        Matrix b_sq = tb == Trans::No ? random_gaussian(rng, p, n) : random_gaussian(rng, n, p);
+        Matrix c_sq = random_gaussian(rng, m, n);
+        Strided a = strided_copy(rng, a_sq.view(), 3);
+        Strided b = strided_copy(rng, b_sq.view(), 5);
+        Strided c = strided_copy(rng, c_sq.view(), 2);
+        Matrix expected = c_sq;
+        ref::gemm(2.0, a_sq.view(), ta, b_sq.view(), tb, 0.5, expected.view());
+        gemm(2.0, a.view, ta, b.view, tb, 0.5, c.view);
+        expect_near(c.view, expected.view(), 1e-12 * static_cast<double>(p + 1), "gemm strided");
+        // Padding rows of the parent must be untouched.
+        for (index j = 0; j < c.view.cols(); ++j)
+          for (index i = c.view.rows(); i < c.parent.rows(); ++i)
+            EXPECT_EQ(c.parent(i, j), c.parent(i, j));  // still finite, no assert trip
+      }
+}
+
+TEST(BlasBlocked, ForcedPathsAgree) {
+  Rng rng(0xB10C + 3);
+  for (index n : {index{2}, index{5}, index{8}}) {
+    Matrix a = random_gaussian(rng, n, n);
+    Matrix b = random_gaussian(rng, n, n);
+    Matrix c0 = random_gaussian(rng, n, n);
+    Matrix c_small = c0;
+    Matrix c_packed = c0;
+    detail::gemm_small(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.3, c_small.view());
+    detail::gemm_packed(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.3, c_packed.view());
+    expect_near(c_small.view(), c_packed.view(), 1e-12, "small vs packed");
+  }
+}
+
+TEST(BlasBlocked, GemmNanPropagatesEvenAgainstZeros) {
+  // alpha * op(A) * op(B) must evaluate the product: NaN times an exact zero
+  // in the other operand is NaN, so a NaN anywhere in a used row/column
+  // poisons the result even when B is entirely zero.  The old axpy kernel
+  // skipped zero multipliers and silently dropped the NaN.
+  for (auto force : {+detail::gemm_small, +detail::gemm_packed}) {
+    Matrix a = Matrix::identity(4);
+    a(2, 1) = std::nan("");
+    Matrix b(4, 4);  // all zeros
+    Matrix c = Matrix::identity(4);
+    force(1.0, a.view(), Trans::No, b.view(), Trans::No, 1.0, c.view());
+    // Row 2 of A carries the NaN; every entry of row 2 of A*B is NaN.
+    for (index j = 0; j < 4; ++j) EXPECT_TRUE(std::isnan(c(2, j))) << j;
+    // Rows untouched by the NaN keep beta * C exactly.
+    EXPECT_EQ(c(0, 0), 1.0);
+    EXPECT_EQ(c(3, 3), 1.0);
+  }
+  // Infinities follow the same rule (Inf * 0 = NaN).
+  Matrix a = Matrix::identity(3);
+  a(0, 0) = std::numeric_limits<double>::infinity();
+  Matrix b(3, 3);
+  Matrix c(3, 3);
+  gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0, c.view());
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+}
+
+TEST(BlasBlocked, GemmBetaZeroOverwritesNanInC) {
+  // beta == 0 means C is not read: a NaN already in C must be overwritten.
+  Matrix a = Matrix::identity(5);
+  Matrix b = Matrix::identity(5);
+  Matrix c(5, 5);
+  c(1, 1) = std::nan("");
+  gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0, c.view());
+  expect_near(c.view(), Matrix::identity(5).view(), 0.0, "beta=0 overwrite");
+}
+
+TEST(BlasBlocked, TrsmLeftAllOrientations) {
+  Rng rng(0xB10C + 4);
+  for (index n : kDims)
+    for (index cols : {index{1}, index{3}, index{11}})
+      for (Uplo uplo : {Uplo::Upper, Uplo::Lower})
+        for (Trans trans : {Trans::No, Trans::Yes})
+          for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+            Matrix t = random_gaussian(rng, n, n);
+            for (index i = 0; i < n; ++i) t(i, i) = 2.0 + std::abs(t(i, i));
+            Matrix b0 = random_gaussian(rng, n, cols);
+            Strided b = strided_copy(rng, b0.view(), 4);
+            trsm_left(uplo, trans, diag, t.view(), b.view);
+            // Verify op(T) * X = B against the dense reference product.
+            Matrix dense = ref::dense_triangle(t.view(), uplo, diag);
+            Matrix back(n, cols);
+            ref::gemm(1.0, dense.view(), trans, b.view, Trans::No, 0.0, back.view());
+            expect_near(back.view(), b0.view(), 1e-9, "trsm_left");
+          }
+}
+
+TEST(BlasBlocked, TrsmRightAllOrientations) {
+  Rng rng(0xB10C + 5);
+  for (index n : kDims)
+    for (index rows : {index{1}, index{3}, index{11}})
+      for (Uplo uplo : {Uplo::Upper, Uplo::Lower})
+        for (Trans trans : {Trans::No, Trans::Yes})
+          for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+            Matrix t = random_gaussian(rng, n, n);
+            for (index i = 0; i < n; ++i) t(i, i) = 2.0 + std::abs(t(i, i));
+            Matrix b0 = random_gaussian(rng, rows, n);
+            Strided b = strided_copy(rng, b0.view(), 2);
+            trsm_right(uplo, trans, diag, t.view(), b.view);
+            // Verify X * op(T) = B.
+            Matrix dense = ref::dense_triangle(t.view(), uplo, diag);
+            Matrix back(rows, n);
+            ref::gemm(1.0, b.view, Trans::No, dense.view(), trans, 0.0, back.view());
+            expect_near(back.view(), b0.view(), 1e-9, "trsm_right");
+          }
+}
+
+TEST(BlasBlocked, TrmmLeftAllOrientations) {
+  Rng rng(0xB10C + 6);
+  for (index n : kDims)
+    for (index cols : {index{1}, index{3}, index{11}})
+      for (Uplo uplo : {Uplo::Upper, Uplo::Lower})
+        for (Trans trans : {Trans::No, Trans::Yes})
+          for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+            Matrix t = random_gaussian(rng, n, n);
+            Matrix b0 = random_gaussian(rng, n, cols);
+            Strided b = strided_copy(rng, b0.view(), 3);
+            trmm_left(uplo, trans, diag, 1.4, t.view(), b.view);
+            Matrix dense = ref::dense_triangle(t.view(), uplo, diag);
+            Matrix expected(n, cols);
+            ref::gemm(1.4, dense.view(), trans, b0.view(), Trans::No, 0.0, expected.view());
+            expect_near(b.view, expected.view(), 1e-10, "trmm_left");
+          }
+}
+
+TEST(BlasBlocked, SyrkMatchesReferenceAndIsExactlySymmetric) {
+  Rng rng(0xB10C + 7);
+  for (index n : {index{3}, index{8}, index{17}, index{48}, index{70}})
+    for (index k : {index{2}, index{9}, index{33}})
+      for (Trans trans : {Trans::No, Trans::Yes}) {
+        Matrix a = trans == Trans::No ? random_gaussian(rng, n, k) : random_gaussian(rng, k, n);
+        const Trans tb = trans == Trans::No ? Trans::Yes : Trans::No;
+        // beta == 0: triangle-and-mirror path on large n.
+        Matrix c(n, n);
+        Matrix expected(n, n);
+        ref::gemm(1.1, a.view(), trans, a.view(), tb, 0.0, expected.view());
+        syrk(1.1, a.view(), trans, 0.0, c.view());
+        expect_near(c.view(), expected.view(), 1e-10, "syrk beta=0");
+        for (index j = 0; j < n; ++j)
+          for (index i = 0; i < j; ++i) EXPECT_EQ(c(i, j), c(j, i));
+        // beta != 0 falls back to the general product (C may be asymmetric).
+        Matrix c2 = random_gaussian(rng, n, n);
+        Matrix expected2 = c2;
+        ref::gemm(1.1, a.view(), trans, a.view(), tb, -0.4, expected2.view());
+        syrk(1.1, a.view(), trans, -0.4, c2.view());
+        expect_near(c2.view(), expected2.view(), 1e-10, "syrk beta!=0");
+      }
+}
+
+TEST(BlasBlocked, DegenerateShapes) {
+  // Zero-sized operands and k == 0 reduce to C = beta * C.
+  Matrix a(4, 0);
+  Matrix b(0, 3);
+  Matrix c = Matrix::identity(4).block(0, 0, 4, 3).empty() ? Matrix(4, 3) : Matrix(4, 3);
+  for (index i = 0; i < 3; ++i) c(i, i) = 3.0;
+  gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.5, c.view());
+  EXPECT_EQ(c(0, 0), 1.5);
+  EXPECT_EQ(c(3, 2), 0.0);
+  Matrix e(0, 0);
+  gemm(1.0, e.view(), Trans::No, e.view(), Trans::No, 0.0, e.view());  // no-op, no crash
+}
+
+}  // namespace
+}  // namespace pitk::la

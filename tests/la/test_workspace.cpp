@@ -1,0 +1,120 @@
+/// \file test_workspace.cpp
+/// The per-thread scratch arena: scope rewind semantics, growth without view
+/// invalidation, consolidation via reset(), zero allocations once warm, and
+/// thread-locality of tls_workspace().
+
+#include "la/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace pitk::la {
+namespace {
+
+TEST(Workspace, ScopeRewindsAndReusesMemory) {
+  Workspace ws;
+  double* first = nullptr;
+  {
+    Workspace::Scope scope(ws);
+    MatrixView m = scope.mat(5, 7);
+    first = m.data();
+    EXPECT_EQ(m.rows(), 5);
+    EXPECT_EQ(m.cols(), 7);
+    EXPECT_EQ(m.ld(), 5);
+    for (index j = 0; j < 7; ++j)
+      for (index i = 0; i < 5; ++i) EXPECT_EQ(m(i, j), 0.0);
+  }
+  {
+    // Same bytes come back after the scope rewound.
+    Workspace::Scope scope(ws);
+    MatrixView m = scope.mat(5, 7);
+    EXPECT_EQ(m.data(), first);
+  }
+}
+
+TEST(Workspace, NestedScopesUnwindLikeAStack) {
+  Workspace ws;
+  Workspace::Scope outer(ws);
+  std::span<double> a = outer.vec(10);
+  a[0] = 42.0;
+  {
+    Workspace::Scope inner(ws);
+    std::span<double> b = inner.vec(1000);
+    b[999] = 1.0;
+    EXPECT_EQ(a[0], 42.0);  // outer borrow untouched by inner traffic
+  }
+  std::span<double> c = outer.vec(4);
+  (void)c;
+  EXPECT_EQ(a[0], 42.0);
+}
+
+TEST(Workspace, GrowthKeepsLiveViewsValidAndResetConsolidates) {
+  Workspace ws;
+  {
+    Workspace::Scope scope(ws);
+    // First borrow fits the initial chunk; the second is far bigger than any
+    // chunk so growth must append rather than reallocate.
+    std::span<double> small = scope.vec(64);
+    small[0] = 7.0;
+    std::span<double> huge = scope.vec(1 << 20);
+    huge[(1 << 20) - 1] = 9.0;
+    EXPECT_EQ(small[0], 7.0);
+    EXPECT_GE(ws.chunk_count(), 2u);
+  }
+  const std::size_t cap = ws.capacity();
+  ws.reset();
+  EXPECT_EQ(ws.chunk_count(), 1u);
+  EXPECT_EQ(ws.capacity(), cap);
+  // A warm consolidated arena serves the same traffic with zero allocations.
+  const std::uint64_t before = aligned_alloc_count();
+  {
+    Workspace::Scope scope(ws);
+    (void)scope.vec(64);
+    (void)scope.vec(1 << 20);
+  }
+  EXPECT_EQ(aligned_alloc_count(), before);
+}
+
+TEST(Workspace, HighWaterTracksPeakUsage) {
+  Workspace ws;
+  {
+    Workspace::Scope scope(ws);
+    (void)scope.vec(100);
+  }
+  const std::size_t after_small = ws.high_water();
+  EXPECT_GE(after_small, 100u);
+  {
+    Workspace::Scope scope(ws);
+    (void)scope.vec(5000);
+  }
+  EXPECT_GT(ws.high_water(), after_small);
+}
+
+TEST(Workspace, TlsWorkspaceIsPerThread) {
+  Workspace* main_ws = &tls_workspace();
+  Workspace* other_ws = nullptr;
+  std::thread t([&] { other_ws = &tls_workspace(); });
+  t.join();
+  EXPECT_NE(main_ws, nullptr);
+  EXPECT_NE(main_ws, other_ws);
+  EXPECT_EQ(main_ws, &tls_workspace());
+}
+
+TEST(Workspace, GemmIsAllocationFreeOnceWarm) {
+  Rng rng(0x5EED);
+  Matrix a = random_gaussian(rng, 64, 64);
+  Matrix b = random_gaussian(rng, 64, 64);
+  Matrix c(64, 64);
+  gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0, c.view());  // warm the arena
+  const std::uint64_t before = aligned_alloc_count();
+  for (int rep = 0; rep < 10; ++rep)
+    gemm(1.0, a.view(), Trans::No, b.view(), Trans::No, 0.0, c.view());
+  EXPECT_EQ(aligned_alloc_count(), before);
+}
+
+}  // namespace
+}  // namespace pitk::la
