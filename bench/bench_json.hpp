@@ -97,7 +97,14 @@ class JsonBench {
     std::fprintf(f, "  \"machine\": {\n");
     std::fprintf(f, "    \"hardware_cores\": %u,\n", par::ThreadPool::hardware_cores());
     std::fprintf(f, "    \"default_concurrency\": %u,\n", par::ThreadPool::default_concurrency());
+    // PITK_THREADS both as the raw env string and as the parsed number (0 =
+    // unset/invalid); default_concurrency above is the worker count every
+    // default-sized pool actually runs with.  Committed BENCH_*.json
+    // baselines from different machines are only comparable when these
+    // match (benches that pin a different pool size record it as a
+    // per-series "threads" metric).
     std::fprintf(f, "    \"pitk_threads_env\": \"%s\",\n", env_or("PITK_THREADS", ""));
+    std::fprintf(f, "    \"pitk_threads\": %ld,\n", json_env_long("PITK_THREADS", 0));
 #ifdef NDEBUG
     std::fprintf(f, "    \"build\": \"Release\",\n");
 #else

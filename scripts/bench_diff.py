@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Usage: bench_diff.py BASELINE FRESH [--gate-factor 2.0] [--report-only]
+
+Per-series median seconds are compared.  Baselines are typically committed
+from a different machine than the one running the comparison, so raw ratios
+mix machine speed with real regressions; to cancel the machine, every
+series ratio is normalized by the median ratio across all shared series.  A
+series fails the gate when its *normalized* slowdown exceeds the gate
+factor — i.e. when it regressed relative to its peers, which survives both
+slow CI runners and globally faster rebuilds.  Exits nonzero on any failure
+unless --report-only.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for series in doc.get("series", []):
+        median = series.get("median_s", 0.0)
+        if median > 0.0:  # skip meta/zero series (e.g. meta_checksum)
+            out[series["name"]] = median
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--gate-factor", type=float, default=2.0,
+                    help="fail when a series is this many times slower than "
+                         "the machine-normalized expectation (default 2.0)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the comparison but always exit 0")
+    args = ap.parse_args()
+
+    base = load_medians(args.baseline)
+    fresh = load_medians(args.fresh)
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        print("bench_diff: no shared series between %s and %s; nothing to gate"
+              % (args.baseline, args.fresh))
+        return 0
+
+    ratios = {name: fresh[name] / base[name] for name in shared}
+    scale = statistics.median(ratios.values())
+    print("bench_diff: %d shared series, machine-speed scale %.3fx (%s vs %s)"
+          % (len(shared), scale, args.fresh, args.baseline))
+
+    failures = []
+    for name in shared:
+        norm = ratios[name] / scale
+        flag = ""
+        if norm > args.gate_factor:
+            failures.append(name)
+            flag = "  <-- REGRESSION"
+        print("  %-32s baseline %.3es  fresh %.3es  x%6.2f  (norm x%5.2f)%s"
+              % (name, base[name], fresh[name], ratios[name], norm, flag))
+
+    only_in_base = sorted(set(base) - set(fresh))
+    if only_in_base:
+        print("bench_diff: series missing from fresh run: " + ", ".join(only_in_base))
+
+    if failures:
+        print("bench_diff: %d series regressed beyond %.1fx normalized: %s"
+              % (len(failures), args.gate_factor, ", ".join(failures)))
+        return 0 if args.report_only else 1
+    print("bench_diff: OK (no series beyond %.1fx normalized)" % args.gate_factor)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -313,12 +313,22 @@ OddEvenFactor oddeven_factor(const Problem& p, par::ThreadPool& pool, index grai
 }
 
 std::vector<Vector> oddeven_solve(const OddEvenFactor& f, par::ThreadPool& pool, index grain) {
-  std::vector<Vector> sol(static_cast<std::size_t>(f.num_states()));
+  std::vector<Vector> sol;
+  oddeven_solve_into(f, pool, grain, sol);
+  return sol;
+}
+
+void oddeven_solve_into(const OddEvenFactor& f, par::ThreadPool& pool, index grain,
+                        std::vector<Vector>& sol) {
+  sol.resize(static_cast<std::size_t>(f.num_states()));
   for (index lev = static_cast<index>(f.levels.size()) - 1; lev >= 0; --lev) {
     const auto& rows = f.levels[static_cast<std::size_t>(lev)].rows;
     par::parallel_for(pool, 0, static_cast<index>(rows.size()), grain, [&](index ri) {
       const OddEvenRow& row = rows[static_cast<std::size_t>(ri)];
-      Vector x = row.rhs;
+      // Each state is the diagonal of exactly one row across all levels, so
+      // writing in place is race-free; neighbors were solved by deeper levels.
+      Vector& x = sol[static_cast<std::size_t>(row.col)];
+      x.assign_from(row.rhs.span());
       if (row.left >= 0)
         la::gemv(-1.0, row.Eblk.view(), Trans::No, sol[static_cast<std::size_t>(row.left)].span(),
                  1.0, x.span());
@@ -326,93 +336,113 @@ std::vector<Vector> oddeven_solve(const OddEvenFactor& f, par::ThreadPool& pool,
         la::gemv(-1.0, row.Yblk.view(), Trans::No,
                  sol[static_cast<std::size_t>(row.right)].span(), 1.0, x.span());
       la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, row.R.view(), x.span());
-      sol[static_cast<std::size_t>(row.col)] = std::move(x);
     });
   }
-  return sol;
 }
 
 namespace {
 
-/// Per-state S-blocks computed by Algorithm 2.  Each state is the diagonal
-/// of exactly one R row; `row` points at it once processed.
-struct CovSlot {
-  const OddEvenRow* row = nullptr;
-  Matrix diag;     ///< S_{col,col}
-  Matrix s_left;   ///< S_{col,left}
-  Matrix s_right;  ///< S_{col,right}
-};
-
-/// S_{a,b} for a < b, both already processed: stored either as a's right
-/// cross block or as the transpose of b's left cross block (one of the two
-/// rows necessarily lists the other column as its neighbor; see DESIGN.md).
-Matrix lookup_cross(const std::vector<CovSlot>& cov, index a, index b) {
-  const CovSlot& ca = cov[static_cast<std::size_t>(a)];
-  if (ca.row != nullptr && ca.row->right == b) return ca.s_right;
-  const CovSlot& cb = cov[static_cast<std::size_t>(b)];
+/// S_{a,b} for a < b, both already processed, copied into a borrowed `dst`
+/// (n_a x n_b): stored either as a's right cross block or as the transpose
+/// of b's left cross block (one of the two rows necessarily lists the other
+/// column as its neighbor).
+void copy_cross_into(const std::vector<OddEvenCovScratch::Slot>& cov, index a, index b,
+                     MatrixView dst) {
+  const OddEvenCovScratch::Slot& ca = cov[static_cast<std::size_t>(a)];
+  if (ca.row != nullptr && ca.row->right == b) {
+    dst.assign(ca.s_right.view());
+    return;
+  }
+  const OddEvenCovScratch::Slot& cb = cov[static_cast<std::size_t>(b)];
   assert(cb.row != nullptr && cb.row->left == a);
-  return cb.s_left.transposed();
+  for (index j = 0; j < dst.cols(); ++j)
+    for (index i = 0; i < dst.rows(); ++i) dst(i, j) = cb.s_left(j, i);
+}
+
+/// Algorithm 2 proper: replay the levels bottom-up, leaving every state's
+/// diagonal (and cross) S-blocks in `scratch`.  All transients are
+/// per-thread workspace borrows; scratch blocks reuse their capacity.
+void oddeven_cov_pass(const OddEvenFactor& f, par::ThreadPool& pool, index grain,
+                      OddEvenCovScratch& scratch) {
+  auto& cov = scratch.slots;
+  cov.resize(static_cast<std::size_t>(f.num_states()));
+  // Row pointers from a previous pass dangle into a dead factor; clear them
+  // so copy_cross_into never consults stale adjacency.
+  for (auto& slot : cov) slot.row = nullptr;
+  for (index lev = static_cast<index>(f.levels.size()) - 1; lev >= 0; --lev) {
+    const auto& rows = f.levels[static_cast<std::size_t>(lev)].rows;
+    par::parallel_for(pool, 0, static_cast<index>(rows.size()), grain, [&](index ri) {
+      const OddEvenRow& row = rows[static_cast<std::size_t>(ri)];
+      OddEvenCovScratch::Slot& slot = cov[static_cast<std::size_t>(row.col)];
+      slot.row = &row;
+      const index n = row.R.rows();
+      la::Workspace::Scope scope(la::tls_workspace());
+      slot.diag.resize(n, n);
+      tri_inv_gram_into(row.R.view(), slot.diag.view(), scope);  // R^{-1} R^{-T} source term
+      const bool hl = row.left >= 0;
+      const bool hr = row.right >= 0;
+      MatrixView wl;
+      MatrixView wr;
+      if (hl) {
+        wl = scope.mat(row.Eblk.rows(), row.Eblk.cols());
+        wl.assign(row.Eblk.view());
+        la::trsm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, row.R.view(), wl);
+      }
+      if (hr) {
+        wr = scope.mat(row.Yblk.rows(), row.Yblk.cols());
+        wr.assign(row.Yblk.view());
+        la::trsm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, row.R.view(), wr);
+      }
+      // The neighbors' cross block S_{left,right}, staged once for both uses.
+      MatrixView slr;
+      if (hl && hr) {
+        slr = scope.mat(row.Eblk.cols(), row.Yblk.cols());
+        copy_cross_into(cov, row.left, row.right, slr);
+      }
+      // S_{j,I} = -W S_{I,I} with I = {left, right} (either may be absent).
+      if (hl) {
+        slot.s_left.resize(wl.rows(), wl.cols());
+        la::gemm(-1.0, wl, Trans::No, cov[static_cast<std::size_t>(row.left)].diag.view(),
+                 Trans::No, 0.0, slot.s_left.view());
+        // minus W_r * S_{right,left} = minus W_r * S_{left,right}^T.
+        if (hr) la::gemm(-1.0, wr, Trans::No, slr, Trans::Yes, 1.0, slot.s_left.view());
+      }
+      if (hr) {
+        slot.s_right.resize(wr.rows(), wr.cols());
+        la::gemm(-1.0, wr, Trans::No, cov[static_cast<std::size_t>(row.right)].diag.view(),
+                 Trans::No, 0.0, slot.s_right.view());
+        if (hl) la::gemm(-1.0, wl, Trans::No, slr, Trans::No, 1.0, slot.s_right.view());
+      }
+      // S_jj = R^{-1}R^{-T} - S_{j,I} W^T.
+      if (hl)
+        la::gemm(-1.0, slot.s_left.view(), Trans::No, wl, Trans::Yes, 1.0, slot.diag.view());
+      if (hr)
+        la::gemm(-1.0, slot.s_right.view(), Trans::No, wr, Trans::Yes, 1.0, slot.diag.view());
+      la::symmetrize(slot.diag.view());
+    });
+  }
 }
 
 }  // namespace
 
 std::vector<Matrix> oddeven_covariances(const OddEvenFactor& f, par::ThreadPool& pool,
                                         index grain) {
-  std::vector<CovSlot> cov(static_cast<std::size_t>(f.num_states()));
-  for (index lev = static_cast<index>(f.levels.size()) - 1; lev >= 0; --lev) {
-    const auto& rows = f.levels[static_cast<std::size_t>(lev)].rows;
-    par::parallel_for(pool, 0, static_cast<index>(rows.size()), grain, [&](index ri) {
-      const OddEvenRow& row = rows[static_cast<std::size_t>(ri)];
-      CovSlot& slot = cov[static_cast<std::size_t>(row.col)];
-      slot.row = &row;
-      Matrix sjj = tri_inv_gram(row.R.view());  // R^{-1} R^{-T} source term
-      const bool hl = row.left >= 0;
-      const bool hr = row.right >= 0;
-      Matrix wl;
-      Matrix wr;
-      if (hl) {
-        wl = row.Eblk;
-        la::trsm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, row.R.view(), wl.view());
-      }
-      if (hr) {
-        wr = row.Yblk;
-        la::trsm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, row.R.view(), wr.view());
-      }
-      // S_{j,I} = -W S_{I,I} with I = {left, right} (either may be absent).
-      if (hl) {
-        Matrix sl(wl.rows(), wl.cols());
-        la::gemm(-1.0, wl.view(), Trans::No, cov[static_cast<std::size_t>(row.left)].diag.view(),
-                 Trans::No, 0.0, sl.view());
-        if (hr) {
-          // minus W_r * S_{right,left} = minus W_r * S_{left,right}^T.
-          Matrix slr = lookup_cross(cov, row.left, row.right);
-          la::gemm(-1.0, wr.view(), Trans::No, slr.view(), Trans::Yes, 1.0, sl.view());
-        }
-        slot.s_left = std::move(sl);
-      }
-      if (hr) {
-        Matrix sr(wr.rows(), wr.cols());
-        la::gemm(-1.0, wr.view(), Trans::No, cov[static_cast<std::size_t>(row.right)].diag.view(),
-                 Trans::No, 0.0, sr.view());
-        if (hl) {
-          Matrix slr = lookup_cross(cov, row.left, row.right);
-          la::gemm(-1.0, wl.view(), Trans::No, slr.view(), Trans::No, 1.0, sr.view());
-        }
-        slot.s_right = std::move(sr);
-      }
-      // S_jj = R^{-1}R^{-T} - S_{j,I} W^T.
-      if (hl) la::gemm(-1.0, slot.s_left.view(), Trans::No, wl.view(), Trans::Yes, 1.0, sjj.view());
-      if (hr)
-        la::gemm(-1.0, slot.s_right.view(), Trans::No, wr.view(), Trans::Yes, 1.0, sjj.view());
-      la::symmetrize(sjj.view());
-      slot.diag = std::move(sjj);
-    });
-  }
-
+  OddEvenCovScratch scratch;
+  oddeven_cov_pass(f, pool, grain, scratch);
   std::vector<Matrix> out(static_cast<std::size_t>(f.num_states()));
   for (index i = 0; i < f.num_states(); ++i)
-    out[static_cast<std::size_t>(i)] = std::move(cov[static_cast<std::size_t>(i)].diag);
+    out[static_cast<std::size_t>(i)] = std::move(scratch.slots[static_cast<std::size_t>(i)].diag);
   return out;
+}
+
+void oddeven_covariances_into(const OddEvenFactor& f, par::ThreadPool& pool, index grain,
+                              OddEvenCovScratch& scratch, std::vector<Matrix>& out) {
+  oddeven_cov_pass(f, pool, grain, scratch);
+  out.resize(static_cast<std::size_t>(f.num_states()));
+  // Copy (not move) so the scratch keeps its warm capacity for the next job.
+  for (index i = 0; i < f.num_states(); ++i)
+    out[static_cast<std::size_t>(i)].assign_from(
+        scratch.slots[static_cast<std::size_t>(i)].diag.view());
 }
 
 SmootherResult oddeven_smooth(const Problem& p, par::ThreadPool& pool,

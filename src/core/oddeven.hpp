@@ -62,6 +62,23 @@ struct OddEvenFactor {
   }
 };
 
+/// Reusable per-state S-block storage for the odd-even SelInv replay
+/// (Algorithm 2).  The diagonal and cross blocks of every state live here
+/// across the level loop; keeping one scratch warm across covariance passes
+/// lets a repeat pass over a same-shaped factor run with zero heap
+/// allocations (blocks reuse their capacity, transients are per-thread
+/// la::Workspace borrows).  One scratch per concurrent solve — never share
+/// across jobs in flight.
+struct OddEvenCovScratch {
+  struct Slot {
+    const OddEvenRow* row = nullptr;  ///< the R row whose diagonal is this state
+    Matrix diag;                      ///< S_{col,col}
+    Matrix s_left;                    ///< S_{col,left}
+    Matrix s_right;                   ///< S_{col,right}
+  };
+  std::vector<Slot> slots;
+};
+
 /// Factor the problem (parallel across block columns within each level).
 [[nodiscard]] OddEvenFactor oddeven_factor(const Problem& p, par::ThreadPool& pool,
                                            la::index grain = par::default_grain);
@@ -70,10 +87,20 @@ struct OddEvenFactor {
 [[nodiscard]] std::vector<Vector> oddeven_solve(const OddEvenFactor& f, par::ThreadPool& pool,
                                                 la::index grain = par::default_grain);
 
+/// Back substitution into caller-owned storage (capacity-reusing: a warm
+/// `sol` of matching shape is refilled without heap traffic).
+void oddeven_solve_into(const OddEvenFactor& f, par::ThreadPool& pool, la::index grain,
+                        std::vector<Vector>& sol);
+
 /// Parallel odd-even SelInv (Algorithm 2): cov(\hat u_i) for every state.
 [[nodiscard]] std::vector<Matrix> oddeven_covariances(const OddEvenFactor& f,
                                                       par::ThreadPool& pool,
                                                       la::index grain = par::default_grain);
+
+/// SelInv replay into caller-owned storage through a reusable scratch; with
+/// both warm, a repeat pass performs zero heap allocations.
+void oddeven_covariances_into(const OddEvenFactor& f, par::ThreadPool& pool, la::index grain,
+                              OddEvenCovScratch& scratch, std::vector<Matrix>& out);
 
 /// The full smoother: factor + solve (+ covariances unless disabled).
 [[nodiscard]] SmootherResult oddeven_smooth(const Problem& p, par::ThreadPool& pool,

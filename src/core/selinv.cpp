@@ -2,39 +2,70 @@
 
 #include "la/blas.hpp"
 #include "la/triangular.hpp"
+#include "la/workspace.hpp"
 
 namespace pitk::kalman {
 
+using la::index;
+using la::MatrixView;
+using la::Trans;
+
+void tri_inv_gram_into(la::ConstMatrixView r, MatrixView out, la::Workspace::Scope& scope) {
+  const index n = r.rows();
+  MatrixView rinv = scope.mat(n, n);
+  rinv.assign(r);
+  la::tri_inverse_upper(rinv);
+  // out = R^{-1} R^{-T}: stage the transpose, then multiply by the upper
+  // triangle in place through the blocked trmm (gemm panel updates), which
+  // costs half the flops of the previous full gemm(rinv, rinv^T).
+  for (index j = 0; j < n; ++j)
+    for (index i = 0; i < n; ++i) out(i, j) = rinv(j, i);
+  la::trmm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, 1.0, rinv, out);
+  la::symmetrize(out);
+}
+
 Matrix tri_inv_gram(la::ConstMatrixView r) {
-  Matrix rinv = la::to_matrix(r);
-  la::tri_inverse_upper(rinv.view());
   Matrix s(r.rows(), r.rows());
-  la::gemm(1.0, rinv.view(), la::Trans::No, rinv.view(), la::Trans::Yes, 0.0, s.view());
-  la::symmetrize(s.view());
+  la::Workspace::Scope scope(la::tls_workspace());
+  tri_inv_gram_into(r, s.view(), scope);
   return s;
 }
 
 std::vector<Matrix> selinv_bidiagonal(const BidiagonalFactor& f) {
+  std::vector<Matrix> s;
+  selinv_bidiagonal_into(f, s);
+  return s;
+}
+
+void selinv_bidiagonal_into(const BidiagonalFactor& f, std::vector<Matrix>& s) {
   const index k = static_cast<index>(f.diag.size()) - 1;
-  std::vector<Matrix> s(static_cast<std::size_t>(k + 1));
-  s[static_cast<std::size_t>(k)] = tri_inv_gram(f.diag[static_cast<std::size_t>(k)].view());
+  s.resize(static_cast<std::size_t>(k + 1));
+  {
+    const Matrix& rkk = f.diag[static_cast<std::size_t>(k)];
+    Matrix& sk = s[static_cast<std::size_t>(k)];
+    sk.resize(rkk.rows(), rkk.rows());
+    la::Workspace::Scope scope(la::tls_workspace());
+    tri_inv_gram_into(rkk.view(), sk.view(), scope);
+  }
   for (index j = k - 1; j >= 0; --j) {
     const Matrix& rjj = f.diag[static_cast<std::size_t>(j)];
     const Matrix& rjn = f.sup[static_cast<std::size_t>(j)];
+    la::Workspace::Scope scope(la::tls_workspace());
     // W = R_jj^{-1} R_{j,j+1}.
-    Matrix w = rjn;
-    la::trsm_left(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit, rjj.view(), w.view());
+    MatrixView w = scope.mat(rjn.rows(), rjn.cols());
+    w.assign(rjn.view());
+    la::trsm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, rjj.view(), w);
     // S_{j,j+1} = -W S_{j+1,j+1}.
-    Matrix soff(w.rows(), w.cols());
-    la::gemm(-1.0, w.view(), la::Trans::No, s[static_cast<std::size_t>(j + 1)].view(),
-             la::Trans::No, 0.0, soff.view());
+    MatrixView soff = scope.mat(w.rows(), w.cols());
+    la::gemm(-1.0, w, Trans::No, s[static_cast<std::size_t>(j + 1)].view(), Trans::No, 0.0,
+             soff);
     // S_jj = R_jj^{-1} R_jj^{-T} - S_{j,j+1} W^T.
-    Matrix sjj = tri_inv_gram(rjj.view());
-    la::gemm(-1.0, soff.view(), la::Trans::No, w.view(), la::Trans::Yes, 1.0, sjj.view());
+    Matrix& sjj = s[static_cast<std::size_t>(j)];
+    sjj.resize(rjj.rows(), rjj.rows());
+    tri_inv_gram_into(rjj.view(), sjj.view(), scope);
+    la::gemm(-1.0, soff, Trans::No, w, Trans::Yes, 1.0, sjj.view());
     la::symmetrize(sjj.view());
-    s[static_cast<std::size_t>(j)] = std::move(sjj);
   }
-  return s;
 }
 
 }  // namespace pitk::kalman

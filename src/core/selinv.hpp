@@ -15,14 +15,27 @@
 
 #include "core/paige_saunders.hpp"
 #include "kalman/model.hpp"
+#include "la/workspace.hpp"
 
 namespace pitk::kalman {
 
 /// cov(\hat u_i) for every state from a bidiagonal factor (Algorithm 1).
 [[nodiscard]] std::vector<Matrix> selinv_bidiagonal(const BidiagonalFactor& f);
 
+/// SelInv into caller-owned storage, reusing each block's capacity.  All
+/// per-state transients (W, the off-diagonal S block, the triangular
+/// inverse) are borrowed from the calling thread's la::Workspace, so a
+/// repeat pass over a same-shaped factor with warm `s` performs zero heap
+/// allocations.
+void selinv_bidiagonal_into(const BidiagonalFactor& f, std::vector<Matrix>& s);
+
 /// Helper shared by both SelInv variants: R^{-1} R^{-T} for an upper
 /// triangular R (the "diagonal source" term of the recurrence).
 [[nodiscard]] Matrix tri_inv_gram(la::ConstMatrixView r);
+
+/// R^{-1} R^{-T} written into `out` (same order as r); the triangular
+/// inverse is staged in a borrow from `scope` and the product runs through
+/// the blocked trmm_left path (half the flops of the dense gemm form).
+void tri_inv_gram_into(la::ConstMatrixView r, la::MatrixView out, la::Workspace::Scope& scope);
 
 }  // namespace pitk::kalman

@@ -7,11 +7,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "core/associative.hpp"
-#include "core/oddeven.hpp"
-#include "core/paige_saunders.hpp"
-#include "kalman/dense_reference.hpp"
-#include "kalman/rts.hpp"
+#include "engine/solver_cache.hpp"
 #include "la/blas.hpp"
 
 namespace pitk::engine {
@@ -159,43 +155,13 @@ Backend select_backend(const Problem& p, bool has_prior, bool with_covariance,
 SmootherResult solve_with(Backend b, const Problem& p,
                           const std::optional<GaussianPrior>& prior,
                           par::ThreadPool& pool, const SolveOptions& opts) {
-  if (b == Backend::Auto)
-    b = select_backend(p, prior.has_value(), opts.compute_covariance, pool.concurrency());
-  if (!backend_supports(b, p, prior.has_value()))
-    throw std::invalid_argument(std::string("solve_with: backend '") + backend_info(b).name +
-                                "' cannot solve this problem (missing prior or explicit H)");
-
-  // QR-family backends absorb the prior as a step-0 observation so that all
-  // backends solve the identical regularized least-squares problem; without
-  // a prior the problem is used in place (no copy on the hot path).
-  std::optional<Problem> folded_storage;
-  if (prior && b != Backend::Rts && b != Backend::Associative)
-    folded_storage = kalman::with_prior_observation(p, *prior);
-  const Problem& folded = folded_storage ? *folded_storage : p;
-
-  switch (b) {
-    case Backend::DenseReference:
-      return kalman::dense_smooth(folded, opts.compute_covariance);
-    case Backend::Rts: {
-      SmootherResult r = kalman::rts_smooth(p, *prior);
-      if (!opts.compute_covariance) r.covariances.clear();
-      return r;
-    }
-    case Backend::PaigeSaunders:
-      return kalman::paige_saunders_smooth(folded,
-                                           {.compute_covariance = opts.compute_covariance});
-    case Backend::Associative: {
-      SmootherResult r = kalman::associative_smooth(p, *prior, pool, {.grain = opts.grain});
-      if (!opts.compute_covariance) r.covariances.clear();
-      return r;
-    }
-    case Backend::OddEven:
-      return kalman::oddeven_smooth(
-          folded, pool, {.compute_covariance = opts.compute_covariance, .grain = opts.grain});
-    case Backend::Auto:
-      break;
-  }
-  throw std::invalid_argument("solve_with: unknown backend");
+  // One-shot path: solve through a cold throwaway cache.  Callers with
+  // repeated same-shaped solves (the engine's workers) hold a warm
+  // SolverCache and use solve_with_into directly.
+  SolverCache cache;
+  SmootherResult out;
+  solve_with_into(b, p, prior, pool, opts, cache, out);
+  return out;
 }
 
 }  // namespace pitk::engine

@@ -1,25 +1,51 @@
 #include "engine/engine.hpp"
 
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "engine/session.hpp"
+#include "engine/solver_cache.hpp"
 #include "la/workspace.hpp"
 
 namespace pitk::engine {
+
+namespace {
+/// Allocations already charged to jobs that completed on this thread.  An
+/// outer job whose parallel_for join nests another job body subtracts this
+/// delta from its own window, so each allocation is attributed to exactly
+/// one job (see the nesting note at the cache acquisition below).
+thread_local std::uint64_t tls_allocs_charged = 0;
+}  // namespace
 
 SmootherEngine::SmootherEngine(EngineOptions opts)
     : opts_(opts),
       pool_(opts.threads == 0 ? par::ThreadPool::default_concurrency() : opts.threads) {
   if (opts_.small_job_flops < 0.0) opts_.small_job_flops = calibrated_small_job_flops();
+  // One warm cache per pool worker (the pool owner and helping external
+  // threads get thread-local caches from worker_cache()).
+  const unsigned workers = pool_.concurrency() - 1;
+  caches_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) caches_.push_back(std::make_unique<SolverCache>());
 }
 
 SmootherEngine::~SmootherEngine() { wait_idle(); }
 
+SolverCache& SmootherEngine::worker_cache() {
+  const int id = pool_.current_worker_id();
+  if (id >= 0 && static_cast<std::size_t>(id) < caches_.size())
+    return *caches_[static_cast<std::size_t>(id)];
+  // Threads outside the pool execute jobs too (the owner helping through
+  // wait_idle, serial engines running submit inline).  Each such thread
+  // keeps its own cache, shared across engines exactly like tls_workspace.
+  thread_local SolverCache external;
+  return external;
+}
+
 std::future<JobResult> SmootherEngine::launch(
-    std::function<SmootherResult(par::ThreadPool&)> body, Backend chosen, bool large,
-    la::index num_states) {
+    std::function<void(par::ThreadPool&, SolverCache&, SmootherResult&)> body, Backend chosen,
+    bool large, la::index num_states, SmootherResult* into) {
   struct Pending {
     std::promise<JobResult> promise;
     Clock::time_point enqueued;
@@ -38,7 +64,8 @@ std::future<JobResult> SmootherEngine::launch(
   }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
 
-  pool_.submit([this, pending, body = std::move(body), chosen, large, num_states]() mutable {
+  pool_.submit([this, pending, body = std::move(body), chosen, large, num_states,
+                into]() mutable {
     const Clock::time_point start = Clock::now();
     JobResult jr;
     jr.metrics.backend = chosen;
@@ -47,15 +74,37 @@ std::future<JobResult> SmootherEngine::launch(
     jr.metrics.queue_seconds =
         std::chrono::duration<double>(start - pending->enqueued).count();
     std::exception_ptr error;
+    const std::uint64_t allocs_before = la::aligned_alloc_count_this_thread();
+    const std::uint64_t charged_before = tls_allocs_charged;
+    // The executing thread's warm SolverCache serves the job — unless this
+    // job is nested inside another one on the same thread (a large job's
+    // parallel_for join helps the pool and can pick up a second job body),
+    // in which case the outer job's scratch is live and the nested job gets
+    // a cold one-shot cache instead.
+    SolverCache& shared_cache = worker_cache();
+    std::optional<SolverCache> nested_cache;
+    SolverCache* cache = &shared_cache;
+    if (shared_cache.in_use)
+      cache = &nested_cache.emplace();
+    else
+      shared_cache.in_use = true;
     try {
       // Small jobs solve on the inline serial pool: the whole job is one
       // pool task and spawns nothing.  Large jobs hand the shared pool to
       // the solver so nested parallel_for fans out across idle lanes (the
       // executing worker participates and helps, so no lane is lost).
-      jr.result = body(large ? pool_ : serial_pool_);
+      // Caller-provided `into` storage is filled in place.
+      SmootherResult local;
+      SmootherResult& dst = into != nullptr ? *into : local;
+      body(large ? pool_ : serial_pool_, *cache, dst);
+      if (into == nullptr) jr.result = std::move(local);
     } catch (...) {
       error = std::current_exception();
     }
+    if (!nested_cache) shared_cache.in_use = false;
+    jr.metrics.allocations = (la::aligned_alloc_count_this_thread() - allocs_before) -
+                             (tls_allocs_charged - charged_before);
+    tls_allocs_charged += jr.metrics.allocations;
     jr.metrics.solve_seconds = std::chrono::duration<double>(Clock::now() - start).count();
     jr.metrics.workspace_high_water_bytes =
         la::tls_workspace().high_water() * sizeof(double);
@@ -63,6 +112,7 @@ std::future<JobResult> SmootherEngine::launch(
       std::lock_guard<std::mutex> lk(stats_mu_);
       stats_.total_queue_seconds += jr.metrics.queue_seconds;
       stats_.total_solve_seconds += jr.metrics.solve_seconds;
+      stats_.total_allocations += jr.metrics.allocations;
       if (error) {
         ++stats_.jobs_failed;
       } else {
@@ -98,14 +148,23 @@ std::future<JobResult> SmootherEngine::submit(Problem p, JobOptions opts) {
   auto problem = std::make_shared<const Problem>(std::move(p));
   auto prior = std::make_shared<const std::optional<GaussianPrior>>(std::move(opts.prior));
   return launch(
-      [problem, prior, chosen, sopts](par::ThreadPool& pool) {
-        return solve_with(chosen, *problem, *prior, pool, sopts);
+      [problem, prior, chosen, sopts](par::ThreadPool& pool, SolverCache& cache,
+                                      SmootherResult& out) {
+        solve_with_into(chosen, *problem, *prior, pool, sopts, cache, out);
       },
-      chosen, large, num_states);
+      chosen, large, num_states, opts.into);
 }
 
 std::vector<std::future<JobResult>> SmootherEngine::submit_batch(std::vector<Problem> problems,
                                                                  const JobOptions& opts) {
+  // The one option set is replicated across jobs, so a single `into` target
+  // would be written concurrently by every job in the batch — reject it
+  // rather than race; into-storage callers submit() each job with its own
+  // storage (see bench/engine_throughput.cpp).
+  if (opts.into != nullptr)
+    throw std::invalid_argument(
+        "submit_batch: JobOptions::into cannot be shared across a batch; "
+        "use submit() with one storage per job");
   std::vector<std::future<JobResult>> futures;
   futures.reserve(problems.size());
   for (Problem& p : problems) futures.push_back(submit(std::move(p), opts));

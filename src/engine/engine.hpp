@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -37,6 +38,7 @@
 namespace pitk::engine {
 
 class Session;
+struct SolverCache;
 
 struct EngineOptions {
   /// Pool concurrency; 0 means par::ThreadPool::default_concurrency()
@@ -59,6 +61,14 @@ struct JobOptions {
   /// Prior on u_0; required by the conventional backends (rts/associative),
   /// folded in as a pseudo-observation by the QR backends.
   std::optional<GaussianPrior> prior;
+  /// When set, the solver writes means/covariances directly into this
+  /// caller-owned storage (capacity-reusing: warm storage from a previous
+  /// same-shaped job is refilled with zero heap allocations) and
+  /// JobResult::result is left empty.  The storage must stay untouched
+  /// until the job's future is ready, with one distinct storage per job in
+  /// flight.  This is the serving pattern for tenants that re-smooth the
+  /// same track shape repeatedly.
+  SmootherResult* into = nullptr;
 };
 
 /// Measurements taken around one job.
@@ -72,6 +82,14 @@ struct JobMetrics {
   /// observable evidence that batched jobs reuse one warm arena per worker
   /// (the value plateaus instead of scaling with jobs served).
   std::size_t workspace_high_water_bytes = 0;
+  /// Matrix/vector/workspace buffer allocations performed by the executing
+  /// worker during this job (la::aligned_alloc_count_this_thread delta).
+  /// Drops to zero on a warm worker solving into warm storage.  Allocations
+  /// made by intra-parallel fan-out on *other* workers are charged to them,
+  /// not to this job, and a job body nested inside this job's parallel_for
+  /// join is charged separately (each allocation counts toward exactly one
+  /// job).
+  std::uint64_t allocations = 0;
 };
 
 struct JobResult {
@@ -88,6 +106,10 @@ struct EngineStats {
   std::uint64_t jobs_large = 0;    ///< intra-parallel path
   double total_queue_seconds = 0.0;
   double total_solve_seconds = 0.0;
+  /// Sum of JobMetrics::allocations over completed jobs; divided by
+  /// jobs_completed this is the engine-wide allocations-per-job figure (it
+  /// plateaus at ~0 once every worker's SolverCache is warm).
+  std::uint64_t total_allocations = 0;
   /// Completed jobs per concrete backend, in registry order
   /// (index with backend_index()).
   std::uint64_t per_backend[num_backends] = {0, 0, 0, 0, 0};
@@ -138,13 +160,21 @@ class SmootherEngine {
   using Clock = std::chrono::steady_clock;
 
   /// Common path for batch jobs and session smooths: run `body` (with the
-  /// shared pool on the large path, an inline serial pool on the small one),
-  /// time it, account it, fulfill the future.
+  /// shared pool on the large path, an inline serial pool on the small one)
+  /// against the executing worker's SolverCache, writing into `into` when
+  /// set (else into a fresh result moved to the future); time it, account
+  /// it, fulfill the future.
   [[nodiscard]] std::future<JobResult> launch(
-      std::function<SmootherResult(par::ThreadPool&)> body, Backend chosen, bool large,
-      la::index num_states);
+      std::function<void(par::ThreadPool&, SolverCache&, SmootherResult&)> body,
+      Backend chosen, bool large, la::index num_states, SmootherResult* into);
+
+  /// The executing thread's solver cache: the engine-owned per-worker cache
+  /// for pool workers, a thread-local one for external threads that execute
+  /// jobs while helping in wait_idle().
+  [[nodiscard]] SolverCache& worker_cache();
 
   EngineOptions opts_;
+  std::vector<std::unique_ptr<SolverCache>> caches_;  ///< one per pool worker
   std::atomic<std::uint64_t> outstanding_{0};
   mutable std::mutex stats_mu_;
   EngineStats stats_;

@@ -54,8 +54,10 @@ std::future<JobResult> Session::smooth_async(bool with_covariances) const {
   auto snap = std::make_shared<const kalman::IncrementalFilter>(snapshot());
   const la::index num_states = snap->current_step() + 1;
   return state_->engine->launch(
-      [snap, with_covariances](par::ThreadPool&) { return snap->smooth(with_covariances); },
-      Backend::PaigeSaunders, /*large=*/false, num_states);
+      [snap, with_covariances](par::ThreadPool&, SolverCache&, SmootherResult& out) {
+        out = snap->smooth(with_covariances);
+      },
+      Backend::PaigeSaunders, /*large=*/false, num_states, /*into=*/nullptr);
 }
 
 void Session::reset(la::index n0) {

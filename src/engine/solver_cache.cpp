@@ -1,0 +1,74 @@
+#include "engine/solver_cache.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/selinv.hpp"
+#include "kalman/dense_reference.hpp"
+#include "kalman/rts.hpp"
+
+namespace pitk::engine {
+
+void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPrior>& prior,
+                     par::ThreadPool& pool, const SolveOptions& opts, SolverCache& cache,
+                     SmootherResult& out) {
+  if (b == Backend::Auto)
+    b = select_backend(p, prior.has_value(), opts.compute_covariance, pool.concurrency());
+  if (!backend_supports(b, p, prior.has_value()))
+    throw std::invalid_argument(std::string("solve_with: backend '") + backend_info(b).name +
+                                "' cannot solve this problem (missing prior or explicit H)");
+
+  // QR-family backends absorb the prior as a step-0 observation so that all
+  // backends solve the identical regularized least-squares problem; without
+  // a prior the problem is used in place (no copy on the hot path).
+  std::optional<Problem> folded_storage;
+  if (prior && b != Backend::Rts && b != Backend::Associative)
+    folded_storage = kalman::with_prior_observation(p, *prior);
+  const Problem& folded = folded_storage ? *folded_storage : p;
+
+  ++cache.jobs_served;
+  switch (b) {
+    case Backend::DenseReference:
+      out = kalman::dense_smooth(folded, opts.compute_covariance);
+      return;
+    case Backend::Rts: {
+      out = kalman::rts_smooth(p, *prior);
+      if (!opts.compute_covariance) out.covariances.clear();
+      return;
+    }
+    case Backend::PaigeSaunders: {
+      // Fully warm: factor blocks, solution vectors and SelInv covariance
+      // blocks all reuse their capacity; transients are workspace borrows.
+      kalman::paige_saunders_factor_into(folded, cache.factor);
+      kalman::paige_saunders_solve_into(cache.factor, out.means);
+      if (opts.compute_covariance)
+        kalman::selinv_bidiagonal_into(cache.factor, out.covariances);
+      else
+        out.covariances.clear();
+      return;
+    }
+    case Backend::Associative: {
+      kalman::AssociativeOptions aopts;
+      aopts.grain = opts.grain;
+      aopts.scratch = &cache.assoc;
+      out = kalman::associative_smooth(p, *prior, pool, aopts);
+      if (!opts.compute_covariance) out.covariances.clear();
+      return;
+    }
+    case Backend::OddEven: {
+      kalman::OddEvenFactor f = kalman::oddeven_factor(folded, pool, opts.grain);
+      kalman::oddeven_solve_into(f, pool, opts.grain, out.means);
+      if (opts.compute_covariance)
+        kalman::oddeven_covariances_into(f, pool, opts.grain, cache.oddeven_cov,
+                                         out.covariances);
+      else
+        out.covariances.clear();
+      return;
+    }
+    case Backend::Auto:
+      break;
+  }
+  throw std::invalid_argument("solve_with: unknown backend");
+}
+
+}  // namespace pitk::engine

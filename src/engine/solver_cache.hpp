@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file solver_cache.hpp
+/// Warm per-worker solver state for the batched engine.
+///
+/// PR 2 made each backend's per-step loop allocation-free *when warm*, but a
+/// worker that solves every job with freshly constructed factor/scratch
+/// objects never gets warm: the `BidiagonalFactor` blocks, the associative
+/// scan elements and the odd-even S-block slots are rebuilt from the heap on
+/// every job.  A SolverCache owns exactly that cross-job state.  The engine
+/// keeps one per pool worker (keyed off the worker's stable pool index, the
+/// same per-worker identity `par::ThreadPool::current_thread_in_pool` is
+/// built on), so repeated jobs scheduled onto a worker reuse storage sized
+/// to the high-water job and — together with the worker's `la::Workspace`
+/// arena — touch zero heap once warm.  Observable through
+/// `JobMetrics::allocations` and `JobMetrics::workspace_high_water_bytes`.
+///
+/// A cache is not thread-safe; it must only ever be used by the one worker
+/// it belongs to, one job at a time.
+
+#include <cstdint>
+
+#include "core/associative.hpp"
+#include "core/oddeven.hpp"
+#include "core/paige_saunders.hpp"
+#include "engine/backend.hpp"
+
+namespace pitk::engine {
+
+struct SolverCache {
+  /// Paige-Saunders bidiagonal factor; `paige_saunders_factor_into` resizes
+  /// its blocks capacity-reusing, so it grows to the worker's largest job
+  /// and then stays.
+  kalman::BidiagonalFactor factor;
+  /// Associative scan element storage (five matrices/vectors per step).
+  kalman::AssociativeScratch assoc;
+  /// Odd-even SelInv S-block slots (Algorithm 2 replay storage).
+  kalman::OddEvenCovScratch oddeven_cov;
+  /// Jobs this cache has served (first job on a worker is the cold one).
+  std::uint64_t jobs_served = 0;
+  /// Re-entrancy latch, touched only by the owning thread: a large job's
+  /// nested parallel_for join helps the pool via run_one() and can execute
+  /// *another job body* on this same thread while the outer job's scratch
+  /// is live.  The engine leaves such nested jobs on a cold one-shot cache
+  /// instead of re-entering this one.
+  bool in_use = false;
+};
+
+/// Solve `p` with backend `b` like `solve_with`, but route every solver that
+/// has warm-capable storage through `cache` and write the result into `out`
+/// capacity-reusing.  With a warm cache, warm `out` storage of matching
+/// shape and a warm per-thread workspace, a repeat solve performs zero heap
+/// allocations end to end for the QR-family backends (Paige-Saunders
+/// entirely; odd-even's covariance replay and back substitution — its
+/// factorization still builds per-level state).  The dense-reference and
+/// RTS backends have no warm path and simply move their result into `out`.
+void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPrior>& prior,
+                     par::ThreadPool& pool, const SolveOptions& opts, SolverCache& cache,
+                     SmootherResult& out);
+
+}  // namespace pitk::engine

@@ -30,12 +30,23 @@ namespace detail {
 /// heap allocation.  Relaxed increments cost nothing measurable because
 /// allocations are rare by design on the hot paths.
 inline std::atomic<std::uint64_t> aligned_alloc_counter{0};
+/// The calling thread's share of the same count.  Lets an engine worker
+/// attribute allocation activity to its own job (JobMetrics::allocations)
+/// without seeing concurrent workers' traffic.
+inline thread_local std::uint64_t aligned_alloc_counter_thread = 0;
 }  // namespace detail
 
 /// Snapshot of the allocation counter; the allocation-free hot-path tests
 /// take the difference across a warm run and assert it is zero.
 [[nodiscard]] inline std::uint64_t aligned_alloc_count() noexcept {
   return detail::aligned_alloc_counter.load(std::memory_order_relaxed);
+}
+
+/// Snapshot of the calling thread's own allocation count (exact for work
+/// executed on this thread; allocations made by tasks fanned out to other
+/// workers are charged to those workers).
+[[nodiscard]] inline std::uint64_t aligned_alloc_count_this_thread() noexcept {
+  return detail::aligned_alloc_counter_thread;
 }
 
 /// Minimal aligned allocator so that std::vector-backed matrix storage starts
@@ -58,6 +69,7 @@ struct AlignedAllocator {
   [[nodiscard]] T* allocate(std::size_t n) {
     if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc();
     detail::aligned_alloc_counter.fetch_add(1, std::memory_order_relaxed);
+    ++detail::aligned_alloc_counter_thread;
     const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
     void* p = ::operator new(bytes, std::align_val_t(Alignment));
     return static_cast<T*>(p);

@@ -58,6 +58,10 @@ bool ThreadPool::current_thread_in_pool() const noexcept {
   return tls_worker_pool == this && tls_worker_id >= 0;
 }
 
+int ThreadPool::current_worker_id() const noexcept {
+  return tls_worker_pool == this ? tls_worker_id : -1;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   if (queues_.empty()) {
     // Serial pool: run inline; there is nobody else to run it.

@@ -60,6 +60,11 @@ class ThreadPool {
   /// block, so the pool never loses a lane to a sleeping worker.
   [[nodiscard]] bool current_thread_in_pool() const noexcept;
 
+  /// Stable index [0, concurrency()-1) of the calling worker, or -1 for
+  /// threads outside the pool (including its owner).  The engine keys its
+  /// per-worker solver caches off this.
+  [[nodiscard]] int current_worker_id() const noexcept;
+
   /// Number of physical/logical cores reported by the OS (never 0).
   static unsigned hardware_cores() noexcept;
 

@@ -14,7 +14,10 @@
 
 #include "core/associative.hpp"
 #include "core/filter.hpp"
+#include "core/oddeven.hpp"
 #include "core/paige_saunders.hpp"
+#include "core/selinv.hpp"
+#include "engine/engine.hpp"
 #include "la/workspace.hpp"
 #include "test_util.hpp"
 
@@ -130,6 +133,100 @@ TEST(AllocFree, AssociativeScansWithWarmScratch) {
   SmootherResult with_scratch = associative_smooth(cp.for_conventional, cp.prior, pool, opts);
   SmootherResult plain = associative_smooth(cp.for_conventional, cp.prior, pool, {});
   test::expect_means_near(with_scratch.means, plain.means, 1e-12, "scratch vs plain means");
+}
+
+TEST(AllocFree, SelinvCovariancesIntoWarmStorage) {
+  Rng rng(0xA110C + 4);
+  CommonProblem cp = test::common_problem(rng, 5, 50, /*dense_cov=*/true);
+
+  BidiagonalFactor f;
+  paige_saunders_factor_into(cp.for_qr, f);
+  std::vector<Matrix> cov;
+  selinv_bidiagonal_into(f, cov);  // warmup: allocates block capacity
+  settle_workspace();
+
+  const std::uint64_t before = aligned_alloc_count();
+  selinv_bidiagonal_into(f, cov);
+  EXPECT_EQ(aligned_alloc_count() - before, 0u)
+      << "warm SelInv covariance pass must not touch the heap";
+
+  test::expect_covs_near(cov, selinv_bidiagonal(f), 0.0, "warm selinv vs fresh");
+}
+
+TEST(AllocFree, OddEvenSolveAndCovariancesWithWarmScratch) {
+  Rng rng(0xA110C + 5);
+  CommonProblem cp = test::common_problem(rng, 4, 70, /*dense_cov=*/true);
+  par::ThreadPool pool(1);  // serial: no chunk-seed copies
+
+  OddEvenFactor f = oddeven_factor(cp.for_qr, pool);
+  OddEvenCovScratch scratch;
+  std::vector<Vector> sol;
+  std::vector<Matrix> cov;
+  oddeven_solve_into(f, pool, par::default_grain, sol);  // warmup
+  oddeven_covariances_into(f, pool, par::default_grain, scratch, cov);
+  settle_workspace();
+
+  const std::uint64_t before = aligned_alloc_count();
+  oddeven_solve_into(f, pool, par::default_grain, sol);
+  oddeven_covariances_into(f, pool, par::default_grain, scratch, cov);
+  EXPECT_EQ(aligned_alloc_count() - before, 0u)
+      << "warm odd-even solve + covariance replay must not touch the heap";
+
+  test::expect_means_near(sol, oddeven_solve(f, pool), 0.0, "warm oddeven solve vs fresh");
+  test::expect_covs_near(cov, oddeven_covariances(f, pool), 0.0, "warm oddeven cov vs fresh");
+}
+
+TEST(AllocFree, EngineBatchedJobsOnWarmWorker) {
+  // The end-to-end criterion: N small same-shaped jobs through a warm engine
+  // worker, solved into warm caller storage, perform ZERO matrix-buffer heap
+  // allocations — factor and covariance state live in the worker's
+  // SolverCache, transients in its Workspace arena, results in the reused
+  // `into` storage.  A serial engine executes jobs inline on this thread, so
+  // the global counter is exact.
+  Rng rng(0xA110C + 6);
+  const int jobs = 4;
+  CommonProblem cp = test::common_problem(rng, 4, 40, /*dense_cov=*/true);
+
+  engine::SmootherEngine eng({.threads = 1});
+  std::vector<kalman::SmootherResult> storage(static_cast<std::size_t>(jobs));
+  std::vector<kalman::Problem> first;
+  std::vector<kalman::Problem> second;
+  for (int j = 0; j < jobs; ++j) {
+    first.push_back(cp.for_qr);
+    second.push_back(cp.for_qr);
+  }
+
+  engine::JobOptions jo;
+  for (int j = 0; j < jobs; ++j) {
+    jo.into = &storage[static_cast<std::size_t>(j)];
+    eng.submit(std::move(first[static_cast<std::size_t>(j)]), jo).get();  // warmup round
+  }
+  settle_workspace();
+
+  const std::uint64_t before = aligned_alloc_count();
+  std::vector<std::future<engine::JobResult>> futures;
+  for (int j = 0; j < jobs; ++j) {
+    jo.into = &storage[static_cast<std::size_t>(j)];
+    futures.push_back(eng.submit(std::move(second[static_cast<std::size_t>(j)]), jo));
+  }
+  eng.wait_idle();
+  EXPECT_EQ(aligned_alloc_count() - before, 0u)
+      << "a warm engine worker must serve whole batched jobs without heap traffic";
+  for (auto& fu : futures) {
+    engine::JobResult jr = fu.get();
+    EXPECT_EQ(jr.metrics.allocations, 0u) << "per-job metric must agree";
+    EXPECT_EQ(jr.metrics.backend, engine::Backend::PaigeSaunders);
+    EXPECT_TRUE(jr.result.means.empty()) << "into-jobs leave JobResult::result empty";
+  }
+
+  // The into-storage results match a plain value-returning solve.
+  engine::JobResult plain = eng.submit(cp.for_qr, {}).get();
+  for (int j = 0; j < jobs; ++j) {
+    test::expect_means_near(storage[static_cast<std::size_t>(j)].means, plain.result.means,
+                            0.0, "into vs value means");
+    test::expect_covs_near(storage[static_cast<std::size_t>(j)].covariances,
+                           plain.result.covariances, 0.0, "into vs value covs");
+  }
 }
 
 TEST(AllocFree, WorkspaceHighWaterIsBoundedAcrossRepeats) {
