@@ -11,10 +11,21 @@
 /// registered backend agrees with the dense reference — the bench exits
 /// nonzero on disagreement, so CI can run it as a smoke test.
 ///
-///   PITK_ENGINE_JOBS   number of problems B     (default 256)
-///   PITK_ENGINE_K      steps per problem        (default 96)
-///   PITK_ENGINE_N      state dimension          (default 4)
-///   PITK_THREADS       engine pool size         (default: hardware)
+/// The session_resmooth series measure the streaming serving pattern: a
+/// long-lived session appends a few steps and re-smooths.  The incremental
+/// path splices only the newly finalized bidiagonal prefix blocks into the
+/// session's ResmoothCache (O(appended) assembly + back-substitution/SelInv
+/// sweep, allocation-free when warm); the full baseline re-smooths the same
+/// track from scratch (cold Paige-Saunders factor + solve + SelInv).  The
+/// bench exits nonzero if the two disagree beyond 1e-10 or the incremental
+/// path fails a conservative speedup floor.
+///
+///   PITK_ENGINE_JOBS      number of problems B     (default 256)
+///   PITK_ENGINE_K         steps per problem        (default 96)
+///   PITK_ENGINE_N         state dimension          (default 4)
+///   PITK_THREADS          engine pool size         (default: hardware)
+///   PITK_RESMOOTH_K       session base steps       (default 4096)
+///   PITK_RESMOOTH_APPEND  appended steps/re-smooth (default 16)
 
 #include <algorithm>
 #include <chrono>
@@ -24,6 +35,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "core/paige_saunders.hpp"
 #include "engine/engine.hpp"
 #include "engine/session.hpp"
 #include "kalman/simulate.hpp"
@@ -54,6 +66,71 @@ double max_deviation(const kalman::SmootherResult& got, const kalman::SmootherRe
     for (std::size_t i = 0; i < ref.covariances.size(); ++i)
       d = std::max(d, la::max_abs_diff(got.covariances[i].view(), ref.covariances[i].view()));
   return d;
+}
+
+/// Feed states (from, to] of a prebuilt track into a streaming session.
+void feed_track(engine::Session& s, const kalman::Problem& track, index from, index to) {
+  for (index i = from + 1; i <= to; ++i) {
+    const kalman::TimeStep& st = track.step(i);
+    if (st.evolution) s.evolve(st.evolution->F, st.evolution->c, st.evolution->noise);
+    if (st.observation) s.observe(st.observation->G, st.observation->o, st.observation->noise);
+  }
+}
+
+/// One sweep point of the incremental re-smoothing bench: a session at k0
+/// steps appends `append` steps per repetition and re-smooths both ways.
+/// Returns false on disagreement (or, at the criterion point, on a speedup
+/// below the conservative floor).
+bool bench_session_resmooth(bench::JsonBench& out, engine::SmootherEngine& eng,
+                            const kalman::Problem& track, index k0, index append,
+                            const char* series, const char* series_full, int reps,
+                            bool enforce_speedup) {
+  engine::Session s = eng.open_session(track.state_dim(0));
+  // Step 0 carries an observation in the paper-benchmark track; replay it.
+  if (track.step(0).observation) {
+    const kalman::Observation& ob = *track.step(0).observation;
+    s.observe(ob.G, ob.o, ob.noise);
+  }
+  feed_track(s, track, 0, k0);
+  kalman::SmootherResult inc;
+  s.smooth_into(inc, true);  // prime: warms the ResmoothCache and `inc`
+
+  std::vector<double> inc_samples;
+  std::vector<double> full_samples;
+  double worst = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const index len = k0 + static_cast<index>(r + 1) * append;
+    feed_track(s, track, len - append, len);
+    inc_samples.push_back(bench::time_once([&] { s.smooth_into(inc, true); }));
+
+    // Cold full smooth of the identical prefix problem (fresh factor, fresh
+    // result storage — what re-smoothing costs without the cached prefix).
+    std::vector<kalman::TimeStep> steps(track.steps().begin(),
+                                        track.steps().begin() + len + 1);
+    const kalman::Problem sub = kalman::Problem::from_steps(std::move(steps));
+    kalman::SmootherResult cold;
+    full_samples.push_back(bench::time_once([&] { cold = kalman::paige_saunders_smooth(sub); }));
+    worst = std::max(worst, max_deviation(inc, cold));
+  }
+
+  const double sec_inc = bench::percentile(inc_samples, 0.5);
+  const double sec_full = bench::percentile(full_samples, 0.5);
+  const double speedup = sec_full / sec_inc;
+  out.record(series, inc_samples,
+             {{"k", static_cast<double>(k0)},
+              {"append", static_cast<double>(append)},
+              {"speedup_vs_full", speedup}});
+  out.record(series_full, full_samples,
+             {{"k", static_cast<double>(k0)}, {"append", static_cast<double>(append)}});
+
+  const bool agree = worst < 1e-10;
+  // The ≥5x criterion is demonstrated by the committed BENCH_engine.json;
+  // the hard exit floor is 3x so a heavily shared CI runner cannot flake.
+  const bool fast = !enforce_speedup || speedup >= 3.0;
+  std::printf("  [%s] append %4lld: incremental %8.3f ms  full %8.3f ms  %5.1fx  |diff| %.2e\n",
+              agree && fast ? "OK " : "???", static_cast<long long>(append), 1e3 * sec_inc,
+              1e3 * sec_full, speedup, worst);
+  return agree && fast;
 }
 
 bool check_backend_agreement() {
@@ -250,8 +327,32 @@ int main() {
   std::printf("  [%s] batched >= sequential at 4+ threads%s\n", speedup_ok ? "OK " : "???",
               enforce_speedup ? "" : " (not enforced: <4 threads or <4 cores)");
 
+  // Incremental session re-smoothing: appended-steps sweep around the
+  // serving shape (4096-step track, 16 appended steps per re-smooth).
+  bool resmooth_ok = true;
+  {
+    const index k0 = env_long("PITK_RESMOOTH_K", 4096);
+    const index append = env_long("PITK_RESMOOTH_APPEND", 16);
+    const index sweep[] = {1, append, 256};
+    index total = k0;
+    for (index a : sweep) total = std::max(total, k0 + static_cast<index>(reps) * a);
+    std::printf("\nsession re-smoothing: k=%lld base steps, n=%lld, incremental vs cold full\n",
+                static_cast<long long>(k0), static_cast<long long>(n));
+    la::Rng rng_rs(0x5E5510);
+    const kalman::Problem track = kalman::make_paper_benchmark(rng_rs, n, total);
+    engine::SmootherEngine seng({.threads = 1});
+    resmooth_ok &= bench_session_resmooth(out, seng, track, k0, sweep[0],
+                                          "session_resmooth_a1", "session_resmooth_a1_full",
+                                          reps, false);
+    resmooth_ok &= bench_session_resmooth(out, seng, track, k0, sweep[1], "session_resmooth",
+                                          "session_resmooth_full", reps, true);
+    resmooth_ok &= bench_session_resmooth(out, seng, track, k0, sweep[2],
+                                          "session_resmooth_a256", "session_resmooth_a256_full",
+                                          reps, false);
+  }
+
   std::printf("\n");
   const bool agree = check_backend_agreement();
   const bool wrote = out.write();
-  return (agree && speedup_ok && wrote) ? 0 : 1;
+  return (agree && speedup_ok && resmooth_ok && wrote) ? 0 : 1;
 }

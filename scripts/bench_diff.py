@@ -30,7 +30,9 @@ def load_medians(path):
     return out
 
 
-def main():
+def main(argv=None):
+    """Run the comparison; `argv` defaults to sys.argv[1:] (unit tests pass
+    an explicit list).  Returns the process exit code."""
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("fresh")
@@ -39,7 +41,7 @@ def main():
                          "the machine-normalized expectation (default 2.0)")
     ap.add_argument("--report-only", action="store_true",
                     help="print the comparison but always exit 0")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     base = load_medians(args.baseline)
     fresh = load_medians(args.fresh)

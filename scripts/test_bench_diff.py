@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py (run by the CI bench-smoke job):
+
+    python3 -m unittest discover -s scripts -p 'test_*.py' -v
+
+Covers the gate logic that protects the committed BENCH_*.json baselines:
+regression detection under machine-speed normalization, within-gate passes
+(including globally faster/slower machines), missing-series handling, zero
+and meta series filtering, and --report-only.
+"""
+
+import json
+import os
+import tempfile
+import unittest
+
+import bench_diff
+
+
+def write_doc(path, medians):
+    """Write a minimal pitk-bench-v1 document with the given name->median_s."""
+    doc = {
+        "schema": "pitk-bench-v1",
+        "series": [{"name": n, "median_s": m} for n, m in medians.items()],
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.base = os.path.join(self.tmp.name, "base.json")
+        self.fresh = os.path.join(self.tmp.name, "fresh.json")
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_diff(self, *extra):
+        return bench_diff.main([self.base, self.fresh, *extra])
+
+    def test_identical_runs_pass(self):
+        write_doc(self.base, {"a": 1.0, "b": 2.0, "c": 0.5})
+        write_doc(self.fresh, {"a": 1.0, "b": 2.0, "c": 0.5})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_uniformly_slower_machine_passes(self):
+        # 3x slower across the board is machine speed, not a regression: the
+        # median ratio normalizes it away.
+        write_doc(self.base, {"a": 1.0, "b": 2.0, "c": 0.5})
+        write_doc(self.fresh, {"a": 3.0, "b": 6.0, "c": 1.5})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_single_series_regression_detected(self):
+        # One series 4x slower while its peers are flat: beyond the 2x gate.
+        write_doc(self.base, {"a": 1.0, "b": 2.0, "c": 0.5})
+        write_doc(self.fresh, {"a": 4.0, "b": 2.0, "c": 0.5})
+        self.assertEqual(self.run_diff(), 1)
+
+    def test_within_gate_slowdown_passes(self):
+        # 1.5x normalized slowdown stays inside the default 2x gate.
+        write_doc(self.base, {"a": 1.0, "b": 2.0, "c": 0.5})
+        write_doc(self.fresh, {"a": 1.5, "b": 2.0, "c": 0.5})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_gate_factor_is_respected(self):
+        write_doc(self.base, {"a": 1.0, "b": 2.0, "c": 0.5})
+        write_doc(self.fresh, {"a": 1.8, "b": 2.0, "c": 0.5})
+        self.assertEqual(self.run_diff("--gate-factor", "1.5"), 1)
+        self.assertEqual(self.run_diff("--gate-factor", "2.0"), 0)
+
+    def test_report_only_never_fails(self):
+        write_doc(self.base, {"a": 1.0, "b": 2.0})
+        write_doc(self.fresh, {"a": 40.0, "b": 2.0})
+        self.assertEqual(self.run_diff("--report-only"), 0)
+
+    def test_series_missing_from_fresh_is_not_a_failure(self):
+        # A baseline series absent from the fresh run is reported but does
+        # not gate (new baselines land before their bench is in every job).
+        write_doc(self.base, {"a": 1.0, "gone": 2.0})
+        write_doc(self.fresh, {"a": 1.0})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_new_series_in_fresh_is_ignored(self):
+        # Fresh-only series (a bench gained a new measurement) cannot gate
+        # against a baseline that has no entry for them.
+        write_doc(self.base, {"a": 1.0})
+        write_doc(self.fresh, {"a": 1.0, "brand_new": 123.0})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_no_shared_series_is_a_noop(self):
+        write_doc(self.base, {"a": 1.0})
+        write_doc(self.fresh, {"b": 1.0})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_zero_and_meta_series_are_filtered(self):
+        # median_s == 0 entries (meta/checksum series) never divide by zero
+        # and never gate.
+        write_doc(self.base, {"a": 1.0, "meta_checksum": 0.0})
+        write_doc(self.fresh, {"a": 1.0, "meta_checksum": 0.0})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_load_medians_skips_zero_series(self):
+        write_doc(self.base, {"a": 1.0, "zero": 0.0})
+        self.assertEqual(bench_diff.load_medians(self.base), {"a": 1.0})
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -39,6 +39,7 @@ void IncrementalFilter::reset(la::index n0) {
   if (n0 <= 0) throw std::invalid_argument("IncrementalFilter::reset: n0 must be positive");
   step_ = 0;
   n_ = n0;
+  ++epoch_;
   pending_.resize(0, n0);
   pending_rhs_.resize(0);
   // Retire the finalized blocks into the spare pools; the next track's
@@ -216,6 +217,57 @@ std::optional<Matrix> IncrementalFilter::covariance() const {
   auto c = compressed();
   if (!c) return std::nullopt;
   return tri_inv_gram(c->first.view());
+}
+
+void IncrementalFilter::resmooth_from(la::index step, BidiagonalFactor& f,
+                                      la::QrScratch& qr) const {
+  const index fin = finished_steps();
+  if (step < 0 || step > fin)
+    throw std::invalid_argument("IncrementalFilter::resmooth_from: step out of range");
+  if (static_cast<index>(f.diag.size()) < step || static_cast<index>(f.sup.size()) < step ||
+      static_cast<index>(f.rhs.size()) < step)
+    throw std::invalid_argument(
+        "IncrementalFilter::resmooth_from: factor holds fewer than `step` prefix blocks");
+
+  // Splice the finalized rows at/after the first changed index; blocks
+  // before `step` are already in place from the previous call.
+  f.diag.resize(static_cast<std::size_t>(fin) + 1);
+  f.sup.resize(static_cast<std::size_t>(fin) + 1);
+  f.rhs.resize(static_cast<std::size_t>(fin) + 1);
+  for (index i = step; i < fin; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    f.diag[s].assign_from(finished_.diag[s].view());
+    f.sup[s].assign_from(finished_.sup[s].view());
+    f.rhs[s].assign_from(finished_.rhs[s].span());
+  }
+
+  // Compress the live state's pending rows into the final diagonal block —
+  // the only block that must be rebuilt on every re-smooth (observe()
+  // mutates the pending rows, never the prefix).  Staged in the arena so a
+  // warm factor is refreshed without heap traffic.
+  Matrix& last = f.diag[static_cast<std::size_t>(fin)];
+  Vector& last_rhs = f.rhs[static_cast<std::size_t>(fin)];
+  f.sup[static_cast<std::size_t>(fin)].resize(0, 0);
+  const index rp = pending_.rows();
+  last.resize(n_, n_);
+  if (rp > 0) {
+    la::Workspace::Scope scope(la::tls_workspace());
+    la::MatrixView m = scope.mat(rp, n_);
+    m.assign(pending_.view());
+    std::span<double> rhs = scope.vec(rp);
+    std::copy(pending_rhs_.span().begin(), pending_rhs_.span().end(), rhs.begin());
+    qr.factor_apply(m, la::MatrixView(rhs.data(), rp, 1, rp));
+    la::qr_extract_r_square(m, last.view());
+    if (!full_rank(last))
+      throw std::runtime_error(
+          "IncrementalFilter::resmooth_from: the current state is not yet fully determined");
+    last_rhs.resize(n_);
+    const index avail = std::min(rp, n_);
+    for (index q = 0; q < avail; ++q) last_rhs[q] = rhs[static_cast<std::size_t>(q)];
+  } else {
+    throw std::runtime_error(
+        "IncrementalFilter::resmooth_from: the current state is not yet fully determined");
+  }
 }
 
 SmootherResult IncrementalFilter::smooth(bool with_covariances) const {

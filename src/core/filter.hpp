@@ -12,6 +12,7 @@
 /// factor rows it finalizes are exactly the Paige-Saunders bidiagonal R, so
 /// a full smoothing pass can be completed at any point.
 
+#include <cstdint>
 #include <optional>
 
 #include "core/paige_saunders.hpp"
@@ -60,6 +61,40 @@ class IncrementalFilter {
   /// (optionally with SelInv covariances).  The filter remains usable.
   [[nodiscard]] SmootherResult smooth(bool with_covariances) const;
 
+  // ---- incremental re-smoothing (finalized-prefix reuse) ----
+
+  /// The finalized bidiagonal prefix: R row blocks of states
+  /// 0..current_step()-1, exactly the first current_step() blocks of the
+  /// factor smooth() solves.  Between resets the prefix only ever *appends*
+  /// — evolve() finalizes one more block, observe() touches only the pending
+  /// rows of the live state — so callers may cache any prefix of these
+  /// blocks and later splice just the new ones with resmooth_from().
+  [[nodiscard]] const BidiagonalFactor& finished_prefix() const noexcept { return finished_; }
+
+  /// Number of finalized prefix blocks (== current_step()).
+  [[nodiscard]] la::index finished_steps() const noexcept {
+    return static_cast<la::index>(finished_.diag.size());
+  }
+
+  /// Monotone count of reset() calls.  reset() is the only operation that
+  /// invalidates previously finalized blocks, so a cached prefix is valid
+  /// exactly while the epoch it was spliced under still matches.
+  [[nodiscard]] std::uint64_t reset_epoch() const noexcept { return epoch_; }
+
+  /// Bring a cached factor up to date by re-running the factor assembly only
+  /// for steps at/after `step`, the first index where `f` may differ from
+  /// this filter: blocks [step, current_step()) are copied from the
+  /// finalized prefix (capacity-reusing) and the pending rows of the live
+  /// state are compressed into the last diagonal block, so `f` ends up
+  /// identical to the factor a cold smooth() would build.  The first `step`
+  /// blocks of `f` must already hold the prefix, from a previous call on
+  /// this filter in the same reset epoch; pass step = 0 to rebuild from
+  /// scratch.  All transients are borrowed from the calling thread's
+  /// la::Workspace, so a warm `f` is updated with zero heap allocations.
+  /// Throws std::runtime_error while the current state is rank deficient
+  /// (same condition as smooth()).
+  void resmooth_from(la::index step, BidiagonalFactor& f, la::QrScratch& qr) const;
+
  private:
   /// Compress a copy of the pending rows to a square triangle; returns
   /// nullopt if rank deficient (diagonal entry ~ 0).
@@ -72,6 +107,7 @@ class IncrementalFilter {
 
   la::index step_ = 0;
   la::index n_ = 0;
+  std::uint64_t epoch_ = 0;  ///< reset() count (prefix-cache invalidation)
   Matrix pending_;      ///< rows still constraining the current state
   Vector pending_rhs_;
   Matrix scratch_pending_;  ///< double buffer swapped with pending_ each step

@@ -156,18 +156,38 @@ std::vector<Vector> paige_saunders_solve(const BidiagonalFactor& f) {
 
 void paige_saunders_solve_into(const BidiagonalFactor& f, std::vector<Vector>& u) {
   const index k = static_cast<index>(f.diag.size()) - 1;
+  // Kalman state dimensions live in n <= 8; there the per-state update runs
+  // on direct loops instead of gemv/trsv, whose call dispatch dominates the
+  // ~50 flops of a 4x4 step (same trade as the SelInv small-dim path).
+  constexpr index small = 8;
   u.resize(static_cast<std::size_t>(k + 1));
   for (index i = k; i >= 0; --i) {
+    const Matrix& rd = f.diag[static_cast<std::size_t>(i)];
+    const index n = rd.rows();
     Vector& x = u[static_cast<std::size_t>(i)];
     x.assign_from(f.rhs[static_cast<std::size_t>(i)].span());
     if (i < k) {
-      la::gemv(-1.0, f.sup[static_cast<std::size_t>(i)].view(), Trans::No,
-               u[static_cast<std::size_t>(i + 1)].span(), 1.0, x.span());
+      const Matrix& rs = f.sup[static_cast<std::size_t>(i)];
+      const Vector& un = u[static_cast<std::size_t>(i + 1)];
+      if (n <= small && rs.cols() <= small) {
+        for (index c = 0; c < rs.cols(); ++c) {
+          const double uc = un[c];
+          for (index r = 0; r < n; ++r) x[r] -= rs(r, c) * uc;
+        }
+      } else {
+        la::gemv(-1.0, rs.view(), Trans::No, un.span(), 1.0, x.span());
+      }
     }
-    la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit,
-             f.diag[static_cast<std::size_t>(i)].view(), x.span());
+    if (n <= small) {
+      for (index r = n - 1; r >= 0; --r) {
+        double acc = x[r];
+        for (index c = r + 1; c < n; ++c) acc -= rd(r, c) * x[c];
+        x[r] = acc / rd(r, r);
+      }
+    } else {
+      la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, rd.view(), x.span());
+    }
   }
-  return;
 }
 
 SmootherResult paige_saunders_smooth(const Problem& p, const PaigeSaundersOptions& opts) {

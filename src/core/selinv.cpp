@@ -10,6 +10,76 @@ using la::index;
 using la::MatrixView;
 using la::Trans;
 
+namespace {
+
+/// Kalman state dimensions live in n <= 8; for those blocks the recurrence
+/// runs on fused fixed-ld stack tiles instead of the blocked kernels, whose
+/// per-call dispatch dominates at 4x4 (the same trade the small-dim gemm
+/// dispatch in la/blas.cpp makes).
+constexpr index kSmallDim = 8;
+
+/// rinv = R^{-1} for upper-triangular R (upper triangle written, ld 8).
+inline void small_tri_inv(const Matrix& r, index n, double* rinv) {
+  for (index j = 0; j < n; ++j) {
+    rinv[j + j * kSmallDim] = 1.0 / r(j, j);
+    for (index i = j - 1; i >= 0; --i) {
+      double t = 0.0;
+      for (index p = i + 1; p <= j; ++p) t += r(i, p) * rinv[p + j * kSmallDim];
+      rinv[i + j * kSmallDim] = -t / r(i, i);
+    }
+  }
+}
+
+/// out = R^{-1} R^{-T} from the triangular inverse (symmetric, full write).
+inline void small_gram(const double* rinv, index n, Matrix& out) {
+  for (index j = 0; j < n; ++j)
+    for (index i = 0; i <= j; ++i) {
+      double t = 0.0;
+      for (index p = j; p < n; ++p) t += rinv[i + p * kSmallDim] * rinv[j + p * kSmallDim];
+      out(i, j) = t;
+      out(j, i) = t;
+    }
+}
+
+/// One small-dimension SelInv step: S_jj = R_jj^{-1} R_jj^{-T} + W S_next W^T
+/// with W = R_jj^{-1} R_{j,j+1} (the soff = -W S_next off-diagonal block is
+/// folded in; S_next is symmetric, so S_jj is computed as a triangle and
+/// mirrored).  All transients live in fixed stack tiles.
+inline void small_selinv_step(const Matrix& rjj, const Matrix& rjn, const Matrix& snext,
+                              Matrix& sjj) {
+  const index n = rjj.rows();
+  const index nn = rjn.cols();
+  double rinv[kSmallDim * kSmallDim];
+  double w[kSmallDim * kSmallDim];
+  double t[kSmallDim * kSmallDim];
+  small_tri_inv(rjj, n, rinv);
+  // W = R_jj^{-1} R_{j,j+1}.
+  for (index c = 0; c < nn; ++c)
+    for (index i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (index p = i; p < n; ++p) acc += rinv[i + p * kSmallDim] * rjn(p, c);
+      w[i + c * kSmallDim] = acc;
+    }
+  // T = W S_next.
+  for (index c = 0; c < nn; ++c)
+    for (index i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (index p = 0; p < nn; ++p) acc += w[i + p * kSmallDim] * snext(p, c);
+      t[i + c * kSmallDim] = acc;
+    }
+  if (sjj.rows() != n || sjj.cols() != n) sjj.resize(n, n);
+  small_gram(rinv, n, sjj);
+  for (index j = 0; j < n; ++j)
+    for (index i = 0; i <= j; ++i) {
+      double acc = 0.0;
+      for (index c = 0; c < nn; ++c) acc += t[i + c * kSmallDim] * w[j + c * kSmallDim];
+      sjj(i, j) += acc;
+      sjj(j, i) = sjj(i, j);
+    }
+}
+
+}  // namespace
+
 void tri_inv_gram_into(la::ConstMatrixView r, MatrixView out, la::Workspace::Scope& scope) {
   const index n = r.rows();
   MatrixView rinv = scope.mat(n, n);
@@ -43,13 +113,24 @@ void selinv_bidiagonal_into(const BidiagonalFactor& f, std::vector<Matrix>& s) {
   {
     const Matrix& rkk = f.diag[static_cast<std::size_t>(k)];
     Matrix& sk = s[static_cast<std::size_t>(k)];
-    sk.resize(rkk.rows(), rkk.rows());
-    la::Workspace::Scope scope(la::tls_workspace());
-    tri_inv_gram_into(rkk.view(), sk.view(), scope);
+    if (rkk.rows() <= kSmallDim) {
+      double rinv[kSmallDim * kSmallDim];
+      small_tri_inv(rkk, rkk.rows(), rinv);
+      if (sk.rows() != rkk.rows() || sk.cols() != rkk.rows()) sk.resize(rkk.rows(), rkk.rows());
+      small_gram(rinv, rkk.rows(), sk);
+    } else {
+      sk.resize(rkk.rows(), rkk.rows());
+      la::Workspace::Scope scope(la::tls_workspace());
+      tri_inv_gram_into(rkk.view(), sk.view(), scope);
+    }
   }
   for (index j = k - 1; j >= 0; --j) {
     const Matrix& rjj = f.diag[static_cast<std::size_t>(j)];
     const Matrix& rjn = f.sup[static_cast<std::size_t>(j)];
+    if (rjj.rows() <= kSmallDim && rjn.cols() <= kSmallDim) {
+      small_selinv_step(rjj, rjn, s[static_cast<std::size_t>(j + 1)], s[static_cast<std::size_t>(j)]);
+      continue;
+    }
     la::Workspace::Scope scope(la::tls_workspace());
     // W = R_jj^{-1} R_{j,j+1}.
     MatrixView w = scope.mat(rjn.rows(), rjn.cols());

@@ -2,21 +2,26 @@
 
 #include <utility>
 
+#include "core/selinv.hpp"
+
 namespace pitk::engine {
 
 void Session::evolve(Matrix f, Vector c, CovFactor k) {
   std::lock_guard<std::mutex> lk(state_->mu);
   state_->filter.evolve(std::move(f), std::move(c), std::move(k));
+  ++state_->mutations;
 }
 
 void Session::evolve_rect(la::index n_new, Matrix h, Matrix f, Vector c, CovFactor k) {
   std::lock_guard<std::mutex> lk(state_->mu);
   state_->filter.evolve_rect(n_new, std::move(h), std::move(f), std::move(c), std::move(k));
+  ++state_->mutations;
 }
 
 void Session::observe(Matrix g, Vector o, CovFactor l) {
   std::lock_guard<std::mutex> lk(state_->mu);
   state_->filter.observe(std::move(g), std::move(o), std::move(l));
+  ++state_->mutations;
 }
 
 la::index Session::current_step() const {
@@ -39,30 +44,86 @@ std::optional<Matrix> Session::covariance() const {
   return state_->filter.covariance();
 }
 
-kalman::IncrementalFilter Session::snapshot() const {
-  std::lock_guard<std::mutex> lk(state_->mu);
-  return state_->filter;
+void Session::resmooth(const State& st, ResmoothCache& cache, bool with_covariances,
+                       SmootherResult& out) {
+  std::lock_guard<std::mutex> cl(cache.mu);
+  bool hit = false;
+  bool covs_upgrade = false;  // factor and means current, only SelInv missing
+  {
+    // The session lock is held only for the delta: epoch check, splice of
+    // the newly finalized blocks, and compression of the pending rows —
+    // O(appended steps), so a re-smooth never stalls the measurement
+    // stream behind a full-track pass.
+    std::lock_guard<std::mutex> lk(st.mu);
+    const kalman::IncrementalFilter& filt = st.filter;
+    if (cache.epoch != filt.reset_epoch()) {
+      cache.prefix_len = 0;  // reset() discarded the prefix: rebuild from scratch
+      cache.epoch = filt.reset_epoch();
+      cache.result_valid = false;
+    }
+    const bool current = cache.result_valid && cache.result_mutation == st.mutations;
+    hit = current && (cache.result_covs || !with_covariances);
+    covs_upgrade = current && !hit;
+    if (!hit && !covs_upgrade) {
+      filt.resmooth_from(static_cast<la::index>(cache.prefix_len), cache.factor, cache.qr);
+      cache.prefix_len = static_cast<std::size_t>(filt.finished_steps());
+      cache.result_mutation = st.mutations;
+      cache.result_valid = false;  // until the solve below completes
+    }
+  }
+  if (!hit) {
+    // A covariance upgrade of an unmutated session keeps the spliced factor
+    // and the cached means; only the SelInv sweep is missing.
+    if (!covs_upgrade) kalman::paige_saunders_solve_into(cache.factor, cache.result.means);
+    if (with_covariances)
+      kalman::selinv_bidiagonal_into(cache.factor, cache.result.covariances);
+    // On a covariance-free pass the (now stale) cached covariance blocks are
+    // kept for capacity reuse: result_covs gates serving them, and the next
+    // covariance pass overwrites them in place — a tenant alternating NC and
+    // covariance re-smooths stays allocation-free.
+    cache.result_covs = with_covariances;
+    cache.result_valid = true;
+  }
+  out.means.resize(cache.result.means.size());
+  for (std::size_t i = 0; i < cache.result.means.size(); ++i)
+    out.means[i].assign_from(cache.result.means[i].span());
+  if (with_covariances) {
+    out.covariances.resize(cache.result.covariances.size());
+    for (std::size_t i = 0; i < cache.result.covariances.size(); ++i)
+      out.covariances[i].assign_from(cache.result.covariances[i].view());
+  } else {
+    out.covariances.clear();
+  }
 }
 
 SmootherResult Session::smooth(bool with_covariances) const {
-  return snapshot().smooth(with_covariances);
+  SmootherResult out;
+  resmooth(*state_, state_->sync_cache, with_covariances, out);
+  return out;
 }
 
-std::future<JobResult> Session::smooth_async(bool with_covariances) const {
-  // The snapshot's factor rows are exactly the Paige-Saunders bidiagonal R,
-  // so the job is accounted under that backend.
-  auto snap = std::make_shared<const kalman::IncrementalFilter>(snapshot());
-  const la::index num_states = snap->current_step() + 1;
-  return state_->engine->launch(
-      [snap, with_covariances](par::ThreadPool&, SolverCache&, SmootherResult& out) {
-        out = snap->smooth(with_covariances);
+void Session::smooth_into(SmootherResult& out, bool with_covariances) const {
+  resmooth(*state_, state_->sync_cache, with_covariances, out);
+}
+
+std::future<JobResult> Session::smooth_async(bool with_covariances, SmootherResult* into) const {
+  // The spliced factor rows are exactly the Paige-Saunders bidiagonal R, so
+  // the job is accounted under that backend.  The body captures the shared
+  // State (not the Session handle), so the job stays valid if the handle is
+  // moved or destroyed before execution.
+  auto st = state_;
+  const la::index num_states = current_step() + 1;
+  return st->engine->launch(
+      [st, with_covariances](par::ThreadPool&, SolverCache&, SmootherResult& out) {
+        resmooth(*st, st->async_cache, with_covariances, out);
       },
-      Backend::PaigeSaunders, /*large=*/false, num_states, /*into=*/nullptr);
+      Backend::PaigeSaunders, /*large=*/false, num_states, into);
 }
 
 void Session::reset(la::index n0) {
   std::lock_guard<std::mutex> lk(state_->mu);
-  state_->filter.reset(n0);
+  state_->filter.reset(n0);  // bumps reset_epoch: both caches resplice from 0
+  ++state_->mutations;
 }
 
 }  // namespace pitk::engine

@@ -9,12 +9,24 @@
 /// smoothing pass over everything seen so far can be requested on demand —
 /// synchronously, or as a job on the engine's shared pool via
 /// smooth_async().  All methods are safe to call from any thread; the
-/// underlying IncrementalFilter is guarded by a per-session mutex, and
-/// smoothing operates on a snapshot so long smooths never block the stream.
+/// underlying IncrementalFilter is guarded by a per-session mutex.
+///
+/// Re-smoothing is *incremental*: the filter finalizes one bidiagonal R row
+/// block per eliminated state, and those blocks never change once written
+/// (only reset() discards them), so the session keeps a ResmoothCache — the
+/// spliced factor plus the last smoothed means/covariances — and each
+/// smooth() after append()s does delta work only: O(appended steps) of
+/// prefix splicing plus the back-substitution/SelInv sweep, instead of
+/// re-factoring (or copying) the whole track.  The cache invalidates itself
+/// on reset() via the filter's reset epoch; the per-step model (F, H, c, G,
+/// noise) arrives through evolve()/observe() and is immutable once
+/// absorbed, so no other invalidation exists.  A repeated smooth with no
+/// intervening append is served straight from the cached result.
 ///
 /// Sessions are created by SmootherEngine::open_session() and must not
 /// outlive their engine.
 
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -22,6 +34,7 @@
 
 #include "core/filter.hpp"
 #include "engine/engine.hpp"
+#include "la/qr.hpp"
 
 namespace pitk::engine {
 
@@ -55,31 +68,76 @@ class Session {
   /// Covariance of the filtered estimate; nullopt under the same condition.
   [[nodiscard]] std::optional<Matrix> covariance() const;
 
-  /// Smooth every state seen so far, inline on the calling thread.  The
-  /// session remains usable (and streamable) afterwards.
+  /// Smooth every state seen so far, inline on the calling thread.  Only
+  /// the delta since the previous smooth is re-assembled (see the file
+  /// comment); the session remains usable (and streamable) afterwards.
   [[nodiscard]] SmootherResult smooth(bool with_covariances = true) const;
 
-  /// Smooth a snapshot of the session as an engine job; the future carries
-  /// the result plus queue/solve metrics like any batch job.
-  [[nodiscard]] std::future<JobResult> smooth_async(bool with_covariances = true) const;
+  /// Incremental smooth into caller-owned storage (capacity-reusing): the
+  /// zero-allocation serving path for tenants that re-smooth every few
+  /// appended steps.  With a warm cache and warm `out`, the cost is
+  /// O(appended steps) splicing + the back-substitution/SelInv sweep, with
+  /// zero heap allocations.
+  void smooth_into(SmootherResult& out, bool with_covariances = true) const;
+
+  /// Smooth as an engine job; the future carries the result plus
+  /// queue/solve metrics like any batch job.  The job smooths everything
+  /// the session has seen *when it executes* (steps appended between
+  /// request and execution are included), using the session's dedicated
+  /// async ResmoothCache so repeated async smooths also do delta work only.
+  /// When `into` is set, the result lands in that caller-owned storage
+  /// (JobOptions::into semantics: keep it untouched until the future is
+  /// ready, one storage per job in flight) and JobResult::result is empty.
+  [[nodiscard]] std::future<JobResult> smooth_async(bool with_covariances = true,
+                                                    SmootherResult* into = nullptr) const;
 
   /// Drop all accumulated state and restart at a fresh u_0 of dimension n0.
+  /// Invalidates both re-smooth caches: the next smooth rebuilds from
+  /// scratch, exactly like a fresh session.
   void reset(la::index n0);
 
  private:
   friend class SmootherEngine;
+
+  /// Cross-smooth state: the spliced bidiagonal factor (prefix + compressed
+  /// live block) and the last smoothed result.  Two live per session — one
+  /// for synchronous smooths, one for async jobs — so a long async solve
+  /// never blocks an inline smooth.  The cache is per-session (not per
+  /// worker): the prefix mirrors *this* session's filter, and splicing is
+  /// keyed on how many of its blocks are already present, which would be
+  /// meaningless storage shared across tenants.  The solve itself still
+  /// runs on the executing worker's warm la::Workspace arena, so engine
+  /// workers stay zero-alloc (pinned by tests/core/test_alloc_free.cpp).
+  struct ResmoothCache {
+    std::mutex mu;                   ///< serializes smooths through this cache
+    kalman::BidiagonalFactor factor; ///< spliced factor (capacity-reused)
+    la::QrScratch qr;                ///< pending-compression scratch
+    kalman::SmootherResult result;   ///< last smoothed means/covariances
+    std::size_t prefix_len = 0;      ///< finalized blocks currently spliced
+    std::uint64_t epoch = 0;         ///< filter reset_epoch of the prefix
+    std::uint64_t result_mutation = 0;  ///< State::mutations when result was computed
+    bool result_valid = false;
+    bool result_covs = false;        ///< result includes covariances
+  };
 
   struct State {
     State(SmootherEngine* e, la::index n0) : engine(e), filter(n0) {}
     SmootherEngine* engine;
     mutable std::mutex mu;
     kalman::IncrementalFilter filter;
+    std::uint64_t mutations = 0;  ///< evolve/observe/reset count (result-cache key)
+    mutable ResmoothCache sync_cache;
+    mutable ResmoothCache async_cache;
   };
 
   explicit Session(std::shared_ptr<State> state) : state_(std::move(state)) {}
 
-  /// Copy of the filter taken under the session lock.
-  [[nodiscard]] kalman::IncrementalFilter snapshot() const;
+  /// The incremental smooth: splice the factor delta under the session
+  /// lock, solve/SelInv into the cache outside it, copy into `out`
+  /// capacity-reusing.  Serves straight from the cached result when the
+  /// session has not mutated since the last smooth through `cache`.
+  static void resmooth(const State& st, ResmoothCache& cache, bool with_covariances,
+                       SmootherResult& out);
 
   std::shared_ptr<State> state_;
 };

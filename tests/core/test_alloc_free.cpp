@@ -18,6 +18,7 @@
 #include "core/paige_saunders.hpp"
 #include "core/selinv.hpp"
 #include "engine/engine.hpp"
+#include "engine/session.hpp"
 #include "la/workspace.hpp"
 #include "test_util.hpp"
 
@@ -227,6 +228,68 @@ TEST(AllocFree, EngineBatchedJobsOnWarmWorker) {
     test::expect_covs_near(storage[static_cast<std::size_t>(j)].covariances,
                            plain.result.covariances, 0.0, "into vs value covs");
   }
+}
+
+TEST(AllocFree, SessionIncrementalResmoothOnWarmCache) {
+  // The streaming serving pattern: a warm session re-smoothing after a new
+  // measurement touches zero heap — the spliced factor, the QR scratch, the
+  // cached result and the caller storage all reuse capacity; transients are
+  // arena borrows.  (Appending *steps* grows the factor's block vectors, an
+  // amortized cost excluded here by mutating only the live state.)
+  Rng rng(0xA110C + 7);
+  CommonProblem cp = test::common_problem(rng, 4, 48);
+
+  engine::SmootherEngine eng({.threads = 1});
+  engine::Session s = eng.open_session(4);
+  for (la::index i = 0; i <= cp.for_qr.last_index(); ++i) {
+    if (i > 0) {
+      const Evolution& e = *cp.for_qr.step(i).evolution;
+      s.evolve(e.F, e.c, e.noise);
+    }
+    if (cp.for_qr.step(i).observation) {
+      const Observation& ob = *cp.for_qr.step(i).observation;
+      s.observe(ob.G, ob.o, ob.noise);
+    }
+  }
+
+  SmootherResult out;
+  s.smooth_into(out, true);  // cold: builds factor, result and out storage
+  s.observe(Matrix::identity(4), Vector({0.1, -0.2, 0.3, -0.4}), CovFactor::identity(4));
+  s.smooth_into(out, true);  // second pass settles every capacity high-water
+  settle_workspace();
+
+  // A mutated session (cache miss: recompress + solve + SelInv + copy-out).
+  Matrix g = Matrix::identity(4);
+  Vector o({0.5, 0.25, -0.5, -0.25});
+  CovFactor l = CovFactor::identity(4);
+  s.observe(std::move(g), std::move(o), std::move(l));
+  const std::uint64_t before_miss = aligned_alloc_count();
+  s.smooth_into(out, true);
+  EXPECT_EQ(aligned_alloc_count() - before_miss, 0u)
+      << "a warm incremental re-smooth must not touch the heap";
+
+  // An unmutated session (cache hit: served from the stored result).
+  const std::uint64_t before_hit = aligned_alloc_count();
+  s.smooth_into(out, true);
+  EXPECT_EQ(aligned_alloc_count() - before_hit, 0u)
+      << "a cached-result smooth must not touch the heap";
+
+  // Alternating means-only and covariance re-smooths: the NC pass keeps the
+  // cached covariance storage (gated by a flag, not by clearing), so the
+  // covariance upgrade that follows reuses it instead of reallocating.
+  SmootherResult nc;
+  s.observe(Matrix::identity(4), Vector({0.2, 0.1, -0.2, -0.1}), CovFactor::identity(4));
+  s.smooth_into(nc, false);
+  settle_workspace();
+  Matrix g2 = Matrix::identity(4);
+  Vector o2({-0.3, 0.15, 0.3, -0.15});
+  CovFactor l2 = CovFactor::identity(4);
+  s.observe(std::move(g2), std::move(o2), std::move(l2));
+  const std::uint64_t before_alt = aligned_alloc_count();
+  s.smooth_into(nc, false);  // miss: means only, stale covariances retained
+  s.smooth_into(out, true);  // covariance upgrade into the retained storage
+  EXPECT_EQ(aligned_alloc_count() - before_alt, 0u)
+      << "alternating NC/covariance re-smooths must stay allocation-free";
 }
 
 TEST(AllocFree, WorkspaceHighWaterIsBoundedAcrossRepeats) {

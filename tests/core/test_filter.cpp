@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/paige_saunders.hpp"
+#include "core/selinv.hpp"
 #include "kalman/dense_reference.hpp"
 #include "kalman/rts.hpp"
 #include "la/blas.hpp"
@@ -132,6 +133,95 @@ TEST(IncrementalFilter, MisuseThrows) {
                std::invalid_argument);
   EXPECT_THROW(f.evolve(Matrix::identity(2), Vector(), CovFactor::identity(3)),
                std::invalid_argument);
+}
+
+TEST(IncrementalFilter, ResmoothFromSpliceEqualsColdSmooth) {
+  // The incremental splice must assemble bit-for-bit the factor a cold
+  // smooth() builds, at every stream position and with any valid `step`.
+  Rng rng(940);
+  test::RandomProblemSpec spec;
+  spec.k = 18;
+  spec.n_min = spec.n_max = 3;
+  spec.varying_dims = false;
+  Problem p = test::random_problem(rng, spec);
+
+  IncrementalFilter f(3);
+  BidiagonalFactor cache;
+  la::QrScratch qr;
+  la::index have = 0;  // prefix blocks already spliced into `cache`
+  for (index i = 0; i <= p.last_index(); ++i) {
+    if (i > 0) f.evolve(p.step(i).evolution->F, p.step(i).evolution->c, p.step(i).evolution->noise);
+    if (p.step(i).observation) {
+      const Observation& ob = *p.step(i).observation;
+      f.observe(ob.G, ob.o, ob.noise);
+    }
+    // Delta splice from the previous position...
+    f.resmooth_from(have, cache, qr);
+    have = f.finished_steps();
+    // ...equals a from-scratch splice equals the factor smooth() solves.
+    BidiagonalFactor fresh;
+    la::QrScratch qr2;
+    f.resmooth_from(0, fresh, qr2);
+    ASSERT_EQ(cache.diag.size(), fresh.diag.size()) << "step " << i;
+    for (std::size_t b = 0; b < fresh.diag.size(); ++b) {
+      EXPECT_TRUE(cache.diag[b] == fresh.diag[b]) << "diag block " << b << " @ step " << i;
+      EXPECT_TRUE(cache.sup[b] == fresh.sup[b]) << "sup block " << b << " @ step " << i;
+      test::expect_near(cache.rhs[b].span(), fresh.rhs[b].span(), 0.0, "rhs block");
+    }
+    const SmootherResult cold = f.smooth(true);
+    SmootherResult inc;
+    paige_saunders_solve_into(cache, inc.means);
+    selinv_bidiagonal_into(cache, inc.covariances);
+    test::expect_means_near(inc.means, cold.means, 1e-12, "incremental vs cold means");
+    test::expect_covs_near(inc.covariances, cold.covariances, 1e-12, "incremental vs cold covs");
+  }
+}
+
+TEST(IncrementalFilter, ResmoothFromPrefixOnlyAppends) {
+  // The documented contract behind prefix caching: finalized blocks never
+  // mutate once written (observe() touches only the pending rows).
+  Rng rng(941);
+  test::CommonProblem cp = test::common_problem(rng, 3, 12);
+  IncrementalFilter f(3);
+  std::vector<Matrix> seen_diag;
+  for (index i = 0; i <= cp.for_qr.last_index(); ++i) {
+    if (i > 0) {
+      const Evolution& e = *cp.for_qr.step(i).evolution;
+      f.evolve(e.F, e.c, e.noise);
+    }
+    if (cp.for_qr.step(i).observation) {
+      const Observation& ob = *cp.for_qr.step(i).observation;
+      f.observe(ob.G, ob.o, ob.noise);
+    }
+    const BidiagonalFactor& pre = f.finished_prefix();
+    ASSERT_EQ(f.finished_steps(), i);
+    for (std::size_t b = 0; b < seen_diag.size(); ++b)
+      EXPECT_TRUE(pre.diag[b] == seen_diag[b]) << "finalized block " << b << " mutated at " << i;
+    if (f.finished_steps() > static_cast<index>(seen_diag.size()))
+      seen_diag.push_back(pre.diag.back());
+  }
+}
+
+TEST(IncrementalFilter, ResmoothFromResetEpochAndErrors) {
+  IncrementalFilter f(2);
+  EXPECT_EQ(f.reset_epoch(), 0u);
+  f.observe(Matrix::identity(2), Vector({1.0, 2.0}), CovFactor::identity(2));
+  f.evolve(Matrix::identity(2), Vector(), CovFactor::identity(2));
+  f.observe(Matrix::identity(2), Vector({1.5, 2.5}), CovFactor::identity(2));
+
+  BidiagonalFactor cache;
+  la::QrScratch qr;
+  // `step` beyond the finalized prefix, and a cache that claims a prefix it
+  // does not hold, are both programming errors.
+  EXPECT_THROW(f.resmooth_from(5, cache, qr), std::invalid_argument);
+  EXPECT_THROW(f.resmooth_from(1, cache, qr), std::invalid_argument);
+  f.resmooth_from(0, cache, qr);
+  EXPECT_EQ(cache.diag.size(), 2u);
+
+  f.reset(2);
+  EXPECT_EQ(f.reset_epoch(), 1u);
+  // Rank deficient after reset (no observations yet): same error as smooth().
+  EXPECT_THROW(f.resmooth_from(0, cache, qr), std::runtime_error);
 }
 
 TEST(IncrementalFilter, FilteredCovarianceShrinksWithObservations) {

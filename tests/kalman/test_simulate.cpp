@@ -87,7 +87,8 @@ TEST(Simulate, MissingCallbacksThrow) {
   SimSpec spec;
   spec.x0 = Vector({0.0});
   spec.k = 1;
-  EXPECT_THROW((void)simulate(*(new Rng(1)), spec), std::invalid_argument);
+  Rng rng(1);
+  EXPECT_THROW((void)simulate(rng, spec), std::invalid_argument);
 }
 
 TEST(ConstantVelocity, SpecShapes) {

@@ -10,9 +10,12 @@ namespace pitk::par {
 namespace {
 
 /// 2x2 integer matrix: a small *non-commutative* associative monoid that
-/// catches any ordering bug a plain + scan would miss.
+/// catches any ordering bug a plain + scan would miss.  Entries are
+/// unsigned: products of {0,1} matrices grow exponentially with n, and the
+/// wraparound of mod-2^64 arithmetic is still an associative monoid (signed
+/// overflow would be UB, and the UBSan CI leg runs this test).
 struct M2 {
-  long long a = 1, b = 0, c = 0, d = 1;  // identity
+  unsigned long long a = 1, b = 0, c = 0, d = 1;  // identity
   friend bool operator==(const M2&, const M2&) = default;
 };
 
@@ -26,9 +29,8 @@ std::vector<M2> random_elements(std::size_t n, unsigned seed) {
   unsigned s = seed;
   auto next = [&s] { return s = s * 1664525u + 1013904223u; };
   for (auto& m : v) {
-    // Entries in {0,1,2} keep products from overflowing for n <= ~2000.
-    m = {static_cast<long long>(next() % 2), static_cast<long long>(next() % 2),
-         static_cast<long long>(next() % 2), 1};
+    // {0,1} entries; long products wrap mod 2^64, which is fine (see M2).
+    m = {next() % 2, next() % 2, next() % 2, 1};
   }
   return v;
 }
