@@ -20,12 +20,21 @@
 /// bench exits nonzero if the two disagree beyond 1e-10 or the incremental
 /// path fails a conservative speedup floor.
 ///
+/// The nonlinear series measure Gauss-Newton tenants through the engine:
+/// B pendulum tracks submitted via submit_nonlinear_batch (each job's outer
+/// loop is one engine job whose inner linearized solves reuse the worker's
+/// warm SolverCache) against a plain sequential gauss_newton_smooth loop.
+/// The bench exits nonzero if the engine-routed result deviates from the
+/// direct solver beyond 1e-10.
+///
 ///   PITK_ENGINE_JOBS      number of problems B     (default 256)
 ///   PITK_ENGINE_K         steps per problem        (default 96)
 ///   PITK_ENGINE_N         state dimension          (default 4)
 ///   PITK_THREADS          engine pool size         (default: hardware)
 ///   PITK_RESMOOTH_K       session base steps       (default 4096)
 ///   PITK_RESMOOTH_APPEND  appended steps/re-smooth (default 16)
+///   PITK_NONLINEAR_JOBS   nonlinear tenants        (default 48)
+///   PITK_NONLINEAR_K      steps per tenant         (default 96)
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +44,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "core/gauss_newton.hpp"
 #include "core/paige_saunders.hpp"
 #include "engine/engine.hpp"
 #include "engine/session.hpp"
@@ -131,6 +141,121 @@ bool bench_session_resmooth(bench::JsonBench& out, engine::SmootherEngine& eng,
               agree && fast ? "OK " : "???", static_cast<long long>(append), 1e3 * sec_inc,
               1e3 * sec_full, speedup, worst);
   return agree && fast;
+}
+
+/// The shared noisy-pendulum tenant (kalman/simulate.cpp) with a per-tenant
+/// start angle so jobs are not identical.
+kalman::NonlinearModel pendulum_model(la::Rng& rng, index k) {
+  const double theta0 = 0.4 + 0.2 * rng.uniform();
+  return kalman::make_pendulum_benchmark(rng, k, theta0);
+}
+
+std::vector<la::Vector> pendulum_init(index k) {
+  return std::vector<la::Vector>(static_cast<std::size_t>(k + 1), la::Vector({0.1, 0.0}));
+}
+
+/// Nonlinear tenants through the engine vs a sequential Gauss-Newton loop.
+/// Returns false when the engine-routed result disagrees with the direct
+/// solver beyond 1e-10.
+bool bench_nonlinear(bench::JsonBench& out, int reps) {
+  const index jobs = env_long("PITK_NONLINEAR_JOBS", 48);
+  const index k = env_long("PITK_NONLINEAR_K", 96);
+  std::printf("\nnonlinear tenants: B=%lld Gauss-Newton jobs, k=%lld steps, n=2\n",
+              static_cast<long long>(jobs), static_cast<long long>(k));
+
+  la::Rng rng(0x901111);
+  std::vector<kalman::NonlinearModel> models;
+  models.reserve(static_cast<std::size_t>(jobs));
+  for (index b = 0; b < jobs; ++b) {
+    la::Rng job_rng = rng.split();
+    models.push_back(pendulum_model(job_rng, k));
+  }
+  engine::NonlinearJobOptions opts;
+  opts.gn.tolerance = 1e-12;
+
+  // Sequential baseline: the pre-engine serving pattern, one tenant at a
+  // time monopolizing a serial Gauss-Newton solve.
+  std::vector<double> seq_samples;
+  double seq_checksum = 0.0;
+  la::index seq_iters = 0;
+  {
+    par::ThreadPool serial(1);
+    for (int r = 0; r < reps; ++r) {
+      seq_checksum = 0.0;
+      seq_iters = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const kalman::NonlinearModel& m : models) {
+        kalman::GaussNewtonResult res = gauss_newton_smooth(m, pendulum_init(k), serial, opts.gn);
+        seq_checksum += res.states.back()[0];
+        seq_iters += res.iterations;
+      }
+      seq_samples.push_back(seconds_since(t0));
+    }
+  }
+
+  // Engine-routed: every tenant's outer loop is one engine job; inner
+  // linearized solves reuse the executing worker's warm SolverCache.
+  std::vector<double> eng_samples;
+  double eng_checksum = 0.0;
+  double iters_per_job = 0.0;
+  unsigned concurrency = 0;
+  engine::SmootherEngine eng;
+  concurrency = eng.concurrency();
+  {
+    std::vector<engine::NonlinearJob> warmup;
+    for (const kalman::NonlinearModel& m : models) warmup.push_back({m, pendulum_init(k)});
+    auto futs = eng.submit_nonlinear_batch(std::move(warmup), opts);
+    eng.wait_idle();
+    for (auto& f : futs) (void)f.get();
+  }
+  for (int r = 0; r < reps; ++r) {
+    std::vector<engine::NonlinearJob> batch;
+    for (const kalman::NonlinearModel& m : models) batch.push_back({m, pendulum_init(k)});
+    eng_checksum = 0.0;
+    la::index iters = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto futs = eng.submit_nonlinear_batch(std::move(batch), opts);
+    eng.wait_idle();
+    for (auto& f : futs) {
+      engine::JobResult jr = f.get();
+      eng_checksum += jr.result.means.back()[0];
+      iters += jr.metrics.outer_iterations;
+    }
+    eng_samples.push_back(seconds_since(t0));
+    iters_per_job = static_cast<double>(iters) / static_cast<double>(jobs);
+  }
+
+  const double sec_seq = bench::percentile(seq_samples, 0.5);
+  const double sec_eng = bench::percentile(eng_samples, 0.5);
+  out.record("sequential_nonlinear_loop", seq_samples,
+             {{"jobs", static_cast<double>(jobs)},
+              {"k", static_cast<double>(k)},
+              {"jobs_per_second", static_cast<double>(jobs) / sec_seq}});
+  out.record("engine_nonlinear_batch", eng_samples,
+             {{"jobs", static_cast<double>(jobs)},
+              {"k", static_cast<double>(k)},
+              {"threads", static_cast<double>(concurrency)},
+              {"jobs_per_second", static_cast<double>(jobs) / sec_eng},
+              {"outer_iterations_per_job", iters_per_job}});
+  std::printf("  sequential GN   : %8.3f s  (%8.1f jobs/s)\n", sec_seq,
+              static_cast<double>(jobs) / sec_seq);
+  std::printf("  engine, %2u-way  : %8.3f s  (%8.1f jobs/s)  speedup %.2fx, %.1f iters/job\n",
+              concurrency, sec_eng, static_cast<double>(jobs) / sec_eng, sec_seq / sec_eng,
+              iters_per_job);
+
+  // Engine-vs-direct agreement on one tenant, end to end (means to 1e-10).
+  par::ThreadPool serial(1);
+  kalman::GaussNewtonResult direct =
+      gauss_newton_smooth(models.front(), pendulum_init(k), serial, opts.gn);
+  engine::JobResult routed = eng.submit_nonlinear({models.front(), pendulum_init(k)}, opts).get();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < direct.states.size(); ++i)
+    worst = std::max(worst,
+                     la::max_abs_diff(routed.result.means[i].span(), direct.states[i].span()));
+  const bool agree = worst < 1e-10;
+  std::printf("  [%s] engine vs direct gauss_newton_smooth |diff| %.2e  (checksum drift %.2e)\n",
+              agree ? "OK " : "???", worst, std::abs(seq_checksum - eng_checksum));
+  return agree;
 }
 
 bool check_backend_agreement() {
@@ -351,8 +476,11 @@ int main() {
                                           reps, false);
   }
 
+  // Nonlinear tenants: Gauss-Newton outer loops as engine jobs.
+  const bool nonlinear_ok = bench_nonlinear(out, reps);
+
   std::printf("\n");
   const bool agree = check_backend_agreement();
   const bool wrote = out.write();
-  return (agree && speedup_ok && resmooth_ok && wrote) ? 0 : 1;
+  return (agree && speedup_ok && resmooth_ok && nonlinear_ok && wrote) ? 0 : 1;
 }

@@ -361,27 +361,35 @@ FilterResult associative_filter(const Problem& p, const GaussianPrior& prior,
   return out;
 }
 
-SmootherResult associative_smooth(const Problem& p, const GaussianPrior& prior,
-                                  par::ThreadPool& pool, const AssociativeOptions& opts) {
+void associative_smooth_into(const Problem& p, const GaussianPrior& prior,
+                             par::ThreadPool& pool, const AssociativeOptions& opts,
+                             SmootherResult& out) {
   AssociativeScratch local;
   AssociativeScratch& scratch = opts.scratch != nullptr ? *opts.scratch : local;
   associative_scan(p, prior, pool, opts, scratch, /*with_smooth=*/true);
   std::vector<SmoothElement>& elems = scratch.impl().smooth;
   const bool reuse = opts.scratch != nullptr;
 
-  SmootherResult res;
-  res.means.resize(elems.size());
-  res.covariances.resize(elems.size());
+  out.means.resize(elems.size());
+  out.covariances.resize(elems.size());
   par::parallel_for(pool, 0, static_cast<index>(elems.size()), opts.grain, [&](index i) {
     SmoothElement& el = elems[static_cast<std::size_t>(i)];
     if (reuse) {
-      res.means[static_cast<std::size_t>(i)].assign_from(el.g.span());
-      res.covariances[static_cast<std::size_t>(i)].assign_from(el.L.view());
+      // Copy capacity-reusing so the scratch keeps its warm buffers AND the
+      // caller storage keeps its own.
+      out.means[static_cast<std::size_t>(i)].assign_from(el.g.span());
+      out.covariances[static_cast<std::size_t>(i)].assign_from(el.L.view());
     } else {
-      res.means[static_cast<std::size_t>(i)] = std::move(el.g);
-      res.covariances[static_cast<std::size_t>(i)] = std::move(el.L);
+      out.means[static_cast<std::size_t>(i)] = std::move(el.g);
+      out.covariances[static_cast<std::size_t>(i)] = std::move(el.L);
     }
   });
+}
+
+SmootherResult associative_smooth(const Problem& p, const GaussianPrior& prior,
+                                  par::ThreadPool& pool, const AssociativeOptions& opts) {
+  SmootherResult res;
+  associative_smooth_into(p, prior, pool, opts, res);
   return res;
 }
 

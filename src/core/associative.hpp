@@ -63,6 +63,15 @@ struct AssociativeOptions {
                                                 par::ThreadPool& pool,
                                                 const AssociativeOptions& opts = {});
 
+/// Full smoother writing means/covariances into caller-owned storage,
+/// capacity-reusing.  With a warm `opts.scratch`, a warm per-thread
+/// Workspace and warm `out` storage of matching shape, a repeat solve —
+/// scans *and* result extraction — performs zero heap allocations; this is
+/// the engine's warm serving path for the associative backend.
+void associative_smooth_into(const Problem& p, const GaussianPrior& prior,
+                             par::ThreadPool& pool, const AssociativeOptions& opts,
+                             SmootherResult& out);
+
 /// Run only the scans, leaving the combined elements in `scratch` (no result
 /// extraction).  This is the allocation-measurable core: with a warm scratch,
 /// a warm per-thread Workspace and a serial pool, a repeat call performs

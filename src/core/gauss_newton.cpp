@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "la/blas.hpp"
+#include "la/workspace.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace pitk::kalman {
@@ -23,80 +25,147 @@ void check_model(const NonlinearModel& model) {
     throw std::invalid_argument("gauss_newton: observation callbacks are required");
 }
 
-/// Linearize around `traj`, returning the linear correction problem with an
-/// optional LM damping observation sqrt(lambda) delta_i = 0 on every state.
-Problem linearize(const NonlinearModel& model, const std::vector<Vector>& traj, double lambda,
-                  par::ThreadPool& pool, index grain) {
+/// f(i, u) into `out` via the allocation-free callback when present.
+void eval_f(const NonlinearModel& m, index i, const Vector& u, Vector& out) {
+  if (m.f_into)
+    m.f_into(i, u, out);
+  else
+    out = m.f(i, u);
+}
+
+void eval_g(const NonlinearModel& m, index i, const Vector& u, Vector& out) {
+  if (m.g_into)
+    m.g_into(i, u, out);
+  else
+    out = m.g(i, u);
+}
+
+void eval_f_jac(const NonlinearModel& m, index i, const Vector& u, Matrix& out) {
+  if (m.f_jac_into)
+    m.f_jac_into(i, u, out);
+  else
+    out = m.f_jac(i, u);
+}
+
+void eval_g_jac(const NonlinearModel& m, index i, const Vector& u, Matrix& out) {
+  if (m.g_jac_into)
+    m.g_jac_into(i, u, out);
+  else
+    out = m.g_jac(i, u);
+}
+
+/// Weighted nonlinear cost at `traj` using the noise factors cached in `st`
+/// (per-step residual temporaries live in st.cost_scratch: zero allocations
+/// warm, given the model's *_into callbacks).
+double cost_with_cache(const NonlinearModel& model, const std::vector<Vector>& traj,
+                       GaussNewtonState& st) {
+  double cost = 0.0;
+  Vector& tmp = st.cost_scratch;
+  for (index i = 0; i <= model.k; ++i) {
+    if (i > 0) {
+      // eps = u_i - f(u_{i-1}); weighted by V_i.
+      eval_f(model, i, traj[static_cast<std::size_t>(i - 1)], tmp);
+      const Vector& ui = traj[static_cast<std::size_t>(i)];
+      for (index q = 0; q < tmp.size(); ++q) tmp[q] = ui[q] - tmp[q];
+      st.proc_noise[static_cast<std::size_t>(i)].weight_in_place(tmp.span());
+      cost += la::dot(tmp.span(), tmp.span());
+    }
+    const Vector& oi = model.obs[static_cast<std::size_t>(i)];
+    if (!oi.empty()) {
+      eval_g(model, i, traj[static_cast<std::size_t>(i)], tmp);
+      for (index q = 0; q < tmp.size(); ++q) tmp[q] = oi[q] - tmp[q];
+      st.obs_noise[static_cast<std::size_t>(i)].weight_in_place(tmp.span());
+      cost += la::dot(tmp.span(), tmp.span());
+    }
+  }
+  return cost;
+}
+
+/// Relinearize around `traj` into st.linearized, updating every block in
+/// place (capacity-reusing).  With an optional LM damping observation
+/// sqrt(lambda) delta_i = 0 stacked onto every state.
+void linearize_into(const NonlinearModel& model, const std::vector<Vector>& traj, double lambda,
+                    par::ThreadPool& pool, index grain, GaussNewtonState& st) {
   const index k = model.k;
-  std::vector<TimeStep> steps(static_cast<std::size_t>(k + 1));
+  const bool damped = lambda > 0.0;
+  std::vector<TimeStep>& steps = st.linearized.steps();
+  if (static_cast<index>(steps.size()) != k + 1) steps.resize(static_cast<std::size_t>(k + 1));
+  if (damped) {
+    // Per-step Jacobian/value staging for the stacked damping block; sized
+    // once, warm afterwards.
+    if (static_cast<index>(st.jac_scratch.size()) != k + 1) {
+      st.jac_scratch.resize(static_cast<std::size_t>(k + 1));
+      st.val_scratch.resize(static_cast<std::size_t>(k + 1));
+    }
+  }
+  // Noise blocks need a refresh on a fresh run AND whenever the damping
+  // structure flips (e.g. the undamped final-covariance relinearization
+  // after LM iterations): the undamped branch below must replace the
+  // stacked damping noise with the true per-step factors.
+  const bool refresh_noise = st.noise_stale || st.lin_damped != (damped ? 1 : 0);
   par::parallel_for(pool, 0, k + 1, grain, [&](index i) {
     TimeStep& s = steps[static_cast<std::size_t>(i)];
     const index n = model.dims[static_cast<std::size_t>(i)];
     s.n = n;
     if (i > 0) {
+      if (!s.evolution) s.evolution.emplace();
+      Evolution& e = *s.evolution;
       const Vector& uprev = traj[static_cast<std::size_t>(i - 1)];
-      Evolution e;
-      e.F = model.f_jac(i, uprev);
+      eval_f_jac(model, i, uprev, e.F);
       // c = f(u_{i-1}) - u_i: the evolution residual.
-      Vector c = model.f(i, uprev);
-      la::axpy(-1.0, traj[static_cast<std::size_t>(i)].span(), c.span());
-      e.c = std::move(c);
-      e.noise = model.process_noise(i);
-      s.evolution = std::move(e);
+      eval_f(model, i, uprev, e.c);
+      la::axpy(-1.0, traj[static_cast<std::size_t>(i)].span(), e.c.span());
+      if (refresh_noise) e.noise = st.proc_noise[static_cast<std::size_t>(i)];
+    } else if (s.evolution) {
+      s.evolution.reset();
     }
     const Vector& oi = model.obs[static_cast<std::size_t>(i)];
     const bool has_obs = !oi.empty();
-    const bool damped = lambda > 0.0;
     if (has_obs || damped) {
+      if (!s.observation) s.observation.emplace();
+      Observation& ob = *s.observation;
       const Vector& ui = traj[static_cast<std::size_t>(i)];
-      Matrix g;
-      Vector r;
-      index m = 0;
-      if (has_obs) {
-        g = model.g_jac(i, ui);
+      if (!damped) {
+        eval_g_jac(model, i, ui, ob.G);
         // r = o_i - g(u_i): the measurement residual.
-        r = oi;
-        Vector gi = model.g(i, ui);
-        la::axpy(-1.0, gi.span(), r.span());
-        m = g.rows();
-      }
-      Observation ob;
-      if (damped) {
-        // Append sqrt(lambda)-weighted zero pseudo-observations of delta by
-        // stacking an identity block with variance 1/lambda.
-        Matrix gd(m + n, n);
-        Vector rd(m + n);
-        if (m > 0) {
-          gd.block(0, 0, m, n).assign(g.view());
-          for (index q = 0; q < m; ++q) rd[q] = r[q];
-        }
-        for (index q = 0; q < n; ++q) gd(m + q, q) = 1.0;
-        Vector vars(m + n);
-        if (m > 0) {
-          const Matrix lc = model.obs_noise(i).covariance();
-          // Keep the true observation weighting by folding it into the block
-          // before stacking; damping rows get variance 1/lambda.
-          // (Weight observation rows explicitly: W r, W G.)
-          CovFactor lf = model.obs_noise(i);
-          la::MatrixView gtop = gd.block(0, 0, m, n);
-          lf.weight_in_place(gtop);
-          lf.weight_in_place(std::span<double>(rd.data(), static_cast<std::size_t>(m)));
-          (void)lc;
-        }
-        for (index q = 0; q < m; ++q) vars[q] = 1.0;
-        for (index q = 0; q < n; ++q) vars[m + q] = 1.0 / lambda;
-        ob.G = std::move(gd);
-        ob.o = std::move(rd);
-        ob.noise = CovFactor::diagonal(std::move(vars));
+        eval_g(model, i, ui, ob.o);
+        for (index q = 0; q < ob.o.size(); ++q) ob.o[q] = oi[q] - ob.o[q];
+        if (refresh_noise) ob.noise = st.obs_noise[static_cast<std::size_t>(i)];
       } else {
-        ob.G = std::move(g);
-        ob.o = std::move(r);
-        ob.noise = model.obs_noise(i);
+        // Stack sqrt(lambda)-weighted zero pseudo-observations of delta under
+        // the (pre-weighted) measurement rows; damping rows get variance
+        // 1/lambda, measurement rows variance 1 since W is already applied.
+        Matrix& jac = st.jac_scratch[static_cast<std::size_t>(i)];
+        Vector& val = st.val_scratch[static_cast<std::size_t>(i)];
+        index m = 0;
+        if (has_obs) {
+          eval_g_jac(model, i, ui, jac);
+          eval_g(model, i, ui, val);
+          m = jac.rows();
+        }
+        ob.G.resize(m + n, n);
+        ob.o.resize(m + n);
+        if (has_obs) {
+          const CovFactor& lf = st.obs_noise[static_cast<std::size_t>(i)];
+          ob.G.block(0, 0, m, n).assign(jac.view());
+          for (index q = 0; q < m; ++q) ob.o[q] = oi[q] - val[q];
+          la::MatrixView gtop = ob.G.block(0, 0, m, n);
+          lf.weight_in_place(gtop);
+          lf.weight_in_place(std::span<double>(ob.o.data(), static_cast<std::size_t>(m)));
+        }
+        for (index q = 0; q < n; ++q) ob.G(m + q, q) = 1.0;
+        la::Workspace::Scope scope(la::tls_workspace());
+        std::span<double> vars = scope.vec(m + n);
+        for (index q = 0; q < m; ++q) vars[static_cast<std::size_t>(q)] = 1.0;
+        for (index q = 0; q < n; ++q) vars[static_cast<std::size_t>(m + q)] = 1.0 / lambda;
+        ob.noise.assign_diagonal(vars);
       }
-      s.observation = std::move(ob);
+    } else if (s.observation) {
+      s.observation.reset();
     }
   });
-  return Problem::from_steps(std::move(steps));
+  st.noise_stale = false;
+  st.lin_damped = damped ? 1 : 0;
 }
 
 double step_norm(const std::vector<Vector>& delta) {
@@ -109,12 +178,6 @@ double traj_norm(const std::vector<Vector>& traj) {
   double acc = 0.0;
   for (const Vector& u : traj) acc += la::dot(u.span(), u.span());
   return std::sqrt(acc);
-}
-
-std::vector<Vector> apply_step(const std::vector<Vector>& traj, const std::vector<Vector>& delta) {
-  std::vector<Vector> out = traj;
-  for (std::size_t i = 0; i < out.size(); ++i) la::axpy(1.0, delta[i].span(), out[i].span());
-  return out;
 }
 
 }  // namespace
@@ -142,68 +205,123 @@ double nonlinear_cost(const NonlinearModel& model, const std::vector<Vector>& tr
   return cost;
 }
 
-GaussNewtonResult gauss_newton_smooth(const NonlinearModel& model, std::vector<Vector> init,
-                                      par::ThreadPool& pool, const GaussNewtonOptions& opts) {
+void gauss_newton_init(const NonlinearModel& model, const std::vector<Vector>& init,
+                       const GaussNewtonOptions& opts, GaussNewtonState& st) {
   check_model(model);
   if (static_cast<index>(init.size()) != model.k + 1)
     throw std::invalid_argument("gauss_newton: init must have k+1 states");
+  const std::size_t n_states = init.size();
 
-  GaussNewtonResult res;
-  res.states = std::move(init);
-  double cost = nonlinear_cost(model, res.states);
-  res.cost_history.push_back(cost);
-  double lambda = opts.levenberg_marquardt ? opts.lm_lambda0 : 0.0;
+  st.states.resize(n_states);
+  st.candidate.resize(n_states);
+  for (std::size_t i = 0; i < n_states; ++i) st.states[i].assign_from(init[i].span());
+
+  // Noise factors are per-step constants of the model; evaluate once per run
+  // so neither relinearization nor cost evaluation calls back per iteration.
+  st.proc_noise.resize(n_states);
+  st.obs_noise.resize(n_states);
+  for (index i = 1; i <= model.k; ++i)
+    st.proc_noise[static_cast<std::size_t>(i)] = model.process_noise(i);
+  for (index i = 0; i <= model.k; ++i) {
+    if (!model.obs[static_cast<std::size_t>(i)].empty())
+      st.obs_noise[static_cast<std::size_t>(i)] = model.obs_noise(i);
+    else
+      st.obs_noise[static_cast<std::size_t>(i)] = CovFactor();
+  }
+  st.noise_stale = true;
+
+  st.iterations = 0;
+  st.converged = false;
+  st.lambda = opts.levenberg_marquardt ? opts.lm_lambda0 : 0.0;
+  st.cost_history.clear();
+  st.cost_history.reserve(static_cast<std::size_t>(opts.max_iterations) + 2);
+  st.cost = cost_with_cache(model, st.states, st);
+  st.cost_history.push_back(st.cost);
+}
+
+void gauss_newton_relinearize(const NonlinearModel& model, const std::vector<Vector>& traj,
+                              double lambda, par::ThreadPool& pool, la::index grain,
+                              GaussNewtonState& st) {
+  linearize_into(model, traj, lambda, pool, grain, st);
+}
+
+GaussNewtonStep gauss_newton_step_into(const NonlinearModel& model, GaussNewtonState& st,
+                                       const GaussNewtonOptions& opts, par::ThreadPool& pool,
+                                       const GaussNewtonLinearSolver& solve) {
+  ++st.iterations;
+  linearize_into(model, st.states, st.lambda, pool, opts.linear.grain, st);
+  solve(st.linearized, st.delta);
+
+  // candidate = states + delta.
+  for (std::size_t i = 0; i < st.states.size(); ++i) {
+    st.candidate[i].assign_from(st.states[i].span());
+    la::axpy(1.0, st.delta.means[i].span(), st.candidate[i].span());
+  }
+  const double new_cost = cost_with_cache(model, st.candidate, st);
+  const bool tiny_step =
+      step_norm(st.delta.means) <= opts.tolerance * (1.0 + traj_norm(st.states));
+
+  if (opts.levenberg_marquardt) {
+    // Accept with a rounding allowance: at the optimum the recomputed cost
+    // can exceed the old one by a few ulps, which must not read as ascent.
+    if (new_cost <= st.cost + 1e-10 * (1.0 + st.cost)) {
+      std::swap(st.states, st.candidate);
+      st.cost = std::min(st.cost, new_cost);
+      st.lambda = std::max(1e-12, st.lambda * opts.lm_down);
+      st.cost_history.push_back(st.cost);
+    } else {
+      if (tiny_step) {
+        st.converged = true;  // proposal negligible: we are at the optimum
+        return GaussNewtonStep::Converged;
+      }
+      st.lambda *= opts.lm_up;
+      if (st.lambda > 1e12) return GaussNewtonStep::Stalled;
+      return GaussNewtonStep::Rejected;  // re-linearize with stronger damping
+    }
+  } else {
+    std::swap(st.states, st.candidate);
+    st.cost = new_cost;
+    st.cost_history.push_back(st.cost);
+  }
+
+  if (tiny_step) {
+    st.converged = true;
+    return GaussNewtonStep::Converged;
+  }
+  return GaussNewtonStep::Accepted;
+}
+
+GaussNewtonResult gauss_newton_smooth(const NonlinearModel& model,
+                                      const std::vector<Vector>& init, par::ThreadPool& pool,
+                                      const GaussNewtonOptions& opts) {
+  GaussNewtonState st;
+  gauss_newton_init(model, init, opts, st);
 
   OddEvenOptions linear = opts.linear;
   linear.compute_covariance = false;  // the NC fast path: Section 6
+  const GaussNewtonLinearSolver solver = [&](const Problem& lp, SmootherResult& delta) {
+    delta = oddeven_smooth(lp, pool, linear);
+  };
 
-  for (index it = 0; it < opts.max_iterations; ++it) {
-    res.iterations = it + 1;
-    Problem lp = linearize(model, res.states, lambda, pool, linear.grain);
-    SmootherResult delta = oddeven_smooth(lp, pool, linear);
-
-    std::vector<Vector> candidate = apply_step(res.states, delta.means);
-    const double new_cost = nonlinear_cost(model, candidate);
-    const bool tiny_step =
-        step_norm(delta.means) <= opts.tolerance * (1.0 + traj_norm(res.states));
-
-    if (opts.levenberg_marquardt) {
-      // Accept with a rounding allowance: at the optimum the recomputed cost
-      // can exceed the old one by a few ulps, which must not read as ascent.
-      if (new_cost <= cost + 1e-10 * (1.0 + cost)) {
-        res.states = std::move(candidate);
-        cost = std::min(cost, new_cost);
-        lambda = std::max(1e-12, lambda * opts.lm_down);
-        res.cost_history.push_back(cost);
-      } else {
-        if (tiny_step) {
-          res.converged = true;  // proposal negligible: we are at the optimum
-          break;
-        }
-        lambda *= opts.lm_up;
-        if (lambda > 1e12) break;  // stuck: give up rather than loop forever
-        continue;                  // re-linearize with stronger damping
-      }
-    } else {
-      res.states = std::move(candidate);
-      cost = new_cost;
-      res.cost_history.push_back(cost);
-    }
-
-    if (tiny_step) {
-      res.converged = true;
-      break;
-    }
+  while (st.iterations < opts.max_iterations) {
+    const GaussNewtonStep s = gauss_newton_step_into(model, st, opts, pool, solver);
+    if (s == GaussNewtonStep::Converged || s == GaussNewtonStep::Stalled) break;
   }
-  res.final_cost = cost;
+
+  GaussNewtonResult res;
+  res.iterations = st.iterations;
+  res.converged = st.converged;
+  res.final_cost = st.cost;
+  res.cost_history = std::move(st.cost_history);
 
   if (opts.final_covariance) {
-    Problem lp = linearize(model, res.states, 0.0, pool, linear.grain);
+    gauss_newton_relinearize(model, st.states, 0.0, pool, opts.linear.grain, st);
     OddEvenOptions with_cov = opts.linear;
     with_cov.compute_covariance = true;
-    SmootherResult final_pass = oddeven_smooth(lp, pool, with_cov);
+    SmootherResult final_pass = oddeven_smooth(st.linearized, pool, with_cov);
     res.covariances = std::move(final_pass.covariances);
   }
+  res.states = std::move(st.states);
   return res;
 }
 

@@ -8,10 +8,20 @@
 /// of F_i and G_i at the current trajectory estimate, and whose right-hand
 /// sides are the nonlinear residuals.  The covariances of these inner linear
 /// problems are never needed, which is exactly why the paper's smoothers have
-/// the "NC" (no-covariance) fast path — this module drives the Odd-Even NC
-/// solver as its inner engine.  Optional Levenberg-Marquardt damping follows
-/// Särkkä & Svensson (ICASSP 2020): damping rows are extra observations
-/// sqrt(lambda) * I * delta_i = 0 on the correction.
+/// the "NC" (no-covariance) fast path.  Optional Levenberg-Marquardt damping
+/// follows Särkkä & Svensson (ICASSP 2020): damping rows are extra
+/// observations sqrt(lambda) * I * delta_i = 0 on the correction.
+///
+/// The solver is split into an *iteration-step* API so callers can own the
+/// outer loop: `gauss_newton_init` + repeated `gauss_newton_step_into` calls
+/// against a `GaussNewtonState` that owns every per-iteration buffer
+/// (linearized problem, inner solution, candidate trajectory, cached noise
+/// factors).  The inner linear solve is a callback, which is how the
+/// multi-tenant engine routes it through its backend registry and per-worker
+/// SolverCache; `gauss_newton_smooth` below is the one-shot convenience
+/// wrapper driving the paper's Odd-Even NC solver.  With a warm state, a
+/// model that provides the `*_into` callbacks, and a warm inner solver, an
+/// outer iteration performs zero heap allocations.
 
 #include <functional>
 
@@ -19,24 +29,6 @@
 #include "kalman/model.hpp"
 
 namespace pitk::kalman {
-
-/// A nonlinear state-space model with H_i = I:
-///   u_i = f(i, u_{i-1}) + eps_i,   o_i = g(i, u_i) + delta_i.
-struct NonlinearModel {
-  la::index k = 0;              ///< steps 0..k
-  std::vector<la::index> dims;  ///< n_i for every state (size k+1)
-
-  std::function<Vector(la::index, const Vector&)> f;      ///< evolution, i >= 1
-  std::function<Matrix(la::index, const Vector&)> f_jac;  ///< df_i/du at u_{i-1}
-  std::function<CovFactor(la::index)> process_noise;      ///< K_i
-
-  /// Observations; steps without one have no entry (empty Vector signals
-  /// absence in `obs`).
-  std::vector<Vector> obs;                                ///< o_i (size k+1)
-  std::function<Vector(la::index, const Vector&)> g;      ///< measurement fn
-  std::function<Matrix(la::index, const Vector&)> g_jac;  ///< dg_i/du at u_i
-  std::function<CovFactor(la::index)> obs_noise;          ///< L_i
-};
 
 struct GaussNewtonOptions {
   la::index max_iterations = 25;
@@ -62,14 +54,80 @@ struct GaussNewtonResult {
   std::vector<double> cost_history;  ///< cost after each accepted iterate
 };
 
+/// Outcome of one outer iteration.
+enum class GaussNewtonStep {
+  Accepted,   ///< iterate accepted (plain GN always; LM on descent)
+  Rejected,   ///< LM rejected the step and raised lambda; call again
+  Converged,  ///< correction negligible: the loop is done
+  Stalled,    ///< LM lambda overflowed without descent: give up
+};
+
+/// Cross-iteration state plus the warm workspace of the iterated smoother.
+/// Owns everything an outer iteration touches — the linearized correction
+/// problem (rebuilt in place), the inner solution, the candidate trajectory
+/// and per-step noise/Jacobian scratch — so repeated iterations, and repeated
+/// same-shaped runs through one state, reuse all capacity.  The engine keeps
+/// one per worker inside its SolverCache.  Not thread-safe; one run at a
+/// time per state.
+struct GaussNewtonState {
+  std::vector<Vector> states;        ///< current accepted trajectory
+  double cost = 0.0;                 ///< nonlinear cost at `states`
+  double lambda = 0.0;               ///< current LM damping (0 = plain GN)
+  la::index iterations = 0;          ///< outer iterations run (incl. rejected)
+  bool converged = false;
+  std::vector<double> cost_history;  ///< cost after each accepted iterate
+
+  // ---- warm workspace (capacity-reused across iterations and runs) ----
+  Problem linearized;                ///< the correction problem
+  SmootherResult delta;              ///< inner solve result (means = corrections)
+  SmootherResult final_pass;         ///< final-covariance pass storage
+  std::vector<Vector> candidate;     ///< proposed iterate
+  std::vector<CovFactor> proc_noise; ///< process_noise(i), refreshed by init
+  std::vector<CovFactor> obs_noise;  ///< obs_noise(i) for observed steps
+  std::vector<Matrix> jac_scratch;   ///< LM damped-stacking scratch
+  std::vector<Vector> val_scratch;
+  Vector cost_scratch;
+  bool noise_stale = true;           ///< linearized's noise blocks need refresh
+  int lin_damped = -1;               ///< damping shape of the last linearize (-1 = none yet)
+};
+
+/// Solves the linearized correction problem into `delta` capacity-reusing
+/// (means only are consumed; covariances are ignored).
+using GaussNewtonLinearSolver = std::function<void(const Problem&, SmootherResult& delta)>;
+
 /// Weighted nonlinear least-squares cost (4) of the paper at `traj`.
 [[nodiscard]] double nonlinear_cost(const NonlinearModel& model,
                                     const std::vector<Vector>& traj);
 
+/// Reset `st` for a fresh run of `model` from `init` (size k+1), reusing all
+/// of the state's warm capacity.  Evaluates the noise callbacks and the
+/// initial cost.  Throws std::invalid_argument on a malformed model/init.
+void gauss_newton_init(const NonlinearModel& model, const std::vector<Vector>& init,
+                       const GaussNewtonOptions& opts, GaussNewtonState& st);
+
+/// One outer iteration: relinearize around st.states (with the current LM
+/// lambda), solve the correction problem through `solve`, and accept/reject
+/// the proposed iterate.  `pool` parallelizes the relinearization sweep.
+/// Call until it returns Converged/Stalled or st.iterations reaches the
+/// caller's budget.
+[[nodiscard]] GaussNewtonStep gauss_newton_step_into(const NonlinearModel& model,
+                                                     GaussNewtonState& st,
+                                                     const GaussNewtonOptions& opts,
+                                                     par::ThreadPool& pool,
+                                                     const GaussNewtonLinearSolver& solve);
+
+/// Rebuild st.linearized as the correction problem at `traj` with damping
+/// `lambda` (0 = none).  Exposed for the final-covariance pass: callers solve
+/// the relinearized problem once more with covariances enabled.
+void gauss_newton_relinearize(const NonlinearModel& model, const std::vector<Vector>& traj,
+                              double lambda, par::ThreadPool& pool, la::index grain,
+                              GaussNewtonState& st);
+
 /// Iterated smoother starting from `init` (size k+1, e.g. an extended-KF pass
-/// or the observations mapped to state space).
+/// or the observations mapped to state space).  One-shot wrapper over the
+/// step API with the paper's Odd-Even NC solver as the inner engine.
 [[nodiscard]] GaussNewtonResult gauss_newton_smooth(const NonlinearModel& model,
-                                                    std::vector<Vector> init,
+                                                    const std::vector<Vector>& init,
                                                     par::ThreadPool& pool,
                                                     const GaussNewtonOptions& opts = {});
 

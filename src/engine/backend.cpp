@@ -129,26 +129,75 @@ double estimated_flops(const Problem& p, bool with_covariance) {
   return flops;
 }
 
-Backend select_backend(const Problem& p, bool has_prior, bool with_covariance,
-                       unsigned threads) {
-  const index k = p.num_states();
-  // Parallel-in-time pays off once each of the `threads` lanes gets several
-  // grains of block columns at the top reduction level (Figure 3's crossover
-  // is a few thousand steps at paper scale).  How many grains a lane needs
-  // is calibrated from measured kernel throughput: the cheaper one step is,
-  // the more steps one scheduling chunk must amortize.  The clamp keeps the
-  // cutoff within sane bounds when the measurement misfires.
-  const double per_step_seconds =
-      estimated_flops(p, with_covariance) / static_cast<double>(std::max<index>(k, 1)) /
-      calibrated_gemm_flops_per_second();
+namespace {
+
+/// Step count above which the odd-even smoother keeps `threads` lanes busy.
+/// Parallel-in-time pays off once each lane gets several grains of block
+/// columns at the top reduction level (Figure 3's crossover is a few
+/// thousand steps at paper scale).  How many grains a lane needs is
+/// calibrated from measured kernel throughput: the cheaper one step is, the
+/// more steps one scheduling chunk must amortize.  The clamp keeps the
+/// cutoff within sane bounds when the measurement misfires.
+index parallel_step_cutoff(double per_step_seconds, unsigned threads) {
   const double chunks_per_lane = std::clamp(
       kSchedSecondsPerChunk / (static_cast<double>(par::default_grain) * per_step_seconds),
       4.0, 16.0);
-  const index parallel_cutoff = static_cast<index>(
-      std::ceil(static_cast<double>(threads) * chunks_per_lane *
-                static_cast<double>(par::default_grain)));
-  if (threads > 1 && k >= parallel_cutoff) return Backend::OddEven;
+  return static_cast<index>(std::ceil(static_cast<double>(threads) * chunks_per_lane *
+                                      static_cast<double>(par::default_grain)));
+}
+
+}  // namespace
+
+double estimated_nonlinear_iteration_flops(const kalman::NonlinearModel& m) {
+  // The correction problem of one outer iteration: identity-H evolutions of
+  // n rows, the model's observation rows, no covariance pass (the inner
+  // solves are NC).  Same flop model as estimated_flops.  Runs before the
+  // job body's model validation (the engine estimates on the submitting
+  // thread), so a malformed obs vector must degrade the estimate, not read
+  // out of bounds — validation still fails the job's future.
+  double flops = 0.0;
+  for (index i = 0; i < static_cast<index>(m.dims.size()); ++i) {
+    const double n = static_cast<double>(m.dims[static_cast<std::size_t>(i)]);
+    const double obs = i < static_cast<index>(m.obs.size())
+                           ? static_cast<double>(m.obs[static_cast<std::size_t>(i)].size())
+                           : 0.0;
+    const double rows = obs + (i > 0 ? n : 0.0) + n;
+    flops += 2.0 * rows * n * n;
+  }
+  return flops;
+}
+
+double estimated_nonlinear_job_flops(const kalman::NonlinearModel& m,
+                                     const kalman::GaussNewtonOptions& gn) {
+  // Whole-job cost for the small-vs-large cut: one iteration's linearized
+  // solve times a conservative expected outer-iteration count.  Mis-guessing
+  // only shifts the scheduling path, never correctness.
+  constexpr double kExpectedIterations = 6.0;
+  return estimated_nonlinear_iteration_flops(m) *
+         std::min(static_cast<double>(gn.max_iterations), kExpectedIterations);
+}
+
+Backend select_backend(const Problem& p, bool has_prior, bool with_covariance,
+                       unsigned threads) {
+  const index k = p.num_states();
+  const double per_step_seconds =
+      estimated_flops(p, with_covariance) / static_cast<double>(std::max<index>(k, 1)) /
+      calibrated_gemm_flops_per_second();
+  if (threads > 1 && k >= parallel_step_cutoff(per_step_seconds, threads))
+    return Backend::OddEven;
   if (has_prior && has_identity_h(p) && with_covariance) return Backend::Rts;
+  return Backend::PaigeSaunders;
+}
+
+Backend select_nonlinear_backend(const kalman::NonlinearModel& m, unsigned threads) {
+  const index k = static_cast<index>(m.dims.size());
+  const double per_step_seconds = estimated_nonlinear_iteration_flops(m) /
+                                  static_cast<double>(std::max<index>(k, 1)) /
+                                  calibrated_gemm_flops_per_second();
+  if (threads > 1 && k >= parallel_step_cutoff(per_step_seconds, threads))
+    return Backend::OddEven;
+  // The correction problem carries no prior, so the sequential choice is the
+  // QR family (RTS cannot express it).
   return Backend::PaigeSaunders;
 }
 

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/gauss_newton.hpp"
 #include "kalman/model.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -85,6 +86,18 @@ struct SolveOptions {
 /// units); the engine's small-vs-large scheduling cut compares against it.
 [[nodiscard]] double estimated_flops(const Problem& p, bool with_covariance);
 
+/// Rough work of ONE outer Gauss-Newton iteration of a nonlinear model: the
+/// shape of its linearized correction problem (identity H, no covariances),
+/// from dims and observation sizes alone.  Multiply by the expected outer
+/// iteration count for whole-job estimates.
+[[nodiscard]] double estimated_nonlinear_iteration_flops(const kalman::NonlinearModel& m);
+
+/// Whole-job estimate of a nonlinear job (iteration flops times a
+/// conservative expected outer-iteration count capped by gn.max_iterations);
+/// the engine's small-vs-large cut for submit_nonlinear compares against it.
+[[nodiscard]] double estimated_nonlinear_job_flops(const kalman::NonlinearModel& m,
+                                                   const kalman::GaussNewtonOptions& gn);
+
 /// One-shot measured throughput of the packed GEMM kernel on this machine
 /// (flops/second), the basis for the scheduling calibration below.  Measured
 /// lazily on first use (~a few hundred microseconds); PITK_CALIBRATE=0 skips
@@ -108,6 +121,13 @@ struct SolveOptions {
 /// The dense reference is never auto-selected; it exists as the oracle.
 [[nodiscard]] Backend select_backend(const Problem& p, bool has_prior,
                                      bool with_covariance, unsigned threads);
+
+/// Auto-selection for the inner solves of a nonlinear (Gauss-Newton/LM) job:
+/// the correction problems it linearizes into have identity H, no prior and
+/// skip covariances, so the choice is the paper's odd-even smoother when the
+/// step count keeps `threads` lanes busy, Paige-Saunders otherwise.
+[[nodiscard]] Backend select_nonlinear_backend(const kalman::NonlinearModel& m,
+                                               unsigned threads);
 
 /// Solve `p` with backend `b` on `pool`.  `Auto` resolves via
 /// select_backend; a prior is folded in or passed through as the backend

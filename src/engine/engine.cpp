@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "engine/nonlinear_session.hpp"
 #include "engine/session.hpp"
 #include "engine/solver_cache.hpp"
 #include "la/workspace.hpp"
@@ -44,8 +45,8 @@ SolverCache& SmootherEngine::worker_cache() {
 }
 
 std::future<JobResult> SmootherEngine::launch(
-    std::function<void(par::ThreadPool&, SolverCache&, SmootherResult&)> body, Backend chosen,
-    bool large, la::index num_states, SmootherResult* into) {
+    std::function<void(par::ThreadPool&, SolverCache&, SmootherResult&, JobMetrics&)> body,
+    Backend chosen, bool large, la::index num_states, SmootherResult* into) {
   struct Pending {
     std::promise<JobResult> promise;
     Clock::time_point enqueued;
@@ -96,7 +97,7 @@ std::future<JobResult> SmootherEngine::launch(
       // Caller-provided `into` storage is filled in place.
       SmootherResult local;
       SmootherResult& dst = into != nullptr ? *into : local;
-      body(large ? pool_ : serial_pool_, *cache, dst);
+      body(large ? pool_ : serial_pool_, *cache, dst, jr.metrics);
       if (into == nullptr) jr.result = std::move(local);
     } catch (...) {
       error = std::current_exception();
@@ -118,6 +119,11 @@ std::future<JobResult> SmootherEngine::launch(
       } else {
         ++stats_.jobs_completed;
         ++stats_.per_backend[backend_index(chosen)];
+        if (jr.metrics.outer_iterations > 0) {
+          ++stats_.nonlinear_jobs;
+          stats_.total_outer_iterations +=
+              static_cast<std::uint64_t>(jr.metrics.outer_iterations);
+        }
       }
     }
     // Fulfill the future only after accounting, so a caller that observes
@@ -149,10 +155,48 @@ std::future<JobResult> SmootherEngine::submit(Problem p, JobOptions opts) {
   auto prior = std::make_shared<const std::optional<GaussianPrior>>(std::move(opts.prior));
   return launch(
       [problem, prior, chosen, sopts](par::ThreadPool& pool, SolverCache& cache,
-                                      SmootherResult& out) {
+                                      SmootherResult& out, JobMetrics&) {
         solve_with_into(chosen, *problem, *prior, pool, sopts, cache, out);
       },
       chosen, large, num_states, opts.into);
+}
+
+std::future<JobResult> SmootherEngine::submit_nonlinear(NonlinearJob job,
+                                                        NonlinearJobOptions opts) {
+  const la::index num_states = static_cast<la::index>(job.model.dims.size());
+  const double flops = estimated_nonlinear_job_flops(job.model, opts.gn);
+  const bool small = pool_.is_serial() || flops < opts_.small_job_flops;
+  Backend chosen = opts.backend;
+  if (chosen == Backend::Auto)
+    chosen = select_nonlinear_backend(job.model, small ? 1u : pool_.concurrency());
+  const bool large = !small && backend_info(chosen).intra_parallel;
+  auto model = std::make_shared<const kalman::NonlinearModel>(std::move(job.model));
+  auto init = std::make_shared<const std::vector<la::Vector>>(std::move(job.init));
+  const kalman::GaussNewtonOptions gn = opts.gn;
+  const double dpv = opts.delta_prior_variance;
+  return launch(
+      [model, init, chosen, gn, dpv](par::ThreadPool& pool, SolverCache& cache,
+                                     SmootherResult& out, JobMetrics& metrics) {
+        NonlinearSolveInfo info;
+        solve_nonlinear_into(chosen, *model, *init, gn, dpv, pool, cache,
+                             cache.gauss_newton, out, info);
+        metrics.outer_iterations = info.iterations;
+        metrics.nonlinear_converged = info.converged;
+        metrics.nonlinear_final_cost = info.final_cost;
+      },
+      chosen, large, num_states, opts.into);
+}
+
+std::vector<std::future<JobResult>> SmootherEngine::submit_nonlinear_batch(
+    std::vector<NonlinearJob> jobs, const NonlinearJobOptions& opts) {
+  if (opts.into != nullptr)
+    throw std::invalid_argument(
+        "submit_nonlinear_batch: NonlinearJobOptions::into cannot be shared across a "
+        "batch; use submit_nonlinear() with one storage per job");
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(jobs.size());
+  for (NonlinearJob& j : jobs) futures.push_back(submit_nonlinear(std::move(j), opts));
+  return futures;
 }
 
 std::vector<std::future<JobResult>> SmootherEngine::submit_batch(std::vector<Problem> problems,
@@ -173,6 +217,23 @@ std::vector<std::future<JobResult>> SmootherEngine::submit_batch(std::vector<Pro
 
 Session SmootherEngine::open_session(la::index n0) {
   return Session(std::make_shared<Session::State>(this, n0));
+}
+
+NonlinearSession SmootherEngine::open_nonlinear_session(kalman::NonlinearModel model,
+                                                        la::Vector u0,
+                                                        NonlinearJobOptions opts) {
+  if (model.dims.empty() || model.k + 1 != static_cast<la::index>(model.dims.size()) ||
+      static_cast<la::index>(model.obs.size()) != model.k + 1)
+    throw std::invalid_argument(
+        "open_nonlinear_session: model must carry k+1 dims and obs entries");
+  if (u0.size() != model.dims.front())
+    throw std::invalid_argument("open_nonlinear_session: u0 must have dimension dims[0]");
+  if (opts.into != nullptr)
+    throw std::invalid_argument(
+        "open_nonlinear_session: set `into` per smooth_async call, not in the "
+        "session options");
+  return NonlinearSession(std::make_shared<NonlinearSession::State>(
+      this, std::move(model), std::move(u0), std::move(opts)));
 }
 
 void SmootherEngine::wait_idle() {

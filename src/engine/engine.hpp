@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/gauss_newton.hpp"
 #include "engine/backend.hpp"
 #include "kalman/model.hpp"
 #include "parallel/thread_pool.hpp"
@@ -38,6 +39,7 @@
 namespace pitk::engine {
 
 class Session;
+class NonlinearSession;
 struct SolverCache;
 
 struct EngineOptions {
@@ -71,6 +73,39 @@ struct JobOptions {
   SmootherResult* into = nullptr;
 };
 
+/// One nonlinear tenant: the model plus the initial trajectory guess
+/// (size k+1; e.g. an extended-KF pass or the observations mapped to state
+/// space).
+struct NonlinearJob {
+  kalman::NonlinearModel model;
+  std::vector<la::Vector> init;
+};
+
+/// Per-job options of a nonlinear (Gauss-Newton/LM) job.
+struct NonlinearJobOptions {
+  /// Backend serving the inner linearized solves; Auto resolves via
+  /// select_nonlinear_backend (odd-even for long tracks on a parallel pool,
+  /// Paige-Saunders otherwise).
+  Backend backend = Backend::Auto;
+  /// Outer-loop knobs: iteration budget, tolerance, Levenberg-Marquardt
+  /// damping, final_covariance (one covariance-enabled pass over the final
+  /// linearization, filling JobResult::result.covariances).  `gn.linear.grain`
+  /// governs the relinearization sweep AND the inner solves, exactly as in
+  /// direct gauss_newton_smooth.
+  kalman::GaussNewtonOptions gn;
+  /// Backends that require a prior (rts, associative) get a synthetic
+  /// zero-mean prior with this variance on the step-0 *correction*: pure
+  /// step damping that leaves the Gauss-Newton fixed point in place.  Large
+  /// enough to be ~1e6x weaker than typical measurement weights, small
+  /// enough that covariance-form filtering keeps full precision (a diffuse
+  /// 1e8-style variance costs ~8 digits in (I - KG)P and shows up as a
+  /// ~1e-9 noise floor in the converged states).
+  double delta_prior_variance = 1e4;
+  /// JobOptions::into semantics: final states (and covariances) land in this
+  /// caller-owned storage, capacity-reused across jobs.
+  SmootherResult* into = nullptr;
+};
+
 /// Measurements taken around one job.
 struct JobMetrics {
   Backend backend = Backend::Auto;  ///< backend actually used
@@ -90,6 +125,12 @@ struct JobMetrics {
   /// join is charged separately (each allocation counts toward exactly one
   /// job).
   std::uint64_t allocations = 0;
+  /// Nonlinear (Gauss-Newton/LM) jobs: outer iterations run (including LM
+  /// rejections), whether the outer loop converged, and the final weighted
+  /// nonlinear cost.  Linear jobs leave these at 0/false/0.
+  la::index outer_iterations = 0;
+  bool nonlinear_converged = false;
+  double nonlinear_final_cost = 0.0;
 };
 
 struct JobResult {
@@ -113,6 +154,11 @@ struct EngineStats {
   /// Completed jobs per concrete backend, in registry order
   /// (index with backend_index()).
   std::uint64_t per_backend[num_backends] = {0, 0, 0, 0, 0};
+  /// Completed jobs that ran a Gauss-Newton/LM outer loop, and the outer
+  /// iterations they spent in total (inner linearized solves ride the same
+  /// pool as everything else and are not separate jobs).
+  std::uint64_t nonlinear_jobs = 0;
+  std::uint64_t total_outer_iterations = 0;
 };
 
 class SmootherEngine {
@@ -142,9 +188,36 @@ class SmootherEngine {
   [[nodiscard]] std::vector<std::future<JobResult>> submit_batch(
       std::vector<Problem> problems, const JobOptions& opts = {});
 
+  /// Enqueue one nonlinear (Gauss-Newton/LM) job: the whole outer loop runs
+  /// as a single engine job whose inner linearized solves go through the
+  /// backend registry and the executing worker's warm SolverCache, so the
+  /// outer iterations of many nonlinear tenants interleave on the shared
+  /// pool instead of each tenant monopolizing it.  The future's result
+  /// carries the final smoothed states (plus covariances when
+  /// gn.final_covariance); metrics report outer_iterations /
+  /// nonlinear_converged / nonlinear_final_cost.
+  [[nodiscard]] std::future<JobResult> submit_nonlinear(NonlinearJob job,
+                                                        NonlinearJobOptions opts = {});
+
+  /// Enqueue a batch of independent nonlinear jobs sharing one option set
+  /// (opts.into must be null — one storage per job in flight; use
+  /// submit_nonlinear per job for into-serving).
+  [[nodiscard]] std::vector<std::future<JobResult>> submit_nonlinear_batch(
+      std::vector<NonlinearJob> jobs, const NonlinearJobOptions& opts = {});
+
   /// Open a streaming evolve/observe session starting at a state of
   /// dimension n0.
   [[nodiscard]] Session open_session(la::index n0);
+
+  /// Open a streaming *nonlinear* tenant: observations arrive step by step
+  /// through advance(), and each smooth runs a Gauss-Newton/LM pass over
+  /// everything seen so far, warm-started from the session's cached smoothed
+  /// means.  `model` seeds the callbacks and the (possibly pre-filled)
+  /// history; `u0` is the initial guess for state 0 used before the first
+  /// smooth.
+  [[nodiscard]] NonlinearSession open_nonlinear_session(kalman::NonlinearModel model,
+                                                        la::Vector u0,
+                                                        NonlinearJobOptions opts = {});
 
   /// Block until every submitted job has finished, helping the pool while
   /// waiting (safe to call from anywhere, including pool workers).
@@ -156,6 +229,7 @@ class SmootherEngine {
 
  private:
   friend class Session;
+  friend class NonlinearSession;
 
   using Clock = std::chrono::steady_clock;
 
@@ -163,9 +237,10 @@ class SmootherEngine {
   /// shared pool on the large path, an inline serial pool on the small one)
   /// against the executing worker's SolverCache, writing into `into` when
   /// set (else into a fresh result moved to the future); time it, account
-  /// it, fulfill the future.
+  /// it, fulfill the future.  The body may fill the nonlinear fields of the
+  /// metrics it is handed; everything else is measured by the engine.
   [[nodiscard]] std::future<JobResult> launch(
-      std::function<void(par::ThreadPool&, SolverCache&, SmootherResult&)> body,
+      std::function<void(par::ThreadPool&, SolverCache&, SmootherResult&, JobMetrics&)> body,
       Backend chosen, bool large, la::index num_states, SmootherResult* into);
 
   /// The executing thread's solver cache: the engine-owned per-worker cache

@@ -1,0 +1,145 @@
+#include "engine/nonlinear_session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pitk::engine {
+
+void NonlinearSession::advance(la::Vector obs) {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  kalman::NonlinearModel& m = state_->model;
+  m.k += 1;
+  m.dims.push_back(m.dims.back());
+  m.obs.push_back(std::move(obs));
+  ++state_->mutations;
+}
+
+la::index NonlinearSession::current_step() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  return state_->model.k;
+}
+
+void NonlinearSession::resmooth(const State& st, Cache& cache, bool with_covariances,
+                                par::ThreadPool& pool, SmootherResult& out,
+                                NonlinearSolveInfo& info_out) {
+  std::lock_guard<std::mutex> cl(cache.mu);
+  bool hit = false;
+  std::uint64_t snap_mut = 0;
+  {
+    // The session lock is held only for the snapshot copy — O(k) small
+    // assignments into capacity-reused storage — never for the solve, so a
+    // smooth does not stall the measurement stream.
+    std::lock_guard<std::mutex> lk(st.mu);
+    const bool current = cache.result_valid && cache.result_mutation == st.mutations;
+    hit = current && (cache.result_covs || !with_covariances);
+    if (!hit) {
+      kalman::NonlinearModel& snap = cache.snapshot;
+      if (!snap.f) {
+        // Callbacks are fixed at open_nonlinear_session() time: copy once.
+        snap.f = st.model.f;
+        snap.f_jac = st.model.f_jac;
+        snap.process_noise = st.model.process_noise;
+        snap.g = st.model.g;
+        snap.g_jac = st.model.g_jac;
+        snap.obs_noise = st.model.obs_noise;
+        snap.f_into = st.model.f_into;
+        snap.f_jac_into = st.model.f_jac_into;
+        snap.g_into = st.model.g_into;
+        snap.g_jac_into = st.model.g_jac_into;
+      }
+      snap.k = st.model.k;
+      snap.dims = st.model.dims;
+      snap.obs.resize(st.model.obs.size());
+      for (std::size_t i = 0; i < st.model.obs.size(); ++i)
+        snap.obs[i].assign_from(st.model.obs[i].span());
+      snap_mut = st.mutations;
+    }
+  }
+  if (!hit) {
+    // Warm start: the previous smooth's means where they exist, extended by
+    // f-predictions for the appended steps (u0 anchors a cold start).
+    const std::size_t n_states = cache.snapshot.obs.size();
+    cache.init.resize(n_states);
+    const std::size_t have =
+        cache.have_means ? std::min(cache.result.means.size(), n_states) : 0;
+    for (std::size_t i = 0; i < have; ++i)
+      cache.init[i].assign_from(cache.result.means[i].span());
+    for (std::size_t i = have; i < n_states; ++i) {
+      if (i == 0) {
+        cache.init[0].assign_from(st.u0.span());
+      } else if (cache.snapshot.f_into) {
+        cache.snapshot.f_into(static_cast<la::index>(i), cache.init[i - 1], cache.init[i]);
+      } else {
+        cache.init[i] = cache.snapshot.f(static_cast<la::index>(i), cache.init[i - 1]);
+      }
+    }
+
+    kalman::GaussNewtonOptions gn = st.opts.gn;
+    gn.final_covariance = with_covariances;
+    solve_nonlinear_into(st.opts.backend, cache.snapshot, cache.init, gn,
+                         st.opts.delta_prior_variance, pool, cache.solver, cache.gn,
+                         cache.result, cache.info);
+    cache.result_mutation = snap_mut;
+    cache.result_valid = true;
+    cache.result_covs = with_covariances;
+    cache.have_means = true;
+  }
+  // A hit ran no solve: record that in the cache too, so last_info() and
+  // job metrics agree that repeat smooths cost zero outer iterations.
+  if (hit) cache.info.iterations = 0;
+  info_out = cache.info;
+  out.means.resize(cache.result.means.size());
+  for (std::size_t i = 0; i < cache.result.means.size(); ++i)
+    out.means[i].assign_from(cache.result.means[i].span());
+  if (with_covariances) {
+    out.covariances.resize(cache.result.covariances.size());
+    for (std::size_t i = 0; i < cache.result.covariances.size(); ++i)
+      out.covariances[i].assign_from(cache.result.covariances[i].view());
+  } else {
+    out.covariances.clear();
+  }
+}
+
+SmootherResult NonlinearSession::smooth(bool with_covariances) const {
+  SmootherResult out;
+  NonlinearSolveInfo info;
+  resmooth(*state_, state_->sync_cache, with_covariances, state_->engine->pool_, out, info);
+  return out;
+}
+
+void NonlinearSession::smooth_into(SmootherResult& out, bool with_covariances) const {
+  NonlinearSolveInfo info;
+  resmooth(*state_, state_->sync_cache, with_covariances, state_->engine->pool_, out, info);
+}
+
+std::future<JobResult> NonlinearSession::smooth_async(bool with_covariances,
+                                                      SmootherResult* into) const {
+  auto st = state_;
+  la::index num_states = 0;
+  Backend chosen = st->opts.backend;
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    num_states = static_cast<la::index>(st->model.dims.size());
+    // Always the small path (see the header comment: the solve holds the
+    // cache mutex, so it must never help the pool mid-job), hence Auto
+    // resolves for a serial lane.
+    if (chosen == Backend::Auto) chosen = select_nonlinear_backend(st->model, 1u);
+  }
+  return st->engine->launch(
+      [st, with_covariances](par::ThreadPool& pool, SolverCache&, SmootherResult& out,
+                             JobMetrics& metrics) {
+        NonlinearSolveInfo info;
+        resmooth(*st, st->async_cache, with_covariances, pool, out, info);
+        metrics.outer_iterations = info.iterations;
+        metrics.nonlinear_converged = info.converged;
+        metrics.nonlinear_final_cost = info.final_cost;
+      },
+      chosen, /*large=*/false, num_states, into);
+}
+
+NonlinearSolveInfo NonlinearSession::last_info() const {
+  std::lock_guard<std::mutex> cl(state_->sync_cache.mu);
+  return state_->sync_cache.info;
+}
+
+}  // namespace pitk::engine

@@ -114,7 +114,8 @@ std::future<JobResult> Session::smooth_async(bool with_covariances, SmootherResu
   auto st = state_;
   const la::index num_states = current_step() + 1;
   return st->engine->launch(
-      [st, with_covariances](par::ThreadPool&, SolverCache&, SmootherResult& out) {
+      [st, with_covariances](par::ThreadPool&, SolverCache&, SmootherResult& out,
+                             JobMetrics&) {
         resmooth(*st, st->async_cache, with_covariances, out);
       },
       Backend::PaigeSaunders, /*large=*/false, num_states, into);

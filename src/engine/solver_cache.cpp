@@ -51,7 +51,7 @@ void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPr
       kalman::AssociativeOptions aopts;
       aopts.grain = opts.grain;
       aopts.scratch = &cache.assoc;
-      out = kalman::associative_smooth(p, *prior, pool, aopts);
+      kalman::associative_smooth_into(p, *prior, pool, aopts, out);
       if (!opts.compute_covariance) out.covariances.clear();
       return;
     }
@@ -69,6 +69,67 @@ void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPr
       break;
   }
   throw std::invalid_argument("solve_with: unknown backend");
+}
+
+void solve_nonlinear_into(Backend b, const kalman::NonlinearModel& model,
+                          const std::vector<la::Vector>& init,
+                          const kalman::GaussNewtonOptions& gn, double delta_prior_variance,
+                          par::ThreadPool& pool, SolverCache& cache,
+                          kalman::GaussNewtonState& st, SmootherResult& out,
+                          NonlinearSolveInfo& info) {
+  const la::index grain = gn.linear.grain;
+  if (b == Backend::Auto) b = select_nonlinear_backend(model, pool.concurrency());
+
+  // The correction problem carries no natural prior; backends that demand
+  // one get a zero-mean prior on delta_0.  Being zero-mean it only damps the
+  // step (never displaces the stationary point J^T W r = 0), so the outer
+  // loop still converges to the prior-free trajectory.
+  std::optional<GaussianPrior> prior;
+  if (backend_info(b).needs_prior) {
+    if (!(delta_prior_variance > 0.0))
+      throw std::invalid_argument(
+          "solve_nonlinear_into: delta_prior_variance must be positive for "
+          "prior-requiring backends");
+    const la::index n0 = model.dims.empty() ? 0 : model.dims.front();
+    GaussianPrior pr;
+    pr.mean = la::Vector(n0);
+    pr.cov = la::Matrix(n0, n0);
+    for (la::index q = 0; q < n0; ++q) pr.cov(q, q) = delta_prior_variance;
+    prior = std::move(pr);
+  }
+
+  kalman::gauss_newton_init(model, init, gn, st);
+  SolveOptions inner;
+  inner.compute_covariance = false;  // the paper's NC fast path
+  inner.grain = grain;
+  const kalman::GaussNewtonLinearSolver solver = [&](const Problem& lp, SmootherResult& delta) {
+    solve_with_into(b, lp, prior, pool, inner, cache, delta);
+  };
+
+  while (st.iterations < gn.max_iterations) {
+    const kalman::GaussNewtonStep s = kalman::gauss_newton_step_into(model, st, gn, pool, solver);
+    if (s == kalman::GaussNewtonStep::Converged || s == kalman::GaussNewtonStep::Stalled) break;
+  }
+
+  out.means.resize(st.states.size());
+  for (std::size_t i = 0; i < st.states.size(); ++i)
+    out.means[i].assign_from(st.states[i].span());
+  if (gn.final_covariance) {
+    kalman::gauss_newton_relinearize(model, st.states, 0.0, pool, grain, st);
+    SolveOptions with_cov;
+    with_cov.compute_covariance = true;
+    with_cov.grain = grain;
+    solve_with_into(b, st.linearized, prior, pool, with_cov, cache, st.final_pass);
+    out.covariances.resize(st.final_pass.covariances.size());
+    for (std::size_t i = 0; i < st.final_pass.covariances.size(); ++i)
+      out.covariances[i].assign_from(st.final_pass.covariances[i].view());
+  } else {
+    out.covariances.clear();
+  }
+
+  info.iterations = st.iterations;
+  info.converged = st.converged;
+  info.final_cost = st.cost;
 }
 
 }  // namespace pitk::engine

@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "core/associative.hpp"
+#include "core/gauss_newton.hpp"
 #include "core/oddeven.hpp"
 #include "core/paige_saunders.hpp"
 #include "engine/backend.hpp"
@@ -36,6 +37,12 @@ struct SolverCache {
   kalman::AssociativeScratch assoc;
   /// Odd-even SelInv S-block slots (Algorithm 2 replay storage).
   kalman::OddEvenCovScratch oddeven_cov;
+  /// Warm Gauss-Newton outer-loop state for nonlinear jobs: the linearized
+  /// correction problem, inner solution and candidate trajectory all reuse
+  /// capacity across the jobs a worker serves, so a warm worker runs a
+  /// same-shaped outer iteration with zero heap allocations (given a model
+  /// with *_into callbacks).
+  kalman::GaussNewtonState gauss_newton;
   /// Jobs this cache has served (first job on a worker is the cold one).
   std::uint64_t jobs_served = 0;
   /// Re-entrancy latch, touched only by the owning thread: a large job's
@@ -57,5 +64,33 @@ struct SolverCache {
 void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPrior>& prior,
                      par::ThreadPool& pool, const SolveOptions& opts, SolverCache& cache,
                      SmootherResult& out);
+
+/// Convergence summary of one nonlinear (Gauss-Newton/LM) solve.
+struct NonlinearSolveInfo {
+  la::index iterations = 0;  ///< outer iterations run (incl. LM rejections)
+  bool converged = false;
+  double final_cost = 0.0;   ///< weighted nonlinear cost at the returned states
+};
+
+/// Run the Gauss-Newton/LM outer loop on `model` from `init`, serving every
+/// inner linearized solve through backend `b` (Auto resolves via
+/// select_nonlinear_backend) with `cache`'s warm storage via solve_with_into.
+/// Outer-loop state lives in `st` — pass cache.gauss_newton for batch jobs
+/// (warm per worker) or a caller-owned state for warm-started streaming.
+/// Backends that require a prior (rts/associative) get a synthetic zero-mean
+/// prior with variance `delta_prior_variance` on the step-0 *correction*; it
+/// damps early steps without moving the Gauss-Newton fixed point, so all
+/// backends converge to the same trajectory.  Final smoothed means land in
+/// `out.means` (capacity-reusing); when `gn.final_covariance` is set, one
+/// covariance-enabled pass over the final linearization fills
+/// `out.covariances`.
+/// `gn.linear.grain` governs both the relinearization sweep and the inner
+/// solves, exactly as in direct gauss_newton_smooth.
+void solve_nonlinear_into(Backend b, const kalman::NonlinearModel& model,
+                          const std::vector<la::Vector>& init,
+                          const kalman::GaussNewtonOptions& gn, double delta_prior_variance,
+                          par::ThreadPool& pool, SolverCache& cache,
+                          kalman::GaussNewtonState& st, SmootherResult& out,
+                          NonlinearSolveInfo& info);
 
 }  // namespace pitk::engine

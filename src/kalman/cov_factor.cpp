@@ -34,6 +34,19 @@ CovFactor CovFactor::diagonal(Vector variances) {
   return f;
 }
 
+void CovFactor::assign_diagonal(std::span<const double> variances) {
+  kind_ = Kind::Diagonal;
+  dim_ = static_cast<index>(variances.size());
+  chol_ = Matrix();  // drop any dense factor; diagonal storage takes over
+  diag_std_.resize(dim_);
+  for (index i = 0; i < dim_; ++i) {
+    const double v = variances[static_cast<std::size_t>(i)];
+    if (!(v > 0.0))
+      throw std::invalid_argument("CovFactor::assign_diagonal: variances must be positive");
+    diag_std_[i] = std::sqrt(v);
+  }
+}
+
 CovFactor CovFactor::dense(Matrix covariance) {
   if (covariance.rows() != covariance.cols())
     throw std::invalid_argument("CovFactor::dense: covariance must be square");

@@ -38,6 +38,12 @@ class CovFactor {
   /// diag(variances); every variance must be positive.
   [[nodiscard]] static CovFactor diagonal(Vector variances);
 
+  /// Rebuild this factor as diag(variances) in place, reusing the existing
+  /// standard-deviation storage (zero heap allocations once the capacity is
+  /// there).  The warm path for iteration-varying diagonal noise, e.g. the
+  /// Levenberg-Marquardt damping rows whose variance is 1/lambda.
+  void assign_diagonal(std::span<const double> variances);
+
   /// Dense SPD covariance; throws std::invalid_argument if the Cholesky
   /// factorization fails.
   [[nodiscard]] static CovFactor dense(Matrix covariance);

@@ -145,6 +145,37 @@ struct WeightedStepView {
 
 [[nodiscard]] WeightedStepView weigh_step_into(const TimeStep& s, la::Workspace::Scope& scope);
 
+/// A nonlinear state-space model with H_i = I:
+///   u_i = f(i, u_{i-1}) + eps_i,   o_i = g(i, u_i) + delta_i.
+///
+/// The value-returning callbacks are the ergonomic interface; the optional
+/// `*_into` variants write into caller storage (which they must resize;
+/// capacity-reusing) and are what makes a warm Gauss-Newton outer iteration
+/// allocation-free — when absent, relinearization falls back to the value
+/// callbacks and pays their allocations.  The noise callbacks are evaluated
+/// once per solve (they may depend on i but not on the trajectory).
+struct NonlinearModel {
+  la::index k = 0;              ///< steps 0..k
+  std::vector<la::index> dims;  ///< n_i for every state (size k+1)
+
+  std::function<Vector(la::index, const Vector&)> f;      ///< evolution, i >= 1
+  std::function<Matrix(la::index, const Vector&)> f_jac;  ///< df_i/du at u_{i-1}
+  std::function<CovFactor(la::index)> process_noise;      ///< K_i
+
+  /// Observations; steps without one have no entry (empty Vector signals
+  /// absence in `obs`).
+  std::vector<Vector> obs;                                ///< o_i (size k+1)
+  std::function<Vector(la::index, const Vector&)> g;      ///< measurement fn
+  std::function<Matrix(la::index, const Vector&)> g_jac;  ///< dg_i/du at u_i
+  std::function<CovFactor(la::index)> obs_noise;          ///< L_i
+
+  /// Optional allocation-free variants (see the struct comment).
+  std::function<void(la::index, const Vector&, Vector&)> f_into;
+  std::function<void(la::index, const Vector&, Matrix&)> f_jac_into;
+  std::function<void(la::index, const Vector&, Vector&)> g_into;
+  std::function<void(la::index, const Vector&, Matrix&)> g_jac_into;
+};
+
 /// Result of a smoothing pass.
 struct SmootherResult {
   std::vector<Vector> means;        ///< \hat u_i, i = 0..k

@@ -1,5 +1,6 @@
 #include "kalman/simulate.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "la/blas.hpp"
@@ -26,6 +27,83 @@ Problem make_paper_benchmark(la::Rng& rng, index n, index k) {
     s.observation = std::move(ob);
   }
   return Problem::from_steps(std::move(steps));
+}
+
+NonlinearModel make_pendulum_benchmark(la::Rng& rng, index k, double theta0,
+                                       bool identity_noise, std::vector<Vector>* truth_out) {
+  const double dt = 0.02;
+  const double gl = 9.81;
+  NonlinearModel m;
+  m.k = k;
+  m.dims.assign(static_cast<std::size_t>(k + 1), 2);
+  m.f_into = [dt, gl](index, const Vector& u, Vector& out) {
+    out.resize(2);
+    out[0] = u[0] + dt * u[1];
+    out[1] = u[1] - dt * gl * std::sin(u[0]);
+  };
+  m.f = [f_into = m.f_into](index i, const Vector& u) {
+    Vector v;
+    f_into(i, u, v);
+    return v;
+  };
+  m.f_jac_into = [dt, gl](index, const Vector& u, Matrix& out) {
+    out.resize(2, 2);
+    out(0, 0) = 1.0;
+    out(0, 1) = dt;
+    out(1, 0) = -dt * gl * std::cos(u[0]);
+    out(1, 1) = 1.0;
+  };
+  m.f_jac = [f_jac_into = m.f_jac_into](index i, const Vector& u) {
+    Matrix out;
+    f_jac_into(i, u, out);
+    return out;
+  };
+  m.g_into = [](index, const Vector& u, Vector& out) {
+    out.resize(1);
+    out[0] = std::sin(u[0]);
+  };
+  m.g = [g_into = m.g_into](index i, const Vector& u) {
+    Vector v;
+    g_into(i, u, v);
+    return v;
+  };
+  m.g_jac_into = [](index, const Vector& u, Matrix& out) {
+    out.resize(1, 2);
+    out(0, 0) = std::cos(u[0]);
+    out(0, 1) = 0.0;
+  };
+  m.g_jac = [g_jac_into = m.g_jac_into](index i, const Vector& u) {
+    Matrix out;
+    g_jac_into(i, u, out);
+    return out;
+  };
+  if (identity_noise) {
+    m.process_noise = [](index) { return CovFactor::identity(2); };
+    m.obs_noise = [](index) { return CovFactor::identity(1); };
+  } else {
+    m.process_noise = [](index) { return CovFactor::scaled_identity(2, 1e-4); };
+    m.obs_noise = [](index) { return CovFactor::scaled_identity(1, 0.01); };
+  }
+
+  std::vector<Vector> truth;
+  Vector u({theta0, 0.0});
+  truth.push_back(u);
+  m.obs.resize(static_cast<std::size_t>(k + 1));
+  for (index i = 0; i <= k; ++i) {
+    if (i > 0) {
+      Vector next;
+      m.f_into(i, u, next);
+      u = std::move(next);
+      u[0] += 0.01 * rng.gaussian();
+      u[1] += 0.01 * rng.gaussian();
+      truth.push_back(u);
+    }
+    Vector o(1);
+    o[0] = std::sin(u[0]) + 0.1 * rng.gaussian();
+    m.obs[static_cast<std::size_t>(i)] = std::move(o);
+  }
+  if (truth_out) *truth_out = std::move(truth);
+  return m;
 }
 
 GaussianPrior diffuse_prior(index n, double variance) {

@@ -21,6 +21,21 @@ namespace pitk::kalman {
 /// (RTS / associative): a diffuse zero-mean prior with variance `variance`.
 [[nodiscard]] GaussianPrior diffuse_prior(index n, double variance = 1e6);
 
+/// The repository's canonical *nonlinear* benchmark: a noisy pendulum with
+/// state (angle, angular velocity), dynamics theta'' = -(g/l) sin(theta)
+/// discretized at dt = 0.02, observed through sin(theta) at every step.
+/// Simulates a truth trajectory from (theta0, 0) with small process noise
+/// and emits noisy observations.  The model carries both the value-returning
+/// and the allocation-free `*_into` callbacks; `identity_noise` swaps the
+/// scaled covariance factors for identity ones (CovFactor::identity owns no
+/// buffer, which keeps even a cold Gauss-Newton init allocation-free on a
+/// warm state).  Used by tests, benches and examples alike so the dynamics
+/// live in exactly one place.
+[[nodiscard]] NonlinearModel make_pendulum_benchmark(la::Rng& rng, index k,
+                                                     double theta0 = 0.5,
+                                                     bool identity_noise = false,
+                                                     std::vector<Vector>* truth_out = nullptr);
+
 /// Specification of a time-invariant-shaped simulation; all callbacks are
 /// indexed by step (1..k for evolution, 0..k for observation).
 struct SimSpec {

@@ -136,6 +136,64 @@ TEST(AllocFree, AssociativeScansWithWarmScratch) {
   test::expect_means_near(with_scratch.means, plain.means, 1e-12, "scratch vs plain means");
 }
 
+TEST(AllocFree, AssociativeSmoothIntoWarmStorage) {
+  // The ROADMAP PR-3 follow-up: result extraction used to copy into freshly
+  // allocated vectors; associative_smooth_into writes straight into warm
+  // caller storage, so the conventional-backend warm path — scans AND
+  // extraction — is fully allocation-free.
+  Rng rng(0xA110C + 8);
+  CommonProblem cp = test::common_problem(rng, 4, 60, /*dense_cov=*/true);
+  par::ThreadPool pool(1);  // serial: no chunk-seed copies
+
+  AssociativeScratch scratch;
+  AssociativeOptions opts;
+  opts.scratch = &scratch;
+  SmootherResult out;
+  associative_smooth_into(cp.for_conventional, cp.prior, pool, opts, out);  // warmup
+  settle_workspace();
+
+  const std::uint64_t before = aligned_alloc_count();
+  associative_smooth_into(cp.for_conventional, cp.prior, pool, opts, out);
+  EXPECT_EQ(aligned_alloc_count() - before, 0u)
+      << "warm associative smooth-into must not touch the heap";
+
+  SmootherResult plain = associative_smooth(cp.for_conventional, cp.prior, pool, {});
+  test::expect_means_near(out.means, plain.means, 1e-12, "into vs plain means");
+  test::expect_covs_near(out.covariances, plain.covariances, 1e-12, "into vs plain covs");
+}
+
+TEST(AllocFree, EngineAssociativeJobOnWarmWorker) {
+  // End-to-end: the associative backend through a warm serial engine worker
+  // with into-storage performs zero counted allocations per job, like the
+  // QR-family path already pinned below.
+  Rng rng(0xA110C + 9);
+  CommonProblem cp = test::common_problem(rng, 4, 40, /*dense_cov=*/true);
+
+  engine::SmootherEngine eng({.threads = 1});
+  engine::JobOptions jo;
+  jo.backend = engine::Backend::Associative;
+  jo.prior = cp.prior;
+  kalman::SmootherResult storage;
+  jo.into = &storage;
+
+  kalman::Problem second = cp.for_conventional;  // built before counting
+  engine::JobOptions jo2 = jo;                   // the prior copy, ditto
+  eng.submit(cp.for_conventional, jo).get();     // warmup round
+  settle_workspace();
+
+  const std::uint64_t before = aligned_alloc_count();
+  engine::JobResult jr = eng.submit(std::move(second), std::move(jo2)).get();
+  EXPECT_EQ(aligned_alloc_count() - before, 0u)
+      << "a warm associative engine job must not touch the heap";
+  EXPECT_EQ(jr.metrics.allocations, 0u);
+  EXPECT_EQ(jr.metrics.backend, engine::Backend::Associative);
+
+  engine::JobOptions plain = jo;
+  plain.into = nullptr;
+  engine::JobResult value = eng.submit(cp.for_conventional, plain).get();
+  test::expect_means_near(storage.means, value.result.means, 0.0, "into vs value means");
+}
+
 TEST(AllocFree, SelinvCovariancesIntoWarmStorage) {
   Rng rng(0xA110C + 4);
   CommonProblem cp = test::common_problem(rng, 5, 50, /*dense_cov=*/true);
