@@ -51,6 +51,7 @@
 #include "kalman/simulate.hpp"
 #include "la/blas.hpp"
 #include "la/random.hpp"
+#include "obs/histogram.hpp"
 
 namespace {
 
@@ -208,6 +209,10 @@ bool bench_nonlinear(bench::JsonBench& out, int reps) {
     eng.wait_idle();
     for (auto& f : futs) (void)f.get();
   }
+  // Per-job latency distributions over the timed reps (bench-local
+  // histograms, not the global registry: warm-up jobs stay excluded).
+  obs::Histogram queue_hist;
+  obs::Histogram solve_hist;
   for (int r = 0; r < reps; ++r) {
     std::vector<engine::NonlinearJob> batch;
     for (const kalman::NonlinearModel& m : models) batch.push_back({m, pendulum_init(k)});
@@ -220,6 +225,8 @@ bool bench_nonlinear(bench::JsonBench& out, int reps) {
       engine::JobResult jr = f.get();
       eng_checksum += jr.result.means.back()[0];
       iters += jr.metrics.outer_iterations;
+      queue_hist.record(jr.metrics.queue_seconds);
+      solve_hist.record(jr.metrics.solve_seconds);
     }
     eng_samples.push_back(seconds_since(t0));
     iters_per_job = static_cast<double>(iters) / static_cast<double>(jobs);
@@ -236,7 +243,11 @@ bool bench_nonlinear(bench::JsonBench& out, int reps) {
               {"k", static_cast<double>(k)},
               {"threads", static_cast<double>(concurrency)},
               {"jobs_per_second", static_cast<double>(jobs) / sec_eng},
-              {"outer_iterations_per_job", iters_per_job}});
+              {"outer_iterations_per_job", iters_per_job},
+              {"queue_p50_s", queue_hist.quantile(0.5)},
+              {"queue_p99_s", queue_hist.quantile(0.99)},
+              {"solve_p50_s", solve_hist.quantile(0.5)},
+              {"solve_p99_s", solve_hist.quantile(0.99)}});
   std::printf("  sequential GN   : %8.3f s  (%8.1f jobs/s)\n", sec_seq,
               static_cast<double>(jobs) / sec_seq);
   std::printf("  engine, %2u-way  : %8.3f s  (%8.1f jobs/s)  speedup %.2fx, %.1f iters/job\n",
@@ -312,6 +323,13 @@ int main() {
   double allocs_per_job_warm = 0.0;
   engine::EngineStats st;
   unsigned concurrency = 0;
+  // Per-job latency distributions over the timed reps (bench-local
+  // histograms, not the global registry: warm-up and other series stay
+  // excluded).  p50/p99 land in the JSON as report-only fields.
+  obs::Histogram queue_hist;
+  obs::Histogram solve_hist;
+  obs::Histogram warm_queue_hist;
+  obs::Histogram warm_solve_hist;
 
   // Sequential baseline: one job at a time, serial solver.
   {
@@ -355,6 +373,8 @@ int main() {
         engine::JobResult jr = f.get();
         checksum_eng += jr.result.means.back()[0];
         workspace_peak = std::max(workspace_peak, jr.metrics.workspace_high_water_bytes);
+        queue_hist.record(jr.metrics.queue_seconds);
+        solve_hist.record(jr.metrics.solve_seconds);
       }
       eng_samples.push_back(seconds_since(t_eng));
     }
@@ -383,6 +403,8 @@ int main() {
         if (r > 0) {
           warm_allocs += jr.metrics.allocations;
           ++warm_jobs;
+          warm_queue_hist.record(jr.metrics.queue_seconds);
+          warm_solve_hist.record(jr.metrics.solve_seconds);
         }
       }
       for (const kalman::SmootherResult& res : storage) checksum_warm += res.means.back()[0];
@@ -413,14 +435,22 @@ int main() {
               {"workspace_peak_bytes", static_cast<double>(workspace_peak)},
               {"allocations_per_job_cold", allocs_per_job_cold},
               {"calibrated_small_job_flops", engine::calibrated_small_job_flops()},
-              {"calibrated_gemm_gflops", engine::calibrated_gemm_flops_per_second() * 1e-9}});
+              {"calibrated_gemm_gflops", engine::calibrated_gemm_flops_per_second() * 1e-9},
+              {"queue_p50_s", queue_hist.quantile(0.5)},
+              {"queue_p99_s", queue_hist.quantile(0.99)},
+              {"solve_p50_s", solve_hist.quantile(0.5)},
+              {"solve_p99_s", solve_hist.quantile(0.99)}});
   out.record("engine_batched_warm", warm_samples,
              {{"jobs", static_cast<double>(jobs)},
               {"k", static_cast<double>(k)},
               {"n", static_cast<double>(n)},
               {"threads", static_cast<double>(concurrency)},
               {"jobs_per_second", tp_warm},
-              {"allocations_per_job", allocs_per_job_warm}});
+              {"allocations_per_job", allocs_per_job_warm},
+              {"queue_p50_s", warm_queue_hist.quantile(0.5)},
+              {"queue_p99_s", warm_queue_hist.quantile(0.99)},
+              {"solve_p50_s", warm_solve_hist.quantile(0.5)},
+              {"solve_p99_s", warm_solve_hist.quantile(0.99)}});
   std::printf("\n  sequential loop : %8.3f s  (%8.1f jobs/s, median of %d)\n", sec_seq, tp_seq,
               reps);
   std::printf("  engine, %2u-way  : %8.3f s  (%8.1f jobs/s)  speedup %.2fx\n",

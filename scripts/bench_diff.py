@@ -18,6 +18,12 @@ import json
 import statistics
 import sys
 
+# Per-job latency-percentile metric fields (bench/engine_throughput.cpp
+# records queue_p50_s/queue_p99_s/solve_p50_s/solve_p99_s per series).
+# Report-only for now: tail latencies are too noisy on shared CI runners to
+# gate on, but the trend should stay visible next to the gated medians.
+PERCENTILE_SUFFIXES = ("_p50_s", "_p99_s")
+
 
 def load_medians(path):
     with open(path) as f:
@@ -27,6 +33,18 @@ def load_medians(path):
         median = series.get("median_s", 0.0)
         if median > 0.0:  # skip meta/zero series (e.g. meta_checksum)
             out[series["name"]] = median
+    return out
+
+
+def load_percentiles(path):
+    """name.field -> value for every latency-percentile metric field."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for series in doc.get("series", []):
+        for key, val in series.items():
+            if key.endswith(PERCENTILE_SUFFIXES) and isinstance(val, (int, float)):
+                out["%s.%s" % (series["name"], key)] = val
     return out
 
 
@@ -69,6 +87,21 @@ def main(argv=None):
     only_in_base = sorted(set(base) - set(fresh))
     if only_in_base:
         print("bench_diff: series missing from fresh run: " + ", ".join(only_in_base))
+
+    base_pct = load_percentiles(args.baseline)
+    fresh_pct = load_percentiles(args.fresh)
+    if base_pct or fresh_pct:
+        print("bench_diff: latency percentiles (report-only, never gated):")
+        for name in sorted(set(base_pct) | set(fresh_pct)):
+            b = base_pct.get(name)
+            fr = fresh_pct.get(name)
+            if b is not None and fr is not None and b > 0:
+                print("  %-44s baseline %.3es  fresh %.3es  x%6.2f"
+                      % (name, b, fr, fr / b))
+            elif fr is not None:
+                print("  %-44s fresh %.3es  (no baseline)" % (name, fr))
+            else:
+                print("  %-44s baseline %.3es  (missing from fresh)" % (name, b))
 
     if failures:
         print("bench_diff: %d series regressed beyond %.1fx normalized: %s"

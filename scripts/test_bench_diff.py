@@ -17,12 +17,17 @@ import unittest
 import bench_diff
 
 
-def write_doc(path, medians):
-    """Write a minimal pitk-bench-v1 document with the given name->median_s."""
-    doc = {
-        "schema": "pitk-bench-v1",
-        "series": [{"name": n, "median_s": m} for n, m in medians.items()],
-    }
+def write_doc(path, medians, extra_fields=None):
+    """Write a minimal pitk-bench-v1 document with the given name->median_s.
+
+    `extra_fields` optionally maps a series name to additional flat fields
+    (e.g. the queue_p50_s/solve_p99_s latency-percentile metrics)."""
+    series = []
+    for n, m in medians.items():
+        entry = {"name": n, "median_s": m}
+        entry.update((extra_fields or {}).get(n, {}))
+        series.append(entry)
+    doc = {"schema": "pitk-bench-v1", "series": series}
     with open(path, "w") as f:
         json.dump(doc, f)
 
@@ -103,6 +108,29 @@ class BenchDiffTest(unittest.TestCase):
     def test_load_medians_skips_zero_series(self):
         write_doc(self.base, {"a": 1.0, "zero": 0.0})
         self.assertEqual(bench_diff.load_medians(self.base), {"a": 1.0})
+
+    def test_percentile_fields_are_report_only(self):
+        # A 100x p99 blowup must not gate: percentile fields are reported but
+        # only median_s participates in the regression check.
+        write_doc(self.base, {"a": 1.0, "b": 2.0},
+                  {"a": {"queue_p50_s": 1e-4, "solve_p99_s": 1e-3}})
+        write_doc(self.fresh, {"a": 1.0, "b": 2.0},
+                  {"a": {"queue_p50_s": 1e-4, "solve_p99_s": 1e-1}})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_load_percentiles_collects_suffixed_fields(self):
+        write_doc(self.base, {"a": 1.0},
+                  {"a": {"queue_p50_s": 2e-4, "queue_p99_s": 5e-4,
+                         "jobs_per_second": 100.0}})
+        self.assertEqual(bench_diff.load_percentiles(self.base),
+                         {"a.queue_p50_s": 2e-4, "a.queue_p99_s": 5e-4})
+
+    def test_percentiles_missing_from_one_side_do_not_crash(self):
+        # Baselines predate the percentile fields; fresh-only (and vice
+        # versa) entries are printed without a ratio and never gate.
+        write_doc(self.base, {"a": 1.0})
+        write_doc(self.fresh, {"a": 1.0}, {"a": {"solve_p50_s": 3e-4}})
+        self.assertEqual(self.run_diff(), 0)
 
 
 if __name__ == "__main__":

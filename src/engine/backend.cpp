@@ -95,6 +95,24 @@ const BackendInfo& backend_info(Backend b) {
   return all_backends()[static_cast<std::size_t>(i)];
 }
 
+const char* backend_job_span_name(Backend b) {
+  // Trace-span names must be string literals (TraceSpan stores the pointer);
+  // one table per instrumentation site, in registry order.
+  static constexpr const char* names[num_backends] = {
+      "job.dense-reference", "job.rts", "job.paige-saunders", "job.associative",
+      "job.odd-even"};
+  const int i = backend_index(b);
+  return (i < 0 || i >= num_backends) ? "job.?" : names[i];
+}
+
+const char* backend_solve_span_name(Backend b) {
+  static constexpr const char* names[num_backends] = {
+      "solve.dense-reference", "solve.rts", "solve.paige-saunders", "solve.associative",
+      "solve.odd-even"};
+  const int i = backend_index(b);
+  return (i < 0 || i >= num_backends) ? "solve.?" : names[i];
+}
+
 std::optional<Backend> backend_by_name(std::string_view name) {
   for (const BackendInfo& info : all_backends())
     if (name == info.name) return info.id;

@@ -61,6 +61,12 @@ struct BackendInfo {
 /// Registry lookup; throws std::invalid_argument for Backend::Auto.
 [[nodiscard]] const BackendInfo& backend_info(Backend b);
 
+/// Static trace-span names ("job.<backend>" / "solve.<backend>") for the
+/// engine's and the inner solver's instrumentation sites; string literals
+/// with process lifetime, as obs::trace::TraceSpan requires.
+[[nodiscard]] const char* backend_job_span_name(Backend b);
+[[nodiscard]] const char* backend_solve_span_name(Backend b);
+
 /// Lookup by registry name ("dense-reference", "rts", "paige-saunders",
 /// "associative", "odd-even"); nullopt when unknown.
 [[nodiscard]] std::optional<Backend> backend_by_name(std::string_view name);

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -9,6 +10,8 @@
 #include "engine/session.hpp"
 #include "engine/solver_cache.hpp"
 #include "la/workspace.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace pitk::engine {
 
@@ -18,11 +21,46 @@ namespace {
 /// delta from its own window, so each allocation is attributed to exactly
 /// one job (see the nesting note at the cache acquisition below).
 thread_local std::uint64_t tls_allocs_charged = 0;
+
+/// Registry handles for the engine's process-wide metrics, resolved once
+/// (cold: names are built and looked up under the registry mutex) and then
+/// recorded through with relaxed atomics only — the warm path allocates
+/// nothing.  Latency histograms are per concrete backend, indexed like
+/// EngineStats::per_backend.
+struct EngineMetrics {
+  obs::Histogram* queue_s[num_backends];
+  obs::Histogram* solve_s[num_backends];
+  obs::Histogram& outer_iterations = obs::histogram("pitk.engine.outer_iterations");
+  obs::Counter& jobs_small = obs::counter("pitk.engine.jobs_small");
+  obs::Counter& jobs_large = obs::counter("pitk.engine.jobs_large");
+  obs::Counter& jobs_failed = obs::counter("pitk.engine.jobs_failed");
+  obs::Counter& allocations = obs::counter("pitk.engine.allocations");
+  /// Lifetime busy fraction of the last engine whose stats() was taken —
+  /// with several engines alive the freshest snapshot wins, which is the
+  /// usual single-serving-engine deployment read correctly and a tolerable
+  /// approximation otherwise.
+  obs::Gauge& pool_utilization = obs::gauge("pitk.engine.pool_utilization");
+
+  EngineMetrics() {
+    for (const BackendInfo& info : all_backends()) {
+      const int i = backend_index(info.id);
+      queue_s[i] = &obs::histogram(std::string("pitk.engine.queue_seconds.") + info.name);
+      solve_s[i] = &obs::histogram(std::string("pitk.engine.solve_seconds.") + info.name);
+    }
+  }
+};
+
+EngineMetrics& engine_metrics() {
+  // Leaked like the registry: jobs racing process exit still record safely.
+  static EngineMetrics* m = new EngineMetrics();
+  return *m;
+}
 }  // namespace
 
 SmootherEngine::SmootherEngine(EngineOptions opts)
     : opts_(opts),
       pool_(opts.threads == 0 ? par::ThreadPool::default_concurrency() : opts.threads) {
+  (void)engine_metrics();  // resolve registry handles while construction is cold
   if (opts_.small_job_flops < 0.0) opts_.small_job_flops = calibrated_small_job_flops();
   // One warm cache per pool worker (the pool owner and helping external
   // threads get thread-local caches from worker_cache()).
@@ -63,10 +101,13 @@ std::future<JobResult> SmootherEngine::launch(
     else
       ++stats_.jobs_small;
   }
+  (large ? engine_metrics().jobs_large : engine_metrics().jobs_small).add(1);
+  obs::trace::instant("engine.submit");
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
 
   pool_.submit([this, pending, body = std::move(body), chosen, large, num_states,
                 into]() mutable {
+    PITK_TRACE_SPAN(backend_job_span_name(chosen));
     const Clock::time_point start = Clock::now();
     JobResult jr;
     jr.metrics.backend = chosen;
@@ -109,6 +150,17 @@ std::future<JobResult> SmootherEngine::launch(
     jr.metrics.solve_seconds = std::chrono::duration<double>(Clock::now() - start).count();
     jr.metrics.workspace_high_water_bytes =
         la::tls_workspace().high_water() * sizeof(double);
+    EngineMetrics& em = engine_metrics();
+    const int bi = backend_index(chosen);
+    if (bi >= 0 && bi < num_backends) {
+      em.queue_s[bi]->record(jr.metrics.queue_seconds);
+      em.solve_s[bi]->record(jr.metrics.solve_seconds);
+    }
+    em.allocations.add(jr.metrics.allocations);
+    if (error)
+      em.jobs_failed.add(1);
+    else if (jr.metrics.outer_iterations > 0)
+      em.outer_iterations.record(static_cast<double>(jr.metrics.outer_iterations));
     {
       std::lock_guard<std::mutex> lk(stats_mu_);
       stats_.total_queue_seconds += jr.metrics.queue_seconds;
@@ -254,6 +306,7 @@ void SmootherEngine::wait_idle() {
 }
 
 EngineStats SmootherEngine::stats() const {
+  engine_metrics().pool_utilization.set(pool_.utilization());
   std::lock_guard<std::mutex> lk(stats_mu_);
   return stats_;
 }

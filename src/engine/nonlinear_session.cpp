@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace pitk::engine {
+
+namespace {
+/// Process-wide mirrors of the per-session counters, aggregated across every
+/// nonlinear session (cold registration, relaxed-atomic recording; leaked
+/// like the registry so sessions racing process exit still record safely).
+struct NlsMetrics {
+  obs::Counter& hits = obs::counter("pitk.nonlinear_session.cache_hits");
+  obs::Counter& misses = obs::counter("pitk.nonlinear_session.cache_misses");
+  obs::Histogram& outer_iterations =
+      obs::histogram("pitk.nonlinear_session.outer_iterations");
+};
+
+NlsMetrics& nls_metrics() {
+  static NlsMetrics* m = new NlsMetrics();
+  return *m;
+}
+}  // namespace
 
 void NonlinearSession::advance(la::Vector obs) {
   std::lock_guard<std::mutex> lk(state_->mu);
@@ -29,6 +49,7 @@ void NonlinearSession::resmooth(const State& st, Cache& cache, bool with_covaria
     // The session lock is held only for the snapshot copy — O(k) small
     // assignments into capacity-reused storage — never for the solve, so a
     // smooth does not stall the measurement stream.
+    PITK_TRACE_SPAN("nls.snapshot");
     std::lock_guard<std::mutex> lk(st.mu);
     const bool current = cache.result_valid && cache.result_mutation == st.mutations;
     hit = current && (cache.result_covs || !with_covariances);
@@ -55,34 +76,53 @@ void NonlinearSession::resmooth(const State& st, Cache& cache, bool with_covaria
       snap_mut = st.mutations;
     }
   }
+  NlsMetrics& nm = nls_metrics();
   if (!hit) {
-    // Warm start: the previous smooth's means where they exist, extended by
-    // f-predictions for the appended steps (u0 anchors a cold start).
-    const std::size_t n_states = cache.snapshot.obs.size();
-    cache.init.resize(n_states);
-    const std::size_t have =
-        cache.have_means ? std::min(cache.result.means.size(), n_states) : 0;
-    for (std::size_t i = 0; i < have; ++i)
-      cache.init[i].assign_from(cache.result.means[i].span());
-    for (std::size_t i = have; i < n_states; ++i) {
-      if (i == 0) {
-        cache.init[0].assign_from(st.u0.span());
-      } else if (cache.snapshot.f_into) {
-        cache.snapshot.f_into(static_cast<la::index>(i), cache.init[i - 1], cache.init[i]);
-      } else {
-        cache.init[i] = cache.snapshot.f(static_cast<la::index>(i), cache.init[i - 1]);
+    const bool warm = cache.have_means;
+    {
+      // Warm start: the previous smooth's means where they exist, extended by
+      // f-predictions for the appended steps (u0 anchors a cold start).
+      PITK_TRACE_SPAN("nls.warm_start");
+      const std::size_t n_states = cache.snapshot.obs.size();
+      cache.init.resize(n_states);
+      const std::size_t have =
+          cache.have_means ? std::min(cache.result.means.size(), n_states) : 0;
+      for (std::size_t i = 0; i < have; ++i)
+        cache.init[i].assign_from(cache.result.means[i].span());
+      for (std::size_t i = have; i < n_states; ++i) {
+        if (i == 0) {
+          cache.init[0].assign_from(st.u0.span());
+        } else if (cache.snapshot.f_into) {
+          cache.snapshot.f_into(static_cast<la::index>(i), cache.init[i - 1], cache.init[i]);
+        } else {
+          cache.init[i] = cache.snapshot.f(static_cast<la::index>(i), cache.init[i - 1]);
+        }
       }
     }
 
     kalman::GaussNewtonOptions gn = st.opts.gn;
     gn.final_covariance = with_covariances;
-    solve_nonlinear_into(st.opts.backend, cache.snapshot, cache.init, gn,
-                         st.opts.delta_prior_variance, pool, cache.solver, cache.gn,
-                         cache.result, cache.info);
+    {
+      PITK_TRACE_SPAN("nls.solve");
+      solve_nonlinear_into(st.opts.backend, cache.snapshot, cache.init, gn,
+                           st.opts.delta_prior_variance, pool, cache.solver, cache.gn,
+                           cache.result, cache.info);
+    }
     cache.result_mutation = snap_mut;
     cache.result_valid = true;
     cache.result_covs = with_covariances;
     cache.have_means = true;
+    st.misses.fetch_add(1, std::memory_order_relaxed);
+    (warm ? st.warm_solves : st.cold_solves).fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t iters = static_cast<std::uint64_t>(cache.info.iterations);
+    st.total_outer.fetch_add(iters, std::memory_order_relaxed);
+    st.last_outer.store(iters, std::memory_order_relaxed);
+    nm.misses.add(1);
+    nm.outer_iterations.record(static_cast<double>(iters));
+  } else {
+    st.hits.fetch_add(1, std::memory_order_relaxed);
+    st.last_outer.store(0, std::memory_order_relaxed);
+    nm.hits.add(1);
   }
   // A hit ran no solve: record that in the cache too, so last_info() and
   // job metrics agree that repeat smooths cost zero outer iterations.
@@ -140,6 +180,18 @@ std::future<JobResult> NonlinearSession::smooth_async(bool with_covariances,
 NonlinearSolveInfo NonlinearSession::last_info() const {
   std::lock_guard<std::mutex> cl(state_->sync_cache.mu);
   return state_->sync_cache.info;
+}
+
+NonlinearSessionStats NonlinearSession::stats() const {
+  const State& st = *state_;
+  NonlinearSessionStats s;
+  s.cache_hits = st.hits.load(std::memory_order_relaxed);
+  s.cache_misses = st.misses.load(std::memory_order_relaxed);
+  s.warm_solves = st.warm_solves.load(std::memory_order_relaxed);
+  s.cold_solves = st.cold_solves.load(std::memory_order_relaxed);
+  s.total_outer_iterations = st.total_outer.load(std::memory_order_relaxed);
+  s.last_outer_iterations = st.last_outer.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace pitk::engine

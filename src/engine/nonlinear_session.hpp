@@ -25,6 +25,7 @@
 /// Created by SmootherEngine::open_nonlinear_session(); must not outlive the
 /// engine.
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -34,6 +35,20 @@
 #include "engine/solver_cache.hpp"
 
 namespace pitk::engine {
+
+/// Aggregate smoothing counters since session creation, across both the sync
+/// and async caches.  warm/cold classify the solves that actually ran: a
+/// warm solve started its Gauss-Newton loop from the previous smooth's
+/// means, a cold one from u0 + f-predictions.  Mirrored into the global
+/// metrics registry as pitk.nonlinear_session.* across all sessions.
+struct NonlinearSessionStats {
+  std::uint64_t cache_hits = 0;    ///< served straight from the cached result
+  std::uint64_t cache_misses = 0;  ///< ran a Gauss-Newton/LM solve
+  std::uint64_t warm_solves = 0;   ///< warm-started from cached means
+  std::uint64_t cold_solves = 0;   ///< started from u0 + f-predictions
+  std::uint64_t total_outer_iterations = 0;  ///< over all solves that ran
+  std::uint64_t last_outer_iterations = 0;   ///< most recent solve (0 on a hit)
+};
 
 class NonlinearSession {
  public:
@@ -81,6 +96,9 @@ class NonlinearSession {
   /// Convergence summary of the most recent smooth through the sync cache.
   [[nodiscard]] NonlinearSolveInfo last_info() const;
 
+  /// Snapshot of this session's smoothing counters (lock-free reads).
+  [[nodiscard]] NonlinearSessionStats stats() const;
+
  private:
   friend class SmootherEngine;
 
@@ -112,6 +130,14 @@ class NonlinearSession {
     std::uint64_t mutations = 0;
     mutable Cache sync_cache;
     mutable Cache async_cache;
+    // NonlinearSessionStats sources; relaxed atomics so resmooth() records
+    // without extending any lock's critical section.
+    mutable std::atomic<std::uint64_t> hits{0};
+    mutable std::atomic<std::uint64_t> misses{0};
+    mutable std::atomic<std::uint64_t> warm_solves{0};
+    mutable std::atomic<std::uint64_t> cold_solves{0};
+    mutable std::atomic<std::uint64_t> total_outer{0};
+    mutable std::atomic<std::uint64_t> last_outer{0};
   };
 
   explicit NonlinearSession(std::shared_ptr<State> state) : state_(std::move(state)) {}

@@ -3,8 +3,26 @@
 #include <utility>
 
 #include "core/selinv.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace pitk::engine {
+
+namespace {
+/// Process-wide mirrors of the per-session counters, aggregated across every
+/// session (cold registration, relaxed-atomic recording; leaked like the
+/// registry so sessions racing process exit still record safely).
+struct SessionMetrics {
+  obs::Counter& hits = obs::counter("pitk.session.resmooth_hits");
+  obs::Counter& misses = obs::counter("pitk.session.resmooth_misses");
+  obs::Counter& cov_upgrades = obs::counter("pitk.session.cov_upgrades");
+};
+
+SessionMetrics& session_metrics() {
+  static SessionMetrics* m = new SessionMetrics();
+  return *m;
+}
+}  // namespace
 
 void Session::evolve(Matrix f, Vector c, CovFactor k) {
   std::lock_guard<std::mutex> lk(state_->mu);
@@ -54,6 +72,7 @@ void Session::resmooth(const State& st, ResmoothCache& cache, bool with_covarian
     // the newly finalized blocks, and compression of the pending rows —
     // O(appended steps), so a re-smooth never stalls the measurement
     // stream behind a full-track pass.
+    PITK_TRACE_SPAN("session.splice");
     std::lock_guard<std::mutex> lk(st.mu);
     const kalman::IncrementalFilter& filt = st.filter;
     if (cache.epoch != filt.reset_epoch()) {
@@ -65,18 +84,37 @@ void Session::resmooth(const State& st, ResmoothCache& cache, bool with_covarian
     hit = current && (cache.result_covs || !with_covariances);
     covs_upgrade = current && !hit;
     if (!hit && !covs_upgrade) {
+      const std::size_t prefix_before = cache.prefix_len;
       filt.resmooth_from(static_cast<la::index>(cache.prefix_len), cache.factor, cache.qr);
       cache.prefix_len = static_cast<std::size_t>(filt.finished_steps());
       cache.result_mutation = st.mutations;
       cache.result_valid = false;  // until the solve below completes
+      st.steps_spliced.fetch_add(cache.prefix_len - prefix_before,
+                                 std::memory_order_relaxed);
     }
+  }
+  SessionMetrics& sm = session_metrics();
+  if (hit) {
+    st.hits.fetch_add(1, std::memory_order_relaxed);
+    sm.hits.add(1);
+  } else if (covs_upgrade) {
+    st.cov_upgrades.fetch_add(1, std::memory_order_relaxed);
+    sm.cov_upgrades.add(1);
+  } else {
+    st.misses.fetch_add(1, std::memory_order_relaxed);
+    sm.misses.add(1);
   }
   if (!hit) {
     // A covariance upgrade of an unmutated session keeps the spliced factor
     // and the cached means; only the SelInv sweep is missing.
-    if (!covs_upgrade) kalman::paige_saunders_solve_into(cache.factor, cache.result.means);
-    if (with_covariances)
+    if (!covs_upgrade) {
+      PITK_TRACE_SPAN("session.solve");
+      kalman::paige_saunders_solve_into(cache.factor, cache.result.means);
+    }
+    if (with_covariances) {
+      PITK_TRACE_SPAN("session.selinv");
       kalman::selinv_bidiagonal_into(cache.factor, cache.result.covariances);
+    }
     // On a covariance-free pass the (now stale) cached covariance blocks are
     // kept for capacity reuse: result_covs gates serving them, and the next
     // covariance pass overwrites them in place — a tenant alternating NC and
@@ -125,6 +163,16 @@ void Session::reset(la::index n0) {
   std::lock_guard<std::mutex> lk(state_->mu);
   state_->filter.reset(n0);  // bumps reset_epoch: both caches resplice from 0
   ++state_->mutations;
+}
+
+SessionStats Session::stats() const {
+  const State& st = *state_;
+  SessionStats s;
+  s.resmooth_hits = st.hits.load(std::memory_order_relaxed);
+  s.resmooth_misses = st.misses.load(std::memory_order_relaxed);
+  s.covariance_upgrades = st.cov_upgrades.load(std::memory_order_relaxed);
+  s.steps_spliced = st.steps_spliced.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace pitk::engine

@@ -26,6 +26,7 @@
 /// Sessions are created by SmootherEngine::open_session() and must not
 /// outlive their engine.
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -41,6 +42,19 @@ namespace pitk::engine {
 using kalman::CovFactor;
 using la::Matrix;
 using la::Vector;
+
+/// Aggregate re-smoothing counters since session creation (or last reset of
+/// nothing — reset() keeps counting; the numbers are lifetime totals).  Both
+/// caches (sync + async) feed the same counters: what matters to a serving
+/// dashboard is how much delta work this tenant's smooths cost, not which
+/// cache absorbed it.  Mirrored into the global metrics registry as
+/// pitk.session.resmooth_{hits,misses,cov_upgrades} across all sessions.
+struct SessionStats {
+  std::uint64_t resmooth_hits = 0;        ///< served straight from the cached result
+  std::uint64_t resmooth_misses = 0;      ///< needed a splice + solve pass
+  std::uint64_t covariance_upgrades = 0;  ///< means current; only SelInv was missing
+  std::uint64_t steps_spliced = 0;        ///< finalized blocks spliced over all misses
+};
 
 class Session {
  public:
@@ -96,6 +110,9 @@ class Session {
   /// scratch, exactly like a fresh session.
   void reset(la::index n0);
 
+  /// Snapshot of this session's re-smoothing counters (lock-free reads).
+  [[nodiscard]] SessionStats stats() const;
+
  private:
   friend class SmootherEngine;
 
@@ -128,6 +145,12 @@ class Session {
     std::uint64_t mutations = 0;  ///< evolve/observe/reset count (result-cache key)
     mutable ResmoothCache sync_cache;
     mutable ResmoothCache async_cache;
+    // SessionStats sources; relaxed atomics so resmooth() records without
+    // extending any lock's critical section.
+    mutable std::atomic<std::uint64_t> hits{0};
+    mutable std::atomic<std::uint64_t> misses{0};
+    mutable std::atomic<std::uint64_t> cov_upgrades{0};
+    mutable std::atomic<std::uint64_t> steps_spliced{0};
   };
 
   explicit Session(std::shared_ptr<State> state) : state_(std::move(state)) {}

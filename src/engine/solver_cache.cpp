@@ -6,6 +6,7 @@
 #include "core/selinv.hpp"
 #include "kalman/dense_reference.hpp"
 #include "kalman/rts.hpp"
+#include "obs/trace.hpp"
 
 namespace pitk::engine {
 
@@ -26,6 +27,7 @@ void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPr
     folded_storage = kalman::with_prior_observation(p, *prior);
   const Problem& folded = folded_storage ? *folded_storage : p;
 
+  PITK_TRACE_SPAN(backend_solve_span_name(b));
   ++cache.jobs_served;
   switch (b) {
     case Backend::DenseReference:
@@ -107,6 +109,7 @@ void solve_nonlinear_into(Backend b, const kalman::NonlinearModel& model,
   };
 
   while (st.iterations < gn.max_iterations) {
+    PITK_TRACE_SPAN("gn.outer_step");
     const kalman::GaussNewtonStep s = kalman::gauss_newton_step_into(model, st, gn, pool, solver);
     if (s == kalman::GaussNewtonStep::Converged || s == kalman::GaussNewtonStep::Stalled) break;
   }
@@ -115,6 +118,7 @@ void solve_nonlinear_into(Backend b, const kalman::NonlinearModel& model,
   for (std::size_t i = 0; i < st.states.size(); ++i)
     out.means[i].assign_from(st.states[i].span());
   if (gn.final_covariance) {
+    PITK_TRACE_SPAN("gn.final_covariance");
     kalman::gauss_newton_relinearize(model, st.states, 0.0, pool, grain, st);
     SolveOptions with_cov;
     with_cov.compute_covariance = true;

@@ -1,0 +1,207 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Lock-free log-bucketed value histogram for latency percentiles.
+///
+/// The engine's aggregate EngineStats can say what the *mean* queue wait or
+/// solve time is, but admission control and tenant SLOs (ROADMAP item 1) are
+/// stated in percentiles — "p99 queue wait under 2 ms" — and a mean hides
+/// exactly the tail those bounds are about.  This histogram is the
+/// fixed-footprint primitive that makes percentiles observable on the warm
+/// serving path:
+///
+///  - record() is one relaxed atomic increment plus a couple of bit
+///    operations: wait-free, allocation-free, safe from any number of
+///    threads concurrently (the engine records from every pool worker);
+///  - storage is a fixed preallocated array of buckets whose boundaries grow
+///    geometrically (HdrHistogram-style: 2^kSubBits linear sub-buckets per
+///    power of two), so values spanning nanoseconds to hours share one
+///    3%-relative-error resolution without per-range configuration;
+///  - quantile() walks a relaxed snapshot of the buckets; it is meant for
+///    snapshot/export paths and is merely lock-free, not consistent to a
+///    single instant (exactly like reading any set of independent counters);
+///  - merge() folds another histogram in bucket by bucket, so per-shard or
+///    per-bench histograms aggregate without resampling.
+///
+/// Values are nonnegative doubles in whatever unit the caller picks
+/// (seconds throughout this repo; iteration counts work just as well).  The
+/// internal tick is 1e-9 of the unit, so sub-nanosecond latencies and zero
+/// land in the first bucket and anything above ~9.2e9 units saturates the
+/// last — both far outside any latency this engine can produce.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace pitk::obs {
+
+/// Aggregated view of a Histogram at one point in time: plain integers, safe
+/// to copy around, query repeatedly, or serialize.  Obtained from
+/// Histogram::snapshot(); quantiles on a snapshot are consistent with its
+/// count/sum (quantiles straight on a live Histogram are not, under
+/// concurrent recording).
+struct HistogramSnapshot;
+
+class Histogram {
+ public:
+  /// Linear sub-buckets per power of two; 2^5 = 32 gives a guaranteed
+  /// relative quantile error of at most 1/32 ~ 3.1%.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSubCount = std::uint64_t{1} << kSubBits;
+  /// Tick octaves: a 64-bit tick count has 64 bit positions; the first
+  /// kSubBits octaves collapse into the exact-ticks range below kSubCount.
+  static constexpr int kBuckets = static_cast<int>((64 - kSubBits) * kSubCount + kSubCount);
+  /// Value of one tick in caller units (1 ns when the unit is seconds).
+  static constexpr double kTick = 1e-9;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one nonnegative value.  Wait-free, allocation-free; NaN and
+  /// negative values are dropped (a poisoned timestamp must not corrupt the
+  /// distribution).
+  void record(double value) noexcept {
+    if (!(value >= 0.0)) return;  // also filters NaN
+    const std::uint64_t t = ticks(value);
+    buckets_[bucket_index(t)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ticks_.fetch_add(t, std::memory_order_relaxed);
+  }
+
+  /// Total recorded values.
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of recorded values in caller units (tick-quantized).
+  [[nodiscard]] double sum() const noexcept {
+    return static_cast<double>(sum_ticks_.load(std::memory_order_relaxed)) * kTick;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Value at quantile q in [0, 1] (0.5 = median), from a relaxed bucket
+  /// walk.  Returns the geometric midpoint of the containing bucket, so the
+  /// result is within 1/kSubCount relative error of the true sample
+  /// quantile; 0 when nothing has been recorded.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Fold `other` into this histogram (bucket-wise adds).  Safe under
+  /// concurrent record() on either side; the merged totals land atomically
+  /// per bucket, not as one transaction.
+  void merge(const Histogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+      if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    sum_ticks_.fetch_add(other.sum_ticks_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+
+  /// Reset every bucket to zero.  Only meaningful when no thread is
+  /// concurrently recording (a racing record may straddle the wipe).
+  void clear() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ticks_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+
+  /// Bucket index of a tick count: exact for ticks below kSubCount, then
+  /// kSubCount linear sub-buckets per additional octave.
+  [[nodiscard]] static constexpr int bucket_index(std::uint64_t t) noexcept {
+    if (t < kSubCount) return static_cast<int>(t);
+    const int octave = std::bit_width(t) - 1;  // >= kSubBits
+    const int sub = static_cast<int>((t >> (octave - kSubBits)) & (kSubCount - 1));
+    return static_cast<int>((octave - kSubBits + 1) * kSubCount) + sub;
+  }
+
+  /// Inclusive lower bound (in ticks) of bucket i — the inverse of
+  /// bucket_index() up to bucket resolution.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(int i) noexcept {
+    const std::uint64_t u = static_cast<std::uint64_t>(i);
+    if (u < kSubCount) return u;
+    const std::uint64_t octave = u / kSubCount - 1 + kSubBits;
+    const std::uint64_t sub = u % kSubCount;
+    return (std::uint64_t{1} << octave) + (sub << (octave - kSubBits));
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t ticks(double value) noexcept {
+    const double t = value / kTick;
+    // Saturate instead of overflowing into UB on absurd inputs.
+    return t >= 9.2e18 ? ~std::uint64_t{0} : static_cast<std::uint64_t>(t);
+  }
+
+ private:
+  friend struct HistogramSnapshot;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ticks_{0};
+};
+
+struct HistogramSnapshot {
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ticks = 0;
+
+  [[nodiscard]] double sum() const noexcept {
+    return static_cast<double>(sum_ticks) * Histogram::kTick;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum() / static_cast<double>(count);
+  }
+
+  /// Same contract as Histogram::quantile, over the frozen buckets.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th order statistic, nearest-rank with interpolating
+    // intent: ceil(q * count) clamped to [1, count].
+    const std::uint64_t rank =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       std::ceil(q * static_cast<double>(count))));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return representative(i);
+    }
+    return representative(Histogram::kBuckets - 1);
+  }
+
+  /// Midpoint (in caller units) of bucket i's value range.
+  [[nodiscard]] static double representative(int i) noexcept {
+    const std::uint64_t lo = Histogram::bucket_lower(i);
+    const std::uint64_t hi = i + 1 < Histogram::kBuckets
+                                 ? Histogram::bucket_lower(i + 1)
+                                 : lo + (lo >> Histogram::kSubBits);
+    return 0.5 * static_cast<double>(lo + hi) * Histogram::kTick;
+  }
+};
+
+inline HistogramSnapshot Histogram::snapshot() const noexcept {
+  HistogramSnapshot s;
+  // Count is read first and capped by the bucket sum a concurrent recorder
+  // may still be publishing; the snapshot stays internally consistent by
+  // recomputing count from the buckets actually seen.
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[static_cast<std::size_t>(i)];
+  }
+  s.sum_ticks = sum_ticks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+inline double Histogram::quantile(double q) const noexcept { return snapshot().quantile(q); }
+
+}  // namespace pitk::obs

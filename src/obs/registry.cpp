@@ -1,0 +1,194 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pitk::obs {
+
+namespace {
+
+/// Render a double the way both JSON and Prometheus accept: shortest-ish
+/// round-trippable decimal.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; this repo's dotted
+/// names ("pitk.engine.solve_seconds.odd-even") map '.'/'-' (and anything
+/// else outside the class) to '_'.
+std::string prom_sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':' ||
+                    (i > 0 && c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("_") : out;
+}
+
+/// PITK_METRICS=<path>: dump a snapshot of the global registry at process
+/// exit (Prometheus text when the path ends ".prom", JSON otherwise), so any
+/// binary — benches, examples, tests — is inspectable without code changes.
+void dump_at_exit() {
+  if (const char* path = std::getenv("PITK_METRICS"))
+    (void)MetricsRegistry::global().write(path);
+}
+
+struct ExitDumpInstaller {
+  ExitDumpInstaller() {
+    if (std::getenv("PITK_METRICS") != nullptr) std::atexit(dump_at_exit);
+  }
+};
+ExitDumpInstaller install_exit_dump;
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Constructed on first use and intentionally never destroyed: threads that
+  // outlive main() (detached helpers racing shutdown) can keep recording
+  // into stable metric references.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+bool MetricsRegistry::name_taken_elsewhere(std::string_view name, const void* except) const {
+  const auto taken = [&](const auto& entries) {
+    if (static_cast<const void*>(&entries) == except) return false;
+    return std::any_of(entries.begin(), entries.end(),
+                       [&](const auto& e) { return e.name == name; });
+  };
+  return taken(counters_) || taken(gauges_) || taken(histograms_);
+}
+
+template <class M>
+M& MetricsRegistry::get_or_create(std::vector<Entry<M>>& entries, std::string_view name,
+                                  const char* kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Entry<M>& e : entries)
+    if (e.name == name) return *e.metric;
+  if (name_taken_elsewhere(name, &entries))
+    throw std::invalid_argument("MetricsRegistry: \"" + std::string(name) +
+                                "\" already registered as a different kind than " + kind);
+  entries.push_back(Entry<M>{std::string(name), std::make_unique<M>()});
+  return *entries.back().metric;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(counters_, name, "counter");
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create(gauges_, name, "gauge");
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create(histograms_, name, "histogram");
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s.counters.reserve(counters_.size());
+    for (const Entry<Counter>& e : counters_) s.counters.emplace_back(e.name, e.metric->value());
+    s.gauges.reserve(gauges_.size());
+    for (const Entry<Gauge>& e : gauges_) s.gauges.emplace_back(e.name, e.metric->value());
+    s.histograms.reserve(histograms_.size());
+    for (const Entry<Histogram>& e : histograms_)
+      s.histograms.emplace_back(e.name, e.metric->snapshot());
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(s.counters.begin(), s.counters.end(), by_name);
+  std::sort(s.gauges.begin(), s.gauges.end(), by_name);
+  std::sort(s.histograms.begin(), s.histograms.end(), by_name);
+  return s;
+}
+
+std::string MetricsRegistry::to_json(const MetricsSnapshot& s) {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + json_escape(s.counters[i].first) +
+           "\": " + std::to_string(s.counters[i].second);
+  }
+  out += s.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + json_escape(s.gauges[i].first) + "\": " + fmt_double(s.gauges[i].second);
+  }
+  out += s.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    const HistogramSnapshot& h = s.histograms[i].second;
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + json_escape(s.histograms[i].first) + "\": {";
+    out += "\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + fmt_double(h.sum());
+    out += ", \"mean\": " + fmt_double(h.mean());
+    out += ", \"p50\": " + fmt_double(h.quantile(0.50));
+    out += ", \"p90\": " + fmt_double(h.quantile(0.90));
+    out += ", \"p99\": " + fmt_double(h.quantile(0.99));
+    out += "}";
+  }
+  out += s.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus(const MetricsSnapshot& s) {
+  std::string out;
+  for (const auto& [name, value] : s.counters) {
+    const std::string n = prom_sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : s.gauges) {
+    const std::string n = prom_sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + fmt_double(value) + "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    const std::string n = prom_sanitize(name);
+    out += "# TYPE " + n + " summary\n";
+    out += n + "{quantile=\"0.5\"} " + fmt_double(h.quantile(0.50)) + "\n";
+    out += n + "{quantile=\"0.9\"} " + fmt_double(h.quantile(0.90)) + "\n";
+    out += n + "{quantile=\"0.99\"} " + fmt_double(h.quantile(0.99)) + "\n";
+    out += n + "_sum " + fmt_double(h.sum()) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+bool MetricsRegistry::write(const std::string& path) const {
+  const bool prom = path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  const std::string body = prom ? to_prometheus() : to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pitk::obs: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "pitk::obs: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace pitk::obs

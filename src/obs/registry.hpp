@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file registry.hpp
+/// Process-wide registry of named counters, gauges and latency histograms.
+///
+/// The registration/lookup side is deliberately cold: get-or-create takes a
+/// mutex and may allocate the metric's name and slot, so instrumented code
+/// registers once (engine construction, static init) and keeps the returned
+/// reference.  The recording side is the reference itself — a relaxed atomic
+/// add with no lock, no lookup and no allocation — which is what lets the
+/// warm serving path stay at zero counted allocations with metrics on
+/// (pinned in tests/core/test_alloc_free.cpp).
+///
+/// Metric references are stable for the life of the process: the registry
+/// never erases a metric, and the global() instance is intentionally leaked
+/// at shutdown order (a static local), so worker threads racing process
+/// exit can still record safely.
+///
+/// Export: snapshot() freezes every metric into plain values; to_json() and
+/// to_prometheus() render a snapshot as a JSON document or Prometheus text
+/// exposition format (histograms as summaries with p50/p90/p99 quantiles).
+/// Setting PITK_METRICS=<path> dumps the JSON snapshot to that path at
+/// process exit (a path ending in `.prom` dumps the Prometheus rendering
+/// instead), so any binary in this repo can be inspected without code
+/// changes.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace pitk::obs {
+
+/// Monotonically increasing event count.  add() is a relaxed atomic
+/// increment: wait-free, allocation-free, any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (queue depth, busy workers, utilization).  set() and
+/// add() are lock-free and allocation-free; add() uses a CAS loop because
+/// atomic<double>::fetch_add is not universally lock-free.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// One frozen view of every registered metric, ordered by name within each
+/// kind.  Histograms carry their full bucket snapshot so callers can derive
+/// any quantile, not just the exported ones.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem records into.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get or create the named metric.  Cold path (mutex + possible
+  /// allocation); the returned reference is stable forever — register once,
+  /// record through the reference.  A name is bound to the first kind it was
+  /// requested as; requesting it as a different kind throws
+  /// std::invalid_argument (silently aliasing two kinds under one exported
+  /// name would corrupt dashboards).
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// JSON document: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, mean, p50, p90, p99}}}.
+  [[nodiscard]] static std::string to_json(const MetricsSnapshot& s);
+  [[nodiscard]] std::string to_json() const { return to_json(snapshot()); }
+
+  /// Prometheus text exposition format: counters as `counter`, gauges as
+  /// `gauge`, histograms as `summary` (quantile labels 0.5/0.9/0.99 plus
+  /// _sum/_count).  Metric names are sanitized to [a-zA-Z0-9_:] as the
+  /// format requires ('.' and '-' become '_').
+  [[nodiscard]] static std::string to_prometheus(const MetricsSnapshot& s);
+  [[nodiscard]] std::string to_prometheus() const { return to_prometheus(snapshot()); }
+
+  /// Write a rendering of the current snapshot to `path`: Prometheus text
+  /// when the path ends in ".prom", JSON otherwise.  Returns false (after
+  /// printing to stderr) on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  template <class M>
+  struct Entry {
+    std::string name;
+    std::unique_ptr<M> metric;
+  };
+
+  template <class M>
+  [[nodiscard]] M& get_or_create(std::vector<Entry<M>>& entries, std::string_view name,
+                                 const char* kind);
+  [[nodiscard]] bool name_taken_elsewhere(std::string_view name, const void* except) const;
+
+  mutable std::mutex mu_;  ///< guards the entry vectors; metrics themselves are atomic
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<Histogram>> histograms_;
+};
+
+/// Convenience accessors on the global registry.
+[[nodiscard]] inline Counter& counter(std::string_view name) {
+  return MetricsRegistry::global().counter(name);
+}
+[[nodiscard]] inline Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::global().gauge(name);
+}
+[[nodiscard]] inline Histogram& histogram(std::string_view name) {
+  return MetricsRegistry::global().histogram(name);
+}
+
+}  // namespace pitk::obs

@@ -1,0 +1,209 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pitk::obs::trace {
+
+namespace {
+
+/// Every thread's ring, owned here so the exporter can walk them all and so
+/// rings survive their thread (a worker that exits before the trace is
+/// written must not take its events with it).  Guarded by a mutex taken only
+/// on ring creation and export — never on the record path.
+struct RingDirectory {
+  std::mutex mu;
+  std::vector<std::unique_ptr<detail::ThreadRing>> rings;
+};
+
+RingDirectory& directory() {
+  // Leaked like the metrics registry: threads racing process exit may still
+  // touch their rings.
+  static RingDirectory* d = new RingDirectory();
+  return *d;
+}
+
+/// PITK_TRACE=<file.json>: recording on from process start, trace written at
+/// exit.  The static initializer only flips an atomic and registers the hook,
+/// so initialization order against other translation units is harmless.
+const char* exit_path() {
+  static const char* path = std::getenv("PITK_TRACE");
+  return path;
+}
+
+void write_at_exit() {
+  if (const char* path = exit_path()) (void)write(path);
+}
+
+struct EnvInstaller {
+  EnvInstaller() {
+    if (exit_path() != nullptr) {
+      detail::enabled_flag.store(true, std::memory_order_relaxed);
+      std::atexit(write_at_exit);
+    }
+  }
+};
+EnvInstaller install_from_env;
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ns() noexcept {
+  // One process-wide epoch so timestamps from different threads share an
+  // origin; magic-static init is thread-safe.
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - epoch)
+                                        .count());
+}
+
+ThreadRing& tls_ring() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    RingDirectory& dir = directory();
+    std::lock_guard<std::mutex> lk(dir.mu);
+    dir.rings.push_back(
+        std::make_unique<ThreadRing>(static_cast<std::uint32_t>(dir.rings.size() + 1)));
+    ring = dir.rings.back().get();
+  }
+  return *ring;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::enabled_flag.store(on, std::memory_order_relaxed);
+}
+
+void clear() noexcept {
+  RingDirectory& dir = directory();
+  std::lock_guard<std::mutex> lk(dir.mu);
+  for (auto& r : dir.rings) {
+    r->head.store(0, std::memory_order_relaxed);
+    r->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t event_count() noexcept {
+  RingDirectory& dir = directory();
+  std::lock_guard<std::mutex> lk(dir.mu);
+  std::uint64_t n = 0;
+  for (const auto& r : dir.rings) n += r->head.load(std::memory_order_acquire);
+  return n;
+}
+
+std::uint64_t dropped_count() noexcept {
+  RingDirectory& dir = directory();
+  std::lock_guard<std::mutex> lk(dir.mu);
+  std::uint64_t n = 0;
+  for (const auto& r : dir.rings) n += r->dropped.load(std::memory_order_relaxed);
+  return n;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(*s) < 0x20) continue;
+    out.push_back(*s);
+  }
+}
+
+void append_event(std::string& out, bool& first, const char* name, char phase,
+                  std::uint64_t ts_ns, std::uint32_t tid) {
+  char buf[96];
+  out += first ? "\n    " : ",\n    ";
+  first = false;
+  out += "{\"name\": \"";
+  append_escaped(out, name);
+  std::snprintf(buf, sizeof buf, "\", \"ph\": \"%c\", \"ts\": %.3f, \"pid\": 1, \"tid\": %u",
+                phase, static_cast<double>(ts_ns) / 1e3, tid);
+  out += buf;
+  if (phase == 'i') out += ", \"s\": \"t\"";
+  out += "}";
+}
+
+}  // namespace
+
+std::string to_json() {
+  // Snapshot the ring set and each head under the directory lock; record
+  // slots below a head are immutable (write-once, release-published), so
+  // reading them after the acquire load is race-free even while other
+  // threads keep recording into later slots.
+  struct RingView {
+    const detail::ThreadRing* ring;
+    std::uint64_t head;
+  };
+  std::vector<RingView> views;
+  std::uint64_t dropped = 0;
+  {
+    RingDirectory& dir = directory();
+    std::lock_guard<std::mutex> lk(dir.mu);
+    views.reserve(dir.rings.size());
+    for (const auto& r : dir.rings) {
+      views.push_back({r.get(), r->head.load(std::memory_order_acquire)});
+      dropped += r->dropped.load(std::memory_order_relaxed);
+    }
+  }
+
+  std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n";
+  out += "  \"pitk_dropped_events\": " + std::to_string(dropped) + ",\n";
+  out += "  \"traceEvents\": [";
+  bool first = true;
+  for (const RingView& v : views) {
+    // Spans were pushed at scope exit (end-time order); re-sort by start —
+    // parents before the children they enclose (longer duration breaks start
+    // ties) — then sweep with a stack so each thread's B/E stream is
+    // well-nested and balanced by construction.
+    std::vector<const detail::Record*> recs;
+    recs.reserve(static_cast<std::size_t>(v.head));
+    for (std::uint64_t i = 0; i < v.head; ++i) recs.push_back(&v.ring->records[i]);
+    std::sort(recs.begin(), recs.end(), [](const detail::Record* a, const detail::Record* b) {
+      if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+      return a->dur_ns > b->dur_ns;
+    });
+
+    std::vector<const detail::Record*> open;  // enclosing spans, outermost first
+    for (const detail::Record* r : recs) {
+      while (!open.empty() && open.back()->start_ns + open.back()->dur_ns <= r->start_ns) {
+        append_event(out, first, open.back()->name, 'E',
+                     open.back()->start_ns + open.back()->dur_ns, v.ring->tid);
+        open.pop_back();
+      }
+      if (r->span) {
+        append_event(out, first, r->name, 'B', r->start_ns, v.ring->tid);
+        open.push_back(r);
+      } else {
+        append_event(out, first, r->name, 'i', r->start_ns, v.ring->tid);
+      }
+    }
+    while (!open.empty()) {
+      append_event(out, first, open.back()->name, 'E',
+                   open.back()->start_ns + open.back()->dur_ns, v.ring->tid);
+      open.pop_back();
+    }
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool write(const std::string& path) {
+  const std::string body = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pitk::obs::trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "pitk::obs::trace: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace pitk::obs::trace

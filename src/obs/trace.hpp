@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file trace.hpp
+/// Scoped-span tracing into preallocated per-thread ring buffers, exported
+/// as Chrome trace-event JSON (chrome://tracing / Perfetto "traceEvents").
+///
+/// Metrics answer "how slow is p99"; a trace answers "what happened inside
+/// that one slow job" — queue wait, splice, inner solves, which worker ran
+/// what, interleaved across every thread.  The design keeps the recording
+/// side worthy of the warm path:
+///
+///  - disabled (the default), TRACE_SPAN costs one relaxed atomic load and a
+///    predictable branch — nanoseconds, no clock read, no store;
+///  - enabled, a span is two steady_clock reads and one fixed-size record
+///    appended to the calling thread's preallocated ring: no lock, no
+///    allocation, no cross-thread traffic (the ring is allocated once on a
+///    thread's first event — a cold, uncounted setup cost);
+///  - rings are bounded: when full, new events are dropped and counted
+///    (never overwritten — a monotonic head with release publication is what
+///    lets the exporter read concurrently without a data race);
+///  - span names must be string literals (or otherwise outlive the trace):
+///    the record stores the pointer, never copies.
+///
+/// Spans are recorded as one record at scope exit (start + duration) and
+/// exported as balanced Chrome "B"/"E" event pairs; instant() records a
+/// zero-duration mark exported as an "i" event.
+///
+/// Enable by environment — PITK_TRACE=<file.json> turns tracing on at
+/// process start and writes the trace at exit — or programmatically via
+/// set_enabled() / write().
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace pitk::obs::trace {
+
+namespace detail {
+/// The global on/off latch.  Inline so the disabled check compiles to one
+/// relaxed load of a known address at every instrumentation site.
+inline std::atomic<bool> enabled_flag{false};
+
+struct Record {
+  const char* name;        ///< literal; not owned
+  std::uint64_t start_ns;  ///< since the process trace epoch
+  std::uint64_t dur_ns;    ///< span duration; 0 for instant events too
+  bool span;               ///< true: B/E pair on export; false: instant "i"
+};
+
+/// Fixed-capacity per-thread ring.  Only the owning thread writes; head is
+/// published with release so the exporter's acquire read makes every record
+/// below it visible without locks.  Full means drop-and-count: records are
+/// write-once between clears, which is what keeps concurrent export race-free.
+struct ThreadRing {
+  static constexpr std::size_t kCapacity = 1u << 15;  ///< 32768 events/thread
+
+  explicit ThreadRing(std::uint32_t tid_) : tid(tid_) {}
+
+  std::uint32_t tid;
+  std::atomic<std::uint64_t> head{0};     ///< records published so far
+  std::atomic<std::uint64_t> dropped{0};  ///< events lost to a full ring
+  Record records[kCapacity];
+
+  void push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+            bool span) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    if (h >= kCapacity) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    records[h] = Record{name, start_ns, dur_ns, span};
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+/// The calling thread's ring, created and registered on first use.
+[[nodiscard]] ThreadRing& tls_ring();
+
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+}  // namespace detail
+
+/// Cheap global check every instrumentation site branches on.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::enabled_flag.load(std::memory_order_relaxed);
+}
+
+/// Turn recording on/off.  Existing records are kept; clear() discards them.
+void set_enabled(bool on) noexcept;
+
+/// Drop all recorded events (ring heads rewind).  Only safe while no thread
+/// is concurrently recording — quiesce (e.g. SmootherEngine::wait_idle) or
+/// set_enabled(false) first.
+void clear() noexcept;
+
+/// Record a zero-duration instant event on the calling thread.
+inline void instant(const char* name) noexcept {
+  if (!enabled()) return;
+  detail::tls_ring().push(name, detail::now_ns(), 0, /*span=*/false);
+}
+
+/// Total events currently recorded across all thread rings, and the number
+/// dropped to full rings (diagnostics / tests).
+[[nodiscard]] std::uint64_t event_count() noexcept;
+[[nodiscard]] std::uint64_t dropped_count() noexcept;
+
+/// Serialize every thread's events as a Chrome trace-event JSON document:
+/// {"traceEvents": [...], ...}.  Spans become balanced "B"/"E" pairs,
+/// instants become "i"; timestamps are microseconds since the trace epoch.
+/// Safe to call while recording continues (events published after the
+/// snapshot are simply not included).
+[[nodiscard]] std::string to_json();
+
+/// Write to_json() to `path`; false (after printing to stderr) on failure.
+bool write(const std::string& path);
+
+/// RAII scoped span: records [construction, destruction) of the enclosing
+/// scope under `name` on the calling thread.  The enabled check happens at
+/// construction; a span that starts enabled records even if tracing is
+/// switched off mid-scope (droppable noise, never a torn record).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(enabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? detail::now_ns() : 0) {}
+
+  ~TraceSpan() {
+    if (name_ != nullptr)
+      detail::tls_ring().push(name_, start_ns_, detail::now_ns() - start_ns_, /*span=*/true);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace pitk::obs::trace
+
+/// Convenience macro for the common case: one span covering the rest of the
+/// enclosing scope.  `name` must be a string literal (see file comment).
+#define PITK_TRACE_CONCAT2(a, b) a##b
+#define PITK_TRACE_CONCAT(a, b) PITK_TRACE_CONCAT2(a, b)
+#define PITK_TRACE_SPAN(name) \
+  ::pitk::obs::trace::TraceSpan PITK_TRACE_CONCAT(pitk_trace_span_, __LINE__)(name)

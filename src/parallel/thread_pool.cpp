@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "obs/registry.hpp"
+
 namespace pitk::par {
 
 namespace {
@@ -13,9 +15,30 @@ thread_local int tls_worker_id = -1;
 /// Pool the current worker belongs to (submit() routes to own deque only when
 /// the submitting thread is a worker of the *same* pool).
 thread_local const void* tls_worker_pool = nullptr;
+/// Nesting depth of execute_counted on the current thread.  A join that
+/// helps via run_one() runs nested tasks inside an outer task's timed
+/// window; only depth 0 reads the clock, so busy time is never double-billed
+/// (and nested tasks cost two relaxed adds, not two clock reads).
+thread_local int tls_task_depth = 0;
+
+/// Process-wide mirrors, aggregated across every pool.  Registered once
+/// (cold, may allocate); recording is relaxed atomics only.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::counter("pitk.pool.tasks_executed");
+  obs::Counter& busy_ns = obs::counter("pitk.pool.busy_ns");
+  obs::Gauge& workers_busy = obs::gauge("pitk.pool.workers_busy");
+};
+
+PoolMetrics& pool_metrics() {
+  // Leaked like the registry itself: workers racing process exit may still
+  // finish a task and record through these references.
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
+  (void)pool_metrics();  // register metrics while construction is still cold
   nthreads_ = std::max(1u, threads);
   const unsigned workers = nthreads_ - 1;
   queues_.reserve(workers);
@@ -62,10 +85,58 @@ int ThreadPool::current_worker_id() const noexcept {
   return tls_worker_pool == this ? tls_worker_id : -1;
 }
 
+void ThreadPool::execute_counted(std::function<void()>& task, unsigned id) {
+  if (id < queues_.size())
+    queues_[id]->executed.fetch_add(1, std::memory_order_relaxed);
+  else
+    external_executed_.fetch_add(1, std::memory_order_relaxed);
+  PoolMetrics& m = pool_metrics();
+  m.tasks.add(1);
+  if (tls_task_depth > 0) {
+    // Nested helping: the enclosing task's window already covers this time.
+    task();
+    return;
+  }
+  ++tls_task_depth;
+  m.workers_busy.add(1.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  task();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           t0)
+          .count());
+  busy_ns_.fetch_add(ns, std::memory_order_relaxed);
+  m.busy_ns.add(ns);
+  m.workers_busy.add(-1.0);
+  --tls_task_depth;
+}
+
+std::uint64_t ThreadPool::worker_tasks_executed(unsigned id) const noexcept {
+  if (id < queues_.size()) return queues_[id]->executed.load(std::memory_order_relaxed);
+  return external_executed_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::tasks_executed() const noexcept {
+  std::uint64_t n = external_executed_.load(std::memory_order_relaxed);
+  for (const auto& q : queues_) n += q->executed.load(std::memory_order_relaxed);
+  return n;
+}
+
+double ThreadPool::busy_seconds() const noexcept {
+  return static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double ThreadPool::utilization() const noexcept {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  if (wall <= 0.0) return 0.0;
+  return std::min(1.0, busy_seconds() / (wall * static_cast<double>(nthreads_)));
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   if (queues_.empty()) {
     // Serial pool: run inline; there is nobody else to run it.
-    task();
+    execute_counted(task, /*id=*/0);
     return;
   }
   unsigned target;
@@ -121,7 +192,7 @@ bool ThreadPool::run_one() {
       (tls_worker_pool == this && tls_worker_id >= 0) ? static_cast<unsigned>(tls_worker_id)
                                                       : static_cast<unsigned>(queues_.size());
   if (!find_task(self, task)) return false;
-  task();
+  execute_counted(task, self);
   return true;
 }
 
@@ -131,7 +202,7 @@ void ThreadPool::worker_loop(unsigned id) {
   std::function<void()> task;
   for (;;) {
     if (find_task(id, task)) {
-      task();
+      execute_counted(task, id);
       task = nullptr;
       continue;
     }

@@ -16,6 +16,7 @@
 /// variants ("replace tbb::parallel_for with simple C loops").
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -73,15 +74,42 @@ class ThreadPool {
   /// (deterministic pool sizes for benches and CI), else hardware_cores().
   static unsigned default_concurrency() noexcept;
 
+  // ---- observability (see src/obs/) ----------------------------------
+  // Every executed task is counted per worker and mirrored into the global
+  // metrics registry (pitk.pool.tasks_executed, pitk.pool.busy_ns,
+  // pitk.pool.workers_busy); busy time is measured only for outermost tasks
+  // so a join that helps via run_one() is not double-billed.
+
+  /// Tasks executed by worker `id` in [0, concurrency()-1); the last slot
+  /// (id == concurrency()-1) aggregates external threads — the pool owner
+  /// helping through run_one() and inline execution on a serial pool.
+  [[nodiscard]] std::uint64_t worker_tasks_executed(unsigned id) const noexcept;
+
+  /// Total tasks executed on behalf of this pool (all workers + external).
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept;
+
+  /// Seconds this pool's lanes spent inside outermost tasks since
+  /// construction (nested helping is charged to the outer task's window).
+  [[nodiscard]] double busy_seconds() const noexcept;
+
+  /// Lifetime busy fraction: busy_seconds over wall-time-since-construction
+  /// times concurrency().  An engine pool saturated by batched jobs
+  /// approaches 1; a pool parked between requests decays toward 0.
+  [[nodiscard]] double utilization() const noexcept;
+
  private:
   struct Worker {
     std::mutex mu;
     std::deque<std::function<void()>> tasks;
+    std::atomic<std::uint64_t> executed{0};
   };
 
   void worker_loop(unsigned id);
   bool pop_from(unsigned victim, bool back, std::function<void()>& out);
   bool find_task(unsigned self, std::function<void()>& out);
+  /// Run `task`, counting it (and, when outermost on this thread, its wall
+  /// time) against worker slot `id` (== queues_.size() for external threads).
+  void execute_counted(std::function<void()>& task, unsigned id);
 
   std::vector<std::unique_ptr<Worker>> queues_;  // one per worker thread
   std::vector<std::thread> threads_;
@@ -91,6 +119,9 @@ class ThreadPool {
   std::atomic<std::size_t> pending_{0};
   std::atomic<unsigned> rr_{0};
   unsigned nthreads_ = 1;
+  std::atomic<std::uint64_t> external_executed_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 
 }  // namespace pitk::par

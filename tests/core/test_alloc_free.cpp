@@ -20,6 +20,7 @@
 #include "engine/engine.hpp"
 #include "engine/session.hpp"
 #include "la/workspace.hpp"
+#include "obs/trace.hpp"
 #include "test_util.hpp"
 
 namespace pitk::kalman {
@@ -348,6 +349,37 @@ TEST(AllocFree, SessionIncrementalResmoothOnWarmCache) {
   s.smooth_into(out, true);  // covariance upgrade into the retained storage
   EXPECT_EQ(aligned_alloc_count() - before_alt, 0u)
       << "alternating NC/covariance re-smooths must stay allocation-free";
+}
+
+TEST(AllocFree, EngineJobStaysAllocFreeWithTracingEnabled) {
+  // The PR-6 observability criterion: metrics recording is always-on relaxed
+  // atomics and spans go to a preallocated per-thread ring, so a warm engine
+  // job stays at ZERO counted allocations even with tracing switched on.
+  // Tracing is enabled before the warmup job so this thread's ring (a plain
+  // uncounted `new`, once per thread) exists before counting starts.
+  Rng rng(0xA110C + 10);
+  CommonProblem cp = test::common_problem(rng, 4, 40, /*dense_cov=*/true);
+
+  obs::trace::set_enabled(true);
+  engine::SmootherEngine eng({.threads = 1});
+  engine::JobOptions jo;
+  kalman::SmootherResult storage;
+  jo.into = &storage;
+
+  kalman::Problem second = cp.for_qr;  // built before counting
+  engine::JobOptions jo2 = jo;
+  eng.submit(cp.for_qr, jo).get();  // warmup: worker cache + trace ring warm
+  settle_workspace();
+
+  const std::uint64_t before = aligned_alloc_count();
+  engine::JobResult jr = eng.submit(std::move(second), std::move(jo2)).get();
+  EXPECT_EQ(aligned_alloc_count() - before, 0u)
+      << "a warm engine job with tracing on must not touch the counted heap";
+  EXPECT_EQ(jr.metrics.allocations, 0u);
+
+  obs::trace::set_enabled(false);
+  EXPECT_GT(obs::trace::event_count(), 0u) << "the traced jobs recorded spans";
+  obs::trace::clear();
 }
 
 TEST(AllocFree, WorkspaceHighWaterIsBoundedAcrossRepeats) {

@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file json_check.hpp
+/// Minimal dependency-free JSON syntax validator for the obs export tests:
+/// the exporters promise well-formed documents (python -m json.tool checks
+/// the same in CI), and this checker pins it at unit-test granularity.
+
+#include <cctype>
+#include <string>
+
+namespace pitk::test {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  [[nodiscard]] bool valid() {
+    pos_ = 0;
+    skip();
+    if (!value()) return false;
+    skip();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control characters are not legal in JSON strings
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool digits() {
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) return false;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (!digits()) return false;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip();
+      if (!string()) return false;
+      skip();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip();
+      if (!value()) return false;
+      skip();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip();
+      if (!value()) return false;
+      skip();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool json_is_valid(const std::string& s) { return JsonChecker(s).valid(); }
+
+/// Number of non-overlapping occurrences of `needle` in `hay`.
+inline std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t p = hay.find(needle); p != std::string::npos; p = hay.find(needle, p + needle.size()))
+    ++n;
+  return n;
+}
+
+}  // namespace pitk::test

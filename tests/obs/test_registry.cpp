@@ -1,0 +1,168 @@
+/// \file test_registry.cpp
+/// MetricsRegistry semantics (stable references, kind collisions) and the
+/// two export formats.  Export-content assertions use local registries so
+/// the pool/engine metrics living in the global one cannot leak into the
+/// expected output; tests against global() use names unique to this file.
+
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_check.hpp"
+
+namespace pitk::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Registry, GetOrCreateReturnsStableReference) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("pitk.test.stable");
+  Counter& b = reg.counter("pitk.test.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  Histogram& h1 = reg.histogram("pitk.test.hist");
+  Histogram& h2 = reg.histogram("pitk.test.hist");
+  EXPECT_EQ(&h1, &h2);
+  Gauge& g1 = reg.gauge("pitk.test.gauge");
+  Gauge& g2 = reg.gauge("pitk.test.gauge");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(Registry, CrossKindNameReuseThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("pitk.test.kind");
+  EXPECT_THROW((void)reg.gauge("pitk.test.kind"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("pitk.test.kind"), std::invalid_argument);
+  (void)reg.gauge("pitk.test.other_kind");
+  EXPECT_THROW((void)reg.counter("pitk.test.other_kind"), std::invalid_argument);
+}
+
+TEST(Registry, SnapshotReflectsRecordedValues) {
+  MetricsRegistry reg;
+  reg.counter("c.events").add(7);
+  reg.gauge("g.level").set(2.5);
+  Histogram& h = reg.histogram("h.latency");
+  for (int i = 0; i < 100; ++i) h.record(1e-3);
+
+  const MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].first, "c.events");
+  EXPECT_EQ(s.counters[0].second, 7u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].first, "g.level");
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 2.5);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].first, "h.latency");
+  EXPECT_EQ(s.histograms[0].second.count, 100u);
+  EXPECT_NEAR(s.histograms[0].second.quantile(0.5), 1e-3, 0.05e-3);
+}
+
+TEST(Registry, JsonExportIsValidAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("pitk.jobs_total").add(42);
+  reg.gauge("pitk.utilization").set(0.75);
+  reg.histogram("pitk.solve_seconds").record(2e-3);
+
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(test::json_is_valid(json)) << json;
+  EXPECT_NE(json.find("\"pitk.jobs_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"pitk.utilization\""), std::string::npos);
+  EXPECT_NE(json.find("\"pitk.solve_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("42"), std::string::npos);
+}
+
+TEST(Registry, EmptyRegistryExportsValidJson) {
+  MetricsRegistry reg;
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(test::json_is_valid(json)) << json;
+}
+
+TEST(Registry, PrometheusExportFormat) {
+  MetricsRegistry reg;
+  reg.counter("pitk.engine.jobs_total").add(5);
+  reg.gauge("pitk.pool.workers_busy").set(3.0);
+  Histogram& h = reg.histogram("pitk.engine.solve_seconds");
+  for (int i = 0; i < 10; ++i) h.record(1e-3);
+
+  const std::string prom = reg.to_prometheus();
+  // Names sanitized to [a-zA-Z0-9_:]: '.' must be gone from metric lines.
+  EXPECT_NE(prom.find("# TYPE pitk_engine_jobs_total counter"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("pitk_engine_jobs_total 5"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pitk_pool_workers_busy gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE pitk_engine_solve_seconds summary"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.9\""), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(prom.find("pitk_engine_solve_seconds_sum"), std::string::npos);
+  EXPECT_NE(prom.find("pitk_engine_solve_seconds_count 10"), std::string::npos);
+  EXPECT_EQ(prom.find("pitk.engine"), std::string::npos) << "unsanitized name leaked";
+}
+
+TEST(Registry, WriteDispatchesOnExtension) {
+  MetricsRegistry reg;
+  reg.counter("pitk.write_test").add(1);
+
+  const std::string json_path = ::testing::TempDir() + "pitk_obs_registry_test.json";
+  const std::string prom_path = ::testing::TempDir() + "pitk_obs_registry_test.prom";
+  ASSERT_TRUE(reg.write(json_path));
+  ASSERT_TRUE(reg.write(prom_path));
+
+  const std::string json = slurp(json_path);
+  EXPECT_TRUE(test::json_is_valid(json)) << json;
+  const std::string prom = slurp(prom_path);
+  EXPECT_NE(prom.find("# TYPE pitk_write_test counter"), std::string::npos) << prom;
+
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+TEST(Registry, GlobalRegistryIsProcessWide) {
+  // Unique-to-this-file names: the global registry already carries the
+  // engine/pool metrics and anything other tests in this binary created.
+  Counter& c = MetricsRegistry::global().counter("pitk.test_registry.global_probe");
+  c.add(11);
+  EXPECT_EQ(counter("pitk.test_registry.global_probe").value(), 11u);
+  const std::string json = MetricsRegistry::global().to_json();
+  EXPECT_TRUE(test::json_is_valid(json));
+  EXPECT_NE(json.find("pitk.test_registry.global_probe"), std::string::npos);
+}
+
+TEST(Registry, ConcurrentGetOrCreateAndRecord) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Every thread races the same get-or-create, then records.
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("pitk.test.race_counter").add(1);
+        reg.histogram("pitk.test.race_hist").record(1e-3);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("pitk.test.race_counter").value(), 8000u);
+  EXPECT_EQ(reg.histogram("pitk.test.race_hist").count(), 8000u);
+}
+
+}  // namespace
+}  // namespace pitk::obs

@@ -1,0 +1,171 @@
+/// \file test_trace.cpp
+/// Chrome-trace export well-formedness and ring-buffer semantics.  Thread
+/// rings persist for the life of the process, so every test quiesces
+/// (set_enabled(false)) and clear()s before making count assertions — the
+/// rings may already hold events from other tests in this binary.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/json_check.hpp"
+
+namespace pitk::obs::trace {
+namespace {
+
+void reset_tracing() {
+  set_enabled(false);
+  clear();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Trace, DisabledRecordingIsANoOp) {
+  reset_tracing();
+  const std::uint64_t before = event_count();
+  instant("trace_test.ignored");
+  { PITK_TRACE_SPAN("trace_test.ignored_span"); }
+  EXPECT_EQ(event_count(), before);
+}
+
+TEST(Trace, SpansAndInstantsExportBalancedJson) {
+  reset_tracing();
+  set_enabled(true);
+  {
+    PITK_TRACE_SPAN("trace_test.outer");
+    {
+      PITK_TRACE_SPAN("trace_test.inner");
+      instant("trace_test.mark");
+    }
+  }
+  { PITK_TRACE_SPAN("trace_test.second"); }
+  set_enabled(false);
+
+  EXPECT_EQ(event_count(), 4u);  // 3 spans + 1 instant
+  const std::string json = to_json();
+  EXPECT_TRUE(test::json_is_valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Every span opens and closes: B and E counts match the span count.
+  const std::size_t begins = test::count_occurrences(json, "\"ph\": \"B\"");
+  const std::size_t ends = test::count_occurrences(json, "\"ph\": \"E\"");
+  const std::size_t instants = test::count_occurrences(json, "\"ph\": \"i\"");
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, 3u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_NE(json.find("trace_test.outer"), std::string::npos);
+  EXPECT_NE(json.find("trace_test.inner"), std::string::npos);
+  EXPECT_NE(json.find("trace_test.mark"), std::string::npos);
+  reset_tracing();
+}
+
+TEST(Trace, NestedSpansAreProperlyNestedInExport) {
+  reset_tracing();
+  set_enabled(true);
+  {
+    PITK_TRACE_SPAN("trace_test.parent");
+    {
+      PITK_TRACE_SPAN("trace_test.child");
+      // Give both spans measurable, distinct durations: the exporter breaks
+      // start-time ties by longer-duration-first, and a coarse clock could
+      // otherwise report two zero-length spans it may order either way.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  set_enabled(false);
+
+  const std::string json = to_json();
+  EXPECT_TRUE(test::json_is_valid(json)) << json;
+  // Chrome requires B events in start order and E events closing LIFO; the
+  // parent must open before the child and close after it.
+  const std::size_t parent_b = json.find("trace_test.parent");
+  const std::size_t child_b = json.find("trace_test.child");
+  ASSERT_NE(parent_b, std::string::npos);
+  ASSERT_NE(child_b, std::string::npos);
+  EXPECT_LT(parent_b, child_b);
+  const std::size_t child_last = json.rfind("trace_test.child");
+  const std::size_t parent_last = json.rfind("trace_test.parent");
+  EXPECT_LT(child_last, parent_last);
+  reset_tracing();
+}
+
+TEST(Trace, FullRingDropsAndCounts) {
+  reset_tracing();
+  set_enabled(true);
+  // A fresh thread gets a fresh (empty) ring; overfill it deliberately.
+  constexpr std::uint64_t kPushed = detail::ThreadRing::kCapacity + 7000;
+  std::thread t([] {
+    for (std::uint64_t i = 0; i < kPushed; ++i) instant("trace_test.flood");
+  });
+  t.join();
+  set_enabled(false);
+
+  EXPECT_EQ(dropped_count(), kPushed - detail::ThreadRing::kCapacity);
+  // The export must stay well-formed even with a saturated ring.
+  EXPECT_TRUE(test::json_is_valid(to_json()));
+  reset_tracing();
+  EXPECT_EQ(event_count(), 0u);
+}
+
+TEST(Trace, ConcurrentRecordAndExport) {
+  reset_tracing();
+  set_enabled(true);
+  // Exporting while another thread records must be race-free (the TSan CI
+  // leg runs this test): acquire on head covers every published record.
+  std::thread recorder([] {
+    for (int i = 0; i < 5000; ++i) {
+      PITK_TRACE_SPAN("trace_test.concurrent");
+      instant("trace_test.concurrent_mark");
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::string json = to_json();
+    EXPECT_TRUE(test::json_is_valid(json));
+  }
+  recorder.join();
+  set_enabled(false);
+  EXPECT_TRUE(test::json_is_valid(to_json()));
+  reset_tracing();
+}
+
+TEST(Trace, WriteProducesParseableFile) {
+  reset_tracing();
+  set_enabled(true);
+  { PITK_TRACE_SPAN("trace_test.file_span"); }
+  instant("trace_test.file_mark");
+  set_enabled(false);
+
+  const std::string path = ::testing::TempDir() + "pitk_obs_trace_test.json";
+  ASSERT_TRUE(write(path));
+  const std::string json = slurp(path);
+  EXPECT_TRUE(test::json_is_valid(json)) << json;
+  EXPECT_NE(json.find("trace_test.file_span"), std::string::npos);
+  std::remove(path.c_str());
+  reset_tracing();
+}
+
+TEST(Trace, ClearRewindsAllRings) {
+  reset_tracing();
+  set_enabled(true);
+  for (int i = 0; i < 10; ++i) instant("trace_test.pre_clear");
+  set_enabled(false);
+  EXPECT_GE(event_count(), 10u);
+  clear();
+  EXPECT_EQ(event_count(), 0u);
+  EXPECT_EQ(dropped_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pitk::obs::trace
