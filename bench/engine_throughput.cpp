@@ -35,6 +35,14 @@
 ///   PITK_RESMOOTH_APPEND  appended steps/re-smooth (default 16)
 ///   PITK_NONLINEAR_JOBS   nonlinear tenants        (default 48)
 ///   PITK_NONLINEAR_K      steps per tenant         (default 96)
+///   PITK_OVERLOAD_JOBS    overload submissions     (default 512)
+///   PITK_OVERLOAD_K       overload steps/job       (default 48)
+///   PITK_OVERLOAD_QUEUE   overload queue bound     (default 32)
+///
+/// The engine_overload series over-submits open-loop against a bounded
+/// Reject queue and reports accepted/rejected counts plus the accepted
+/// jobs' queue-wait p50/p99; its invariants (exact accounting, queue
+/// high-water <= cap) gate the exit status, its wall time is report-only.
 
 #include <algorithm>
 #include <chrono>
@@ -267,6 +275,96 @@ bool bench_nonlinear(bench::JsonBench& out, int reps) {
   std::printf("  [%s] engine vs direct gauss_newton_smooth |diff| %.2e  (checksum drift %.2e)\n",
               agree ? "OK " : "???", worst, std::abs(seq_checksum - eng_checksum));
   return agree;
+}
+
+/// Open-loop over-submission against a bounded Reject queue: B jobs pushed
+/// as fast as the submit loop runs, far beyond what the pool drains, so the
+/// engine must shed load at the door.  Reported: accepted/rejected counts,
+/// the accepted jobs' queue-wait p50/p99 (the tail the bound protects) and
+/// the observed queue high-water.  The series is report-only in bench_diff
+/// (its wall time measures shedding, not solver speed); the hard exit
+/// criteria are the invariants: every job is accounted exactly once and the
+/// queue never exceeds its cap.
+bool bench_engine_overload(bench::JsonBench& out, int reps) {
+  const index jobs = env_long("PITK_OVERLOAD_JOBS", 512);
+  const index k = env_long("PITK_OVERLOAD_K", 48);
+  const index n = env_long("PITK_OVERLOAD_N", 4);
+  const std::size_t max_q =
+      static_cast<std::size_t>(env_long("PITK_OVERLOAD_QUEUE", 32));
+  std::printf("\nengine overload: B=%lld open-loop jobs, k=%lld, bounded queue %zu (reject)\n",
+              static_cast<long long>(jobs), static_cast<long long>(k), max_q);
+
+  la::Rng rng(0x0E7210AD);
+  std::vector<kalman::Problem> problems;
+  problems.reserve(static_cast<std::size_t>(jobs));
+  for (index b = 0; b < jobs; ++b) {
+    la::Rng job_rng = rng.split();
+    problems.push_back(kalman::make_paper_benchmark(job_rng, n, k));
+  }
+
+  std::vector<double> samples;
+  obs::Histogram accepted_queue_hist;
+  std::uint64_t accepted_total = 0;
+  std::uint64_t rejected_total = 0;
+  std::uint64_t high_water = 0;
+  unsigned concurrency = 0;
+  bool invariants_ok = true;
+  for (int r = 0; r < reps; ++r) {
+    // Fresh engine per repetition: each sample sees an identical cold queue.
+    engine::SmootherEngine eng(
+        {.max_queued_jobs = max_q, .queue_policy = engine::QueuePolicy::Reject});
+    concurrency = eng.concurrency();
+    std::vector<kalman::Problem> batch = problems;  // construction excluded
+    std::vector<std::future<engine::JobResult>> futures;
+    futures.reserve(static_cast<std::size_t>(jobs));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (index b = 0; b < jobs; ++b)
+      futures.push_back(eng.submit(std::move(batch[static_cast<std::size_t>(b)]), {}));
+    eng.wait_idle();
+    samples.push_back(seconds_since(t0));
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    for (auto& f : futures) {
+      try {
+        const engine::JobResult jr = f.get();
+        ++accepted;
+        accepted_queue_hist.record(jr.metrics.queue_seconds);
+      } catch (const engine::SolveError&) {
+        ++rejected;
+      }
+    }
+    accepted_total += accepted;
+    rejected_total += rejected;
+    const engine::EngineStats st = eng.stats();
+    high_water = std::max(high_water, st.queue_high_water);
+    invariants_ok = invariants_ok &&
+                    accepted + rejected == static_cast<std::uint64_t>(jobs) &&
+                    st.jobs_completed == accepted && st.jobs_rejected == rejected &&
+                    st.queue_high_water <= max_q;
+  }
+
+  const double per_rep = 1.0 / static_cast<double>(reps);
+  out.record("engine_overload", samples,
+             {{"jobs", static_cast<double>(jobs)},
+              {"k", static_cast<double>(k)},
+              {"n", static_cast<double>(n)},
+              {"threads", static_cast<double>(concurrency)},
+              {"max_queued_jobs", static_cast<double>(max_q)},
+              {"accepted_per_rep", static_cast<double>(accepted_total) * per_rep},
+              {"rejected_per_rep", static_cast<double>(rejected_total) * per_rep},
+              {"queue_high_water", static_cast<double>(high_water)},
+              {"accepted_queue_p50_s", accepted_queue_hist.quantile(0.5)},
+              {"accepted_queue_p99_s", accepted_queue_hist.quantile(0.99)}});
+  std::printf("  accepted %7.1f / rejected %7.1f per rep  queue high-water %llu (cap %zu)\n",
+              static_cast<double>(accepted_total) * per_rep,
+              static_cast<double>(rejected_total) * per_rep,
+              static_cast<unsigned long long>(high_water), max_q);
+  std::printf("  accepted queue wait p50 %8.3f ms  p99 %8.3f ms\n",
+              1e3 * accepted_queue_hist.quantile(0.5),
+              1e3 * accepted_queue_hist.quantile(0.99));
+  std::printf("  [%s] accepted + rejected == submitted, high-water <= cap\n",
+              invariants_ok ? "OK " : "???");
+  return invariants_ok;
 }
 
 bool check_backend_agreement() {
@@ -509,8 +607,11 @@ int main() {
   // Nonlinear tenants: Gauss-Newton outer loops as engine jobs.
   const bool nonlinear_ok = bench_nonlinear(out, reps);
 
+  // Overload: open-loop over-submission against the bounded queue.
+  const bool overload_ok = bench_engine_overload(out, reps);
+
   std::printf("\n");
   const bool agree = check_backend_agreement();
   const bool wrote = out.write();
-  return (agree && speedup_ok && resmooth_ok && nonlinear_ok && wrote) ? 0 : 1;
+  return (agree && speedup_ok && resmooth_ok && nonlinear_ok && overload_ok && wrote) ? 0 : 1;
 }

@@ -24,6 +24,12 @@ import sys
 # gate on, but the trend should stay visible next to the gated medians.
 PERCENTILE_SUFFIXES = ("_p50_s", "_p99_s")
 
+# Series whose wall time does not measure solver speed and therefore must
+# never gate nor contribute to the machine-speed scale.  engine_overload's
+# duration is dominated by deliberate load shedding (accepted/rejected mix),
+# so its median is printed for the trend but exempt from the regression gate.
+REPORT_ONLY_SERIES = frozenset({"engine_overload"})
+
 
 def load_medians(path):
     with open(path) as f:
@@ -63,7 +69,7 @@ def main(argv=None):
 
     base = load_medians(args.baseline)
     fresh = load_medians(args.fresh)
-    shared = sorted(set(base) & set(fresh))
+    shared = sorted((set(base) & set(fresh)) - REPORT_ONLY_SERIES)
     if not shared:
         print("bench_diff: no shared series between %s and %s; nothing to gate"
               % (args.baseline, args.fresh))
@@ -83,6 +89,10 @@ def main(argv=None):
             flag = "  <-- REGRESSION"
         print("  %-32s baseline %.3es  fresh %.3es  x%6.2f  (norm x%5.2f)%s"
               % (name, base[name], fresh[name], ratios[name], norm, flag))
+
+    for name in sorted(REPORT_ONLY_SERIES & set(base) & set(fresh)):
+        print("  %-32s baseline %.3es  fresh %.3es  x%6.2f  (report-only)"
+              % (name, base[name], fresh[name], fresh[name] / base[name]))
 
     only_in_base = sorted(set(base) - set(fresh))
     if only_in_base:

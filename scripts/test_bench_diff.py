@@ -118,6 +118,23 @@ class BenchDiffTest(unittest.TestCase):
                   {"a": {"queue_p50_s": 1e-4, "solve_p99_s": 1e-1}})
         self.assertEqual(self.run_diff(), 0)
 
+    def test_report_only_series_never_gates(self):
+        # engine_overload's wall time measures load shedding, not solver
+        # speed: a 50x blowup there is printed but must not fail the gate.
+        write_doc(self.base, {"a": 1.0, "b": 2.0, "engine_overload": 0.1})
+        write_doc(self.fresh, {"a": 1.0, "b": 2.0, "engine_overload": 5.0})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_report_only_series_does_not_skew_the_machine_scale(self):
+        # With the overload series excluded from the scale median, a genuine
+        # regression in a gated series is still caught even when the overload
+        # series moved the other way.
+        write_doc(self.base, {"a": 1.0, "b": 2.0, "c": 0.5,
+                              "engine_overload": 1.0})
+        write_doc(self.fresh, {"a": 4.0, "b": 2.0, "c": 0.5,
+                               "engine_overload": 0.01})
+        self.assertEqual(self.run_diff(), 1)
+
     def test_load_percentiles_collects_suffixed_fields(self):
         write_doc(self.base, {"a": 1.0},
                   {"a": {"queue_p50_s": 2e-4, "queue_p99_s": 5e-4,

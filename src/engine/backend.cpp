@@ -219,6 +219,32 @@ Backend select_nonlinear_backend(const kalman::NonlinearModel& m, unsigned threa
   return Backend::PaigeSaunders;
 }
 
+bool result_is_finite(const SmootherResult& r) noexcept {
+  for (const la::Vector& v : r.means)
+    for (index i = 0; i < v.size(); ++i)
+      if (!std::isfinite(v[i])) return false;
+  for (const la::Matrix& m : r.covariances) {
+    const double* d = m.data();
+    const std::size_t count = static_cast<std::size_t>(m.rows()) * static_cast<std::size_t>(m.cols());
+    for (std::size_t i = 0; i < count; ++i)
+      if (!std::isfinite(d[i])) return false;
+  }
+  return true;
+}
+
+Backend numerical_fallback(Backend failed, const Problem& p, bool has_prior) {
+  // Dense QR holds the full (total_rows x total_dim) system; past a few
+  // thousand unknowns its memory footprint stops being a rescue and starts
+  // being an OOM, so the last rung only exists for small problems.
+  constexpr index kDenseFallbackMaxDim = 2048;
+  if (failed != Backend::PaigeSaunders &&
+      backend_supports(Backend::PaigeSaunders, p, has_prior))
+    return Backend::PaigeSaunders;
+  if (failed != Backend::DenseReference && p.total_state_dim() <= kDenseFallbackMaxDim)
+    return Backend::DenseReference;
+  return Backend::Auto;
+}
+
 SmootherResult solve_with(Backend b, const Problem& p,
                           const std::optional<GaussianPrior>& prior,
                           par::ThreadPool& pool, const SolveOptions& opts) {

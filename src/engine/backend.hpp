@@ -135,10 +135,28 @@ struct SolveOptions {
 [[nodiscard]] Backend select_nonlinear_backend(const kalman::NonlinearModel& m,
                                                unsigned threads);
 
+/// True when every mean and covariance entry of `r` is finite.  The engine
+/// runs this cheap O(output) scan over every solver result; a NaN or Inf
+/// anywhere marks the solve a NumericalFailure (and triggers the fallback
+/// retry for Auto jobs).  Factor-time breakdowns surface here too: the
+/// kernels never throw on a degenerate pivot, they propagate non-finites
+/// into the output.
+[[nodiscard]] bool result_is_finite(const SmootherResult& r) noexcept;
+
+/// One rung down the degradation ladder after backend `failed` produced a
+/// non-finite result: the parallel/conventional solvers (odd-even,
+/// associative, rts) fall back to sequential Paige-Saunders (different
+/// factorization order, no cross-step reduction); Paige-Saunders itself
+/// falls back to the dense QR oracle when the problem is small enough for
+/// its O((total_dim)^2) memory.  Returns Backend::Auto when no rung remains
+/// (dense failed, or the problem is too large for dense).  Pinned jobs never
+/// consult the ladder — that policy lives in the engine.
+[[nodiscard]] Backend numerical_fallback(Backend failed, const Problem& p, bool has_prior);
+
 /// Solve `p` with backend `b` on `pool`.  `Auto` resolves via
 /// select_backend; a prior is folded in or passed through as the backend
-/// requires.  Throws std::invalid_argument when the backend cannot handle
-/// the problem (missing prior, non-identity H).
+/// requires.  Throws engine::SolveError (code BackendUnsupported) when the
+/// backend cannot handle the problem (missing prior, non-identity H).
 [[nodiscard]] SmootherResult solve_with(Backend b, const Problem& p,
                                         const std::optional<GaussianPrior>& prior,
                                         par::ThreadPool& pool, const SolveOptions& opts = {});

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file control.hpp
+/// Structured job failure, deadlines and cooperative cancellation.
+///
+/// PRs 1-6 had exactly one failure story: whatever the solver threw
+/// propagates into the job's future.  A serving engine needs more structure
+/// than that — a caller shedding load wants to distinguish "the queue was
+/// full" from "the math went bad", and a deadline or cancellation must be
+/// able to stop a job that is already running, not just one still queued.
+///
+/// This header supplies the three pieces:
+///  - `SolveError`, a std::runtime_error carrying a `SolveErrorCode` so
+///    futures fail with a machine-readable taxonomy;
+///  - `CancelToken`, a shared flag a caller flips to abandon a job;
+///  - `detail::solve_checkpoint()`, the cooperative check solvers call
+///    between stages (factor / solve / covariance, Gauss-Newton outer
+///    iterations).  The engine installs the executing job's deadline and
+///    token in a thread-local before running the body; with neither set the
+///    checkpoint is one thread-local load and a branch — no clock read, so
+///    the warm zero-allocation path is unaffected.
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace pitk::engine {
+
+/// Machine-readable classification of a failed job.
+enum class SolveErrorCode {
+  DeadlineExceeded,    ///< past JobOptions::deadline (at dequeue or mid-solve)
+  Cancelled,           ///< the job's CancelToken was flipped
+  QueueFull,           ///< bounded admission rejected the job at submit
+  NumericalFailure,    ///< non-finite output (and any fallback also failed)
+  BackendUnsupported,  ///< pinned backend cannot express the problem
+};
+
+[[nodiscard]] constexpr const char* solve_error_code_name(SolveErrorCode c) noexcept {
+  switch (c) {
+    case SolveErrorCode::DeadlineExceeded: return "deadline-exceeded";
+    case SolveErrorCode::Cancelled: return "cancelled";
+    case SolveErrorCode::QueueFull: return "queue-full";
+    case SolveErrorCode::NumericalFailure: return "numerical-failure";
+    case SolveErrorCode::BackendUnsupported: return "backend-unsupported";
+  }
+  return "?";
+}
+
+/// The exception engine futures fail with on any engine-detected condition.
+/// Solver-internal exceptions that are not part of the taxonomy (e.g. a
+/// malformed model) still propagate as their original types.
+class SolveError : public std::runtime_error {
+ public:
+  SolveError(SolveErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] SolveErrorCode code() const noexcept { return code_; }
+
+ private:
+  SolveErrorCode code_;
+};
+
+/// Cooperative cancellation flag, shared between the submitting caller and
+/// the job (JobOptions::cancel holds it by shared_ptr).  Flipping it makes
+/// the job fail with SolveErrorCode::Cancelled at its next checkpoint — or
+/// without running at all when it is still queued.  Reusable across jobs
+/// only after reset(); one token may cancel a whole batch.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+namespace detail {
+
+/// The executing job's control block, installed by the engine for the
+/// duration of the job body on the executing thread only (intra-parallel
+/// fan-out tasks on other workers are not checkpointed — the executing
+/// thread participates in every parallel_for join, so it still observes
+/// cancellation between stages).
+struct JobControl {
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  const CancelToken* cancel = nullptr;
+};
+
+/// Null when the current thread is not running a controlled job.  A nested
+/// job body (a large job's join helping the pool) gets its own scope, so an
+/// outer job's deadline never leaks into an unrelated nested job.
+inline thread_local const JobControl* tls_job_control = nullptr;
+
+class JobControlScope {
+ public:
+  explicit JobControlScope(const JobControl* jc) noexcept : prev_(tls_job_control) {
+    tls_job_control = jc;
+  }
+  ~JobControlScope() { tls_job_control = prev_; }
+
+  JobControlScope(const JobControlScope&) = delete;
+  JobControlScope& operator=(const JobControlScope&) = delete;
+
+ private:
+  const JobControl* prev_;
+};
+
+[[noreturn]] inline void throw_deadline_exceeded() {
+  throw SolveError(SolveErrorCode::DeadlineExceeded, "job deadline exceeded mid-solve");
+}
+
+[[noreturn]] inline void throw_cancelled() {
+  throw SolveError(SolveErrorCode::Cancelled, "job cancelled");
+}
+
+/// Cooperative checkpoint: solvers call this between stages.  Throws
+/// SolveError when the executing job is cancelled or past its deadline;
+/// costs one thread-local load when the job has no control attached.
+inline void solve_checkpoint() {
+  const JobControl* jc = tls_job_control;
+  if (jc == nullptr) return;
+  if (jc->cancel != nullptr && jc->cancel->cancelled()) throw_cancelled();
+  if (jc->has_deadline && std::chrono::steady_clock::now() > jc->deadline)
+    throw_deadline_exceeded();
+}
+
+}  // namespace detail
+}  // namespace pitk::engine

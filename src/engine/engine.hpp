@@ -33,6 +33,7 @@
 
 #include "core/gauss_newton.hpp"
 #include "engine/backend.hpp"
+#include "engine/control.hpp"
 #include "kalman/model.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -41,6 +42,18 @@ namespace pitk::engine {
 class Session;
 class NonlinearSession;
 struct SolverCache;
+
+/// What submit does when the bounded queue is full.
+enum class QueuePolicy {
+  /// Fail the job's future immediately with SolveErrorCode::QueueFull — the
+  /// overloaded engine sheds load at the door instead of melting its p99.
+  Reject,
+  /// Apply backpressure: the submitting thread helps drain the queue (it
+  /// runs queued jobs itself) for up to max_queue_wait_seconds before
+  /// falling back to Reject.  Bounds the queue without dropping work as
+  /// long as the submitters collectively keep up.
+  Block,
+};
 
 struct EngineOptions {
   /// Pool concurrency; 0 means par::ThreadPool::default_concurrency()
@@ -54,6 +67,14 @@ struct EngineOptions {
   /// construction" (calibrated_small_job_flops()); 0 forces every job onto
   /// the intra-parallel path, huge values force whole-job execution.
   double small_job_flops = -1.0;
+  /// Bounded admission: jobs submitted-but-not-yet-started may never exceed
+  /// this count (0 = unbounded, the pre-robustness behavior).  Overflow is
+  /// handled per queue_policy and counted in EngineStats::jobs_rejected.
+  std::size_t max_queued_jobs = 0;
+  QueuePolicy queue_policy = QueuePolicy::Reject;
+  /// Block policy only: the longest one submit may spend helping the queue
+  /// drain before giving up with QueueFull.
+  double max_queue_wait_seconds = 0.05;
 };
 
 /// Per-job execution options.
@@ -71,6 +92,17 @@ struct JobOptions {
   /// flight.  This is the serving pattern for tenants that re-smooth the
   /// same track shape repeatedly.
   SmootherResult* into = nullptr;
+  /// Absolute deadline: a job still queued past it completes with
+  /// SolveErrorCode::DeadlineExceeded without solving; one already running
+  /// fails at its next stage checkpoint.  When `timeout` is also set the
+  /// earlier of the two wins.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Relative flavor of the same deadline, resolved against the submit time.
+  std::optional<std::chrono::duration<double>> timeout;
+  /// Cooperative cancellation: flip the token to abandon the job (checked at
+  /// dequeue and at stage checkpoints; the future fails with
+  /// SolveErrorCode::Cancelled).  One token may be shared by many jobs.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// One nonlinear tenant: the model plus the initial trajectory guess
@@ -104,6 +136,11 @@ struct NonlinearJobOptions {
   /// JobOptions::into semantics: final states (and covariances) land in this
   /// caller-owned storage, capacity-reused across jobs.
   SmootherResult* into = nullptr;
+  /// Deadline/cancellation, with JobOptions semantics; nonlinear jobs
+  /// additionally checkpoint between Gauss-Newton outer iterations.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::optional<std::chrono::duration<double>> timeout;
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// Measurements taken around one job.
@@ -131,6 +168,13 @@ struct JobMetrics {
   la::index outer_iterations = 0;
   bool nonlinear_converged = false;
   double nonlinear_final_cost = 0.0;
+  /// Numerical-failure recovery: true when the first solve produced a
+  /// non-finite result (or threw) and the job was rescued by one retry on
+  /// the degradation ladder.  `backend` then reports the backend that
+  /// actually served the result and `fallback_backend` repeats it; the
+  /// originally selected backend is the one recorded by the job span.
+  bool retried = false;
+  Backend fallback_backend = Backend::Auto;  ///< Auto unless retried
 };
 
 struct JobResult {
@@ -142,9 +186,23 @@ struct JobResult {
 struct EngineStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
-  std::uint64_t jobs_failed = 0;   ///< completed exceptionally
+  /// Completed exceptionally for any reason other than the deadline/cancel/
+  /// admission taxonomy below (solver exceptions, unsupported backends,
+  /// unrescued numerical failures).
+  std::uint64_t jobs_failed = 0;
   std::uint64_t jobs_small = 0;    ///< whole-job path
   std::uint64_t jobs_large = 0;    ///< intra-parallel path
+  /// Robustness taxonomy: QueueFull rejections at submit, jobs that hit
+  /// their deadline (at dequeue or mid-solve), jobs cancelled via their
+  /// token, and jobs rescued by the numerical-fallback retry (the rescued
+  /// job also counts in jobs_completed; an unrescued one in jobs_failed).
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_deadline_exceeded = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_retried = 0;
+  /// Largest number of jobs simultaneously submitted-but-not-started; with
+  /// max_queued_jobs bounded this never exceeds the bound.
+  std::uint64_t queue_high_water = 0;
   double total_queue_seconds = 0.0;
   double total_solve_seconds = 0.0;
   /// Sum of JobMetrics::allocations over completed jobs; divided by
@@ -233,15 +291,31 @@ class SmootherEngine {
 
   using Clock = std::chrono::steady_clock;
 
-  /// Common path for batch jobs and session smooths: run `body` (with the
-  /// shared pool on the large path, an inline serial pool on the small one)
-  /// against the executing worker's SolverCache, writing into `into` when
-  /// set (else into a fresh result moved to the future); time it, account
-  /// it, fulfill the future.  The body may fill the nonlinear fields of the
-  /// metrics it is handed; everything else is measured by the engine.
+  /// Deadline/cancellation a job carries into launch(), already resolved
+  /// (deadline = min of the absolute and relative forms at submit time).
+  struct LaunchControl {
+    std::optional<Clock::time_point> deadline;
+    std::shared_ptr<CancelToken> cancel;
+  };
+
+  /// Common path for batch jobs and session smooths: admit against the
+  /// bounded queue, then run `body` (with the shared pool on the large path,
+  /// an inline serial pool on the small one) against the executing worker's
+  /// SolverCache, writing into `into` when set (else into a fresh result
+  /// moved to the future); time it, account it, fulfill the future.  A job
+  /// past its deadline or cancelled at dequeue completes with the matching
+  /// SolveError without running the body.  The body may fill the nonlinear
+  /// fields of the metrics it is handed; everything else is measured by the
+  /// engine.
   [[nodiscard]] std::future<JobResult> launch(
       std::function<void(par::ThreadPool&, SolverCache&, SmootherResult&, JobMetrics&)> body,
-      Backend chosen, bool large, la::index num_states, SmootherResult* into);
+      Backend chosen, bool large, la::index num_states, SmootherResult* into,
+      LaunchControl ctl = {});
+
+  /// Reserve one bounded-queue slot (CAS, so the queue depth can never
+  /// exceed max_queued_jobs); Block policy helps the pool drain before
+  /// giving up.  True when admitted.
+  [[nodiscard]] bool admit_one();
 
   /// The executing thread's solver cache: the engine-owned per-worker cache
   /// for pool workers, a thread-local one for external threads that execute
@@ -251,6 +325,8 @@ class SmootherEngine {
   EngineOptions opts_;
   std::vector<std::unique_ptr<SolverCache>> caches_;  ///< one per pool worker
   std::atomic<std::uint64_t> outstanding_{0};
+  /// Jobs submitted but not yet started; bounded by max_queued_jobs when set.
+  std::atomic<std::uint64_t> queued_{0};
   mutable std::mutex stats_mu_;
   EngineStats stats_;
   // The pools are declared last on purpose: destruction joins the workers

@@ -4,11 +4,28 @@
 #include <string>
 
 #include "core/selinv.hpp"
+#include "engine/control.hpp"
+#include "fault/fault.hpp"
 #include "kalman/dense_reference.hpp"
 #include "kalman/rts.hpp"
 #include "obs/trace.hpp"
 
 namespace pitk::engine {
+
+namespace {
+
+/// Poison this backend's solved means when its "solve.<name>" Nan site is
+/// armed (the registry's solve-span literals double as fault-site names, so
+/// a test can fail exactly one backend and watch the ladder rescue the job
+/// through a different, unarmed one).
+void maybe_poison_means(Backend b, SmootherResult& out) noexcept {
+  if (!fault::any_armed() || out.means.empty()) return;
+  la::Vector& v = out.means.front();
+  fault::inject_nan(backend_solve_span_name(b), v.data(),
+                    static_cast<std::size_t>(v.size()));
+}
+
+}  // namespace
 
 void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPrior>& prior,
                      par::ThreadPool& pool, const SolveOptions& opts, SolverCache& cache,
@@ -16,8 +33,10 @@ void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPr
   if (b == Backend::Auto)
     b = select_backend(p, prior.has_value(), opts.compute_covariance, pool.concurrency());
   if (!backend_supports(b, p, prior.has_value()))
-    throw std::invalid_argument(std::string("solve_with: backend '") + backend_info(b).name +
-                                "' cannot solve this problem (missing prior or explicit H)");
+    throw SolveError(SolveErrorCode::BackendUnsupported,
+                     std::string("solve_with: backend '") + backend_info(b).name +
+                         "' cannot solve this problem (missing prior or explicit H)");
+  detail::solve_checkpoint();
 
   // QR-family backends absorb the prior as a step-0 observation so that all
   // backends solve the identical regularized least-squares problem; without
@@ -32,21 +51,31 @@ void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPr
   switch (b) {
     case Backend::DenseReference:
       out = kalman::dense_smooth(folded, opts.compute_covariance);
+      maybe_poison_means(b, out);
       return;
     case Backend::Rts: {
       out = kalman::rts_smooth(p, *prior);
       if (!opts.compute_covariance) out.covariances.clear();
+      maybe_poison_means(b, out);
       return;
     }
     case Backend::PaigeSaunders: {
       // Fully warm: factor blocks, solution vectors and SelInv covariance
       // blocks all reuse their capacity; transients are workspace borrows.
+      // Checkpoints between the stages give deadlines/cancellation a say
+      // mid-job without any per-step cost.
       kalman::paige_saunders_factor_into(folded, cache.factor);
+      if (fault::any_armed() && !cache.factor.diag.empty())
+        fault::inject_nan("solver.factor", cache.factor.diag.front().data(),
+                          static_cast<std::size_t>(cache.factor.diag.front().rows()));
+      detail::solve_checkpoint();
       kalman::paige_saunders_solve_into(cache.factor, out.means);
+      detail::solve_checkpoint();
       if (opts.compute_covariance)
         kalman::selinv_bidiagonal_into(cache.factor, out.covariances);
       else
         out.covariances.clear();
+      maybe_poison_means(b, out);
       return;
     }
     case Backend::Associative: {
@@ -55,16 +84,20 @@ void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPr
       aopts.scratch = &cache.assoc;
       kalman::associative_smooth_into(p, *prior, pool, aopts, out);
       if (!opts.compute_covariance) out.covariances.clear();
+      maybe_poison_means(b, out);
       return;
     }
     case Backend::OddEven: {
       kalman::OddEvenFactor f = kalman::oddeven_factor(folded, pool, opts.grain);
+      detail::solve_checkpoint();
       kalman::oddeven_solve_into(f, pool, opts.grain, out.means);
+      detail::solve_checkpoint();
       if (opts.compute_covariance)
         kalman::oddeven_covariances_into(f, pool, opts.grain, cache.oddeven_cov,
                                          out.covariances);
       else
         out.covariances.clear();
+      maybe_poison_means(b, out);
       return;
     }
     case Backend::Auto:
@@ -110,6 +143,11 @@ void solve_nonlinear_into(Backend b, const kalman::NonlinearModel& model,
 
   while (st.iterations < gn.max_iterations) {
     PITK_TRACE_SPAN("gn.outer_step");
+    // Outer iterations are the nonlinear job's natural checkpoint cadence: a
+    // cancelled or past-deadline tenant stops before the next relinearize +
+    // inner solve instead of running its whole iteration budget.
+    detail::solve_checkpoint();
+    fault::inject_delay("gn.outer_step");
     const kalman::GaussNewtonStep s = kalman::gauss_newton_step_into(model, st, gn, pool, solver);
     if (s == kalman::GaussNewtonStep::Converged || s == kalman::GaussNewtonStep::Stalled) break;
   }

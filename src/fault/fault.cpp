@@ -1,0 +1,233 @@
+#include "fault/fault.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace pitk::fault {
+
+namespace {
+
+/// One armed (site, kind).  Sites are short literals; the fixed-size name
+/// buffer avoids any allocation on the fire path.  `active` is the
+/// publication flag: the arming thread fills every field, then stores
+/// `active` with release, so a firing thread's acquire load sees a complete
+/// arm.  Counters are relaxed — they are read after quiescing in tests.
+struct Arm {
+  static constexpr std::size_t kMaxSite = 47;
+
+  std::atomic<bool> active{false};
+  char site[kMaxSite + 1] = {0};
+  std::size_t site_len = 0;
+  Kind kind = Kind::Fail;
+  double rate = 0.0;
+  std::uint64_t seed = 0;
+  double millis = 0.0;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+/// Fixed arm table: tests arm a handful of sites, never hundreds.  Slots are
+/// scanned linearly on fire — with `any_armed()` gating the scan, only runs
+/// that deliberately arm faults ever pay for it.
+struct ArmTable {
+  static constexpr std::size_t kSlots = 16;
+  std::mutex mu;  ///< serializes arm/disarm; never taken on the fire path
+  Arm slots[kSlots];
+};
+
+ArmTable& table() {
+  // Leaked like the metrics registry: sites may fire while the process exits.
+  static ArmTable* t = new ArmTable();
+  return *t;
+}
+
+[[nodiscard]] bool site_matches(const Arm& a, std::string_view site) noexcept {
+  return a.site_len == site.size() && std::memcmp(a.site, site.data(), site.size()) == 0;
+}
+
+/// splitmix64: a full-avalanche mix of the (seed, hit index) pair, so the
+/// firing pattern of an arm is a fixed pseudo-random sequence in hit order.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] Arm* find_locked(std::string_view site, Kind kind) {
+  for (Arm& a : table().slots)
+    if (a.active.load(std::memory_order_acquire) && a.kind == kind && site_matches(a, site))
+      return &a;
+  return nullptr;
+}
+
+/// PITK_FAULTS: sites armed from process start, exactly like PITK_TRACE.
+/// The static initializer only parses an env string into the leaked table,
+/// so initialization order against other translation units is harmless.
+struct EnvInstaller {
+  EnvInstaller() { (void)arm_from_env(); }
+};
+EnvInstaller install_from_env;
+
+}  // namespace
+
+namespace detail {
+
+double fire(std::string_view site, Kind kind) noexcept {
+  for (Arm& a : table().slots) {
+    if (!a.active.load(std::memory_order_acquire)) continue;
+    if (a.kind != kind || !site_matches(a, site)) continue;
+    const std::uint64_t hit = a.hits.fetch_add(1, std::memory_order_relaxed);
+    if (a.rate < 1.0) {
+      // Map the mixed (seed, hit) to [0, 1) using the top 53 bits.
+      const double u =
+          static_cast<double>(splitmix64(a.seed ^ (hit * 0x9e3779b97f4a7c15ULL)) >> 11) *
+          0x1.0p-53;
+      if (u >= a.rate) return -1.0;
+    }
+    a.fired.fetch_add(1, std::memory_order_relaxed);
+    return a.millis;
+  }
+  return -1.0;
+}
+
+void sleep_ms(double millis) noexcept {
+  if (millis > 0.0) std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(millis));
+}
+
+void throw_injected(std::string_view site) {
+  throw std::runtime_error("fault injected at " + std::string(site));
+}
+
+}  // namespace detail
+
+void arm(std::string_view site, Kind kind, double rate, std::uint64_t seed, double millis) {
+  if (site.empty() || site.size() > Arm::kMaxSite)
+    throw std::invalid_argument("fault::arm: site must be 1..47 characters");
+  if (!(rate >= 0.0 && rate <= 1.0))
+    throw std::invalid_argument("fault::arm: rate must be in [0, 1]");
+  ArmTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  Arm* slot = find_locked(site, kind);
+  const bool rearm = slot != nullptr;
+  if (slot == nullptr)
+    for (Arm& a : t.slots)
+      if (!a.active.load(std::memory_order_acquire)) {
+        slot = &a;
+        break;
+      }
+  if (slot == nullptr) throw std::runtime_error("fault::arm: arm table full");
+  // Quiesce the slot so concurrent fire() never reads a half-written arm,
+  // then publish the new parameters with the release store of `active`.
+  slot->active.store(false, std::memory_order_release);
+  std::memcpy(slot->site, site.data(), site.size());
+  slot->site[site.size()] = '\0';
+  slot->site_len = site.size();
+  slot->kind = kind;
+  slot->rate = rate;
+  slot->seed = seed;
+  slot->millis = millis;
+  slot->hits.store(0, std::memory_order_relaxed);
+  slot->fired.store(0, std::memory_order_relaxed);
+  slot->active.store(true, std::memory_order_release);
+  if (!rearm) detail::armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool arm_from_spec(std::string_view spec) {
+  // site:kind:rate[:seed[:millis]]
+  std::string s(spec);
+  char site[Arm::kMaxSite + 1] = {0};
+  char kind_name[16] = {0};
+  double rate = 1.0;
+  unsigned long long seed = 0;
+  double millis = 1.0;
+  const int n = std::sscanf(s.c_str(), "%47[^:]:%15[^:]:%lf:%llu:%lf", site, kind_name, &rate,
+                            &seed, &millis);
+  Kind kind = Kind::Fail;
+  bool known_kind = true;
+  if (std::strcmp(kind_name, "nan") == 0)
+    kind = Kind::Nan;
+  else if (std::strcmp(kind_name, "delay") == 0)
+    kind = Kind::Delay;
+  else if (std::strcmp(kind_name, "fail") == 0)
+    kind = Kind::Fail;
+  else
+    known_kind = false;
+  if (n < 3 || !known_kind) {
+    std::fprintf(stderr,
+                 "pitk::fault: malformed PITK_FAULTS spec '%s' "
+                 "(want site:kind:rate[:seed[:millis]])\n",
+                 s.c_str());
+    return false;
+  }
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    std::fprintf(stderr, "pitk::fault: spec '%s' rate out of [0, 1]\n", s.c_str());
+    return false;
+  }
+  arm(site, kind, rate, static_cast<std::uint64_t>(seed), millis);
+  return true;
+}
+
+std::size_t arm_from_env() {
+  const char* env = std::getenv("PITK_FAULTS");
+  if (env == nullptr || *env == '\0') return 0;
+  std::size_t armed = 0;
+  std::string_view rest(env);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view spec = rest.substr(0, comma);
+    if (!spec.empty() && arm_from_spec(spec)) ++armed;
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  return armed;
+}
+
+void disarm(std::string_view site) {
+  ArmTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  for (Arm& a : t.slots)
+    if (a.active.load(std::memory_order_acquire) && site_matches(a, site)) {
+      a.active.store(false, std::memory_order_release);
+      detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void disarm_all() {
+  ArmTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  for (Arm& a : t.slots)
+    if (a.active.load(std::memory_order_acquire)) {
+      a.active.store(false, std::memory_order_release);
+      detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t hit_count(std::string_view site, Kind kind) {
+  ArmTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  const Arm* a = find_locked(site, kind);
+  return a != nullptr ? a->hits.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t fired_count(std::string_view site, Kind kind) {
+  ArmTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  const Arm* a = find_locked(site, kind);
+  return a != nullptr ? a->fired.load(std::memory_order_relaxed) : 0;
+}
+
+void inject_nan(std::string_view site, double* data, std::size_t n) noexcept {
+  if (!any_armed() || data == nullptr || n == 0) return;
+  if (detail::fire(site, Kind::Nan) >= 0.0)
+    data[0] = std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace pitk::fault

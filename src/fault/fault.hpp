@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection behind named sites.
+///
+/// Robustness code is only as good as the tests that exercise it, and the
+/// failures worth testing — a NaN escaping a factorization, a pool task
+/// stalling long enough to blow a deadline, an allocation failing mid-solve —
+/// are exactly the ones that never happen on a healthy CI runner.  This
+/// module plants named injection sites at those spots and lets tests (or an
+/// operator, via `PITK_FAULTS`) arm them with a deterministic firing rule,
+/// so every recovery path in the engine is driven by a repeatable test
+/// instead of luck.
+///
+/// The discipline mirrors `PITK_TRACE_SPAN`: with nothing armed (the
+/// default, and the only production configuration) every site costs one
+/// relaxed atomic load of a known address and a predictable branch — no
+/// string compare, no clock read, no allocation.  Armed sites fire by
+/// hashing a per-site hit counter with the arm's seed (splitmix64), so a
+/// given (rate, seed) fires on exactly the same hits in every run and under
+/// every thread interleaving that preserves per-site hit order.
+///
+/// Arming:
+///  - programmatic: `fault::arm("engine.dequeue", fault::Kind::Delay, 1.0,
+///    seed, 20.0)` / `fault::disarm_all()` (tests);
+///  - environment: `PITK_FAULTS=site:kind:rate[:seed[:millis]],...` parsed at
+///    process start (kinds: "nan", "delay", "fail").
+///
+/// Site catalog (grep for the literals): "engine.dequeue" (delay before a
+/// job's deadline check), "pool.task" (delay ahead of every pool task),
+/// "gn.outer_step" (delay per Gauss-Newton outer iteration), "la.alloc"
+/// (fail: std::bad_alloc from the aligned allocator), "solver.factor" (nan:
+/// poison the Paige-Saunders factor), and "solve.<backend-name>" (nan:
+/// poison that backend's solved means — the registry's
+/// backend_solve_span_name strings).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pitk::fault {
+
+/// What an armed site does when it fires.
+enum class Kind {
+  Nan,    ///< overwrite a double the site exposes with quiet NaN
+  Delay,  ///< sleep the calling thread for the arm's millis
+  Fail,   ///< throw (site-specific exception type)
+};
+
+namespace detail {
+/// Number of armed sites; inline so the disarmed fast path at every site
+/// compiles to one relaxed load of one known address.
+inline std::atomic<int> armed_count{0};
+
+/// Slow path: find an active arm matching (site, kind); when found, count
+/// the hit and roll the deterministic dice.  Returns the arm's millis
+/// parameter (>= 0) when the site fires, a negative value otherwise.
+[[nodiscard]] double fire(std::string_view site, Kind kind) noexcept;
+
+/// Sleep helper for Delay arms (kept out of the header to avoid <thread>).
+void sleep_ms(double millis) noexcept;
+
+[[noreturn]] void throw_injected(std::string_view site);
+}  // namespace detail
+
+/// True when at least one site is armed.  The only check disarmed sites pay.
+[[nodiscard]] inline bool any_armed() noexcept {
+  return detail::armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arm `site` to fire `kind` with probability `rate` per hit (1.0 = every
+/// hit), deterministically derived from `seed`.  `millis` parameterizes
+/// Delay arms (sleep length).  Re-arming an already-armed (site, kind)
+/// replaces its parameters and resets its counters.  Throws
+/// std::invalid_argument on an empty/oversized site or out-of-range rate,
+/// std::runtime_error when the fixed arm table is full.
+void arm(std::string_view site, Kind kind, double rate = 1.0, std::uint64_t seed = 0,
+         double millis = 1.0);
+
+/// Parse and arm one "site:kind:rate[:seed[:millis]]" spec; false (with a
+/// stderr note) on a malformed spec.
+bool arm_from_spec(std::string_view spec);
+
+/// Arm every comma-separated spec in the PITK_FAULTS environment variable
+/// (also done automatically at process start); returns the number armed.
+std::size_t arm_from_env();
+
+/// Disarm every arm on `site` / every arm.  Counters are kept until re-arm.
+void disarm(std::string_view site);
+void disarm_all();
+
+/// Hits seen / fires delivered by the (site, kind) arm since (re-)arming;
+/// 0 when the site was never armed.  fired_count is how tests prove a solve
+/// was or wasn't reached ("a past-deadline job is rejected without solving").
+[[nodiscard]] std::uint64_t hit_count(std::string_view site, Kind kind);
+[[nodiscard]] std::uint64_t fired_count(std::string_view site, Kind kind);
+
+// ---- injection helpers (one per Kind; each is a single relaxed load when
+// ---- nothing is armed anywhere in the process) ----
+
+/// Delay site: sleep for the arm's millis when it fires.
+inline void inject_delay(std::string_view site) noexcept {
+  if (!any_armed()) return;
+  const double ms = detail::fire(site, Kind::Delay);
+  if (ms >= 0.0) detail::sleep_ms(ms);
+}
+
+/// Fail site, throwing flavor: throws std::runtime_error("fault injected at
+/// <site>") when it fires.
+inline void inject_fail(std::string_view site) {
+  if (!any_armed()) return;
+  if (detail::fire(site, Kind::Fail) >= 0.0) detail::throw_injected(site);
+}
+
+/// Fail site, boolean flavor for callers that throw their own type (the
+/// aligned allocator throws std::bad_alloc).
+[[nodiscard]] inline bool should_fail(std::string_view site) noexcept {
+  if (!any_armed()) return false;
+  return detail::fire(site, Kind::Fail) >= 0.0;
+}
+
+/// Nan site: overwrite data[0] (of `n` doubles) with quiet NaN when it
+/// fires.  The single poisoned element models a kernel writing garbage; any
+/// downstream consumer or finiteness scan must notice it.
+void inject_nan(std::string_view site, double* data, std::size_t n) noexcept;
+
+}  // namespace pitk::fault

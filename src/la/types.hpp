@@ -11,6 +11,8 @@
 #include <new>
 #include <vector>
 
+#include "fault/fault.hpp"
+
 namespace pitk::la {
 
 /// Signed index type used for all matrix dimensions and loops.
@@ -68,6 +70,9 @@ struct AlignedAllocator {
 
   [[nodiscard]] T* allocate(std::size_t n) {
     if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc();
+    // Fault site "la.alloc": deterministic allocation failure for recovery
+    // tests (one relaxed load when nothing is armed).
+    if (fault::any_armed() && fault::should_fail("la.alloc")) throw std::bad_alloc();
     detail::aligned_alloc_counter.fetch_add(1, std::memory_order_relaxed);
     ++detail::aligned_alloc_counter_thread;
     const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;

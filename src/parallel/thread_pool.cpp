@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "fault/fault.hpp"
 #include "obs/registry.hpp"
 
 namespace pitk::par {
@@ -92,6 +93,10 @@ void ThreadPool::execute_counted(std::function<void()>& task, unsigned id) {
     external_executed_.fetch_add(1, std::memory_order_relaxed);
   PoolMetrics& m = pool_metrics();
   m.tasks.add(1);
+  // Deterministic fault site: tests arm a delay here to simulate a stalled
+  // worker (deadline-miss and backpressure scenarios).  Disarmed this is one
+  // relaxed load.
+  fault::inject_delay("pool.task");
   if (tls_task_depth > 0) {
     // Nested helping: the enclosing task's window already covers this time.
     task();

@@ -382,6 +382,34 @@ TEST(AllocFree, EngineJobStaysAllocFreeWithTracingEnabled) {
   obs::trace::clear();
 }
 
+TEST(AllocFree, EngineJobWithDeadlineAndCancelTokenStaysAllocFree) {
+  // The PR-7 robustness criterion: with fault sites disarmed, the deadline/
+  // cancellation machinery costs the warm path nothing — resolving the
+  // timeout, installing the thread-local JobControl and running the stage
+  // checkpoints touch zero counted allocations.
+  Rng rng(0xA110C + 11);
+  CommonProblem cp = test::common_problem(rng, 4, 40, /*dense_cov=*/true);
+
+  engine::SmootherEngine eng({.threads = 1});
+  engine::JobOptions jo;
+  kalman::SmootherResult storage;
+  jo.into = &storage;
+  jo.timeout = std::chrono::duration<double>(60.0);  // armed but never fires
+  jo.cancel = std::make_shared<engine::CancelToken>();  // allocated up front
+
+  kalman::Problem second = cp.for_qr;  // built before counting
+  engine::JobOptions jo2 = jo;
+  eng.submit(cp.for_qr, jo).get();  // warmup round
+  settle_workspace();
+
+  const std::uint64_t before = aligned_alloc_count();
+  engine::JobResult jr = eng.submit(std::move(second), std::move(jo2)).get();
+  EXPECT_EQ(aligned_alloc_count() - before, 0u)
+      << "a warm engine job with a live deadline must not touch the counted heap";
+  EXPECT_EQ(jr.metrics.allocations, 0u);
+  EXPECT_EQ(jr.metrics.backend, engine::Backend::PaigeSaunders);
+}
+
 TEST(AllocFree, WorkspaceHighWaterIsBoundedAcrossRepeats) {
   // Regression guard: repeated warm solves must not keep growing the arena
   // (a leaked Scope or runaway borrow would).

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/control.hpp"
 #include "kalman/dense_reference.hpp"
 #include "la/random.hpp"
 #include "parallel/thread_pool.hpp"
@@ -73,8 +74,12 @@ TEST(Backend, ConventionalBackendsRejectMissingPriorOrExplicitH) {
   const test::CommonProblem cp = test::common_problem(rng, 3, 10);
   for (Backend b : {Backend::Rts, Backend::Associative}) {
     EXPECT_FALSE(backend_supports(b, cp.for_conventional, /*has_prior=*/false));
-    EXPECT_THROW((void)solve_with(b, cp.for_conventional, std::nullopt, pool),
-                 std::invalid_argument);
+    try {
+      (void)solve_with(b, cp.for_conventional, std::nullopt, pool);
+      FAIL() << "expected SolveError";
+    } catch (const SolveError& e) {
+      EXPECT_EQ(e.code(), SolveErrorCode::BackendUnsupported);
+    }
   }
   test::RandomProblemSpec spec;
   spec.k = 6;

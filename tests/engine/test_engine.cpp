@@ -90,7 +90,12 @@ TEST(SmootherEngine, UnsupportedBackendFailsThroughTheFuture) {
   JobOptions jo;
   jo.backend = Backend::Rts;  // no prior provided: unsupported
   auto fut = eng.submit(cp.for_conventional, jo);
-  EXPECT_THROW((void)fut.get(), std::invalid_argument);
+  try {
+    (void)fut.get();
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), SolveErrorCode::BackendUnsupported);
+  }
   // The future is fulfilled only after accounting, so the failure is
   // already visible in stats() without any extra synchronization.
   const EngineStats st = eng.stats();

@@ -1,0 +1,528 @@
+/// \file test_engine_robustness.cpp
+/// Engine hardening under deterministic fault injection: the degradation
+/// ladder rescues poisoned solves, deadlines and cancellation complete jobs
+/// without solving, the bounded queue never exceeds its cap, and every
+/// outcome is mirrored consistently across JobMetrics, EngineStats and the
+/// obs registry.
+///
+/// Determinism discipline: fault sites are armed at rate 1 (always fire) or
+/// rate 0 (count hits without firing — the probe that proves a solver was
+/// never reached).  No test depends on a race resolving one way.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "fault/fault.hpp"
+#include "kalman/dense_reference.hpp"
+#include "kalman/simulate.hpp"
+#include "la/workspace.hpp"
+#include "obs/registry.hpp"
+#include "test_util.hpp"
+
+namespace pitk::engine {
+namespace {
+
+using la::index;
+using la::Rng;
+using test::CommonProblem;
+
+/// Fault state is process-global; every test starts and ends disarmed.
+class EngineRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+/// Snapshot of the engine's obs-registry counters.  The registry is
+/// process-global and cumulative, so the tests assert on deltas.
+struct RegistrySnapshot {
+  std::uint64_t failed = obs::counter("pitk.engine.jobs_failed").value();
+  std::uint64_t rejected = obs::counter("pitk.engine.jobs_rejected").value();
+  std::uint64_t deadline = obs::counter("pitk.engine.jobs_deadline_exceeded").value();
+  std::uint64_t cancelled = obs::counter("pitk.engine.jobs_cancelled").value();
+  std::uint64_t retried = obs::counter("pitk.engine.jobs_retried").value();
+};
+
+/// A nonlinear job whose outer loop cannot converge (tolerance 0) and spends
+/// a deterministic `millis` per iteration via the gn.outer_step delay site.
+NonlinearJob slow_nonlinear_job(Rng& rng, index k) {
+  kalman::NonlinearModel m = kalman::make_pendulum_benchmark(rng, k, /*theta0=*/0.5, true);
+  std::vector<la::Vector> init(static_cast<std::size_t>(k + 1));
+  for (auto& v : init) v = la::Vector({0.1, 0.0});
+  return {std::move(m), std::move(init)};
+}
+
+// ---------------------------------------------------------------------------
+// Numerical-failure recovery: the degradation ladder.
+
+TEST_F(EngineRobustness, InjectedNanIsRescuedByTheFallbackLadder) {
+  Rng rng(0xF001);
+  const CommonProblem cp = test::common_problem(rng, 3, 25);
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, /*with_cov=*/true);
+
+  const RegistrySnapshot before;
+  SmootherEngine eng({.threads = 2});
+  // A small job with prior + identity H + covariance resolves Auto to rts;
+  // poisoning exactly that site forces the ladder (whose first rung,
+  // paige-saunders, stays unarmed).
+  fault::arm("solve.rts", fault::Kind::Nan, /*rate=*/1.0, /*seed=*/1);
+  JobOptions jo;
+  jo.prior = cp.prior;
+  const JobResult jr = eng.submit(cp.for_conventional, jo).get();
+
+  EXPECT_TRUE(jr.metrics.retried);
+  EXPECT_EQ(jr.metrics.fallback_backend, Backend::PaigeSaunders);
+  EXPECT_EQ(jr.metrics.backend, Backend::PaigeSaunders);
+  EXPECT_GE(fault::fired_count("solve.rts", fault::Kind::Nan), 1u);
+  // The acceptance bar: the rescued job agrees with the dense reference.
+  test::expect_means_near(jr.result.means, ref.means, 1e-10, "rescued means vs dense");
+  test::expect_covs_near(jr.result.covariances, ref.covariances, 1e-9,
+                         "rescued covs vs dense");
+
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_completed, 1u);
+  EXPECT_EQ(st.jobs_failed, 0u);
+  EXPECT_EQ(st.jobs_retried, 1u);
+  // The rescue records under the backend that actually served the job.
+  EXPECT_EQ(st.per_backend[backend_index(Backend::PaigeSaunders)], 1u);
+  EXPECT_EQ(st.per_backend[backend_index(Backend::Rts)], 0u);
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_retried").value() - before.retried, 1u);
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_failed").value() - before.failed, 0u);
+}
+
+TEST_F(EngineRobustness, LadderEndsAtTheDenseReference) {
+  Rng rng(0xF002);
+  const CommonProblem cp = test::common_problem(rng, 3, 20);
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, /*with_cov=*/true);
+
+  SmootherEngine eng({.threads = 2});
+  // Without a prior, Auto resolves a small job to paige-saunders; poisoning
+  // it skips the (identical) first rung and lands on dense-reference.
+  fault::arm("solve.paige-saunders", fault::Kind::Nan, 1.0, 2);
+  const JobResult jr = eng.submit(cp.for_qr, {}).get();
+
+  EXPECT_TRUE(jr.metrics.retried);
+  EXPECT_EQ(jr.metrics.fallback_backend, Backend::DenseReference);
+  test::expect_means_near(jr.result.means, ref.means, 1e-10, "dense rescue means");
+  EXPECT_EQ(eng.stats().per_backend[backend_index(Backend::DenseReference)], 1u);
+}
+
+TEST_F(EngineRobustness, PinnedBackendIsHonoredAndFailsInsteadOfRetrying) {
+  Rng rng(0xF003);
+  const CommonProblem cp = test::common_problem(rng, 3, 15);
+
+  const RegistrySnapshot before;
+  SmootherEngine eng({.threads = 2});
+  fault::arm("solve.paige-saunders", fault::Kind::Nan, 1.0, 3);
+  JobOptions jo;
+  jo.backend = Backend::PaigeSaunders;  // pinned: the ladder is disabled
+  auto fut = eng.submit(cp.for_qr, jo);
+  try {
+    (void)fut.get();
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), SolveErrorCode::NumericalFailure);
+  }
+
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_failed, 1u);
+  EXPECT_EQ(st.jobs_completed, 0u);
+  EXPECT_EQ(st.jobs_retried, 0u);
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_failed").value() - before.failed, 1u);
+}
+
+TEST_F(EngineRobustness, ExhaustedLadderFailsWithNumericalFailure) {
+  Rng rng(0xF004);
+  const CommonProblem cp = test::common_problem(rng, 3, 15);
+
+  SmootherEngine eng({.threads = 2});
+  // Both the selected backend (rts) and its rescue rung are poisoned: the
+  // one-shot retry runs, produces another non-finite result, and the job
+  // fails — the ladder never loops.
+  fault::arm("solve.rts", fault::Kind::Nan, 1.0, 4);
+  fault::arm("solve.paige-saunders", fault::Kind::Nan, 1.0, 4);
+  JobOptions jo;
+  jo.prior = cp.prior;
+  auto fut = eng.submit(cp.for_conventional, jo);
+  try {
+    (void)fut.get();
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), SolveErrorCode::NumericalFailure);
+  }
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_failed, 1u);
+  EXPECT_EQ(st.jobs_retried, 0u);
+  EXPECT_GE(fault::fired_count("solve.paige-saunders", fault::Kind::Nan), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation.
+
+TEST_F(EngineRobustness, PastDeadlineJobCompletesWithoutSolving) {
+  Rng rng(0xF005);
+  const CommonProblem cp = test::common_problem(rng, 3, 15);
+
+  const RegistrySnapshot before;
+  SmootherEngine eng({.threads = 2});
+  // The dequeue delay holds the job between dequeue and its deadline check;
+  // the rate-0 probe on the pinned backend's solve site counts hits without
+  // firing, so hit_count == 0 *proves* no solver ever ran.
+  fault::arm("engine.dequeue", fault::Kind::Delay, 1.0, 5, /*millis=*/30.0);
+  fault::arm("solve.paige-saunders", fault::Kind::Nan, /*rate=*/0.0, 5);
+  JobOptions jo;
+  jo.backend = Backend::PaigeSaunders;
+  jo.timeout = std::chrono::duration<double>(0.005);
+  auto fut = eng.submit(cp.for_qr, jo);
+  try {
+    (void)fut.get();
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), SolveErrorCode::DeadlineExceeded);
+  }
+
+  EXPECT_EQ(fault::hit_count("solve.paige-saunders", fault::Kind::Nan), 0u)
+      << "a past-deadline job must never reach a solver";
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_deadline_exceeded, 1u);
+  EXPECT_EQ(st.jobs_failed, 0u);
+  EXPECT_EQ(st.jobs_completed, 0u);
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_deadline_exceeded").value() - before.deadline,
+            1u);
+}
+
+TEST_F(EngineRobustness, DeadlineFiresMidSolveAtAGaussNewtonCheckpoint) {
+  Rng rng(0xF006);
+  SmootherEngine eng({.threads = 2});
+  // Each outer iteration costs a deterministic 10 ms through the
+  // gn.outer_step delay; with tolerance 0 the loop cannot converge, so only
+  // the checkpoint can end the job.
+  fault::arm("gn.outer_step", fault::Kind::Delay, 1.0, 6, /*millis=*/10.0);
+  NonlinearJobOptions opts;
+  opts.backend = Backend::PaigeSaunders;
+  opts.gn.tolerance = 0.0;
+  opts.gn.max_iterations = 200;  // 2 s of delays; the 30 ms deadline wins
+  opts.timeout = std::chrono::duration<double>(0.030);
+  auto fut = eng.submit_nonlinear(slow_nonlinear_job(rng, 30), opts);
+  try {
+    (void)fut.get();
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), SolveErrorCode::DeadlineExceeded);
+  }
+  EXPECT_EQ(eng.stats().jobs_deadline_exceeded, 1u);
+  EXPECT_GE(fault::fired_count("gn.outer_step", fault::Kind::Delay), 1u)
+      << "the outer loop must have started before the deadline fired";
+}
+
+TEST_F(EngineRobustness, CancelledTokenCompletesTheJobWithoutSolving) {
+  Rng rng(0xF007);
+  const CommonProblem cp = test::common_problem(rng, 3, 15);
+
+  const RegistrySnapshot before;
+  SmootherEngine eng({.threads = 2});
+  fault::arm("solve.paige-saunders", fault::Kind::Nan, /*rate=*/0.0, 7);  // probe
+  auto token = std::make_shared<CancelToken>();
+  token->cancel();  // cancelled before submit: deterministically dead at dequeue
+  JobOptions jo;
+  jo.backend = Backend::PaigeSaunders;
+  jo.cancel = token;
+  auto fut = eng.submit(cp.for_qr, jo);
+  try {
+    (void)fut.get();
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), SolveErrorCode::Cancelled);
+  }
+  EXPECT_EQ(fault::hit_count("solve.paige-saunders", fault::Kind::Nan), 0u);
+  EXPECT_EQ(eng.stats().jobs_cancelled, 1u);
+  EXPECT_EQ(eng.stats().jobs_failed, 0u);
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_cancelled").value() - before.cancelled, 1u);
+}
+
+TEST_F(EngineRobustness, CancellationInterruptsARunningGaussNewtonLoop) {
+  Rng rng(0xF008);
+  SmootherEngine eng({.threads = 2});
+  fault::arm("gn.outer_step", fault::Kind::Delay, 1.0, 8, /*millis=*/10.0);
+  auto token = std::make_shared<CancelToken>();
+  NonlinearJobOptions opts;
+  opts.backend = Backend::PaigeSaunders;
+  opts.gn.tolerance = 0.0;
+  opts.gn.max_iterations = 500;  // ~5 s of delays: cancellation always wins
+  opts.cancel = token;
+  auto fut = eng.submit_nonlinear(slow_nonlinear_job(rng, 30), opts);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  token->cancel();
+  try {
+    (void)fut.get();
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), SolveErrorCode::Cancelled);
+  }
+  EXPECT_EQ(eng.stats().jobs_cancelled, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded admission.
+
+TEST_F(EngineRobustness, BoundedQueueRejectsOverflowAndNeverExceedsTheCap) {
+  Rng rng(0xF009);
+  const CommonProblem cp = test::common_problem(rng, 2, 12);
+  constexpr std::size_t kMax = 4;
+  constexpr int kJobs = 64;
+
+  const RegistrySnapshot before;
+  SmootherEngine eng(
+      {.threads = 2, .max_queued_jobs = kMax, .queue_policy = QueuePolicy::Reject});
+  // Every pool task sleeps 5 ms, so open-loop submission outruns the drain
+  // and the bounded queue must shed load.
+  fault::arm("pool.task", fault::Kind::Delay, 1.0, 9, /*millis=*/5.0);
+  std::vector<std::future<JobResult>> futs;
+  futs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) futs.push_back(eng.submit(cp.for_qr, {}));
+
+  int completed = 0;
+  int rejected = 0;
+  for (auto& f : futs) {
+    try {
+      (void)f.get();
+      ++completed;
+    } catch (const SolveError& e) {
+      EXPECT_EQ(e.code(), SolveErrorCode::QueueFull);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(completed + rejected, kJobs);
+  EXPECT_GT(rejected, 0) << "over-submission against a depth-4 queue must shed";
+  EXPECT_GT(completed, 0);
+
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_submitted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(st.jobs_rejected, static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(st.jobs_completed, static_cast<std::uint64_t>(completed));
+  EXPECT_LE(st.queue_high_water, kMax) << "the queue invariant: depth never exceeds the cap";
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_rejected").value() - before.rejected,
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST_F(EngineRobustness, BlockPolicyAppliesBackpressureWithoutDroppingWork) {
+  Rng rng(0xF00A);
+  const CommonProblem cp = test::common_problem(rng, 2, 12);
+  constexpr std::size_t kMax = 2;
+  constexpr int kJobs = 16;
+
+  SmootherEngine eng({.threads = 2,
+                      .max_queued_jobs = kMax,
+                      .queue_policy = QueuePolicy::Block,
+                      .max_queue_wait_seconds = 5.0});
+  fault::arm("pool.task", fault::Kind::Delay, 1.0, 10, /*millis=*/2.0);
+  std::vector<std::future<JobResult>> futs;
+  futs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) futs.push_back(eng.submit(cp.for_qr, {}));
+  for (auto& f : futs) EXPECT_NO_THROW((void)f.get());
+
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(st.jobs_rejected, 0u) << "backpressure, not shedding";
+  EXPECT_LE(st.queue_high_water, kMax);
+}
+
+// ---------------------------------------------------------------------------
+// Counter agreement (satellite: stats vs registry vs ground truth under a
+// concurrent failing batch).
+
+TEST_F(EngineRobustness, CountersAgreeWithGroundTruthUnderAConcurrentMixedBatch) {
+  Rng rng(0xF00B);
+  const CommonProblem good = test::common_problem(rng, 3, 20);
+  const CommonProblem prio = test::common_problem(rng, 3, 20);
+
+  const RegistrySnapshot before;
+  SmootherEngine eng({.threads = 4});
+  // Poison rts only: the "retry" cohort (Auto + prior resolves small jobs to
+  // rts) is rescued by paige-saunders; the "good" cohort (no prior) resolves
+  // straight to paige-saunders and never sees an armed site.
+  fault::arm("solve.rts", fault::Kind::Nan, 1.0, 11);
+  auto cancelled_token = std::make_shared<CancelToken>();
+  cancelled_token->cancel();
+
+  std::vector<std::future<JobResult>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(eng.submit(good.for_qr, {}));
+  for (int i = 0; i < 4; ++i) {
+    JobOptions jo;
+    jo.backend = Backend::Rts;  // no prior: BackendUnsupported -> jobs_failed
+    futs.push_back(eng.submit(good.for_conventional, jo));
+  }
+  for (int i = 0; i < 4; ++i) {
+    JobOptions jo;
+    jo.cancel = cancelled_token;
+    futs.push_back(eng.submit(good.for_qr, jo));
+  }
+  for (int i = 0; i < 4; ++i) {
+    JobOptions jo;
+    jo.timeout = std::chrono::duration<double>(-0.001);  // already past at submit
+    futs.push_back(eng.submit(good.for_qr, jo));
+  }
+  for (int i = 0; i < 4; ++i) {
+    JobOptions jo;
+    jo.prior = prio.prior;
+    futs.push_back(eng.submit(prio.for_conventional, jo));
+  }
+
+  // Ground truth tallied from the futures themselves.
+  std::uint64_t ok = 0, failed = 0, cancelled = 0, deadline = 0, retried = 0;
+  for (auto& f : futs) {
+    try {
+      const JobResult jr = f.get();
+      ++ok;
+      if (jr.metrics.retried) ++retried;
+    } catch (const SolveError& e) {
+      switch (e.code()) {
+        case SolveErrorCode::Cancelled: ++cancelled; break;
+        case SolveErrorCode::DeadlineExceeded: ++deadline; break;
+        default: ++failed; break;
+      }
+    }
+  }
+  EXPECT_EQ(ok, 12u);
+  EXPECT_EQ(failed, 4u);
+  EXPECT_EQ(cancelled, 4u);
+  EXPECT_EQ(deadline, 4u);
+  EXPECT_EQ(retried, 4u);
+
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_submitted, 24u);
+  EXPECT_EQ(st.jobs_completed, ok);
+  EXPECT_EQ(st.jobs_failed, failed);
+  EXPECT_EQ(st.jobs_cancelled, cancelled);
+  EXPECT_EQ(st.jobs_deadline_exceeded, deadline);
+  EXPECT_EQ(st.jobs_retried, retried);
+
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_failed").value() - before.failed, failed);
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_cancelled").value() - before.cancelled,
+            cancelled);
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_deadline_exceeded").value() - before.deadline,
+            deadline);
+  EXPECT_EQ(obs::counter("pitk.engine.jobs_retried").value() - before.retried, retried);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-state hygiene (satellite: a poisoned worker serves the next job
+// correctly, allocation-free).
+
+TEST_F(EngineRobustness, PoisonedWarmWorkerServesTheNextJobCleanlyAtZeroAllocations) {
+  Rng rng(0xF00C);
+  const CommonProblem cp = test::common_problem(rng, 4, 40, /*dense_cov=*/true);
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, /*with_cov=*/true);
+
+  // Serial engine: jobs execute inline on this thread, so the poisoned
+  // SolverCache and the allocation counter are both exactly observable.
+  SmootherEngine eng({.threads = 1});
+  JobOptions jo;
+  jo.backend = Backend::PaigeSaunders;
+  kalman::SmootherResult storage;
+  jo.into = &storage;
+  eng.submit(cp.for_qr, jo).get();  // warmup: cache + into storage at capacity
+
+  // Poison the cached factorization mid-solve: the pinned job fails and the
+  // worker's warm SolverCache is left holding NaN-contaminated state.
+  fault::arm("solver.factor", fault::Kind::Nan, 1.0, 12);
+  JobOptions poisoned = jo;
+  poisoned.into = nullptr;
+  auto fut = eng.submit(cp.for_qr, poisoned);
+  try {
+    (void)fut.get();
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.code(), SolveErrorCode::NumericalFailure);
+  }
+  fault::disarm_all();
+
+  // The very next same-shaped job must refill every warm buffer: correct to
+  // the dense reference AND zero counted allocations — no poisoned value and
+  // no capacity was lost to the failure.
+  kalman::Problem second = cp.for_qr;  // built before counting
+  JobOptions jo2 = jo;
+  la::tls_workspace().reset();
+  const std::uint64_t before = la::aligned_alloc_count();
+  const JobResult jr = eng.submit(std::move(second), std::move(jo2)).get();
+  EXPECT_EQ(la::aligned_alloc_count() - before, 0u)
+      << "recovery must reuse the poisoned job's warm capacity";
+  EXPECT_EQ(jr.metrics.allocations, 0u);
+  test::expect_means_near(storage.means, ref.means, 1e-7, "post-poison means vs dense");
+  test::expect_covs_near(storage.covariances, ref.covariances, 1e-6,
+                         "post-poison covs vs dense");
+
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_failed, 1u);
+  EXPECT_EQ(st.jobs_completed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Submit-time validation (satellite: fast-fail on the submitting thread).
+
+TEST_F(EngineRobustness, MalformedSubmissionsFailFastOnTheSubmittingThread) {
+  Rng rng(0xF00D);
+  const CommonProblem cp = test::common_problem(rng, 3, 10);
+  SmootherEngine eng({.threads = 2});
+
+  // Prior whose shape disagrees with state 0.
+  JobOptions bad_prior;
+  bad_prior.prior = GaussianPrior{la::Vector(5), la::Matrix::identity(5)};
+  EXPECT_THROW((void)eng.submit(cp.for_conventional, bad_prior), std::invalid_argument);
+
+  // Nonlinear job with a dims/init length mismatch.
+  NonlinearJob nj = slow_nonlinear_job(rng, 10);
+  nj.init.pop_back();
+  EXPECT_THROW((void)eng.submit_nonlinear(std::move(nj), {}), std::invalid_argument);
+
+  // Model missing its obs entries.
+  NonlinearJob nj2 = slow_nonlinear_job(rng, 10);
+  nj2.model.obs.clear();
+  EXPECT_THROW((void)eng.submit_nonlinear(std::move(nj2), {}), std::invalid_argument);
+
+  // Nothing was enqueued: a subsequent good job is the engine's first.
+  JobOptions jo;
+  jo.prior = cp.prior;
+  EXPECT_NO_THROW((void)eng.submit(cp.for_conventional, jo).get());
+  const EngineStats st = eng.stats();
+  EXPECT_EQ(st.jobs_submitted, 1u);
+  EXPECT_EQ(st.jobs_completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-failure recovery through the la.alloc site.
+
+TEST_F(EngineRobustness, InjectedAllocationFailureFailsTheJobNotTheEngine) {
+  Rng rng(0xF00E);
+  const CommonProblem cp = test::common_problem(rng, 3, 30);
+  SmootherEngine eng({.threads = 1});
+
+  // Every 10th counted allocation throws bad_alloc: the cold first job is
+  // certain to trip it.  bad_alloc is outside the SolveError taxonomy, so
+  // the pinned job fails as a numerical/solver failure without a retry...
+  fault::arm("la.alloc", fault::Kind::Fail, /*rate=*/0.1, 13);
+  JobOptions jo;
+  jo.backend = Backend::PaigeSaunders;
+  bool threw = false;
+  try {
+    (void)eng.submit(cp.for_qr, jo).get();
+  } catch (const std::exception&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  fault::disarm_all();
+
+  // ...and the engine keeps serving afterwards.
+  const SmootherResult ref = kalman::dense_smooth(cp.for_qr, true);
+  const JobResult jr = eng.submit(cp.for_qr, jo).get();
+  test::expect_means_near(jr.result.means, ref.means, 1e-7, "post-bad_alloc means");
+}
+
+}  // namespace
+}  // namespace pitk::engine

@@ -1,0 +1,137 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pitk::fault {
+namespace {
+
+/// Every test leaves the table clean: fault state is process-global and the
+/// suite must not leak arms across tests.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FaultTest, DisarmedSitesNeverFire) {
+  EXPECT_FALSE(any_armed());
+  EXPECT_FALSE(should_fail("la.alloc"));
+  double x = 1.0;
+  inject_nan("solve.paige-saunders", &x, 1);
+  EXPECT_EQ(x, 1.0);
+  EXPECT_NO_THROW(inject_fail("engine.dequeue"));
+  EXPECT_EQ(hit_count("la.alloc", Kind::Fail), 0u);
+}
+
+TEST_F(FaultTest, ArmFireDisarmRoundTrip) {
+  arm("unit.fail", Kind::Fail, /*rate=*/1.0, /*seed=*/7);
+  EXPECT_TRUE(any_armed());
+  EXPECT_TRUE(should_fail("unit.fail"));
+  EXPECT_FALSE(should_fail("unit.other"));       // unarmed site
+  double x = 2.0;
+  inject_nan("unit.fail", &x, 1);                // wrong kind: no fire
+  EXPECT_EQ(x, 2.0);
+  EXPECT_EQ(hit_count("unit.fail", Kind::Fail), 1u);
+  EXPECT_EQ(fired_count("unit.fail", Kind::Fail), 1u);
+  disarm("unit.fail");
+  EXPECT_FALSE(any_armed());
+  EXPECT_FALSE(should_fail("unit.fail"));
+}
+
+TEST_F(FaultTest, RateZeroCountsHitsWithoutFiring) {
+  // The probe pattern the robustness tests use: rate 0 observes whether a
+  // site was reached without perturbing anything.
+  arm("unit.probe", Kind::Nan, /*rate=*/0.0, /*seed=*/1);
+  double x = 3.0;
+  for (int i = 0; i < 100; ++i) inject_nan("unit.probe", &x, 1);
+  EXPECT_EQ(x, 3.0);
+  EXPECT_EQ(hit_count("unit.probe", Kind::Nan), 100u);
+  EXPECT_EQ(fired_count("unit.probe", Kind::Nan), 0u);
+}
+
+TEST_F(FaultTest, FiringPatternIsDeterministicInSeedAndHitIndex) {
+  const auto pattern = [](std::uint64_t seed) {
+    disarm_all();
+    arm("unit.pat", Kind::Fail, /*rate=*/0.3, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(should_fail("unit.pat"));
+    return fired;
+  };
+  const std::vector<bool> a = pattern(42);
+  const std::vector<bool> b = pattern(42);
+  const std::vector<bool> c = pattern(43);
+  EXPECT_EQ(a, b);  // same seed: identical firing sequence
+  EXPECT_NE(a, c);  // different seed: different sequence
+  // Rate ~0.3 should fire a plausible fraction of 200 hits.
+  const std::size_t fires = static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 30u);
+  EXPECT_LT(fires, 100u);
+}
+
+TEST_F(FaultTest, InjectNanPoisonsFirstElement) {
+  arm("unit.nan", Kind::Nan, 1.0, 0);
+  double buf[3] = {1.0, 2.0, 3.0};
+  inject_nan("unit.nan", buf, 3);
+  EXPECT_TRUE(std::isnan(buf[0]));
+  EXPECT_EQ(buf[1], 2.0);
+}
+
+TEST_F(FaultTest, InjectFailThrowsWithSiteName) {
+  arm("unit.throw", Kind::Fail, 1.0, 0);
+  try {
+    inject_fail("unit.throw");
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unit.throw"), std::string::npos);
+  }
+}
+
+TEST_F(FaultTest, InjectDelaySleepsForTheArmedMillis) {
+  arm("unit.delay", Kind::Delay, 1.0, 0, /*millis=*/20.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  inject_delay("unit.delay");
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_GE(ms, 15.0);  // sleep_for may overshoot, never (meaningfully) undershoot
+}
+
+TEST_F(FaultTest, SpecParsingArmsAndRejects) {
+  EXPECT_TRUE(arm_from_spec("unit.spec:nan:1.0:9"));
+  EXPECT_EQ(hit_count("unit.spec", Kind::Nan), 0u);
+  double x = 1.0;
+  inject_nan("unit.spec", &x, 1);
+  EXPECT_TRUE(std::isnan(x));
+
+  EXPECT_TRUE(arm_from_spec("unit.spec2:delay:0.5:3:2.5"));  // with millis
+  EXPECT_FALSE(arm_from_spec("unit.bad"));                   // no kind/rate
+  EXPECT_FALSE(arm_from_spec("unit.bad:frobnicate:1.0"));    // unknown kind
+  EXPECT_FALSE(arm_from_spec("unit.bad:nan:7.0"));           // rate out of range
+  EXPECT_FALSE(arm_from_spec(""));
+}
+
+TEST_F(FaultTest, RearmResetsCountersAndReplacesParameters) {
+  arm("unit.rearm", Kind::Fail, 1.0, 0);
+  (void)should_fail("unit.rearm");
+  EXPECT_EQ(fired_count("unit.rearm", Kind::Fail), 1u);
+  arm("unit.rearm", Kind::Fail, 0.0, 0);  // re-arm: rate 0, counters reset
+  EXPECT_EQ(hit_count("unit.rearm", Kind::Fail), 0u);
+  EXPECT_FALSE(should_fail("unit.rearm"));
+  EXPECT_EQ(hit_count("unit.rearm", Kind::Fail), 1u);
+  EXPECT_EQ(fired_count("unit.rearm", Kind::Fail), 0u);
+}
+
+TEST_F(FaultTest, ArmValidation) {
+  EXPECT_THROW(arm("", Kind::Fail), std::invalid_argument);
+  EXPECT_THROW(arm("x", Kind::Fail, 1.5), std::invalid_argument);
+  EXPECT_THROW(arm(std::string(60, 'a'), Kind::Fail), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pitk::fault
