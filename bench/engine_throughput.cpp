@@ -38,11 +38,20 @@
 ///   PITK_OVERLOAD_JOBS    overload submissions     (default 512)
 ///   PITK_OVERLOAD_K       overload steps/job       (default 48)
 ///   PITK_OVERLOAD_QUEUE   overload queue bound     (default 32)
+///   PITK_RECOVER_K        recovery journal steps   (default 2048)
 ///
 /// The engine_overload series over-submits open-loop against a bounded
 /// Reject queue and reports accepted/rejected counts plus the accepted
 /// jobs' queue-wait p50/p99; its invariants (exact accounting, queue
 /// high-water <= cap) gate the exit status, its wall time is report-only.
+///
+/// The session_recover series measures recover_all() over a k-step durable
+/// session journal: worst case (compaction disabled, the full observation
+/// stream replays) as the timed samples, with the compacted journal's
+/// recovery time (snapshot restore + <=256-record tail) as a report field.
+/// Report-only in bench_diff — it measures journal replay, not solver speed
+/// — but the recovered session's smooth must agree with the uninterrupted
+/// one to 1e-10 or the bench exits nonzero.
 
 #include <algorithm>
 #include <chrono>
@@ -51,11 +60,16 @@
 #include <cstdlib>
 #include <vector>
 
+#include <filesystem>
+#include <string>
+
 #include "bench_json.hpp"
 #include "core/gauss_newton.hpp"
 #include "core/paige_saunders.hpp"
+#include "engine/durable.hpp"
 #include "engine/engine.hpp"
 #include "engine/session.hpp"
+#include "io/session_store.hpp"
 #include "kalman/simulate.hpp"
 #include "la/blas.hpp"
 #include "la/random.hpp"
@@ -367,6 +381,98 @@ bool bench_engine_overload(bench::JsonBench& out, int reps) {
   return invariants_ok;
 }
 
+/// Crash-recovery cost: rebuild a k-step durable session with recover_all().
+/// Timed samples are the worst case (compaction off — the whole journal
+/// replays through the normal append path); the compacted journal's recovery
+/// (snapshot + bounded tail) rides along as a report field.  Gate: the
+/// recovered session's smooth agrees with the uninterrupted session's to
+/// 1e-10, for both journals.
+bool bench_session_recover(bench::JsonBench& out, engine::SmootherEngine& eng, index n,
+                           int reps) {
+  const index k = env_long("PITK_RECOVER_K", 2048);
+  std::printf("\nsession recovery: k=%lld journaled steps, n=%lld, recover_all()\n",
+              static_cast<long long>(k), static_cast<long long>(n));
+  la::Rng rng(0x3EC0);
+  const kalman::Problem track = kalman::make_paper_benchmark(rng, n, k);
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "pitk_bench_recover").string();
+  auto make_store = [&base](const char* name, index compact_every) {
+    io::DurabilityOptions o;
+    o.dir = base + "/" + name;
+    std::filesystem::remove_all(o.dir);
+    o.flush = io::FlushPolicy::EveryAppend;
+    o.compact_every = compact_every;
+    return io::SessionStore(o);
+  };
+  io::SessionStore journal_store = make_store("journal", /*compact_every=*/0);
+  io::SessionStore compact_store = make_store("compacted", /*compact_every=*/256);
+
+  // Stream the same track into both stores, keep the uninterrupted answer,
+  // then drop the handles: from here on only the files know the sessions.
+  kalman::SmootherResult ref;
+  std::uint64_t journal_bytes = 0;
+  {
+    engine::Session live = eng.open_durable_session(journal_store, "bench", n);
+    engine::Session live_c = eng.open_durable_session(compact_store, "bench", n);
+    for (engine::Session* s : {&live, &live_c}) {
+      if (track.step(0).observation) {
+        const kalman::Observation& ob = *track.step(0).observation;
+        s->observe(ob.G, ob.o, ob.noise);
+      }
+      feed_track(*s, track, 0, k);
+    }
+    live.smooth_into(ref, false);
+    journal_bytes = std::filesystem::file_size(journal_store.path_for("bench"));
+  }
+
+  // recover_all() is read-only on an untorn journal, so repetitions see
+  // identical bytes; each rep pays the full scan + decode + replay.
+  auto time_recover = [&](io::SessionStore& store, std::vector<double>& samples,
+                          std::uint64_t& replayed) {
+    engine::RecoveredSessions rec;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      rec = eng.recover_all(store, {});
+      samples.push_back(seconds_since(t0));
+    }
+    replayed = rec.replayed_records;
+    if (rec.linear.size() != 1 || !rec.failed.empty()) return 1e300;
+    kalman::SmootherResult got;
+    rec.linear[0].second.smooth_into(got, false);
+    return max_deviation(got, ref);
+  };
+  std::vector<double> journal_samples;
+  std::vector<double> compact_samples;
+  std::uint64_t journal_replayed = 0;
+  std::uint64_t compact_replayed = 0;
+  const double journal_diff = time_recover(journal_store, journal_samples, journal_replayed);
+  const double compact_diff = time_recover(compact_store, compact_samples, compact_replayed);
+
+  const double sec_journal = bench::percentile(journal_samples, 0.5);
+  const double sec_compact = bench::percentile(compact_samples, 0.5);
+  out.record("session_recover", journal_samples,
+             {{"k", static_cast<double>(k)},
+              {"n", static_cast<double>(n)},
+              {"journal_bytes", static_cast<double>(journal_bytes)},
+              {"replayed_records", static_cast<double>(journal_replayed)},
+              {"records_per_second",
+               static_cast<double>(journal_replayed) / sec_journal},
+              {"compacted_recover_s", sec_compact},
+              {"compacted_replayed_records", static_cast<double>(compact_replayed)}});
+  std::printf("  full journal    : %8.3f ms  (%lld records, %.1f MiB, %.0f records/s)\n",
+              1e3 * sec_journal, static_cast<long long>(journal_replayed),
+              static_cast<double>(journal_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(journal_replayed) / sec_journal);
+  std::printf("  compacted       : %8.3f ms  (snapshot + %lld-record tail)\n",
+              1e3 * sec_compact, static_cast<long long>(compact_replayed));
+  const bool agree = journal_diff < 1e-10 && compact_diff < 1e-10;
+  std::printf("  [%s] recovered smooth vs uninterrupted |diff| %.2e / %.2e\n",
+              agree ? "OK " : "???", journal_diff, compact_diff);
+  std::filesystem::remove_all(base);
+  return agree;
+}
+
 bool check_backend_agreement() {
   std::printf("backend agreement vs dense reference (n=4, k=60):\n");
   la::Rng rng(0xA9EE);
@@ -610,8 +716,18 @@ int main() {
   // Overload: open-loop over-submission against the bounded queue.
   const bool overload_ok = bench_engine_overload(out, reps);
 
+  // Crash recovery: recover_all() over full and compacted journals.
+  bool recover_ok = true;
+  {
+    engine::SmootherEngine reng({.threads = 1});
+    recover_ok = bench_session_recover(out, reng, n, reps);
+  }
+
   std::printf("\n");
   const bool agree = check_backend_agreement();
   const bool wrote = out.write();
-  return (agree && speedup_ok && resmooth_ok && nonlinear_ok && overload_ok && wrote) ? 0 : 1;
+  return (agree && speedup_ok && resmooth_ok && nonlinear_ok && overload_ok && recover_ok &&
+          wrote)
+             ? 0
+             : 1;
 }

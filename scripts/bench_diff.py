@@ -26,9 +26,10 @@ PERCENTILE_SUFFIXES = ("_p50_s", "_p99_s")
 
 # Series whose wall time does not measure solver speed and therefore must
 # never gate nor contribute to the machine-speed scale.  engine_overload's
-# duration is dominated by deliberate load shedding (accepted/rejected mix),
-# so its median is printed for the trend but exempt from the regression gate.
-REPORT_ONLY_SERIES = frozenset({"engine_overload"})
+# duration is dominated by deliberate load shedding (accepted/rejected mix);
+# session_recover's by journal scan + replay I/O.  Their medians are printed
+# for the trend but exempt from the regression gate.
+REPORT_ONLY_SERIES = frozenset({"engine_overload", "session_recover"})
 
 
 def load_medians(path):

@@ -270,6 +270,66 @@ void IncrementalFilter::resmooth_from(la::index step, BidiagonalFactor& f,
   }
 }
 
+void IncrementalFilter::snapshot_state(FilterSnapshot& out) const {
+  out.step = step_;
+  out.n = n_;
+  out.epoch = epoch_;
+  out.pending.assign_from(pending_.view());
+  out.pending_rhs.assign_from(pending_rhs_.span());
+  const std::size_t blocks = finished_.diag.size();
+  out.finished.diag.resize(blocks);
+  out.finished.sup.resize(blocks);
+  out.finished.rhs.resize(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    out.finished.diag[i].assign_from(finished_.diag[i].view());
+    out.finished.sup[i].assign_from(finished_.sup[i].view());
+    out.finished.rhs[i].assign_from(finished_.rhs[i].span());
+  }
+}
+
+void IncrementalFilter::restore_state(const FilterSnapshot& s) {
+  if (s.n <= 0 || s.step < 0)
+    throw std::invalid_argument("IncrementalFilter::restore_state: invalid step/dim");
+  const std::size_t blocks = s.finished.diag.size();
+  if (blocks != static_cast<std::size_t>(s.step) || s.finished.sup.size() != blocks ||
+      s.finished.rhs.size() != blocks)
+    throw std::invalid_argument(
+        "IncrementalFilter::restore_state: finalized prefix must hold exactly one "
+        "block per eliminated state");
+  if (s.pending.cols() != s.n || s.pending_rhs.size() != s.pending.rows())
+    throw std::invalid_argument(
+        "IncrementalFilter::restore_state: pending rows inconsistent with the "
+        "current dimension");
+
+  // Retire whatever this filter held (capacity recycling, as in reset()).
+  for (Matrix& m : finished_.diag) spare_matrices_.push_back(std::move(m));
+  for (Matrix& m : finished_.sup) spare_matrices_.push_back(std::move(m));
+  for (Vector& v : finished_.rhs) spare_vectors_.push_back(std::move(v));
+  finished_.diag.clear();
+  finished_.sup.clear();
+  finished_.rhs.clear();
+
+  step_ = s.step;
+  n_ = s.n;
+  epoch_ = s.epoch;
+  pending_.assign_from(s.pending.view());
+  pending_rhs_.assign_from(s.pending_rhs.span());
+  finished_.diag.reserve(blocks);
+  finished_.sup.reserve(blocks);
+  finished_.rhs.reserve(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    Matrix d = take_spare_matrix();
+    d.assign_from(s.finished.diag[i].view());
+    finished_.diag.push_back(std::move(d));
+    Matrix sup = take_spare_matrix();
+    sup.assign_from(s.finished.sup[i].view());
+    finished_.sup.push_back(std::move(sup));
+    Vector r = take_spare_vector();
+    r.assign_from(s.finished.rhs[i].span());
+    finished_.rhs.push_back(std::move(r));
+  }
+}
+
 SmootherResult IncrementalFilter::smooth(bool with_covariances) const {
   auto c = compressed();
   if (!c)

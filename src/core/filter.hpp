@@ -21,6 +21,22 @@
 
 namespace pitk::kalman {
 
+/// The complete serializable state of an IncrementalFilter: everything a
+/// restored filter needs to continue the stream (and re-smooth) exactly as
+/// the original would have.  The spare pools and scratch buffers are
+/// deliberately excluded — they are capacity caches, not state.  Produced by
+/// snapshot_state() / consumed by restore_state(); the pitk::io journal
+/// writes one of these per compaction.
+struct FilterSnapshot {
+  la::index step = 0;
+  la::index n = 0;
+  std::uint64_t epoch = 0;     ///< reset count; restored so cached prefixes
+                               ///< keyed on it invalidate correctly
+  Matrix pending;              ///< live rows constraining the current state
+  Vector pending_rhs;
+  BidiagonalFactor finished;   ///< finalized R rows of eliminated states
+};
+
 class IncrementalFilter {
  public:
   /// Begin at state u_0 of dimension n0 (no prior; add one via observe()).
@@ -94,6 +110,20 @@ class IncrementalFilter {
   /// Throws std::runtime_error while the current state is rank deficient
   /// (same condition as smooth()).
   void resmooth_from(la::index step, BidiagonalFactor& f, la::QrScratch& qr) const;
+
+  // ---- state serialization (pitk::io durability) ----
+
+  /// Deep-copy the filter's complete state into `out`, reusing `out`'s
+  /// capacity (a journal compacting every N appends snapshots without
+  /// allocating once the snapshot storage is warm).
+  void snapshot_state(FilterSnapshot& out) const;
+
+  /// Replace this filter's state with `s` (deep copy; `s` is typically a
+  /// decoded journal snapshot).  Existing finalized blocks are retired into
+  /// the spare pools first, exactly like reset().  Validates the snapshot's
+  /// internal consistency and throws std::invalid_argument on a state no
+  /// filter could have reached.
+  void restore_state(const FilterSnapshot& s);
 
  private:
   /// Compress a copy of the pending rows to a square triangle; returns

@@ -1,0 +1,248 @@
+/// \file durable.cpp
+/// SmootherEngine durability surface: open_durable_session,
+/// open_durable_nonlinear_session, recover_all.
+///
+/// Recovery contract (per journal): scan the chunk file (torn tails
+/// truncated, mid-file corruption thrown), rebuild the base state from the
+/// first chunk — an open record for a never-compacted journal, a snapshot
+/// for a compacted one — then replay the tail through the very same
+/// in-memory append path a live session uses, and reattach the journal at
+/// the scan's valid_end so the session is durable again the moment it is
+/// returned.  The replayed filter state is bit-identical to the crashed
+/// process's (CovFactors round-trip in stored form; snapshots restore the
+/// factor blocks verbatim), so the next smooth() agrees with an
+/// uninterrupted run to solver precision.
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/durable.hpp"
+#include "engine/engine.hpp"
+#include "io/chunk.hpp"
+#include "io/journal.hpp"
+#include "io/session_store.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace pitk::engine {
+
+namespace {
+
+struct RecoveryMetrics {
+  obs::Counter& recovered = obs::counter("pitk.io.recovered_sessions");
+  obs::Counter& torn_tails = obs::counter("pitk.io.torn_tails");
+  obs::Counter& replayed = obs::counter("pitk.io.replayed_records");
+  obs::Histogram& seconds = obs::histogram("pitk.io.recovery_seconds");
+};
+
+RecoveryMetrics& recovery_metrics() {
+  static RecoveryMetrics* m = new RecoveryMetrics();
+  return *m;
+}
+
+using io::ChunkType;
+
+ChunkType chunk_type(const io::ChunkView& c) { return static_cast<ChunkType>(c.type); }
+
+/// Records since the last snapshot: everything in the file except a leading
+/// snapshot chunk (the open record of a fresh journal *is* counted, exactly
+/// as the live commit() path counts it).
+la::index tail_record_count(const io::ScanResult& scan) {
+  if (scan.chunks.empty()) return 0;
+  const ChunkType first = chunk_type(scan.chunks.front());
+  const bool leading_snapshot =
+      first == ChunkType::kSnapshot || first == ChunkType::kNonlinearSnapshot;
+  return static_cast<la::index>(scan.chunks.size()) - (leading_snapshot ? 1 : 0);
+}
+
+}  // namespace
+
+/// Friend of both session classes: recovery needs to construct and fill
+/// their private State outside any engine member function.
+struct DurableAccess {
+  static std::shared_ptr<Session::State> recover_linear(SmootherEngine* engine,
+                                                        const io::ScanResult& scan);
+  static std::shared_ptr<NonlinearSession::State> recover_nonlinear(
+      SmootherEngine* engine, const std::string& id, const io::ScanResult& scan,
+      const RecoveryOptions& opts);
+};
+
+std::shared_ptr<Session::State> DurableAccess::recover_linear(SmootherEngine* engine,
+                                                              const io::ScanResult& scan) {
+  if (scan.chunks.empty())
+    throw std::runtime_error("recover_all: journal holds no replayable chunk");
+  std::shared_ptr<Session::State> st;
+  std::size_t next = 0;
+  kalman::FilterSnapshot snap;
+  io::EvolveRecord ev;
+  io::ObserveRecord ob;
+  switch (chunk_type(scan.chunks.front())) {
+    case ChunkType::kOpenLinear:
+      st = std::make_shared<Session::State>(engine,
+                                            io::decode_open_linear(scan.chunks[0].payload));
+      next = 1;
+      break;
+    case ChunkType::kSnapshot:
+      io::decode_snapshot(scan.chunks[0].payload, snap);
+      st = std::make_shared<Session::State>(engine, snap.n);
+      st->filter.restore_state(snap);
+      next = 1;
+      break;
+    default:
+      throw io::CorruptJournal("recover_all: linear journal does not start with an "
+                               "open or snapshot chunk");
+  }
+  for (; next < scan.chunks.size(); ++next) {
+    const io::ChunkView& c = scan.chunks[next];
+    switch (chunk_type(c)) {
+      case ChunkType::kEvolve:
+        io::decode_evolve(c.payload, ev);
+        if (ev.h.empty())
+          st->filter.evolve(std::move(ev.f), std::move(ev.c), std::move(ev.k));
+        else
+          st->filter.evolve_rect(ev.n_new, std::move(ev.h), std::move(ev.f),
+                                 std::move(ev.c), std::move(ev.k));
+        break;
+      case ChunkType::kObserve:
+        io::decode_observe(c.payload, ob);
+        st->filter.observe(std::move(ob.g), std::move(ob.o), std::move(ob.l));
+        break;
+      case ChunkType::kReset:
+        // Replay discards everything before it, exactly like the live call:
+        // reset() bumps the filter's epoch, so any cache built against the
+        // pre-reset prefix resplices from scratch.
+        st->filter.reset(io::decode_reset(c.payload));
+        break;
+      default:
+        throw io::CorruptJournal("recover_all: unexpected chunk type in linear tail");
+    }
+    ++st->mutations;
+  }
+  return st;
+}
+
+std::shared_ptr<NonlinearSession::State> DurableAccess::recover_nonlinear(
+    SmootherEngine* engine, const std::string& id, const io::ScanResult& scan,
+    const RecoveryOptions& opts) {
+  if (!opts.nonlinear_model)
+    throw std::runtime_error(
+        "recover_all: nonlinear journal needs RecoveryOptions::nonlinear_model to "
+        "re-bind the model callbacks");
+  if (scan.chunks.empty())
+    throw std::runtime_error("recover_all: journal holds no replayable chunk");
+  const ChunkType first = chunk_type(scan.chunks.front());
+  if (first != ChunkType::kOpenNonlinear && first != ChunkType::kNonlinearSnapshot)
+    throw io::CorruptJournal("recover_all: nonlinear journal does not start with an "
+                             "open or snapshot chunk");
+  io::NonlinearSnapshot snap;
+  io::decode_nonlinear_snapshot(scan.chunks[0].payload, snap);
+  if (snap.dims.empty() || snap.k + 1 != static_cast<la::index>(snap.dims.size()) ||
+      snap.obs.size() != snap.dims.size() || snap.u0.size() != snap.dims.front())
+    throw io::CorruptJournal("recover_all: inconsistent nonlinear snapshot");
+
+  kalman::NonlinearModel model = opts.nonlinear_model(id);
+  model.k = snap.k;
+  model.dims = std::move(snap.dims);
+  model.obs = std::move(snap.obs);
+  auto st = std::make_shared<NonlinearSession::State>(engine, std::move(model),
+                                                      std::move(snap.u0),
+                                                      opts.nonlinear_opts);
+  for (std::size_t i = 1; i < scan.chunks.size(); ++i) {
+    const io::ChunkView& c = scan.chunks[i];
+    if (chunk_type(c) != ChunkType::kAdvance)
+      throw io::CorruptJournal("recover_all: unexpected chunk type in nonlinear tail");
+    la::Vector obs;
+    io::decode_advance(c.payload, obs);
+    st->model.k += 1;
+    st->model.dims.push_back(st->model.dims.back());
+    st->model.obs.push_back(std::move(obs));
+    ++st->mutations;
+  }
+  if (!snap.means.empty()) {
+    // The compacted means warm-start the first post-recovery smooth the same
+    // way a live session's cache would: seed both caches' results (valid:
+    // false — a solve still runs, it just starts near the answer) and the
+    // warm_means the next compaction snapshots.
+    st->warm_means = snap.means;
+    for (NonlinearSession::Cache* cache : {&st->sync_cache, &st->async_cache}) {
+      cache->result.means = snap.means;
+      cache->have_means = true;
+    }
+  }
+  return st;
+}
+
+Session SmootherEngine::open_durable_session(io::SessionStore& store, std::string_view id,
+                                             la::index n0) {
+  auto st = std::make_shared<Session::State>(this, n0);
+  st->journal = io::SessionJournal::create(store, id, io::SessionKind::Linear);
+  st->journal->stage_open_linear(n0);
+  st->journal->commit();
+  return Session(std::move(st));
+}
+
+NonlinearSession SmootherEngine::open_durable_nonlinear_session(
+    io::SessionStore& store, std::string_view id, kalman::NonlinearModel model,
+    la::Vector u0, NonlinearJobOptions opts) {
+  NonlinearSession s =
+      open_nonlinear_session(std::move(model), std::move(u0), std::move(opts));
+  NonlinearSession::State& st = *s.state_;
+  st.journal = io::SessionJournal::create(store, id, io::SessionKind::Nonlinear);
+  io::NonlinearSnapshot& snap = st.journal->nonlinear_scratch();
+  snap.k = st.model.k;
+  snap.dims = st.model.dims;
+  snap.obs = st.model.obs;
+  snap.u0 = st.u0;
+  snap.means.clear();
+  st.journal->stage_open_nonlinear(snap);
+  st.journal->commit();
+  return s;
+}
+
+RecoveredSessions SmootherEngine::recover_all(io::SessionStore& store,
+                                              const RecoveryOptions& opts) {
+  PITK_TRACE_SPAN("io.recover_all");
+  RecoveryMetrics& m = recovery_metrics();
+  RecoveredSessions out;
+  for (const std::string& id : store.list()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      io::ScanResult scan = io::scan_chunk_file(store.path_for(id));
+      if (scan.torn_tail) {
+        ++out.torn_tails;
+        m.torn_tails.add(1);
+      }
+      const la::index tail = tail_record_count(scan);
+      switch (static_cast<io::SessionKind>(scan.kind)) {
+        case io::SessionKind::Linear: {
+          auto st = DurableAccess::recover_linear(this, scan);
+          out.replayed_records += st->mutations;
+          st->journal = io::SessionJournal::resume(store, id, io::SessionKind::Linear,
+                                                   scan.valid_end, tail);
+          out.linear.emplace_back(id, Session(std::move(st)));
+          break;
+        }
+        case io::SessionKind::Nonlinear: {
+          auto st = DurableAccess::recover_nonlinear(this, id, scan, opts);
+          out.replayed_records += st->mutations;
+          st->journal = io::SessionJournal::resume(store, id, io::SessionKind::Nonlinear,
+                                                   scan.valid_end, tail);
+          out.nonlinear.emplace_back(id, NonlinearSession(std::move(st)));
+          break;
+        }
+        default:
+          throw io::CorruptJournal("recover_all: unknown journal kind in header");
+      }
+      m.recovered.add(1);
+      m.seconds.record(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                           .count());
+    } catch (const std::exception& e) {
+      out.failed.emplace_back(id, e.what());
+    }
+  }
+  m.replayed.add(out.replayed_records);
+  return out;
+}
+
+}  // namespace pitk::engine

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file durable.hpp
+/// Result type of SmootherEngine::recover_all(): every session rebuilt from
+/// a SessionStore, ready to stream and smooth exactly where the crashed
+/// process left off.
+///
+/// Recovery is per-journal and isolation is per-session: a corrupt journal,
+/// an unreadable file, or a nonlinear journal with no model hook lands in
+/// `failed` with the reason, and every other tenant still comes back.  The
+/// counters summarize what the pass did; they are also mirrored into the
+/// metrics registry (pitk.io.recovered_sessions, pitk.io.torn_tails,
+/// pitk.io.replayed_records) and the per-session wall time into the
+/// pitk.io.recovery_seconds histogram.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/nonlinear_session.hpp"
+#include "engine/session.hpp"
+
+namespace pitk::engine {
+
+struct RecoveredSessions {
+  /// Linear sessions by id; journals reattached, next smooth() agrees with
+  /// an uninterrupted run.
+  std::vector<std::pair<std::string, Session>> linear;
+  /// Nonlinear sessions by id, warm-started from the snapshot's means when
+  /// the journal had compacted any.
+  std::vector<std::pair<std::string, NonlinearSession>> nonlinear;
+  /// (id, reason) for every journal that could not be recovered.
+  std::vector<std::pair<std::string, std::string>> failed;
+
+  std::uint64_t torn_tails = 0;        ///< journals whose tail was truncated
+  std::uint64_t replayed_records = 0;  ///< tail records replayed over all sessions
+};
+
+}  // namespace pitk::engine

@@ -10,6 +10,7 @@
 #include "engine/session.hpp"
 #include "engine/solver_cache.hpp"
 #include "fault/fault.hpp"
+#include "io/journal.hpp"  // complete SessionJournal for State's unique_ptr
 #include "la/workspace.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"

@@ -37,11 +37,16 @@
 #include "kalman/model.hpp"
 #include "parallel/thread_pool.hpp"
 
+namespace pitk::io {
+class SessionStore;
+}
+
 namespace pitk::engine {
 
 class Session;
 class NonlinearSession;
 struct SolverCache;
+struct RecoveredSessions;  // engine/durable.hpp
 
 /// What submit does when the bounded queue is full.
 enum class QueuePolicy {
@@ -141,6 +146,18 @@ struct NonlinearJobOptions {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   std::optional<std::chrono::duration<double>> timeout;
   std::shared_ptr<CancelToken> cancel;
+};
+
+/// How recover_all() rebuilds sessions from a SessionStore.  Nonlinear
+/// journals record the model *history* only — the callbacks are code, not
+/// data — so recovery re-binds them through `nonlinear_model`: given the
+/// session id, return a NonlinearModel with the same callbacks the session
+/// was opened with (k/dims/obs are overwritten from the journal).  Linear
+/// sessions need nothing here.
+struct RecoveryOptions {
+  std::function<kalman::NonlinearModel(const std::string&)> nonlinear_model;
+  /// Options for recovered nonlinear sessions (backend, GN knobs).
+  NonlinearJobOptions nonlinear_opts;
 };
 
 /// Measurements taken around one job.
@@ -276,6 +293,32 @@ class SmootherEngine {
   [[nodiscard]] NonlinearSession open_nonlinear_session(kalman::NonlinearModel model,
                                                         la::Vector u0,
                                                         NonlinearJobOptions opts = {});
+
+  /// Open a *durable* streaming session: every evolve/observe/reset appends
+  /// to a write-ahead journal `<id>.pitkj` in `store` before returning, with
+  /// periodic snapshot compaction, so a crashed process can rebuild the
+  /// session with recover_all().  Overwrites any previous journal for `id`.
+  /// Throws on I/O failure (creating the journal, or — after open — the
+  /// first failed append; the session then keeps serving undurably).
+  [[nodiscard]] Session open_durable_session(io::SessionStore& store, std::string_view id,
+                                             la::index n0);
+
+  /// Durable flavor of open_nonlinear_session: advance() journals the
+  /// observation stream; compaction snapshots the history plus the last
+  /// smoothed means as a warm start.
+  [[nodiscard]] NonlinearSession open_durable_nonlinear_session(
+      io::SessionStore& store, std::string_view id, kalman::NonlinearModel model,
+      la::Vector u0, NonlinearJobOptions opts = {});
+
+  /// Reopen every journal in `store` and rebuild its session: scan the chunk
+  /// file (truncating a torn tail), restore the snapshot if one was
+  /// compacted, replay the journal tail through the normal append path, and
+  /// reattach the journal for further durable appends.  Per-session failures
+  /// (corrupt journal, missing nonlinear_model hook) are collected in
+  /// RecoveredSessions::failed — one bad tenant never blocks the rest.  The
+  /// next smooth() of a recovered session agrees with an uninterrupted run.
+  [[nodiscard]] RecoveredSessions recover_all(io::SessionStore& store,
+                                              const RecoveryOptions& opts = {});
 
   /// Block until every submitted job has finished, helping the pool while
   /// waiting (safe to call from anywhere, including pool workers).

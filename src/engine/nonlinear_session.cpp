@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "io/journal.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -25,13 +26,42 @@ NlsMetrics& nls_metrics() {
 }
 }  // namespace
 
+NonlinearSession::State::State(SmootherEngine* e, kalman::NonlinearModel m, la::Vector u0_,
+                               NonlinearJobOptions o)
+    : engine(e), model(std::move(m)), u0(std::move(u0_)), opts(std::move(o)) {}
+NonlinearSession::State::~State() = default;
+
 void NonlinearSession::advance(la::Vector obs) {
   std::lock_guard<std::mutex> lk(state_->mu);
+  io::SessionJournal* j = state_->journal.get();
+  if (j) j->stage_advance(obs);  // before the move consumes it
   kalman::NonlinearModel& m = state_->model;
   m.k += 1;
   m.dims.push_back(m.dims.back());
   m.obs.push_back(std::move(obs));
   ++state_->mutations;
+  if (j) {
+    j->commit();
+    if (j->wants_compaction()) {
+      // Snapshot = grown history + the last solve's means as a warm start.
+      // warm_mu is a leaf lock (see the State comment), so taking it while
+      // holding `mu` cannot invert against resmooth's cache.mu -> mu order.
+      io::NonlinearSnapshot& s = j->nonlinear_scratch();
+      s.k = m.k;
+      s.dims = m.dims;
+      s.obs.resize(m.obs.size());
+      for (std::size_t i = 0; i < m.obs.size(); ++i)
+        s.obs[i].assign_from(m.obs[i].span());
+      s.u0.assign_from(state_->u0.span());
+      {
+        std::lock_guard<std::mutex> wl(state_->warm_mu);
+        s.means.resize(state_->warm_means.size());
+        for (std::size_t i = 0; i < state_->warm_means.size(); ++i)
+          s.means[i].assign_from(state_->warm_means[i].span());
+      }
+      j->compact_nonlinear(s);
+    }
+  }
 }
 
 la::index NonlinearSession::current_step() const {
@@ -112,6 +142,14 @@ void NonlinearSession::resmooth(const State& st, Cache& cache, bool with_covaria
     cache.result_valid = true;
     cache.result_covs = with_covariances;
     cache.have_means = true;
+    if (st.journal) {
+      // Publish the fresh means for compaction snapshots (leaf lock; see the
+      // warm_mu comment in the header).  Plain sessions skip the copy.
+      std::lock_guard<std::mutex> wl(st.warm_mu);
+      st.warm_means.resize(cache.result.means.size());
+      for (std::size_t i = 0; i < cache.result.means.size(); ++i)
+        st.warm_means[i].assign_from(cache.result.means[i].span());
+    }
     st.misses.fetch_add(1, std::memory_order_relaxed);
     (warm ? st.warm_solves : st.cold_solves).fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t iters = static_cast<std::uint64_t>(cache.info.iterations);

@@ -34,6 +34,10 @@
 #include "engine/engine.hpp"
 #include "engine/solver_cache.hpp"
 
+namespace pitk::io {
+class SessionJournal;
+}
+
 namespace pitk::engine {
 
 /// Aggregate smoothing counters since session creation, across both the sync
@@ -101,6 +105,7 @@ class NonlinearSession {
 
  private:
   friend class SmootherEngine;
+  friend struct DurableAccess;  ///< recovery rebuilds State (engine/durable.cpp)
 
   /// Per-direction (sync/async) warm state: the model snapshot solved
   /// against, the warm-start trajectory, the outer-loop state, a dedicated
@@ -120,14 +125,27 @@ class NonlinearSession {
   };
 
   struct State {
-    State(SmootherEngine* e, kalman::NonlinearModel m, la::Vector u0_, NonlinearJobOptions o)
-        : engine(e), model(std::move(m)), u0(std::move(u0_)), opts(std::move(o)) {}
+    // Out of line: the inline bodies would instantiate ~unique_ptr over the
+    // forward-declared SessionJournal in every including TU.
+    State(SmootherEngine* e, kalman::NonlinearModel m, la::Vector u0_, NonlinearJobOptions o);
+    ~State();
     SmootherEngine* engine;
     mutable std::mutex mu;
     kalman::NonlinearModel model;  ///< k/dims/obs grow with advance()
     la::Vector u0;                 ///< initial guess for state 0 (cold start)
     NonlinearJobOptions opts;
+    /// Durable sessions only (SmootherEngine::open_durable_nonlinear_session
+    /// / recover_all): the write-ahead journal advance() appends to, under
+    /// `mu`.  Null for plain sessions.
+    std::unique_ptr<io::SessionJournal> journal;
     std::uint64_t mutations = 0;
+    /// Warm-start means for compaction snapshots, copied after each solve.
+    /// Guarded by the *leaf* mutex warm_mu: resmooth() writes it holding only
+    /// cache.mu, compaction reads it holding `mu` — neither path may take
+    /// the other's lock (cache.mu -> mu is the smooth ordering), so the copy
+    /// gets its own innermost lock.
+    mutable std::mutex warm_mu;
+    mutable std::vector<la::Vector> warm_means;
     mutable Cache sync_cache;
     mutable Cache async_cache;
     // NonlinearSessionStats sources; relaxed atomics so resmooth() records

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/selinv.hpp"
+#include "io/journal.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -24,22 +25,46 @@ SessionMetrics& session_metrics() {
 }
 }  // namespace
 
+namespace {
+/// Journal write-ahead discipline for one mutation, run under the session
+/// lock after the filter accepted it: commit the staged record (first
+/// failure throws — durability loss is loud — and poisons the journal, so
+/// the torn tail stays a clean truncation point), then compact when the
+/// tail since the last snapshot crossed the threshold.
+void commit_and_maybe_compact(io::SessionJournal& j,
+                              const kalman::IncrementalFilter& filter) {
+  j.commit();
+  if (j.wants_compaction()) j.compact_linear(filter);
+}
+}  // namespace
+
+Session::State::State(SmootherEngine* e, la::index n0) : engine(e), filter(n0) {}
+Session::State::~State() = default;
+
 void Session::evolve(Matrix f, Vector c, CovFactor k) {
   std::lock_guard<std::mutex> lk(state_->mu);
+  // Stage before the filter consumes the arguments; a rejected evolve must
+  // never reach the journal.
+  if (state_->journal) state_->journal->stage_evolve(f, c, k);
   state_->filter.evolve(std::move(f), std::move(c), std::move(k));
   ++state_->mutations;
+  if (state_->journal) commit_and_maybe_compact(*state_->journal, state_->filter);
 }
 
 void Session::evolve_rect(la::index n_new, Matrix h, Matrix f, Vector c, CovFactor k) {
   std::lock_guard<std::mutex> lk(state_->mu);
+  if (state_->journal) state_->journal->stage_evolve_rect(n_new, h, f, c, k);
   state_->filter.evolve_rect(n_new, std::move(h), std::move(f), std::move(c), std::move(k));
   ++state_->mutations;
+  if (state_->journal) commit_and_maybe_compact(*state_->journal, state_->filter);
 }
 
 void Session::observe(Matrix g, Vector o, CovFactor l) {
   std::lock_guard<std::mutex> lk(state_->mu);
+  if (state_->journal) state_->journal->stage_observe(g, o, l);
   state_->filter.observe(std::move(g), std::move(o), std::move(l));
   ++state_->mutations;
+  if (state_->journal) commit_and_maybe_compact(*state_->journal, state_->filter);
 }
 
 la::index Session::current_step() const {
@@ -161,8 +186,14 @@ std::future<JobResult> Session::smooth_async(bool with_covariances, SmootherResu
 
 void Session::reset(la::index n0) {
   std::lock_guard<std::mutex> lk(state_->mu);
+  if (state_->journal) state_->journal->stage_reset(n0);
   state_->filter.reset(n0);  // bumps reset_epoch: both caches resplice from 0
   ++state_->mutations;
+  // No forced compaction here: the reset chunk itself invalidates everything
+  // before it on replay, so the journal tail is already effectively one
+  // record deep.  Keeping it replayable also exercises the crash-between-
+  // reset-and-first-append path.
+  if (state_->journal) state_->journal->commit();
 }
 
 SessionStats Session::stats() const {

@@ -37,6 +37,10 @@
 #include "engine/engine.hpp"
 #include "la/qr.hpp"
 
+namespace pitk::io {
+class SessionJournal;
+}
+
 namespace pitk::engine {
 
 using kalman::CovFactor;
@@ -115,6 +119,7 @@ class Session {
 
  private:
   friend class SmootherEngine;
+  friend struct DurableAccess;  ///< recovery rebuilds State (engine/durable.cpp)
 
   /// Cross-smooth state: the spliced bidiagonal factor (prefix + compressed
   /// live block) and the last smoothed result.  Two live per session — one
@@ -138,10 +143,18 @@ class Session {
   };
 
   struct State {
-    State(SmootherEngine* e, la::index n0) : engine(e), filter(n0) {}
+    // Out of line: the inline bodies would instantiate ~unique_ptr over the
+    // forward-declared SessionJournal in every including TU.
+    State(SmootherEngine* e, la::index n0);
+    ~State();
     SmootherEngine* engine;
     mutable std::mutex mu;
     kalman::IncrementalFilter filter;
+    /// Durable sessions only (SmootherEngine::open_durable_session /
+    /// recover_all): the write-ahead journal every mutation appends to,
+    /// under `mu`.  Null for plain sessions — the common case pays one
+    /// pointer test per mutation.
+    std::unique_ptr<io::SessionJournal> journal;
     std::uint64_t mutations = 0;  ///< evolve/observe/reset count (result-cache key)
     mutable ResmoothCache sync_cache;
     mutable ResmoothCache async_cache;

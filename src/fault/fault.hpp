@@ -30,9 +30,13 @@
 /// job's deadline check), "pool.task" (delay ahead of every pool task),
 /// "gn.outer_step" (delay per Gauss-Newton outer iteration), "la.alloc"
 /// (fail: std::bad_alloc from the aligned allocator), "solver.factor" (nan:
-/// poison the Paige-Saunders factor), and "solve.<backend-name>" (nan:
+/// poison the Paige-Saunders factor), "solve.<backend-name>" (nan:
 /// poison that backend's solved means — the registry's
-/// backend_solve_span_name strings).
+/// backend_solve_span_name strings), and the durability sites in io/:
+/// "io.write" (fail: persist only a prefix of the buffered journal bytes
+/// then throw — a torn write), "io.fsync" (fail: the journal fsync), and
+/// "io.corrupt" (fail: flip one payload byte after its CRC is computed,
+/// planting detectable mid-file corruption).
 
 #include <atomic>
 #include <cstddef>

@@ -1,0 +1,279 @@
+#include "io/chunk.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "obs/registry.hpp"
+
+namespace pitk::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'P', 'I', 'T', 'K', 'J', 'N', 'L', '1'};
+
+/// CRC32C lookup table (Castagnoli polynomial, reflected: 0x82F63B78),
+/// built once at first use.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+}
+
+std::uint32_t get_u32(const std::byte* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+struct ChunkMetrics {
+  obs::Counter& journal_bytes = obs::counter("pitk.io.journal_bytes");
+};
+
+ChunkMetrics& chunk_metrics() {
+  static ChunkMetrics* m = new ChunkMetrics();
+  return *m;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed) noexcept {
+  const auto& t = crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+ChunkFile::ChunkFile(ChunkFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      buf_(std::move(other.buf_)),
+      flushed_(std::exchange(other.flushed_, 0)),
+      failed_(std::exchange(other.failed_, false)) {}
+
+ChunkFile& ChunkFile::operator=(ChunkFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    buf_ = std::move(other.buf_);
+    flushed_ = std::exchange(other.flushed_, 0);
+    failed_ = std::exchange(other.failed_, false);
+  }
+  return *this;
+}
+
+ChunkFile::~ChunkFile() {
+  if (fd_ < 0) return;
+  if (!failed_ && !buf_.empty()) {
+    // Best-effort final flush; a destructor must not throw.
+    try {
+      flush();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+  ::close(fd_);
+}
+
+ChunkFile ChunkFile::create(const std::string& path, std::uint32_t kind) {
+  ChunkFile f;
+  f.fd_ = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (f.fd_ < 0) throw_errno("ChunkFile::create: cannot open", path);
+  f.path_ = path;
+  f.buf_.reserve(4096);
+  for (char c : kMagic) f.buf_.push_back(static_cast<std::byte>(c));
+  put_u32(f.buf_, kFormatVersion);
+  put_u32(f.buf_, kind);
+  // The header reaches the disk before create() returns: a journal either
+  // exists durably or not at all.
+  f.sync();
+  fsync_parent_dir(path);
+  return f;
+}
+
+ChunkFile ChunkFile::append_at(const std::string& path, std::uint64_t valid_end) {
+  ChunkFile f;
+  f.fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (f.fd_ < 0) throw_errno("ChunkFile::append_at: cannot open", path);
+  f.path_ = path;
+  if (::ftruncate(f.fd_, static_cast<off_t>(valid_end)) != 0)
+    throw_errno("ChunkFile::append_at: cannot truncate", path);
+  if (::lseek(f.fd_, static_cast<off_t>(valid_end), SEEK_SET) < 0)
+    throw_errno("ChunkFile::append_at: cannot seek", path);
+  f.flushed_ = valid_end;
+  f.buf_.reserve(4096);
+  return f;
+}
+
+void ChunkFile::append(std::uint8_t type, std::span<const std::byte> payload) {
+  if (fd_ < 0) throw std::runtime_error("ChunkFile::append: file is closed");
+  if (failed_)
+    throw std::runtime_error(
+        "ChunkFile::append: a previous write failed; the file has a torn tail "
+        "and must go through recovery before further appends");
+  if (payload.size() > kMaxChunkPayload)
+    throw std::invalid_argument("ChunkFile::append: payload exceeds kMaxChunkPayload");
+  std::uint32_t crc = crc32c(&type, 1);
+  crc = crc32c(payload.data(), payload.size(), crc);
+  const std::size_t chunk_start = buf_.size();
+  put_u32(buf_, static_cast<std::uint32_t>(payload.size()));
+  put_u32(buf_, crc);
+  buf_.push_back(static_cast<std::byte>(type));
+  buf_.insert(buf_.end(), payload.begin(), payload.end());
+  if (fault::should_fail("io.corrupt") && !payload.empty()) {
+    // Flip one payload byte after the CRC was taken: the reader must notice.
+    std::byte& b = buf_[chunk_start + kChunkOverhead + payload.size() / 2];
+    b ^= std::byte{0x40};
+  }
+}
+
+void ChunkFile::flush() {
+  if (fd_ < 0) throw std::runtime_error("ChunkFile::flush: file is closed");
+  if (failed_) throw std::runtime_error("ChunkFile::flush: a previous write failed");
+  if (buf_.empty()) return;
+  std::size_t limit = buf_.size();
+  const bool injected = fault::should_fail("io.write");
+  if (injected) limit /= 2;  // emulate a crash: a prefix reaches the disk
+  std::size_t off = 0;
+  while (off < limit) {
+    const ssize_t n = ::write(fd_, buf_.data() + off, limit - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failed_ = true;
+      throw_errno("ChunkFile::flush: write failed for", path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  flushed_ += off;
+  chunk_metrics().journal_bytes.add(off);
+  if (injected) {
+    failed_ = true;
+    throw std::runtime_error("fault injected at io.write (torn write in " + path_ + ")");
+  }
+  buf_.clear();
+}
+
+void ChunkFile::sync() {
+  flush();
+  fault::inject_fail("io.fsync");
+  if (::fsync(fd_) != 0) {
+    failed_ = true;
+    throw_errno("ChunkFile::sync: fsync failed for", path_);
+  }
+}
+
+void ChunkFile::close() {
+  if (fd_ < 0) return;
+  if (!failed_) sync();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+ScanResult scan_chunk_file(const std::string& path) {
+  ScanResult r;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("scan_chunk_file: cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("scan_chunk_file: cannot stat", path);
+  }
+  r.bytes.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t off = 0;
+  while (off < r.bytes.size()) {
+    const ssize_t n = ::read(fd, r.bytes.data() + off, r.bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("scan_chunk_file: read failed for", path);
+    }
+    if (n == 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  r.bytes.resize(off);
+
+  if (r.bytes.size() < kFileHeaderSize) {
+    // A crash before the header flush completed: nothing recoverable, but
+    // nothing corrupt either.
+    r.torn_header = true;
+    r.torn_tail = !r.bytes.empty();
+    return r;
+  }
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (static_cast<char>(r.bytes[i]) != kMagic[i])
+      throw CorruptJournal("scan_chunk_file: bad magic in " + path);
+  const std::uint32_t version = get_u32(r.bytes.data() + 8);
+  if (version != kFormatVersion)
+    throw CorruptJournal("scan_chunk_file: unsupported format version " +
+                         std::to_string(version) + " in " + path);
+  r.kind = get_u32(r.bytes.data() + 12);
+
+  std::size_t pos = kFileHeaderSize;
+  // First pass candidate chunks; a CRC mismatch is only tolerated when the
+  // mismatching chunk is the last one the length prefixes reach.
+  while (pos < r.bytes.size()) {
+    const std::size_t remaining = r.bytes.size() - pos;
+    if (remaining < kChunkOverhead) break;  // torn mid-header
+    const std::uint32_t len = get_u32(r.bytes.data() + pos);
+    // An absurd length makes every later byte unaddressable; whether it came
+    // from a torn write or corruption, truncating here is the only recovery.
+    if (len > kMaxChunkPayload) break;
+    if (remaining < kChunkOverhead + len) break;  // torn payload
+    const std::uint32_t stored_crc = get_u32(r.bytes.data() + pos + 4);
+    const std::byte* body = r.bytes.data() + pos + 8;  // type byte + payload
+    const std::uint32_t actual = crc32c(body, 1 + len);
+    if (stored_crc != actual) {
+      // A complete-looking chunk with a bad CRC: a torn/corrupted *final*
+      // write is truncated; garbage with more chunks behind it is not a tail.
+      if (pos + kChunkOverhead + len < r.bytes.size())
+        throw CorruptJournal("scan_chunk_file: CRC mismatch mid-file in " + path +
+                             " at offset " + std::to_string(pos));
+      break;
+    }
+    ChunkView cv;
+    cv.type = std::to_integer<std::uint8_t>(body[0]);
+    cv.payload = std::span<const std::byte>(body + 1, len);
+    r.chunks.push_back(cv);
+    pos += kChunkOverhead + len;
+  }
+  r.valid_end = pos;
+  r.torn_tail = pos < r.bytes.size();
+  return r;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;  // best-effort: some filesystems refuse directory opens
+  ::fsync(fd);         // best-effort as well
+  ::close(fd);
+}
+
+}  // namespace pitk::io

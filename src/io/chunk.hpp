@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file chunk.hpp
+/// Crash-consistent binary chunk files: the on-disk substrate of the
+/// durability layer.
+///
+/// A chunk file is a 16-byte header (magic, format version, payload kind)
+/// followed by length-prefixed chunks, each carrying a CRC32C over its type
+/// byte and payload:
+///
+///   header:  "PITKJNL1" | u32 version | u32 kind
+///   chunk:   u32 payload_len | u32 crc32c(type ++ payload) | u8 type | payload
+///
+/// Integers are little-endian (every platform this repository targets); a
+/// journal is a single-host artifact, not a wire format.  The two properties
+/// the layer guarantees:
+///
+///  - *Torn tails are expected, not fatal.*  A crash (kill -9, power loss)
+///    can leave a partially written final chunk.  scan_chunk_file() validates
+///    chunks front to back and stops at the first incomplete or
+///    CRC-mismatching tail, reporting every chunk before it plus the byte
+///    offset the file should be truncated to before further appends.
+///  - *Mid-file corruption is detected, never silently replayed.*  A chunk
+///    that fails its CRC while complete chunks follow it cannot be a torn
+///    tail; the scan throws CorruptJournal (the `io.corrupt` fault site
+///    manufactures exactly this case in tests).
+///
+/// ChunkFile is the buffered append-side: writes accumulate in memory and
+/// reach the OS on flush() (policy decided by the caller — see
+/// io::FlushPolicy), with sync() adding an fsync.  The `io.write` fault site
+/// fires inside flush() and emulates a crash by persisting only a prefix of
+/// the buffered bytes before throwing; `io.fsync` fails the fsync.  After
+/// any write failure the file object is poisoned — further appends throw —
+/// because appending past a torn tail would turn a recoverable truncation
+/// into unrecoverable mid-file corruption.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pitk::io {
+
+/// CRC32C (Castagnoli), table-driven.  `seed` chains partial computations.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t n,
+                                   std::uint32_t seed = 0) noexcept;
+
+inline constexpr std::size_t kFileHeaderSize = 16;
+inline constexpr std::size_t kChunkOverhead = 9;  ///< len + crc + type byte
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Largest payload a well-formed chunk may carry (1 GiB); a mid-file length
+/// beyond this is corruption, not a big chunk.
+inline constexpr std::uint32_t kMaxChunkPayload = 1u << 30;
+
+/// Hard (non-tail) corruption: bad magic, unsupported version, mid-file CRC
+/// mismatch, or a decoder running off the end of a validated payload.
+struct CorruptJournal : std::runtime_error {
+  explicit CorruptJournal(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Buffered append-side handle.  Not thread-safe; the owning session's lock
+/// serializes access.
+class ChunkFile {
+ public:
+  ChunkFile() = default;
+  ChunkFile(ChunkFile&& other) noexcept;
+  ChunkFile& operator=(ChunkFile&& other) noexcept;
+  ChunkFile(const ChunkFile&) = delete;
+  ChunkFile& operator=(const ChunkFile&) = delete;
+  ~ChunkFile();
+
+  /// Create (or overwrite) `path` and write the file header; the header is
+  /// flushed and fsynced immediately so a journal's existence is durable
+  /// from the moment it is opened.
+  [[nodiscard]] static ChunkFile create(const std::string& path, std::uint32_t kind);
+
+  /// Reopen an existing chunk file for appending after recovery: the file is
+  /// truncated to `valid_end` (discarding a torn tail reported by
+  /// scan_chunk_file) and positioned there.
+  [[nodiscard]] static ChunkFile append_at(const std::string& path, std::uint64_t valid_end);
+
+  /// Buffer one chunk.  The `io.corrupt` fault site flips one payload byte
+  /// *after* the CRC is computed, planting a detectable mismatch.
+  void append(std::uint8_t type, std::span<const std::byte> payload);
+
+  /// Push buffered bytes to the OS (`io.write` fault site: persists a prefix
+  /// then throws, emulating a crash mid-write).
+  void flush();
+
+  /// flush() + fsync (`io.fsync` fault site fires before the fsync).
+  void sync();
+
+  /// flush + fsync + close; the destructor does a best-effort flush+close
+  /// without throwing.
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  /// True once a write failed; every later append/flush refuses to run.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  /// Bytes durably handed to the OS (header included), i.e. the offset a
+  /// clean kill at this instant would leave the file at.
+  [[nodiscard]] std::uint64_t flushed_bytes() const noexcept { return flushed_; }
+  /// Bytes appended (header included), counting the not-yet-flushed buffer.
+  [[nodiscard]] std::uint64_t appended_bytes() const noexcept {
+    return flushed_ + buf_.size();
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::vector<std::byte> buf_;  ///< bytes appended but not yet written
+  std::uint64_t flushed_ = 0;
+  bool failed_ = false;
+};
+
+/// One validated chunk; `payload` points into ScanResult::bytes.
+struct ChunkView {
+  std::uint8_t type = 0;
+  std::span<const std::byte> payload;
+};
+
+/// Everything a recovery pass needs to know about one chunk file.
+struct ScanResult {
+  std::uint32_t kind = 0;         ///< header kind field
+  std::vector<std::byte> bytes;   ///< the whole file (chunk payloads point here)
+  std::vector<ChunkView> chunks;  ///< validated chunks, in file order
+  std::uint64_t valid_end = 0;    ///< truncate-to offset for further appends
+  bool torn_tail = false;         ///< trailing bytes after valid_end were discarded
+  /// File too short to hold the header (a crash before the header flush
+  /// completed): no chunk can be recovered, but it is not corruption either.
+  bool torn_header = false;
+};
+
+/// Read and validate `path` front to back (see the file comment for the
+/// torn-tail vs corruption contract).  Throws CorruptJournal on bad magic,
+/// unsupported version, or mid-file corruption; throws std::runtime_error
+/// when the file cannot be read at all.
+[[nodiscard]] ScanResult scan_chunk_file(const std::string& path);
+
+/// fsync the directory containing `path` (making a create/rename durable);
+/// best-effort on filesystems that refuse directory fsync.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace pitk::io

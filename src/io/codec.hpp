@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file codec.hpp
+/// Binary encoding of the library's value types into journal chunk payloads.
+///
+/// Little-endian fixed-width integers and raw IEEE-754 doubles; matrices are
+/// written column-major (the owning la::Matrix layout), covariance factors in
+/// their *stored* form (diagonal sqrt-variances / dense lower Cholesky) so a
+/// decode rebuilds the factor bit-for-bit — replaying a journal then produces
+/// exactly the arithmetic of the uninterrupted run.  Integrity is the chunk
+/// layer's CRC32C; the Decoder's bounds checks defend against truncated or
+/// hand-crafted payloads by throwing CorruptJournal instead of reading past
+/// the payload.
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "io/chunk.hpp"
+#include "kalman/cov_factor.hpp"
+#include "la/matrix.hpp"
+
+namespace pitk::io {
+
+/// Appends to a caller-owned byte buffer (capacity-reused across records).
+class Encoder {
+ public:
+  explicit Encoder(std::vector<std::byte>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void doubles(std::span<const double> v) {
+    const std::size_t off = out_.size();
+    out_.resize(off + v.size_bytes());
+    if (!v.empty()) std::memcpy(out_.data() + off, v.data(), v.size_bytes());
+  }
+
+  void vec(const la::Vector& v) {
+    i64(v.size());
+    doubles(v.span());
+  }
+
+  /// Owning matrices are contiguous column-major (ld == rows).
+  void mat(const la::Matrix& m) {
+    i64(m.rows());
+    i64(m.cols());
+    doubles(std::span<const double>(m.data(),
+                                    static_cast<std::size_t>(m.rows() * m.cols())));
+  }
+
+  void cov(const kalman::CovFactor& f) {
+    u8(static_cast<std::uint8_t>(f.kind()));
+    i64(f.dim());
+    switch (f.kind()) {
+      case kalman::CovFactor::Kind::Identity:
+        break;
+      case kalman::CovFactor::Kind::Diagonal:
+        doubles(f.diag_std().span());
+        break;
+      case kalman::CovFactor::Kind::Dense:
+        doubles(std::span<const double>(
+            f.chol_lower().data(), static_cast<std::size_t>(f.dim() * f.dim())));
+        break;
+    }
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Reads one chunk payload; every accessor throws CorruptJournal on overrun.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::byte> in) : in_(in) {}
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == in_.size(); }
+
+  std::uint8_t u8() {
+    need(1);
+    return std::to_integer<std::uint8_t>(in_[pos_++]);
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(in_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// A non-negative i64 that must also fit the record it shapes.
+  la::index dim() {
+    const std::int64_t v = i64();
+    if (v < 0 || v > static_cast<std::int64_t>(kMaxChunkPayload))
+      throw CorruptJournal("journal decode: dimension out of range");
+    return static_cast<la::index>(v);
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  void doubles(double* out, std::size_t n) {
+    need(n * sizeof(double));
+    if (n != 0) std::memcpy(out, in_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+  }
+
+  void vec(la::Vector& out) {
+    const la::index n = dim();
+    out.resize(n);
+    doubles(out.data(), static_cast<std::size_t>(n));
+  }
+
+  void mat(la::Matrix& out) {
+    const la::index rows = dim();
+    const la::index cols = dim();
+    out.resize(rows, cols);
+    doubles(out.data(), static_cast<std::size_t>(rows * cols));
+  }
+
+  kalman::CovFactor cov() {
+    const std::uint8_t kind = u8();
+    const la::index d = dim();
+    switch (static_cast<kalman::CovFactor::Kind>(kind)) {
+      case kalman::CovFactor::Kind::Identity:
+        return kalman::CovFactor::identity(d);
+      case kalman::CovFactor::Kind::Diagonal: {
+        la::Vector stds(d);
+        doubles(stds.data(), static_cast<std::size_t>(d));
+        return kalman::CovFactor::from_stored(kalman::CovFactor::Kind::Diagonal, d,
+                                              std::move(stds), la::Matrix());
+      }
+      case kalman::CovFactor::Kind::Dense: {
+        la::Matrix chol(d, d);
+        doubles(chol.data(), static_cast<std::size_t>(d * d));
+        return kalman::CovFactor::from_stored(kalman::CovFactor::Kind::Dense, d,
+                                              la::Vector(), std::move(chol));
+      }
+    }
+    throw CorruptJournal("journal decode: unknown covariance kind");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (in_.size() - pos_ < n)
+      throw CorruptJournal("journal decode: payload truncated");
+  }
+
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pitk::io

@@ -1,0 +1,307 @@
+#include "io/journal.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "io/codec.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace pitk::io {
+
+namespace {
+
+/// Process-wide journal counters (cold registration, leaked like the
+/// registry; see obs/registry.hpp for the idiom).
+struct JournalMetrics {
+  obs::Counter& appends = obs::counter("pitk.io.appends");
+  obs::Counter& compactions = obs::counter("pitk.io.compactions");
+  obs::Counter& compaction_failures = obs::counter("pitk.io.compaction_failures");
+  obs::Counter& append_failures = obs::counter("pitk.io.append_failures");
+};
+
+JournalMetrics& journal_metrics() {
+  static JournalMetrics* m = new JournalMetrics();
+  return *m;
+}
+
+void encode_cov_record(Encoder& e, const kalman::CovFactor& k) { e.cov(k); }
+
+void encode_filter_snapshot(Encoder& e, const kalman::FilterSnapshot& s) {
+  e.i64(s.step);
+  e.i64(s.n);
+  e.u64(s.epoch);
+  e.mat(s.pending);
+  e.vec(s.pending_rhs);
+  e.u64(s.finished.diag.size());
+  for (std::size_t i = 0; i < s.finished.diag.size(); ++i) {
+    e.mat(s.finished.diag[i]);
+    e.mat(s.finished.sup[i]);
+    e.vec(s.finished.rhs[i]);
+  }
+}
+
+void encode_nonlinear_snapshot(Encoder& e, const NonlinearSnapshot& s, bool with_means) {
+  e.i64(s.k);
+  e.u64(s.dims.size());
+  for (la::index d : s.dims) e.i64(d);
+  e.u64(s.obs.size());
+  for (const la::Vector& o : s.obs) e.vec(o);
+  e.vec(s.u0);
+  if (with_means) {
+    e.u64(s.means.size());
+    for (const la::Vector& m : s.means) e.vec(m);
+  } else {
+    e.u64(0);
+  }
+}
+
+}  // namespace
+
+SessionJournal::SessionJournal(ChunkFile file, SessionKind kind, DurabilityOptions opts,
+                               std::string compact_path)
+    : file_(std::move(file)),
+      kind_(kind),
+      opts_(std::move(opts)),
+      compact_path_(std::move(compact_path)) {}
+
+std::unique_ptr<SessionJournal> SessionJournal::create(const SessionStore& store,
+                                                       std::string_view id,
+                                                       SessionKind kind) {
+  const std::string path = store.path_for(id);
+  // A stray staging file from a crashed compaction of a previous incarnation
+  // must not outlive the new journal.
+  ::unlink(store.compact_path_for(id).c_str());
+  ChunkFile f = ChunkFile::create(path, static_cast<std::uint32_t>(kind));
+  return std::unique_ptr<SessionJournal>(new SessionJournal(
+      std::move(f), kind, store.options(), store.compact_path_for(id)));
+}
+
+std::unique_ptr<SessionJournal> SessionJournal::resume(const SessionStore& store,
+                                                       std::string_view id,
+                                                       SessionKind kind,
+                                                       std::uint64_t valid_end,
+                                                       la::index tail_records) {
+  const std::string path = store.path_for(id);
+  ::unlink(store.compact_path_for(id).c_str());
+  ChunkFile f = ChunkFile::append_at(path, valid_end);
+  auto j = std::unique_ptr<SessionJournal>(new SessionJournal(
+      std::move(f), kind, store.options(), store.compact_path_for(id)));
+  j->tail_records_ = tail_records;
+  return j;
+}
+
+void SessionJournal::stage_open_linear(la::index n0) {
+  stage_.clear();
+  Encoder e(stage_);
+  e.i64(n0);
+  stage_type_ = ChunkType::kOpenLinear;
+  staged_ = true;
+}
+
+void SessionJournal::stage_evolve(const la::Matrix& f, const la::Vector& c,
+                                  const kalman::CovFactor& k) {
+  stage_evolve_rect(f.rows(), la::Matrix(), f, c, k);
+}
+
+void SessionJournal::stage_evolve_rect(la::index n_new, const la::Matrix& h,
+                                       const la::Matrix& f, const la::Vector& c,
+                                       const kalman::CovFactor& k) {
+  stage_.clear();
+  Encoder e(stage_);
+  e.u8(h.empty() ? 0 : 1);
+  e.i64(n_new);
+  if (!h.empty()) e.mat(h);
+  e.mat(f);
+  e.vec(c);
+  encode_cov_record(e, k);
+  stage_type_ = ChunkType::kEvolve;
+  staged_ = true;
+}
+
+void SessionJournal::stage_observe(const la::Matrix& g, const la::Vector& o,
+                                   const kalman::CovFactor& l) {
+  stage_.clear();
+  Encoder e(stage_);
+  e.mat(g);
+  e.vec(o);
+  encode_cov_record(e, l);
+  stage_type_ = ChunkType::kObserve;
+  staged_ = true;
+}
+
+void SessionJournal::stage_reset(la::index n0) {
+  stage_.clear();
+  Encoder e(stage_);
+  e.i64(n0);
+  stage_type_ = ChunkType::kReset;
+  staged_ = true;
+}
+
+void SessionJournal::stage_open_nonlinear(const NonlinearSnapshot& s) {
+  stage_.clear();
+  Encoder e(stage_);
+  encode_nonlinear_snapshot(e, s, /*with_means=*/false);
+  stage_type_ = ChunkType::kOpenNonlinear;
+  staged_ = true;
+}
+
+void SessionJournal::stage_advance(const la::Vector& obs) {
+  stage_.clear();
+  Encoder e(stage_);
+  e.vec(obs);
+  stage_type_ = ChunkType::kAdvance;
+  staged_ = true;
+}
+
+void SessionJournal::commit() {
+  if (!staged_) return;
+  staged_ = false;
+  if (file_.failed()) {
+    // Poisoned journal: the in-memory session keeps serving, durability is
+    // degraded and the gap is visible in this counter (and in the exception
+    // the poisoning commit threw).
+    journal_metrics().append_failures.add(1);
+    return;
+  }
+  PITK_TRACE_SPAN("io.append");
+  file_.append(static_cast<std::uint8_t>(stage_type_), stage_);
+  ++tail_records_;
+  journal_metrics().appends.add(1);
+  if (opts_.flush == FlushPolicy::EveryAppend) {
+    if (opts_.fsync_every_append)
+      file_.sync();
+    else
+      file_.flush();
+  }
+}
+
+bool SessionJournal::wants_compaction() const noexcept {
+  return opts_.compact_every > 0 && tail_records_ >= opts_.compact_every &&
+         !file_.failed();
+}
+
+void SessionJournal::compact_linear(const kalman::IncrementalFilter& filter) {
+  filter.snapshot_state(snap_scratch_);
+  snap_buf_.clear();
+  Encoder e(snap_buf_);
+  encode_filter_snapshot(e, snap_scratch_);
+  compact_with(ChunkType::kSnapshot);
+}
+
+void SessionJournal::compact_nonlinear(const NonlinearSnapshot& s) {
+  snap_buf_.clear();
+  Encoder e(snap_buf_);
+  encode_nonlinear_snapshot(e, s, /*with_means=*/true);
+  compact_with(ChunkType::kNonlinearSnapshot);
+}
+
+void SessionJournal::compact_with(ChunkType type) {
+  PITK_TRACE_SPAN("io.compact");
+  JournalMetrics& m = journal_metrics();
+  try {
+    ChunkFile nf = ChunkFile::create(compact_path_, static_cast<std::uint32_t>(kind_));
+    nf.append(static_cast<std::uint8_t>(type), snap_buf_);
+    nf.sync();
+    const std::string journal_path = file_.path();
+    if (std::rename(compact_path_.c_str(), journal_path.c_str()) != 0)
+      throw std::runtime_error("SessionJournal: rename of compacted journal failed");
+    fsync_parent_dir(journal_path);
+    // The rename is the commit point.  Reopen under the journal name for
+    // further appends; the old journal's fd (and any bytes it still
+    // buffered — all subsumed by the snapshot) is dropped by the move
+    // assignment.
+    const std::uint64_t end = nf.flushed_bytes();
+    nf.close();
+    file_ = ChunkFile::append_at(journal_path, end);
+    tail_records_ = 0;
+    m.compactions.add(1);
+  } catch (...) {
+    // The old journal is still intact and append-able; drop the staging
+    // file and retry at the next threshold crossing.
+    ::unlink(compact_path_.c_str());
+    m.compaction_failures.add(1);
+  }
+}
+
+// ---- decoding ----
+
+la::index decode_open_linear(std::span<const std::byte> payload) {
+  Decoder d(payload);
+  return d.dim();
+}
+
+void decode_evolve(std::span<const std::byte> payload, EvolveRecord& out) {
+  Decoder d(payload);
+  const bool has_h = d.u8() != 0;
+  out.n_new = d.dim();
+  if (has_h)
+    d.mat(out.h);
+  else
+    out.h.resize(0, 0);
+  d.mat(out.f);
+  d.vec(out.c);
+  out.k = d.cov();
+}
+
+void decode_observe(std::span<const std::byte> payload, ObserveRecord& out) {
+  Decoder d(payload);
+  d.mat(out.g);
+  d.vec(out.o);
+  out.l = d.cov();
+}
+
+la::index decode_reset(std::span<const std::byte> payload) {
+  Decoder d(payload);
+  return d.dim();
+}
+
+void decode_snapshot(std::span<const std::byte> payload, kalman::FilterSnapshot& out) {
+  Decoder d(payload);
+  out.step = d.dim();
+  out.n = d.dim();
+  out.epoch = d.u64();
+  d.mat(out.pending);
+  d.vec(out.pending_rhs);
+  const std::uint64_t blocks = d.u64();
+  if (blocks > payload.size())  // each block costs >= 1 byte; cheap sanity cap
+    throw CorruptJournal("journal decode: snapshot block count out of range");
+  out.finished.diag.resize(static_cast<std::size_t>(blocks));
+  out.finished.sup.resize(static_cast<std::size_t>(blocks));
+  out.finished.rhs.resize(static_cast<std::size_t>(blocks));
+  for (std::size_t i = 0; i < blocks; ++i) {
+    d.mat(out.finished.diag[i]);
+    d.mat(out.finished.sup[i]);
+    d.vec(out.finished.rhs[i]);
+  }
+}
+
+void decode_nonlinear_snapshot(std::span<const std::byte> payload, NonlinearSnapshot& out) {
+  Decoder d(payload);
+  out.k = d.dim();
+  const std::uint64_t ndims = d.u64();
+  if (ndims > payload.size())
+    throw CorruptJournal("journal decode: nonlinear dims count out of range");
+  out.dims.resize(static_cast<std::size_t>(ndims));
+  for (auto& v : out.dims) v = d.dim();
+  const std::uint64_t nobs = d.u64();
+  if (nobs > payload.size())
+    throw CorruptJournal("journal decode: nonlinear obs count out of range");
+  out.obs.resize(static_cast<std::size_t>(nobs));
+  for (auto& o : out.obs) d.vec(o);
+  d.vec(out.u0);
+  const std::uint64_t nmeans = d.u64();
+  if (nmeans > payload.size())
+    throw CorruptJournal("journal decode: nonlinear means count out of range");
+  out.means.resize(static_cast<std::size_t>(nmeans));
+  for (auto& m : out.means) d.vec(m);
+}
+
+void decode_advance(std::span<const std::byte> payload, la::Vector& out) {
+  Decoder d(payload);
+  d.vec(out);
+}
+
+}  // namespace pitk::io

@@ -1,0 +1,181 @@
+#pragma once
+
+/// \file journal.hpp
+/// Per-session write-ahead journal with snapshot compaction.
+///
+/// Every durable session owns one SessionJournal.  Each mutation
+/// (evolve / evolve_rect / observe / reset for linear sessions, advance for
+/// nonlinear ones) appends one chunk recording the *inputs* of the call, so
+/// recovery replays the tail through the very same append path the live
+/// session took.  Periodically the journal compacts: the session's full
+/// state (an IncrementalFilter snapshot, or the nonlinear model history plus
+/// the last smoothed means as a warm start) is written as a single snapshot
+/// chunk into a staging file which is fsynced and atomically renamed over
+/// the journal — recovery cost is then bounded by the tail since the last
+/// compaction, not by track length.
+///
+/// Write discipline (two-phase per mutation):
+///  1. stage_*() encodes the record into a reused staging buffer — pure
+///     memory work, done *before* the filter/model consumes the arguments,
+///     so a validation failure in the in-memory path leaves the journal
+///     untouched;
+///  2. commit() appends the staged chunk and applies the flush policy — done
+///     *after* the in-memory mutation succeeded, so the journal never holds
+///     an operation the session rejected.
+///
+/// A failed commit (injected `io.write` fault, disk full) throws to the
+/// caller — losing durability is loud — and poisons the journal: later
+/// commits are silently skipped (counted in pitk.io.append_failures),
+/// because appending past a torn tail would turn recoverable truncation
+/// into mid-file corruption.  The in-memory session keeps serving.
+///
+/// Compaction failures are absorbed: the old journal file stays valid and
+/// append-able, and compaction is retried at the next threshold crossing.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "io/chunk.hpp"
+#include "io/session_store.hpp"
+#include "kalman/cov_factor.hpp"
+#include "la/matrix.hpp"
+
+namespace pitk::io {
+
+/// Journal flavor, stored in the chunk-file header so recovery can dispatch
+/// before decoding any chunk.
+enum class SessionKind : std::uint32_t { Linear = 1, Nonlinear = 2 };
+
+/// Chunk types (the u8 tag of every journal chunk).
+enum class ChunkType : std::uint8_t {
+  kOpenLinear = 1,         ///< i64 n0 — journal start of a fresh linear session
+  kEvolve = 2,             ///< evolve/evolve_rect inputs
+  kObserve = 3,            ///< observe inputs
+  kReset = 4,              ///< i64 n0 — invalidates everything before it on replay
+  kSnapshot = 5,           ///< full FilterSnapshot (compaction)
+  kOpenNonlinear = 6,      ///< nonlinear history (means empty) — journal start
+  kAdvance = 7,            ///< advance input (empty vector = unobserved step)
+  kNonlinearSnapshot = 8,  ///< nonlinear history + warm-start means (compaction)
+};
+
+/// Serializable state of a nonlinear session: the grown history (the
+/// callbacks are code, not data — recovery re-binds them via
+/// RecoveryOptions::nonlinear_model) plus the last smoothed means so the
+/// first post-recovery smooth warm-starts like a live one would.
+struct NonlinearSnapshot {
+  la::index k = 0;
+  std::vector<la::index> dims;    ///< size k+1
+  std::vector<la::Vector> obs;    ///< size k+1; empty vector = unobserved
+  la::Vector u0;                  ///< cold-start anchor for state 0
+  std::vector<la::Vector> means;  ///< warm start; empty = none yet
+};
+
+/// Decoded evolve record (h empty = identity, exactly the live-call form).
+struct EvolveRecord {
+  la::index n_new = 0;
+  la::Matrix h;
+  la::Matrix f;
+  la::Vector c;
+  kalman::CovFactor k;
+};
+
+/// Decoded observe record.
+struct ObserveRecord {
+  la::Matrix g;
+  la::Vector o;
+  kalman::CovFactor l;
+};
+
+class SessionJournal {
+ public:
+  /// Create (or overwrite) the journal for `id`; the caller stages and
+  /// commits the opening record next.
+  [[nodiscard]] static std::unique_ptr<SessionJournal> create(const SessionStore& store,
+                                                              std::string_view id,
+                                                              SessionKind kind);
+
+  /// Reattach to a recovered journal for further appends: truncates the torn
+  /// tail at `valid_end` and resumes counting `tail_records` records since
+  /// the last snapshot.
+  [[nodiscard]] static std::unique_ptr<SessionJournal> resume(const SessionStore& store,
+                                                              std::string_view id,
+                                                              SessionKind kind,
+                                                              std::uint64_t valid_end,
+                                                              la::index tail_records);
+
+  // ---- phase 1: stage (memory only; replaces any previously staged record) ----
+
+  void stage_open_linear(la::index n0);
+  void stage_evolve(const la::Matrix& f, const la::Vector& c, const kalman::CovFactor& k);
+  void stage_evolve_rect(la::index n_new, const la::Matrix& h, const la::Matrix& f,
+                         const la::Vector& c, const kalman::CovFactor& k);
+  void stage_observe(const la::Matrix& g, const la::Vector& o, const kalman::CovFactor& l);
+  void stage_reset(la::index n0);
+  void stage_open_nonlinear(const NonlinearSnapshot& s);  ///< means ignored
+  void stage_advance(const la::Vector& obs);
+
+  // ---- phase 2: commit ----
+
+  /// Append the staged record and flush per policy.  Throws on the *first*
+  /// write/fsync failure (and poisons the journal); a poisoned journal
+  /// swallows later commits, counting them as append failures.  No-op when
+  /// nothing is staged.
+  void commit();
+
+  // ---- compaction ----
+
+  /// True when the tail since the last snapshot reached the configured
+  /// threshold (and the journal is healthy).
+  [[nodiscard]] bool wants_compaction() const noexcept;
+
+  /// Rewrite the journal as one snapshot chunk (staging file + atomic
+  /// rename).  Failures are absorbed; see the file comment.
+  void compact_linear(const kalman::IncrementalFilter& filter);
+  void compact_nonlinear(const NonlinearSnapshot& s);
+
+  /// Reused nonlinear snapshot storage for compaction callers (capacity
+  /// persists across compactions).
+  [[nodiscard]] NonlinearSnapshot& nonlinear_scratch() noexcept { return nl_scratch_; }
+
+  [[nodiscard]] bool failed() const noexcept { return file_.failed(); }
+  [[nodiscard]] SessionKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& path() const noexcept { return file_.path(); }
+  [[nodiscard]] la::index tail_records() const noexcept { return tail_records_; }
+
+  /// flush + fsync + close (destruction flushes best-effort).
+  void close() { file_.close(); }
+
+ private:
+  SessionJournal(ChunkFile file, SessionKind kind, DurabilityOptions opts,
+                 std::string compact_path);
+
+  void compact_with(ChunkType type);  ///< stage buffer -> staging file -> rename
+
+  ChunkFile file_;
+  SessionKind kind_;
+  DurabilityOptions opts_;
+  std::string compact_path_;
+  std::vector<std::byte> stage_;     ///< staged record payload (reused)
+  ChunkType stage_type_ = ChunkType::kOpenLinear;
+  bool staged_ = false;
+  la::index tail_records_ = 0;       ///< records since the last snapshot
+  std::vector<std::byte> snap_buf_;  ///< compaction payload (reused)
+  kalman::FilterSnapshot snap_scratch_;
+  NonlinearSnapshot nl_scratch_;
+};
+
+// ---- record decoding (the recovery path) ----
+
+[[nodiscard]] la::index decode_open_linear(std::span<const std::byte> payload);
+void decode_evolve(std::span<const std::byte> payload, EvolveRecord& out);
+void decode_observe(std::span<const std::byte> payload, ObserveRecord& out);
+[[nodiscard]] la::index decode_reset(std::span<const std::byte> payload);
+void decode_snapshot(std::span<const std::byte> payload, kalman::FilterSnapshot& out);
+/// Decodes kOpenNonlinear and kNonlinearSnapshot (identical payloads).
+void decode_nonlinear_snapshot(std::span<const std::byte> payload, NonlinearSnapshot& out);
+void decode_advance(std::span<const std::byte> payload, la::Vector& out);
+
+}  // namespace pitk::io

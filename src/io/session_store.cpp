@@ -1,0 +1,85 @@
+#include "io/session_store.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+namespace pitk::io {
+
+namespace {
+
+constexpr std::string_view kJournalSuffix = ".pitkj";
+constexpr std::string_view kCompactSuffix = ".pitkj.compact";
+
+bool valid_id(std::string_view id) {
+  if (id.empty() || id.size() > 200 || id.front() == '.') return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const char* env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : fallback;
+}
+
+}  // namespace
+
+SessionStore::SessionStore(DurabilityOptions opts) : opts_(std::move(opts)) {
+  if (opts_.dir.empty())
+    throw std::runtime_error("SessionStore: checkpoint directory must be set");
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.dir, ec);
+  if (ec || !std::filesystem::is_directory(opts_.dir))
+    throw std::runtime_error("SessionStore: cannot create directory " + opts_.dir +
+                             (ec ? ": " + ec.message() : std::string()));
+}
+
+DurabilityOptions SessionStore::env_options() {
+  DurabilityOptions o;
+  o.dir = env_or("PITK_CHECKPOINT_DIR", "pitk-checkpoints");
+  const std::string_view flush = env_or("PITK_IO_FLUSH", "every");
+  o.flush = (flush == "buffered") ? FlushPolicy::Buffered : FlushPolicy::EveryAppend;
+  o.fsync_every_append = std::string_view(env_or("PITK_IO_FSYNC", "0")) == "1";
+  o.compact_every = static_cast<la::index>(std::atol(env_or("PITK_IO_COMPACT", "256")));
+  return o;
+}
+
+std::string SessionStore::path_for(std::string_view id) const {
+  if (!valid_id(id))
+    throw std::invalid_argument("SessionStore: invalid session id '" + std::string(id) +
+                                "' (use [A-Za-z0-9._-], no leading dot)");
+  return opts_.dir + "/" + std::string(id) + std::string(kJournalSuffix);
+}
+
+std::string SessionStore::compact_path_for(std::string_view id) const {
+  return opts_.dir + "/" + std::string(id) + std::string(kCompactSuffix);
+}
+
+std::vector<std::string> SessionStore::list() const {
+  std::vector<std::string> ids;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(opts_.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= kJournalSuffix.size()) continue;
+    if (name.ends_with(kCompactSuffix)) continue;
+    if (!name.ends_with(kJournalSuffix)) continue;
+    std::string id = name.substr(0, name.size() - kJournalSuffix.size());
+    if (valid_id(id)) ids.push_back(std::move(id));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void SessionStore::remove(std::string_view id) const {
+  std::error_code ec;
+  std::filesystem::remove(path_for(id), ec);
+  std::filesystem::remove(compact_path_for(id), ec);
+}
+
+}  // namespace pitk::io

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file session_store.hpp
+/// A directory of per-session journals plus the durability knobs they share.
+///
+/// One SessionStore owns one checkpoint directory; every durable session
+/// opened against it keeps a write-ahead journal at `<dir>/<id>.pitkj`.
+/// Compaction stages its rewrite at `<dir>/<id>.pitkj.compact` and commits
+/// with an atomic rename, so at every instant exactly one crash-consistent
+/// journal exists per session id (a stray .compact file is an abandoned
+/// compaction and is ignored — and cleaned up — by recovery).
+///
+/// Environment knobs (read by env_options(), the defaults for stores built
+/// from the environment; explicit DurabilityOptions always win):
+///   PITK_CHECKPOINT_DIR  the journal directory
+///   PITK_IO_FLUSH        "every" (default) | "buffered"
+///   PITK_IO_FSYNC        "1" to fsync after every flushed append (default 0:
+///                        fsync at create/compaction/close only)
+///   PITK_IO_COMPACT      appends between snapshot compactions (default 256)
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pitk::io {
+
+/// When buffered journal bytes are handed to the OS.
+enum class FlushPolicy : std::uint8_t {
+  EveryAppend,  ///< flush on every committed append (the durable default)
+  Buffered,     ///< flush only at compaction/close; trades the tail for speed
+};
+
+struct DurabilityOptions {
+  std::string dir;  ///< checkpoint directory; must be non-empty
+  FlushPolicy flush = FlushPolicy::EveryAppend;
+  /// fsync after every flushed append.  Off by default: the journal then
+  /// survives process death unconditionally and power loss up to the page
+  /// cache, matching the usual WAL trade-off.
+  bool fsync_every_append = false;
+  /// Journal records accumulated past the last snapshot before the journal
+  /// is compacted into a fresh snapshot (bounding recovery cost).  <= 0
+  /// disables compaction.
+  la::index compact_every = 256;
+};
+
+class SessionStore {
+ public:
+  /// Creates `opts.dir` (and parents) if missing; throws std::runtime_error
+  /// when the directory cannot be created or `opts.dir` is empty.
+  explicit SessionStore(DurabilityOptions opts);
+
+  /// Options assembled from the PITK_* environment knobs (see file comment);
+  /// `dir` falls back to "pitk-checkpoints" when PITK_CHECKPOINT_DIR is
+  /// unset.
+  [[nodiscard]] static DurabilityOptions env_options();
+
+  [[nodiscard]] const DurabilityOptions& options() const noexcept { return opts_; }
+
+  /// Journal path for one session id.  Ids are restricted to
+  /// [A-Za-z0-9._-] (non-empty, no leading dot) so they map to safe file
+  /// names; throws std::invalid_argument otherwise.
+  [[nodiscard]] std::string path_for(std::string_view id) const;
+
+  /// Path of the compaction staging file for `id`.
+  [[nodiscard]] std::string compact_path_for(std::string_view id) const;
+
+  /// Session ids with a journal present, sorted; abandoned .compact staging
+  /// files are skipped (recover_all removes them).
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Remove `id`'s journal (and any abandoned staging file).
+  void remove(std::string_view id) const;
+
+ private:
+  DurabilityOptions opts_;
+};
+
+}  // namespace pitk::io

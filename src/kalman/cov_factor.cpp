@@ -63,6 +63,36 @@ CovFactor CovFactor::dense_chol(Matrix chol_lower) {
   return f;
 }
 
+CovFactor CovFactor::from_stored(Kind kind, index dim, Vector diag_std, Matrix chol_lower) {
+  if (dim < 0) throw std::invalid_argument("CovFactor::from_stored: negative dimension");
+  CovFactor f;
+  f.kind_ = kind;
+  f.dim_ = dim;
+  switch (kind) {
+    case Kind::Identity:
+      return f;
+    case Kind::Diagonal:
+      if (diag_std.size() != dim)
+        throw std::invalid_argument("CovFactor::from_stored: diag_std size mismatch");
+      for (index i = 0; i < dim; ++i)
+        if (!(diag_std[i] > 0.0))
+          throw std::invalid_argument(
+              "CovFactor::from_stored: diagonal stds must be positive");
+      f.diag_std_ = std::move(diag_std);
+      return f;
+    case Kind::Dense:
+      if (chol_lower.rows() != dim || chol_lower.cols() != dim)
+        throw std::invalid_argument("CovFactor::from_stored: Cholesky shape mismatch");
+      for (index i = 0; i < dim; ++i)
+        if (!(chol_lower(i, i) > 0.0))
+          throw std::invalid_argument(
+              "CovFactor::from_stored: Cholesky diagonal must be positive");
+      f.chol_ = std::move(chol_lower);
+      return f;
+  }
+  throw std::invalid_argument("CovFactor::from_stored: unknown kind");
+}
+
 void CovFactor::weight_in_place(la::MatrixView b) const {
   assert(b.rows() == dim_);
   switch (kind_) {

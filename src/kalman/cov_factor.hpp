@@ -73,6 +73,24 @@ class CovFactor {
   /// from a Workspace instead of allocating).
   void covariance_into(la::MatrixView out) const;
 
+  // ---- serialization access (pitk::io journals) ----
+
+  /// The stored diagonal factor (sqrt of the variances); meaningful only for
+  /// Kind::Diagonal (empty otherwise).
+  [[nodiscard]] const Vector& diag_std() const noexcept { return diag_std_; }
+
+  /// The stored lower Cholesky factor; meaningful only for Kind::Dense.
+  [[nodiscard]] const Matrix& chol_lower() const noexcept { return chol_; }
+
+  /// Rebuild a factor from its stored representation — the exact inverse of
+  /// the two accessors above.  Unlike dense()/diagonal() this performs no
+  /// factorization or sqrt, so a serialize/deserialize round trip reproduces
+  /// the factor bit-for-bit (journal replay then repeats the original
+  /// arithmetic exactly).  Shapes and positivity are validated; throws
+  /// std::invalid_argument on a factor that could not have been stored.
+  [[nodiscard]] static CovFactor from_stored(Kind kind, index dim, Vector diag_std,
+                                             Matrix chol_lower);
+
  private:
   Kind kind_ = Kind::Identity;
   index dim_ = 0;

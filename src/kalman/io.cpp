@@ -247,4 +247,65 @@ void write_result_csv(std::ostream& os, const SmootherResult& result) {
   }
 }
 
+ResultCsv read_result_csv(std::istream& is) {
+  std::size_t lineno = 1;
+  auto fail = [&lineno](const std::string& what) -> void {
+    throw std::runtime_error("read_result_csv: line " + std::to_string(lineno) + ": " +
+                             what);
+  };
+  std::string line;
+  if (!std::getline(is, line)) fail("empty input");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  bool with_sigma = false;
+  if (line == "state,component,mean,sigma")
+    with_sigma = true;
+  else if (line != "state,component,mean")
+    fail("unrecognized header '" + line + "'");
+
+  // Accumulate per-state rows in growable buffers (la::Vector::resize
+  // zero-fills), converting once at the end.
+  std::vector<std::vector<double>> means;
+  std::vector<std::vector<double>> sigmas;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // tolerate a trailing blank line
+    std::istringstream row(line);
+    long long state = -1;
+    long long comp = -1;
+    double mean = 0.0;
+    double sigma = 0.0;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    row >> state >> c1 >> comp >> c2 >> mean;
+    if (!row || c1 != ',' || c2 != ',') fail("expected 'state,component,mean'");
+    if (with_sigma) {
+      row >> c3 >> sigma;
+      if (!row || c3 != ',') fail("expected a sigma column");
+    }
+    row >> std::ws;
+    if (!row.eof()) fail("trailing characters after the last column");
+    if (state == static_cast<long long>(means.size())) {
+      means.emplace_back();
+      if (with_sigma) sigmas.emplace_back();
+    } else if (state + 1 != static_cast<long long>(means.size())) {
+      fail("state indices must be consecutive from 0");
+    }
+    if (comp != static_cast<long long>(means.back().size()))
+      fail("component indices must be consecutive from 0");
+    means.back().push_back(mean);
+    if (with_sigma) sigmas.back().push_back(sigma);
+  }
+
+  ResultCsv out;
+  out.means.resize(means.size());
+  for (std::size_t i = 0; i < means.size(); ++i)
+    out.means[i].assign_from(std::span<const double>(means[i]));
+  out.sigmas.resize(sigmas.size());
+  for (std::size_t i = 0; i < sigmas.size(); ++i)
+    out.sigmas[i].assign_from(std::span<const double>(sigmas[i]));
+  return out;
+}
+
 }  // namespace pitk::kalman

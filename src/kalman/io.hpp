@@ -42,4 +42,18 @@ void save_problem(const std::string& path, const Problem& p);
 /// components and (when present) the 1-sigma standard deviations.
 void write_result_csv(std::ostream& os, const SmootherResult& result);
 
+/// Decoded write_result_csv output.  The CSV stores per-component 1-sigma
+/// standard deviations, not full covariance blocks, so this is the exact
+/// inverse of what the CSV carries (not of a SmootherResult).
+struct ResultCsv {
+  std::vector<la::Vector> means;   ///< one per state, in order
+  std::vector<la::Vector> sigmas;  ///< empty when the csv had no sigma column
+  [[nodiscard]] bool has_sigmas() const noexcept { return !sigmas.empty(); }
+};
+
+/// Parse CSV produced by write_result_csv.  Throws std::runtime_error with a
+/// line-context message on malformed input (bad header, non-consecutive
+/// state/component indices, missing fields, trailing junk).
+[[nodiscard]] ResultCsv read_result_csv(std::istream& is);
+
 }  // namespace pitk::kalman

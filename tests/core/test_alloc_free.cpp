@@ -12,13 +12,17 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "core/associative.hpp"
 #include "core/filter.hpp"
 #include "core/oddeven.hpp"
 #include "core/paige_saunders.hpp"
 #include "core/selinv.hpp"
+#include "engine/durable.hpp"
 #include "engine/engine.hpp"
 #include "engine/session.hpp"
+#include "io/session_store.hpp"
 #include "la/workspace.hpp"
 #include "obs/trace.hpp"
 #include "test_util.hpp"
@@ -349,6 +353,64 @@ TEST(AllocFree, SessionIncrementalResmoothOnWarmCache) {
   s.smooth_into(out, true);  // covariance upgrade into the retained storage
   EXPECT_EQ(aligned_alloc_count() - before_alt, 0u)
       << "alternating NC/covariance re-smooths must stay allocation-free";
+}
+
+TEST(AllocFree, RecoveredSessionResmoothOnWarmCache) {
+  // The PR-8 durability criterion: a session rebuilt by recover_all() serves
+  // exactly like a live one — once its caches are warm, a re-smooth after a
+  // new durable append performs zero counted allocations (the journal's own
+  // staging buffers are plain byte vectors outside the counted allocator,
+  // and they capacity-reuse too).
+  Rng rng(0xA110C + 12);
+  CommonProblem cp = test::common_problem(rng, 4, 48);
+
+  io::DurabilityOptions dopts;
+  dopts.dir = testing::TempDir() + "/pitk_alloc_free_store";
+  dopts.compact_every = 0;  // replay the whole journal: the worst-case restore
+  std::filesystem::remove_all(dopts.dir);
+  io::SessionStore store(dopts);
+
+  engine::SmootherEngine eng({.threads = 1});
+  {
+    engine::Session live = eng.open_durable_session(store, "warm", 4);
+    for (la::index i = 0; i <= cp.for_qr.last_index(); ++i) {
+      if (i > 0) {
+        const Evolution& e = *cp.for_qr.step(i).evolution;
+        live.evolve(e.F, e.c, e.noise);
+      }
+      if (cp.for_qr.step(i).observation) {
+        const Observation& ob = *cp.for_qr.step(i).observation;
+        live.observe(ob.G, ob.o, ob.noise);
+      }
+    }
+  }  // "crash": the handle dies, the journal stays on disk
+
+  engine::RecoveredSessions rec = eng.recover_all(store);
+  ASSERT_EQ(rec.linear.size(), 1u) << (rec.failed.empty() ? "" : rec.failed[0].second);
+  engine::Session& s = rec.linear[0].second;
+
+  SmootherResult out;
+  s.smooth_into(out, true);  // cold post-recovery rebuild
+  s.observe(Matrix::identity(4), Vector({0.1, -0.2, 0.3, -0.4}), CovFactor::identity(4));
+  s.smooth_into(out, true);  // settles every capacity high-water (incl. journal)
+  settle_workspace();
+
+  // Warm miss: a durable append (journaled!) followed by the incremental
+  // re-smooth, all at zero counted allocations.
+  Matrix g = Matrix::identity(4);
+  Vector o({0.5, 0.25, -0.5, -0.25});
+  CovFactor l = CovFactor::identity(4);
+  const std::uint64_t before_miss = aligned_alloc_count();
+  s.observe(std::move(g), std::move(o), std::move(l));
+  s.smooth_into(out, true);
+  EXPECT_EQ(aligned_alloc_count() - before_miss, 0u)
+      << "a warm re-smooth of a recovered session must not touch the heap";
+
+  // Warm hit: served from the rebuilt cached result.
+  const std::uint64_t before_hit = aligned_alloc_count();
+  s.smooth_into(out, true);
+  EXPECT_EQ(aligned_alloc_count() - before_hit, 0u)
+      << "a cached-result smooth of a recovered session must not touch the heap";
 }
 
 TEST(AllocFree, EngineJobStaysAllocFreeWithTracingEnabled) {

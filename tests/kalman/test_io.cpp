@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "kalman/dense_reference.hpp"
@@ -74,6 +75,33 @@ TEST_P(IoRoundTrip, WriteReadPreservesEverything) {
 
 INSTANTIATE_TEST_SUITE_P(Variants, IoRoundTrip, ::testing::Range(0, 6));
 
+TEST(Io, RejectsEveryTruncation) {
+  // A truncated problem file must always throw — never crash, hang, or
+  // silently parse as a shorter valid problem (the text ends before the
+  // mandatory "end" marker).
+  Rng rng(1234);
+  test::RandomProblemSpec spec;
+  spec.k = 4;
+  spec.n_min = 2;
+  spec.n_max = 3;
+  spec.varying_dims = true;
+  spec.rectangular_h = true;
+  spec.dense_covariances = true;
+  std::stringstream ss;
+  write_problem(ss, test::random_problem(rng, spec));
+  const std::string text = ss.str();
+  const std::size_t end_marker = text.rfind("end");
+  ASSERT_NE(end_marker, std::string::npos);
+  // Most cuts fail in the reader (runtime_error); a cut inside a dense
+  // covariance block can also surface as the CovFactor constructor rejecting
+  // the half-read matrix (invalid_argument).  Either way: an exception, never
+  // a silent short parse.
+  for (std::size_t cut = 0; cut < end_marker; cut += 7) {
+    std::stringstream trunc(text.substr(0, cut));
+    EXPECT_THROW((void)read_problem(trunc), std::exception) << "cut=" << cut;
+  }
+}
+
 TEST(Io, PaperBenchmarkRoundTrip) {
   Rng rng(42);
   Problem p = make_paper_benchmark(rng, 4, 9);
@@ -123,6 +151,59 @@ TEST(Io, ResultCsvLayout) {
   EXPECT_EQ(line, "1,0,3,1");
   std::getline(ss, line);
   EXPECT_EQ(line, "1,1,4,4");
+}
+
+TEST(Io, ReadResultCsvRoundTrip) {
+  SmootherResult res;
+  res.means.push_back(Vector({1.5, -2.25}));
+  res.means.push_back(Vector({3.0625, 4.75}));
+  res.covariances.push_back(Matrix({{4.0, 0.0}, {0.0, 9.0}}));
+  res.covariances.push_back(Matrix({{1.0, 0.0}, {0.0, 16.0}}));
+  std::stringstream ss;
+  write_result_csv(ss, res);
+  ResultCsv back = read_result_csv(ss);
+  ASSERT_EQ(back.means.size(), 2u);
+  ASSERT_TRUE(back.has_sigmas());
+  for (std::size_t i = 0; i < 2; ++i) {
+    test::expect_near(back.means[i].span(), res.means[i].span(), 0.0);
+    for (index q = 0; q < back.sigmas[i].size(); ++q)
+      EXPECT_EQ(back.sigmas[i][q], std::sqrt(res.covariances[i](q, q)));
+  }
+
+  // Covariance-free results round-trip without the sigma column.
+  res.covariances.clear();
+  std::stringstream nc;
+  write_result_csv(nc, res);
+  ResultCsv back_nc = read_result_csv(nc);
+  ASSERT_EQ(back_nc.means.size(), 2u);
+  EXPECT_FALSE(back_nc.has_sigmas());
+  test::expect_near(back_nc.means[1].span(), res.means[1].span(), 0.0);
+}
+
+TEST(Io, ReadResultCsvRejectsMalformed) {
+  auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return read_result_csv(ss);
+  };
+  EXPECT_THROW((void)parse(""), std::runtime_error);
+  EXPECT_THROW((void)parse("wrong,header\n"), std::runtime_error);
+  // Missing column.
+  EXPECT_THROW((void)parse("state,component,mean,sigma\n0,0,1.0\n"), std::runtime_error);
+  // Extra column.
+  EXPECT_THROW((void)parse("state,component,mean\n0,0,1.0,2.0\n"), std::runtime_error);
+  // Non-numeric field.
+  EXPECT_THROW((void)parse("state,component,mean\n0,x,1.0\n"), std::runtime_error);
+  // State indices must be consecutive from 0.
+  EXPECT_THROW((void)parse("state,component,mean\n1,0,1.0\n"), std::runtime_error);
+  EXPECT_THROW((void)parse("state,component,mean\n0,0,1.0\n2,0,1.0\n"),
+               std::runtime_error);
+  // Component indices must be consecutive from 0.
+  EXPECT_THROW((void)parse("state,component,mean\n0,1,1.0\n"), std::runtime_error);
+  // Valid input still parses (sanity for the helper).
+  ResultCsv ok = parse("state,component,mean\n0,0,1.0\n0,1,2.0\n1,0,3.0\n");
+  ASSERT_EQ(ok.means.size(), 2u);
+  EXPECT_EQ(ok.means[0].size(), 2);
+  EXPECT_EQ(ok.means[1].size(), 1);
 }
 
 TEST(Io, FileRoundTrip) {
