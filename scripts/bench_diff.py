@@ -27,9 +27,16 @@ PERCENTILE_SUFFIXES = ("_p50_s", "_p99_s")
 # Series whose wall time does not measure solver speed and therefore must
 # never gate nor contribute to the machine-speed scale.  engine_overload's
 # duration is dominated by deliberate load shedding (accepted/rejected mix);
-# session_recover's by journal scan + replay I/O.  Their medians are printed
-# for the trend but exempt from the regression gate.
-REPORT_ONLY_SERIES = frozenset({"engine_overload", "session_recover"})
+# session_recover's by journal scan + replay I/O; serve_load's by the
+# open-loop arrival schedule (wall time ~= requests/qps regardless of solver
+# speed) and serve_overload's by deliberate per-class shedding.  Their
+# medians are printed for the trend but exempt from the regression gate.
+REPORT_ONLY_SERIES = frozenset({
+    "engine_overload",
+    "session_recover",
+    "serve_load",
+    "serve_overload",
+})
 
 
 def load_medians(path):
@@ -71,25 +78,27 @@ def main(argv=None):
     base = load_medians(args.baseline)
     fresh = load_medians(args.fresh)
     shared = sorted((set(base) & set(fresh)) - REPORT_ONLY_SERIES)
-    if not shared:
-        print("bench_diff: no shared series between %s and %s; nothing to gate"
-              % (args.baseline, args.fresh))
-        return 0
-
-    ratios = {name: fresh[name] / base[name] for name in shared}
-    scale = statistics.median(ratios.values())
-    print("bench_diff: %d shared series, machine-speed scale %.3fx (%s vs %s)"
-          % (len(shared), scale, args.fresh, args.baseline))
 
     failures = []
-    for name in shared:
-        norm = ratios[name] / scale
-        flag = ""
-        if norm > args.gate_factor:
-            failures.append(name)
-            flag = "  <-- REGRESSION"
-        print("  %-32s baseline %.3es  fresh %.3es  x%6.2f  (norm x%5.2f)%s"
-              % (name, base[name], fresh[name], ratios[name], norm, flag))
+    if not shared:
+        # Still fall through: a fresh file holding only report-only series
+        # (e.g. serve_load run alone) deserves its trend + percentile print.
+        print("bench_diff: no gated series shared between %s and %s; "
+              "nothing to gate" % (args.baseline, args.fresh))
+    else:
+        ratios = {name: fresh[name] / base[name] for name in shared}
+        scale = statistics.median(ratios.values())
+        print("bench_diff: %d shared series, machine-speed scale %.3fx (%s vs %s)"
+              % (len(shared), scale, args.fresh, args.baseline))
+
+        for name in shared:
+            norm = ratios[name] / scale
+            flag = ""
+            if norm > args.gate_factor:
+                failures.append(name)
+                flag = "  <-- REGRESSION"
+            print("  %-32s baseline %.3es  fresh %.3es  x%6.2f  (norm x%5.2f)%s"
+                  % (name, base[name], fresh[name], ratios[name], norm, flag))
 
     for name in sorted(REPORT_ONLY_SERIES & set(base) & set(fresh)):
         print("  %-32s baseline %.3es  fresh %.3es  x%6.2f  (report-only)"

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Merge series from one pitk-bench-v1 document into another.
+
+Usage: bench_merge.py DEST SOURCE [SOURCE...]
+
+The committed baseline (BENCH_engine.json) aggregates series produced by
+several bench binaries (bench_engine_throughput writes it directly;
+bench_serve_load writes BENCH_serve.json).  This tool folds the extra files
+in: series from later SOURCEs replace same-named series in DEST, everything
+else in DEST is preserved, and the result is written back to DEST with
+stable key order so baseline diffs stay reviewable.
+
+Typical baseline refresh:
+
+    ./build/bench_engine_throughput          # writes BENCH_engine.json
+    ./build/bench_serve_load                 # writes BENCH_serve.json
+    scripts/bench_merge.py BENCH_engine.json BENCH_serve.json
+"""
+
+import json
+import sys
+
+SCHEMA = "pitk-bench-v1"
+
+
+def merge(dest_doc, source_docs):
+    """Return dest_doc with each source's series folded in (by name)."""
+    for doc in (dest_doc, *source_docs):
+        schema = doc.get("schema")
+        if schema != SCHEMA:
+            raise ValueError("expected schema %r, got %r" % (SCHEMA, schema))
+    by_name = {s["name"]: s for s in dest_doc.get("series", [])}
+    order = [s["name"] for s in dest_doc.get("series", [])]
+    for doc in source_docs:
+        for series in doc.get("series", []):
+            if series["name"] not in by_name:
+                order.append(series["name"])
+            by_name[series["name"]] = series
+    out = dict(dest_doc)
+    out["series"] = [by_name[n] for n in order]
+    return out
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    dest_path, source_paths = argv[0], argv[1:]
+    with open(dest_path) as f:
+        dest_doc = json.load(f)
+    sources = []
+    for p in source_paths:
+        with open(p) as f:
+            sources.append(json.load(f))
+    merged = merge(dest_doc, sources)
+    with open(dest_path, "w") as f:
+        json.dump(merged, f, indent=1)
+        f.write("\n")
+    print("bench_merge: %s now holds %d series (+%s)"
+          % (dest_path, len(merged["series"]), ", ".join(source_paths)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -135,6 +135,28 @@ class BenchDiffTest(unittest.TestCase):
                                "engine_overload": 0.01})
         self.assertEqual(self.run_diff(), 1)
 
+    def test_serve_series_are_report_only(self):
+        # serve_load's wall time tracks the open-loop arrival schedule and
+        # serve_overload's tracks deliberate shedding; neither may gate or
+        # feed the machine-speed scale.
+        self.assertIn("serve_load", bench_diff.REPORT_ONLY_SERIES)
+        self.assertIn("serve_overload", bench_diff.REPORT_ONLY_SERIES)
+        write_doc(self.base, {"a": 1.0, "b": 2.0,
+                              "serve_load": 0.5, "serve_overload": 0.1})
+        write_doc(self.fresh, {"a": 1.0, "b": 2.0,
+                               "serve_load": 25.0, "serve_overload": 9.0})
+        self.assertEqual(self.run_diff(), 0)
+
+    def test_only_report_only_series_still_prints_and_passes(self):
+        # A fresh file holding nothing but report-only series (the CI
+        # bench-smoke leg runs serve_load alone) must not trip the
+        # no-shared-series early-out before the trend/percentile print.
+        write_doc(self.base, {"serve_load": 0.5},
+                  {"serve_load": {"interactive_p99_s": 2e-3}})
+        write_doc(self.fresh, {"serve_load": 0.6},
+                  {"serve_load": {"interactive_p99_s": 3e-3}})
+        self.assertEqual(self.run_diff(), 0)
+
     def test_load_percentiles_collects_suffixed_fields(self):
         write_doc(self.base, {"a": 1.0},
                   {"a": {"queue_p50_s": 2e-4, "queue_p99_s": 5e-4,

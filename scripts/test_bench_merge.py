@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_merge.py (run by the CI bench-smoke job alongside
+test_bench_diff.py)."""
+
+import json
+import os
+import tempfile
+import unittest
+
+import bench_merge
+
+
+def doc(series, schema="pitk-bench-v1"):
+    return {"schema": schema, "machine": {"host": "x"},
+            "series": [dict(s) for s in series]}
+
+
+class BenchMergeTest(unittest.TestCase):
+    def test_new_series_are_appended_in_order(self):
+        merged = bench_merge.merge(
+            doc([{"name": "a", "median_s": 1.0}]),
+            [doc([{"name": "serve_load", "median_s": 0.5},
+                  {"name": "serve_overload", "median_s": 0.1}])])
+        self.assertEqual([s["name"] for s in merged["series"]],
+                         ["a", "serve_load", "serve_overload"])
+
+    def test_same_named_series_are_replaced_not_duplicated(self):
+        merged = bench_merge.merge(
+            doc([{"name": "a", "median_s": 1.0},
+                 {"name": "serve_load", "median_s": 9.0}]),
+            [doc([{"name": "serve_load", "median_s": 0.5, "shed_rate": 0.0}])])
+        self.assertEqual([s["name"] for s in merged["series"]],
+                         ["a", "serve_load"])
+        self.assertEqual(merged["series"][1]["median_s"], 0.5)
+        self.assertEqual(merged["series"][1]["shed_rate"], 0.0)
+
+    def test_dest_top_level_fields_are_preserved(self):
+        merged = bench_merge.merge(doc([{"name": "a", "median_s": 1.0}]),
+                                   [doc([{"name": "b", "median_s": 2.0}])])
+        self.assertEqual(merged["schema"], "pitk-bench-v1")
+        self.assertEqual(merged["machine"], {"host": "x"})
+
+    def test_schema_mismatch_is_rejected(self):
+        with self.assertRaises(ValueError):
+            bench_merge.merge(doc([], schema="other-v0"), [doc([])])
+        with self.assertRaises(ValueError):
+            bench_merge.merge(doc([]), [doc([], schema="other-v0")])
+
+    def test_main_round_trips_files(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            dest = os.path.join(tmp, "dest.json")
+            src = os.path.join(tmp, "src.json")
+            with open(dest, "w") as f:
+                json.dump(doc([{"name": "a", "median_s": 1.0}]), f)
+            with open(src, "w") as f:
+                json.dump(doc([{"name": "serve_load", "median_s": 0.5}]), f)
+            self.assertEqual(bench_merge.main([dest, src]), 0)
+            with open(dest) as f:
+                merged = json.load(f)
+            self.assertEqual([s["name"] for s in merged["series"]],
+                             ["a", "serve_load"])
+
+    def test_main_without_sources_is_usage_error(self):
+        self.assertEqual(bench_merge.main(["only-dest.json"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,6 +1,6 @@
 /// \file durable.cpp
-/// SmootherEngine durability surface: open_durable_session,
-/// open_durable_nonlinear_session, recover_all.
+/// SmootherEngine durability surface: recover_all (journal scan + replay;
+/// durable opens live with the other open_session overloads in engine.cpp).
 ///
 /// Recovery contract (per journal): scan the chunk file (torn tails
 /// truncated, mid-file corruption thrown), rebuild the base state from the
@@ -171,33 +171,6 @@ std::shared_ptr<NonlinearSession::State> DurableAccess::recover_nonlinear(
     }
   }
   return st;
-}
-
-Session SmootherEngine::open_durable_session(io::SessionStore& store, std::string_view id,
-                                             la::index n0) {
-  auto st = std::make_shared<Session::State>(this, n0);
-  st->journal = io::SessionJournal::create(store, id, io::SessionKind::Linear);
-  st->journal->stage_open_linear(n0);
-  st->journal->commit();
-  return Session(std::move(st));
-}
-
-NonlinearSession SmootherEngine::open_durable_nonlinear_session(
-    io::SessionStore& store, std::string_view id, kalman::NonlinearModel model,
-    la::Vector u0, NonlinearJobOptions opts) {
-  NonlinearSession s =
-      open_nonlinear_session(std::move(model), std::move(u0), std::move(opts));
-  NonlinearSession::State& st = *s.state_;
-  st.journal = io::SessionJournal::create(store, id, io::SessionKind::Nonlinear);
-  io::NonlinearSnapshot& snap = st.journal->nonlinear_scratch();
-  snap.k = st.model.k;
-  snap.dims = st.model.dims;
-  snap.obs = st.model.obs;
-  snap.u0 = st.u0;
-  snap.means.clear();
-  st.journal->stage_open_nonlinear(snap);
-  st.journal->commit();
-  return s;
 }
 
 RecoveredSessions SmootherEngine::recover_all(io::SessionStore& store,

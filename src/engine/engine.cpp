@@ -502,26 +502,76 @@ std::vector<std::future<JobResult>> SmootherEngine::submit_batch(std::vector<Pro
   return futures;
 }
 
-Session SmootherEngine::open_session(la::index n0) {
-  return Session(std::make_shared<Session::State>(this, n0));
+Session SmootherEngine::open_session(la::index n0, const SessionOptions& opts) {
+  auto st = std::make_shared<Session::State>(this, n0);
+  if (opts.store != nullptr) {
+    st->journal = io::SessionJournal::create(*opts.store, opts.id, io::SessionKind::Linear);
+    st->journal->stage_open_linear(n0);
+    st->journal->commit();
+  }
+  return Session(std::move(st));
 }
+
+NonlinearSession SmootherEngine::open_session(kalman::NonlinearModel model, la::Vector u0,
+                                              const SessionOptions& opts) {
+  if (model.dims.empty() || model.k + 1 != static_cast<la::index>(model.dims.size()) ||
+      static_cast<la::index>(model.obs.size()) != model.k + 1)
+    throw std::invalid_argument(
+        "open_session: model must carry k+1 dims and obs entries");
+  if (u0.size() != model.dims.front())
+    throw std::invalid_argument("open_session: u0 must have dimension dims[0]");
+  if (opts.nonlinear.into != nullptr)
+    throw std::invalid_argument(
+        "open_session: set `into` per smooth_async call, not in the "
+        "session options");
+  auto st = std::make_shared<NonlinearSession::State>(this, std::move(model), std::move(u0),
+                                                      opts.nonlinear);
+  if (opts.store != nullptr) {
+    st->journal = io::SessionJournal::create(*opts.store, opts.id, io::SessionKind::Nonlinear);
+    io::NonlinearSnapshot& snap = st->journal->nonlinear_scratch();
+    snap.k = st->model.k;
+    snap.dims = st->model.dims;
+    snap.obs = st->model.obs;
+    snap.u0 = st->u0;
+    snap.means.clear();
+    st->journal->stage_open_nonlinear(snap);
+    st->journal->commit();
+  }
+  return NonlinearSession(std::move(st));
+}
+
+// Deprecated forwarders — defined here so every caller funnels through the
+// unified open_session overloads above.  The pragma keeps the library's own
+// build clean; external callers see the [[deprecated]] note.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 NonlinearSession SmootherEngine::open_nonlinear_session(kalman::NonlinearModel model,
                                                         la::Vector u0,
                                                         NonlinearJobOptions opts) {
-  if (model.dims.empty() || model.k + 1 != static_cast<la::index>(model.dims.size()) ||
-      static_cast<la::index>(model.obs.size()) != model.k + 1)
-    throw std::invalid_argument(
-        "open_nonlinear_session: model must carry k+1 dims and obs entries");
-  if (u0.size() != model.dims.front())
-    throw std::invalid_argument("open_nonlinear_session: u0 must have dimension dims[0]");
-  if (opts.into != nullptr)
-    throw std::invalid_argument(
-        "open_nonlinear_session: set `into` per smooth_async call, not in the "
-        "session options");
-  return NonlinearSession(std::make_shared<NonlinearSession::State>(
-      this, std::move(model), std::move(u0), std::move(opts)));
+  SessionOptions so;
+  so.nonlinear = std::move(opts);
+  return open_session(std::move(model), std::move(u0), so);
 }
+
+Session SmootherEngine::open_durable_session(io::SessionStore& store, std::string_view id,
+                                             la::index n0) {
+  return open_session(n0, SessionOptions{}.durable(store, std::string(id)));
+}
+
+NonlinearSession SmootherEngine::open_durable_nonlinear_session(
+    io::SessionStore& store, std::string_view id, kalman::NonlinearModel model,
+    la::Vector u0, NonlinearJobOptions opts) {
+  SessionOptions so = SessionOptions{}.durable(store, std::string(id));
+  so.nonlinear = std::move(opts);
+  return open_session(std::move(model), std::move(u0), so);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void SmootherEngine::wait_idle() {
   // A pool worker must never sleep here: parking a lane would shrink the

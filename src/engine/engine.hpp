@@ -29,6 +29,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/gauss_newton.hpp"
@@ -82,13 +84,13 @@ struct EngineOptions {
   double max_queue_wait_seconds = 0.05;
 };
 
-/// Per-job execution options.
-struct JobOptions {
+/// Execution options shared by every way of handing work to the engine —
+/// linear jobs, nonlinear jobs, and the serving tier's tenant requests.
+/// This is the one place the deadline/timeout/cancel/into/backend plumbing
+/// is declared; JobOptions and NonlinearJobOptions extend it with their
+/// job-kind-specific knobs.
+struct SubmitOptions {
   Backend backend = Backend::Auto;
-  bool compute_covariance = true;
-  /// Prior on u_0; required by the conventional backends (rts/associative),
-  /// folded in as a pseudo-observation by the QR backends.
-  std::optional<GaussianPrior> prior;
   /// When set, the solver writes means/covariances directly into this
   /// caller-owned storage (capacity-reusing: warm storage from a previous
   /// same-shaped job is refilled with zero heap allocations) and
@@ -110,6 +112,20 @@ struct JobOptions {
   std::shared_ptr<CancelToken> cancel;
 };
 
+/// Per-job execution options of a linear smoothing job.
+///
+/// The deadline/timeout/cancel/into/backend members now live in the
+/// SubmitOptions base (deprecation note: code that spelled out the full
+/// shared set on JobOptions keeps compiling unchanged — the fields moved,
+/// they did not change name or meaning — but new code that only needs the
+/// shared subset should take a SubmitOptions).
+struct JobOptions : SubmitOptions {
+  bool compute_covariance = true;
+  /// Prior on u_0; required by the conventional backends (rts/associative),
+  /// folded in as a pseudo-observation by the QR backends.
+  std::optional<GaussianPrior> prior;
+};
+
 /// One nonlinear tenant: the model plus the initial trajectory guess
 /// (size k+1; e.g. an extended-KF pass or the observations mapped to state
 /// space).
@@ -118,12 +134,13 @@ struct NonlinearJob {
   std::vector<la::Vector> init;
 };
 
-/// Per-job options of a nonlinear (Gauss-Newton/LM) job.
-struct NonlinearJobOptions {
-  /// Backend serving the inner linearized solves; Auto resolves via
-  /// select_nonlinear_backend (odd-even for long tracks on a parallel pool,
-  /// Paige-Saunders otherwise).
-  Backend backend = Backend::Auto;
+/// Per-job options of a nonlinear (Gauss-Newton/LM) job.  The shared
+/// backend/into/deadline/timeout/cancel plumbing lives in the SubmitOptions
+/// base; nonlinear jobs additionally checkpoint deadline/cancel between
+/// Gauss-Newton outer iterations.  `backend` here serves the inner
+/// linearized solves; Auto resolves via select_nonlinear_backend (odd-even
+/// for long tracks on a parallel pool, Paige-Saunders otherwise).
+struct NonlinearJobOptions : SubmitOptions {
   /// Outer-loop knobs: iteration budget, tolerance, Levenberg-Marquardt
   /// damping, final_covariance (one covariance-enabled pass over the final
   /// linearization, filling JobResult::result.covariances).  `gn.linear.grain`
@@ -138,14 +155,40 @@ struct NonlinearJobOptions {
   /// 1e8-style variance costs ~8 digits in (I - KG)P and shows up as a
   /// ~1e-9 noise floor in the converged states).
   double delta_prior_variance = 1e4;
-  /// JobOptions::into semantics: final states (and covariances) land in this
-  /// caller-owned storage, capacity-reused across jobs.
-  SmootherResult* into = nullptr;
-  /// Deadline/cancellation, with JobOptions semantics; nonlinear jobs
-  /// additionally checkpoint between Gauss-Newton outer iterations.
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  std::optional<std::chrono::duration<double>> timeout;
-  std::shared_ptr<CancelToken> cancel;
+};
+
+/// Options for opening a streaming session — ONE struct for all four
+/// previous entry points.  Nonlinear-ness is the open_session *overload*
+/// (pass a NonlinearModel + initial guess); durability is the orthogonal
+/// `durable(store, id)` option here.  Defaults reproduce the plain
+/// in-memory linear/nonlinear sessions exactly.
+struct SessionOptions {
+  /// Non-null: journal every mutation to `store` under `id` (write-ahead,
+  /// with periodic snapshot compaction) so the session survives a crash and
+  /// recover_all() can rebuild it.  The store must outlive the open call
+  /// only — the journal copies the durability options and paths it needs.
+  io::SessionStore* store = nullptr;
+  std::string id;
+  /// Nonlinear sessions only: backend + Gauss-Newton knobs for every smooth
+  /// (NonlinearJobOptions::into must stay null — it is per smooth_async
+  /// call).  Ignored by linear sessions.
+  NonlinearJobOptions nonlinear;
+
+  /// Builder conveniences so call sites read as a sentence:
+  ///   eng.open_session(n0, SessionOptions{}.durable(store, "tenant-7"));
+  SessionOptions& durable(io::SessionStore& s, std::string session_id) {
+    store = &s;
+    id = std::move(session_id);
+    return *this;
+  }
+  SessionOptions& gauss_newton(const kalman::GaussNewtonOptions& gn) {
+    nonlinear.gn = gn;
+    return *this;
+  }
+  SessionOptions& backend(Backend b) {
+    nonlinear.backend = b;
+    return *this;
+  }
 };
 
 /// How recover_all() rebuilds sessions from a SessionStore.  Nonlinear
@@ -281,31 +324,40 @@ class SmootherEngine {
       std::vector<NonlinearJob> jobs, const NonlinearJobOptions& opts = {});
 
   /// Open a streaming evolve/observe session starting at a state of
-  /// dimension n0.
-  [[nodiscard]] Session open_session(la::index n0);
+  /// dimension n0.  With opts.store set, every evolve/observe/reset appends
+  /// to a write-ahead journal `<id>.pitkj` in the store before returning,
+  /// with periodic snapshot compaction, so a crashed process can rebuild
+  /// the session with recover_all().  Overwrites any previous journal for
+  /// the id.  Throws on I/O failure (creating the journal, or — after open —
+  /// the first failed append; the session then keeps serving undurably).
+  [[nodiscard]] Session open_session(la::index n0, const SessionOptions& opts = {});
 
   /// Open a streaming *nonlinear* tenant: observations arrive step by step
   /// through advance(), and each smooth runs a Gauss-Newton/LM pass over
   /// everything seen so far, warm-started from the session's cached smoothed
   /// means.  `model` seeds the callbacks and the (possibly pre-filled)
   /// history; `u0` is the initial guess for state 0 used before the first
-  /// smooth.
+  /// smooth; opts.nonlinear carries the backend + Gauss-Newton knobs.  With
+  /// opts.store set, advance() journals the observation stream and
+  /// compaction snapshots the history plus the last smoothed means as a
+  /// warm start (same durability contract as the linear overload).
+  [[nodiscard]] NonlinearSession open_session(kalman::NonlinearModel model, la::Vector u0,
+                                              const SessionOptions& opts = {});
+
+  /// ---- deprecated pre-SessionOptions entry points -----------------------
+  /// Kept as thin forwarders so existing code compiles unchanged; nonlinear
+  /// and durable are orthogonal SessionOptions now, not separate names.
+
+  [[deprecated("use open_session(model, u0, SessionOptions) — nonlinear is an overload")]]
   [[nodiscard]] NonlinearSession open_nonlinear_session(kalman::NonlinearModel model,
                                                         la::Vector u0,
                                                         NonlinearJobOptions opts = {});
 
-  /// Open a *durable* streaming session: every evolve/observe/reset appends
-  /// to a write-ahead journal `<id>.pitkj` in `store` before returning, with
-  /// periodic snapshot compaction, so a crashed process can rebuild the
-  /// session with recover_all().  Overwrites any previous journal for `id`.
-  /// Throws on I/O failure (creating the journal, or — after open — the
-  /// first failed append; the session then keeps serving undurably).
+  [[deprecated("use open_session(n0, SessionOptions{}.durable(store, id))")]]
   [[nodiscard]] Session open_durable_session(io::SessionStore& store, std::string_view id,
                                              la::index n0);
 
-  /// Durable flavor of open_nonlinear_session: advance() journals the
-  /// observation stream; compaction snapshots the history plus the last
-  /// smoothed means as a warm start.
+  [[deprecated("use open_session(model, u0, SessionOptions{}.durable(store, id))")]]
   [[nodiscard]] NonlinearSession open_durable_nonlinear_session(
       io::SessionStore& store, std::string_view id, kalman::NonlinearModel model,
       la::Vector u0, NonlinearJobOptions opts = {});
@@ -325,6 +377,12 @@ class SmootherEngine {
   void wait_idle();
 
   [[nodiscard]] EngineStats stats() const;
+  /// Jobs submitted but not yet started, right now (lock-free snapshot).
+  /// The serving tier's admission control multiplies this by the measured
+  /// per-job solve time to bound estimated queue wait per tenant class.
+  [[nodiscard]] std::uint64_t queued_jobs() const noexcept {
+    return queued_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] unsigned concurrency() const noexcept { return pool_.concurrency(); }
   [[nodiscard]] par::ThreadPool& pool() noexcept { return pool_; }
 

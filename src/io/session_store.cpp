@@ -76,6 +76,12 @@ std::vector<std::string> SessionStore::list() const {
   return ids;
 }
 
+SessionStore SessionStore::shard_store(unsigned shard) const {
+  DurabilityOptions o = opts_;
+  o.dir = opts_.dir + "/shard-" + std::to_string(shard);
+  return SessionStore(std::move(o));
+}
+
 void SessionStore::remove(std::string_view id) const {
   std::error_code ec;
   std::filesystem::remove(path_for(id), ec);

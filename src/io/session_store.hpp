@@ -73,6 +73,14 @@ class SessionStore {
   /// Remove `id`'s journal (and any abandoned staging file).
   void remove(std::string_view id) const;
 
+  /// A store rooted at the `<dir>/shard-<NN>` subdirectory with the same
+  /// durability options — the serving tier's per-shard journal placement.
+  /// Journals are self-contained files, so moving one between shard
+  /// subdirectories (or to another host) migrates the session; this is the
+  /// seam the shard-migration follow-up builds on.  Creates the
+  /// subdirectory if missing.
+  [[nodiscard]] SessionStore shard_store(unsigned shard) const;
+
  private:
   DurabilityOptions opts_;
 };

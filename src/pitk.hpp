@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file pitk.hpp
+/// Top-level public umbrella: one include for downstream users, so they
+/// stop reaching into subsystem-internal headers.  Pulls in the engine
+/// (jobs, sessions, recovery), the sharded serving tier, observability
+/// (metrics registry + Chrome traces), fault injection, and the durable
+/// session store.  Kernel-level headers (la/, core/, kalman/) stay
+/// subsystem-internal except for the model/simulate vocabulary the public
+/// API already exposes through these.
+
+#include "engine/backend.hpp"
+#include "engine/control.hpp"
+#include "engine/durable.hpp"
+#include "engine/engine.hpp"
+#include "engine/nonlinear_session.hpp"
+#include "engine/session.hpp"
+#include "fault/fault.hpp"
+#include "io/journal.hpp"
+#include "io/session_store.hpp"
+#include "kalman/model.hpp"
+#include "kalman/simulate.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "pitk/serve.hpp"

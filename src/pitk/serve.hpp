@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file pitk/serve.hpp
+/// Public umbrella of the sharded serving tier — the front door a service
+/// embeds.  Everything a caller needs to place tenants, submit requests,
+/// open (durable) sessions, and read tier stats:
+///
+///   pitk::serve::ServingTier, ServeOptions, ClassOptions, TenantClass,
+///   TenantHandle, Request, TierStats
+///   pitk::engine::SubmitOptions, SessionOptions, JobResult  (via engine)
+///
+/// The engine itself stays reachable (shard_engine()) for tooling, but
+/// request traffic should flow through the tier API only.
+
+#include "engine/durable.hpp"
+#include "engine/engine.hpp"
+#include "engine/nonlinear_session.hpp"
+#include "engine/session.hpp"
+#include "io/session_store.hpp"
+#include "serve/options.hpp"
+#include "serve/serving_tier.hpp"
+#include "serve/tenant.hpp"

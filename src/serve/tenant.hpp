@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file tenant.hpp
+/// The tenant-centric request vocabulary of the serving tier.
+///
+/// Callers do not talk to engines or shards: they resolve a TenantHandle
+/// once (placement happens there — consistent hash, pin, or rebalance
+/// hook) and then submit Requests against it.  The handle is a small
+/// value: copy it freely, keep it across requests, and re-resolve it after
+/// a restart — placement is stable, so the same tenant id lands on the
+/// same shard.
+
+#include <optional>
+#include <string>
+
+#include "kalman/model.hpp"
+#include "serve/options.hpp"
+
+namespace pitk::serve {
+
+class ServingTier;
+
+/// A placed tenant: id, class, and the shard its requests route to.
+class TenantHandle {
+ public:
+  TenantHandle() = default;
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] TenantClass tenant_class() const noexcept { return class_; }
+  [[nodiscard]] unsigned shard() const noexcept { return shard_; }
+
+ private:
+  friend class ServingTier;
+  TenantHandle(std::string id, TenantClass c, unsigned shard)
+      : id_(std::move(id)), class_(c), shard_(shard) {}
+
+  std::string id_;
+  TenantClass class_ = TenantClass::Standard;
+  unsigned shard_ = 0;
+};
+
+/// One smoothing request: the problem plus the linear-job knobs that are
+/// not part of the shared engine::SubmitOptions.
+struct Request {
+  kalman::Problem problem;
+  /// Prior on u_0; required by the conventional backends (rts/associative).
+  std::optional<kalman::GaussianPrior> prior;
+  bool compute_covariance = true;
+};
+
+}  // namespace pitk::serve

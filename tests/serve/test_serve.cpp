@@ -1,0 +1,352 @@
+/// \file test_serve.cpp
+/// The serving-tier contract: stable tenant placement (hash, pin, hook),
+/// deadline-flush correctness against direct submits across all five
+/// backends, per-class admission under overload (besteffort sheds first,
+/// interactive last), shard-aware durable journal placement + recovery, and
+/// a TSan-able concurrent multi-tenant stress.
+///
+/// The ServeFault suite also runs in CI's fault-smoke leg with
+/// PITK_FAULTS="engine.dequeue:delay:..." armed: per-request deadlines must
+/// hold (every future resolves, slow jobs classify as DeadlineExceeded)
+/// whether or not the dequeue path is artificially slowed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pitk.hpp"
+#include "test_util.hpp"
+
+namespace pitk::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using engine::Backend;
+using la::index;
+using la::Rng;
+
+kalman::Problem small_problem(Rng& rng, index n = 3, index k = 24) {
+  return kalman::make_paper_benchmark(rng, n, k);
+}
+
+double max_deviation(const kalman::SmootherResult& got, const kalman::SmootherResult& ref) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < ref.means.size(); ++i)
+    d = std::max(d, la::max_abs_diff(got.means[i].span(), ref.means[i].span()));
+  if (got.has_covariances() && ref.has_covariances())
+    for (std::size_t i = 0; i < ref.covariances.size(); ++i)
+      d = std::max(d, la::max_abs_diff(got.covariances[i].view(), ref.covariances[i].view()));
+  return d;
+}
+
+ServeOptions two_shards() {
+  ServeOptions so;
+  so.shards = 2;
+  so.threads_per_shard = 2;
+  return so;
+}
+
+TEST(ServeTier, PlacementIsStableAcrossTierInstances) {
+  std::vector<unsigned> first;
+  {
+    ServingTier tier(two_shards());
+    for (int i = 0; i < 64; ++i)
+      first.push_back(tier.shard_of("tenant-" + std::to_string(i)));
+  }
+  // A second tier (a "restarted process") places every tenant identically.
+  ServingTier tier(two_shards());
+  std::set<unsigned> used;
+  for (int i = 0; i < 64; ++i) {
+    const unsigned s = tier.shard_of("tenant-" + std::to_string(i));
+    EXPECT_EQ(s, first[static_cast<std::size_t>(i)]) << "tenant-" << i;
+    EXPECT_LT(s, tier.num_shards());
+    used.insert(s);
+  }
+  // The hash actually spreads load (64 tenants never all land on one shard).
+  EXPECT_EQ(used.size(), tier.num_shards());
+  // And the handle carries the same placement as shard_of.
+  TenantHandle h = tier.tenant("tenant-7", TenantClass::Interactive);
+  EXPECT_EQ(h.shard(), tier.shard_of("tenant-7"));
+  EXPECT_EQ(h.tenant_class(), TenantClass::Interactive);
+  EXPECT_EQ(h.id(), "tenant-7");
+}
+
+TEST(ServeTier, PinBeatsHookBeatsHash) {
+  ServingTier tier(two_shards());
+  const unsigned hashed = tier.shard_of("vip");
+
+  // Hook overrides the hash...
+  tier.set_rebalance_hook([&](std::string_view id, unsigned) -> std::optional<unsigned> {
+    if (id == "vip") return 1u - hashed;
+    return std::nullopt;  // everyone else keeps the hash placement
+  });
+  EXPECT_EQ(tier.shard_of("vip"), 1u - hashed);
+  EXPECT_EQ(tier.shard_of("other"), tier.shard_of("other"));
+
+  // ...and a pin overrides the hook.
+  tier.pin("vip", hashed);
+  EXPECT_EQ(tier.shard_of("vip"), hashed);
+  tier.unpin("vip");
+  EXPECT_EQ(tier.shard_of("vip"), 1u - hashed);
+  tier.set_rebalance_hook(nullptr);
+  EXPECT_EQ(tier.shard_of("vip"), hashed);
+}
+
+TEST(ServeTier, DeadlineFlushedBatchesAgreeWithDirectSubmitAllBackends) {
+  ServeOptions so = two_shards();
+  // Size cut high + short deadline: these submits flush by deadline only.
+  so.classes[tenant_class_index(TenantClass::Standard)].flush_max_jobs = 64;
+  so.classes[tenant_class_index(TenantClass::Standard)].flush_deadline_seconds = 0.002;
+  ServingTier tier(so);
+
+  Rng rng(0x5E11);
+  for (const engine::BackendInfo& info : engine::all_backends()) {
+    Rng prng = rng.split();
+    kalman::Problem p = small_problem(prng);
+    const kalman::GaussianPrior prior = kalman::diffuse_prior(3);
+
+    TenantHandle t = tier.tenant(std::string("t-") + info.name, TenantClass::Standard);
+    engine::JobOptions direct;
+    direct.backend = info.id;
+    direct.prior = prior;
+    const kalman::SmootherResult ref =
+        tier.shard_engine(t.shard()).submit(p, direct).get().result;
+
+    Request req;
+    req.problem = p;
+    req.prior = prior;
+    engine::SubmitOptions opts;
+    opts.backend = info.id;
+    // No flush()/wait_idle(): only the pump's deadline flush can deliver.
+    const kalman::SmootherResult got = tier.submit(t, std::move(req), opts).get().result;
+    EXPECT_LE(max_deviation(got, ref), 1e-10) << info.name;
+  }
+  const TierStats st = tier.stats();
+  EXPECT_GT(st.deadline_flushes, 0u);
+  EXPECT_EQ(st.classes[tenant_class_index(TenantClass::Standard)].shed, 0u);
+}
+
+TEST(ServeTier, SizeTriggeredFlushDeliversWholeBatch) {
+  ServeOptions so = two_shards();
+  so.classes[tenant_class_index(TenantClass::Standard)].flush_max_jobs = 4;
+  so.classes[tenant_class_index(TenantClass::Standard)].flush_deadline_seconds = 10.0;
+  ServingTier tier(so);
+
+  Rng rng(0x512E);
+  TenantHandle t = tier.tenant("batcher", TenantClass::Standard);
+  std::vector<std::future<engine::JobResult>> futs;
+  for (int i = 0; i < 8; ++i) {  // two full batches; deadline far away
+    Request req;
+    req.problem = small_problem(rng);
+    req.prior = kalman::diffuse_prior(3);
+    futs.push_back(tier.submit(t, std::move(req)));
+  }
+  for (auto& f : futs) EXPECT_NO_THROW((void)f.get());
+  const TierStats st = tier.stats();
+  EXPECT_GE(st.size_flushes, 2u);
+  EXPECT_EQ(st.classes[tenant_class_index(TenantClass::Standard)].batched, 8u);
+}
+
+TEST(ServeTier, LowPriorityShedsBeforeHighUnderOverload) {
+  ServeOptions so;
+  so.shards = 1;
+  so.threads_per_shard = 2;
+  // Tight budgets; interactive may block briefly, besteffort sheds at once.
+  so.classes[0] = {1, 0.0, 2e-3, true, 2e-3};
+  so.classes[1] = {1, 0.0, 1e-3, false, 0.0};
+  so.classes[2] = {1, 0.0, 0.4e-3, false, 0.0};
+  ServingTier tier(so);
+
+  Rng rng(0x0E21);
+  const kalman::GaussianPrior prior = kalman::diffuse_prior(3);
+  kalman::Problem base = small_problem(rng, 3, 64);
+
+  // Warm the seconds/job estimate so admission has a measured rate.
+  {
+    engine::JobOptions warm;
+    warm.prior = prior;
+    (void)tier.shard_engine(0).submit(base, warm).get();
+  }
+
+  TenantHandle hi = tier.tenant("hi", TenantClass::Interactive);
+  TenantHandle lo = tier.tenant("lo", TenantClass::BestEffort);
+  std::vector<std::future<engine::JobResult>> futs;
+  for (int i = 0; i < 400; ++i) {
+    Request rh;
+    rh.problem = base;
+    rh.prior = prior;
+    futs.push_back(tier.submit(hi, std::move(rh)));
+    Request rl;
+    rl.problem = base;
+    rl.prior = prior;
+    futs.push_back(tier.submit(lo, std::move(rl)));
+  }
+  std::uint64_t resolved = 0;
+  for (auto& f : futs) {
+    try {
+      (void)f.get();
+      ++resolved;
+    } catch (const engine::SolveError& e) {
+      EXPECT_EQ(e.code(), engine::SolveErrorCode::QueueFull);
+    }
+  }
+  tier.wait_idle();
+  const TierStats st = tier.stats();
+  const auto& ci = st.classes[tenant_class_index(TenantClass::Interactive)];
+  const auto& cb = st.classes[tenant_class_index(TenantClass::BestEffort)];
+  EXPECT_EQ(ci.submitted, 400u);
+  EXPECT_EQ(cb.submitted, 400u);
+  // The overload is real: someone shed...
+  EXPECT_GT(cb.shed, 0u);
+  // ...and the SLO ordering holds: besteffort sheds at least as hard.
+  EXPECT_GE(cb.shed, ci.shed);
+  EXPECT_EQ(resolved + ci.shed + cb.shed, 800u);
+}
+
+TEST(ServeTier, ConcurrentMultiTenantStress) {
+  ServeOptions so = two_shards();
+  ServingTier tier(so);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 32;
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(0xC0DE + static_cast<std::uint64_t>(w));
+      for (int i = 0; i < kPerThread; ++i) {
+        const TenantClass cls = static_cast<TenantClass>(i % num_tenant_classes);
+        TenantHandle t =
+            tier.tenant("w" + std::to_string(w) + "-t" + std::to_string(i % 5), cls);
+        Request req;
+        req.problem = small_problem(rng);
+        req.prior = kalman::diffuse_prior(3);
+        try {
+          (void)tier.submit(t, std::move(req)).get();
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const engine::SolveError&) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  tier.wait_idle();
+  EXPECT_EQ(completed.load() + shed.load(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  const TierStats st = tier.stats();
+  std::uint64_t submitted = 0;
+  for (const auto& c : st.classes) submitted += c.submitted;
+  EXPECT_EQ(submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(ServeTier, DurableSessionsPlaceJournalsPerShardAndRecover) {
+  io::DurabilityOptions dopts;
+  dopts.dir = testing::TempDir() + "/pitk_serve_store";
+  fs::remove_all(dopts.dir);
+  io::SessionStore base(dopts);
+
+  Rng rng(0xD0D0);
+  kalman::Problem track = small_problem(rng, 3, 40);
+  std::vector<std::string> ids = {"alpha", "beta", "gamma", "delta"};
+  std::vector<unsigned> shard_of_id;
+  std::vector<kalman::SmootherResult> live_results;
+
+  {
+    ServingTier tier(two_shards());
+    for (const std::string& id : ids) {
+      TenantHandle t = tier.tenant(id);
+      shard_of_id.push_back(t.shard());
+      engine::SessionOptions sopts;
+      sopts.store = &base;  // tier reroutes to base/shard-N
+      engine::Session s = tier.open_session(t, 3, sopts);
+      for (index i = 1; i < track.num_states(); ++i) {
+        const kalman::TimeStep& step = track.step(i);
+        if (step.evolution) s.evolve(step.evolution->F, step.evolution->c, step.evolution->noise);
+        if (step.observation)
+          s.observe(step.observation->G, step.observation->o, step.observation->noise);
+      }
+      live_results.push_back(s.smooth(true));
+      // The journal landed in the tenant's shard subdirectory, named by id.
+      EXPECT_TRUE(fs::exists(base.shard_store(t.shard()).path_for(id)))
+          << id << " shard " << t.shard();
+    }
+    const TierStats st = tier.stats();
+    EXPECT_EQ(st.durable_sessions_opened, ids.size());
+  }  // tier torn down: "process death" (journals are crash-consistent anyway)
+
+  ServingTier tier(two_shards());
+  auto recovered = tier.recover(base);
+  ASSERT_EQ(recovered.size(), tier.num_shards());
+  std::size_t total = 0;
+  for (auto& [shard, rec] : recovered) {
+    EXPECT_TRUE(rec.failed.empty());
+    for (auto& [id, session] : rec.linear) {
+      const auto it = std::find(ids.begin(), ids.end(), id);
+      ASSERT_NE(it, ids.end());
+      const std::size_t idx = static_cast<std::size_t>(it - ids.begin());
+      // Recovered on the same shard the tenant hashes to.
+      EXPECT_EQ(shard, shard_of_id[idx]) << id;
+      EXPECT_LE(max_deviation(session.smooth(true), live_results[idx]), 1e-10) << id;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, ids.size());
+}
+
+/// Runs unarmed in the normal suite and with PITK_FAULTS=
+/// "engine.dequeue:delay:1.0:3:5" in CI's fault-smoke leg: every future must
+/// resolve either with a result or with a *classified* deadline error, and
+/// the tier must stay consistent — injected dequeue slowness can make jobs
+/// late, never lost or misclassified.
+TEST(ServeFault, PerClassDeadlinesHoldUnderInjectedDequeueDelay) {
+  ServeOptions so;
+  so.shards = 1;
+  so.threads_per_shard = 2;
+  so.classes[tenant_class_index(TenantClass::Standard)].flush_max_jobs = 4;
+  so.classes[tenant_class_index(TenantClass::Standard)].flush_deadline_seconds = 1e-3;
+  ServingTier tier(so);
+
+  Rng rng(0xFA017);
+  TenantHandle t = tier.tenant("deadline-tenant", TenantClass::Standard);
+  std::vector<std::future<engine::JobResult>> futs;
+  for (int i = 0; i < 16; ++i) {
+    Request req;
+    req.problem = small_problem(rng);
+    req.prior = kalman::diffuse_prior(3);
+    engine::SubmitOptions opts;
+    opts.timeout = std::chrono::duration<double>(0.05);
+    futs.push_back(tier.submit(t, std::move(req), opts));
+  }
+  std::uint64_t completed = 0, deadline = 0;
+  for (auto& f : futs) {
+    try {
+      (void)f.get();
+      ++completed;
+    } catch (const engine::SolveError& e) {
+      // Injected slowness may push a job past its deadline — that must be
+      // the *classified* outcome, never a hang or a generic failure.
+      EXPECT_TRUE(e.code() == engine::SolveErrorCode::DeadlineExceeded ||
+                  e.code() == engine::SolveErrorCode::QueueFull)
+          << static_cast<int>(e.code());
+      ++deadline;
+    }
+  }
+  EXPECT_EQ(completed + deadline, 16u);
+  tier.wait_idle();
+  const engine::EngineStats st = tier.shard_engine(0).stats();
+  EXPECT_EQ(st.jobs_completed + st.jobs_deadline_exceeded + st.jobs_failed +
+                st.jobs_cancelled + st.jobs_rejected,
+            st.jobs_submitted);
+}
+
+}  // namespace
+}  // namespace pitk::serve
