@@ -166,6 +166,71 @@ bool bench_session_resmooth(bench::JsonBench& out, engine::SmootherEngine& eng,
   return agree && fast;
 }
 
+/// The truncated-delta criterion (PR 10): a warm default session appending
+/// ONE step per re-smooth against an exact_resmooth() session riding the
+/// identical stream — the exact session pays the full spliced backward pass
+/// (the pre-truncation serving cost), the default session stops its delta
+/// propagation at the decay bound and rewrites only the truncation window.
+/// O(window) vs O(k) per re-smooth, so the enforced floor is a hard 10x at
+/// the 4096-step serving shape; results must still agree to 1e-10.
+bool bench_session_resmooth_delta(bench::JsonBench& out, engine::SmootherEngine& eng,
+                                  const kalman::Problem& track, index k0, int reps) {
+  engine::Session del = eng.open_session(track.state_dim(0));
+  engine::Session ex =
+      eng.open_session(track.state_dim(0), engine::SessionOptions{}.exact_resmooth());
+  for (engine::Session* s : {&del, &ex}) {
+    if (track.step(0).observation) {
+      const kalman::Observation& ob = *track.step(0).observation;
+      s->observe(ob.G, ob.o, ob.noise);
+    }
+    feed_track(*s, track, 0, k0);
+  }
+  kalman::SmootherResult dres;
+  kalman::SmootherResult xres;
+  del.smooth_into(dres, true);  // prime both caches and both storages
+  ex.smooth_into(xres, true);
+
+  std::vector<double> delta_samples;
+  std::vector<double> exact_samples;
+  double worst = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const index len = k0 + static_cast<index>(r) + 1;
+    feed_track(del, track, len - 1, len);
+    feed_track(ex, track, len - 1, len);
+    delta_samples.push_back(bench::time_once([&] { del.smooth_into(dres, true); }));
+    exact_samples.push_back(bench::time_once([&] { ex.smooth_into(xres, true); }));
+    worst = std::max(worst, max_deviation(dres, xres));
+  }
+
+  const double sec_delta = bench::percentile(delta_samples, 0.5);
+  const double sec_exact = bench::percentile(exact_samples, 0.5);
+  const double speedup = sec_exact / sec_delta;
+  const engine::SessionStats st = del.stats();
+  const double skipped_per_pass =
+      st.truncated_resmooths == 0
+          ? 0.0
+          : static_cast<double>(st.steps_truncation_skipped) /
+                static_cast<double>(st.truncated_resmooths);
+  out.record("session_resmooth_delta", delta_samples,
+             {{"k", static_cast<double>(k0)},
+              {"append", 1.0},
+              {"speedup_vs_exact", speedup},
+              {"truncated_passes", static_cast<double>(st.truncated_resmooths)},
+              {"states_skipped_per_pass", skipped_per_pass}});
+  out.record("session_resmooth_delta_exact", exact_samples,
+             {{"k", static_cast<double>(k0)}, {"append", 1.0}});
+
+  const bool agree = worst < 1e-10;
+  const bool truncating = st.truncated_resmooths > 0;
+  const bool fast = speedup >= 10.0;
+  std::printf(
+      "  [%s] delta    append    1: truncated %8.3f ms  exact %8.3f ms  %5.1fx  |diff| %.2e"
+      "  (skips %.0f states/pass)\n",
+      agree && fast && truncating ? "OK " : "???", 1e3 * sec_delta, 1e3 * sec_exact, speedup,
+      worst, skipped_per_pass);
+  return agree && fast && truncating;
+}
+
 /// The shared noisy-pendulum tenant (kalman/simulate.cpp) with a per-tenant
 /// start angle so jobs are not identical.
 kalman::NonlinearModel pendulum_model(la::Rng& rng, index k) {
@@ -708,6 +773,7 @@ int main() {
     resmooth_ok &= bench_session_resmooth(out, seng, track, k0, sweep[2],
                                           "session_resmooth_a256", "session_resmooth_a256_full",
                                           reps, false);
+    resmooth_ok &= bench_session_resmooth_delta(out, seng, track, k0, reps);
   }
 
   // Nonlinear tenants: Gauss-Newton outer loops as engine jobs.

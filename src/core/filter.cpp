@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -50,6 +51,7 @@ void IncrementalFilter::reset(la::index n0) {
   finished_.diag.clear();
   finished_.sup.clear();
   finished_.rhs.clear();
+  decay_amp_.clear();
 }
 
 Matrix IncrementalFilter::take_spare_matrix() {
@@ -64,6 +66,28 @@ Vector IncrementalFilter::take_spare_vector() {
   Vector v = std::move(spare_vectors_.back());
   spare_vectors_.pop_back();
   return v;
+}
+
+void IncrementalFilter::append_decay_amp(const Matrix& diag, const Matrix& sup) {
+  // g = ||diag^{-1} sup||_F bounds (Frobenius >= spectral) how strongly a
+  // correction to the next state's estimate feeds back into this one through
+  // back substitution; the running entry keeps the max over every window
+  // ending here: amp_i = g_i * max(1, amp_{i-1}) = max_j prod_{m=j..i} g_m.
+  double g = std::numeric_limits<double>::infinity();
+  if (full_rank(diag) && sup.rows() > 0 && sup.cols() > 0) {
+    la::Workspace::Scope scope(la::tls_workspace());
+    la::MatrixView w = scope.mat(sup.rows(), sup.cols());
+    w.assign(sup.view());
+    la::trsm_left(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit, diag.view(), w);
+    double ss = 0.0;
+    for (index j = 0; j < w.cols(); ++j)
+      for (index q = 0; q < w.rows(); ++q) ss += w(q, j) * w(q, j);
+    g = std::sqrt(ss);
+  } else if (sup.rows() == 0 || sup.cols() == 0) {
+    g = 0.0;  // no coupling rows at all: nothing propagates past this block
+  }
+  const double prev = decay_amp_.empty() ? 1.0 : std::max(1.0, decay_amp_.back());
+  decay_amp_.push_back(g * prev);
 }
 
 void IncrementalFilter::evolve(Matrix f, Vector c, CovFactor k) {
@@ -134,6 +158,7 @@ void IncrementalFilter::evolve_rect(la::index n_new, Matrix h, Matrix f, Vector 
         sup(q, j - n_) = s(q, j);
     }
   for (index q = 0; q < avail; ++q) rrhs[q] = srhs[static_cast<std::size_t>(q)];
+  append_decay_amp(diag, sup);
   finished_.diag.push_back(std::move(diag));
   finished_.sup.push_back(std::move(sup));
   finished_.rhs.push_back(std::move(rrhs));
@@ -308,6 +333,7 @@ void IncrementalFilter::restore_state(const FilterSnapshot& s) {
   finished_.diag.clear();
   finished_.sup.clear();
   finished_.rhs.clear();
+  decay_amp_.clear();
 
   step_ = s.step;
   n_ = s.n;
@@ -328,6 +354,11 @@ void IncrementalFilter::restore_state(const FilterSnapshot& s) {
     r.assign_from(s.finished.rhs[i].span());
     finished_.rhs.push_back(std::move(r));
   }
+  // The decay bounds are derived state, not snapshot payload: recompute them
+  // so a restored filter truncates exactly like the one that was journaled.
+  decay_amp_.reserve(blocks);
+  for (std::size_t i = 0; i < blocks; ++i)
+    append_decay_amp(finished_.diag[i], finished_.sup[i]);
 }
 
 SmootherResult IncrementalFilter::smooth(bool with_covariances) const {

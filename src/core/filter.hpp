@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "core/paige_saunders.hpp"
 #include "kalman/model.hpp"
@@ -97,6 +98,21 @@ class IncrementalFilter {
   /// exactly while the epoch it was spliced under still matches.
   [[nodiscard]] std::uint64_t reset_epoch() const noexcept { return epoch_; }
 
+  /// Per-block decay-amplification bounds, one entry per finalized block
+  /// (appended as evolve() finalizes, recomputed by restore_state(), cleared
+  /// by reset()).  Entry i is
+  ///   amp_i = max over j <= i of  prod_{m=j..i} ||R_mm^{-1} R_{m,m+1}||_F,
+  /// the factor by which a correction to state i+1's smoothed estimate can
+  /// amplify into *any* earlier state's estimate through back substitution
+  /// (Frobenius bounds the spectral norm, so the bound is rigorous).  This
+  /// is what lets a re-smooth stop propagating a delta early: once
+  /// amp_i * ||delta_{i+1}|| falls below a tolerance, every neglected
+  /// correction is provably below it too.  Infinity when a finalized
+  /// diagonal block is rank deficient (no truncation across it).
+  [[nodiscard]] std::span<const double> decay_amplification() const noexcept {
+    return decay_amp_;
+  }
+
   /// Bring a cached factor up to date by re-running the factor assembly only
   /// for steps at/after `step`, the first index where `f` may differ from
   /// this filter: blocks [step, current_step()) are copied from the
@@ -135,6 +151,9 @@ class IncrementalFilter {
   [[nodiscard]] Matrix take_spare_matrix();
   [[nodiscard]] Vector take_spare_vector();
 
+  /// Append the decay_amplification() entry of the newest finalized block.
+  void append_decay_amp(const Matrix& diag, const Matrix& sup);
+
   la::index step_ = 0;
   la::index n_ = 0;
   std::uint64_t epoch_ = 0;  ///< reset() count (prefix-cache invalidation)
@@ -143,6 +162,7 @@ class IncrementalFilter {
   Matrix scratch_pending_;  ///< double buffer swapped with pending_ each step
   Vector scratch_rhs_;
   BidiagonalFactor finished_;  ///< finalized R rows of eliminated states
+  std::vector<double> decay_amp_;  ///< see decay_amplification()
   la::QrScratch qr_;           ///< reused Householder tau storage
   std::vector<Matrix> spare_matrices_;  ///< retired factor blocks (see reset)
   std::vector<Vector> spare_vectors_;

@@ -262,16 +262,12 @@ ColState reduce_odd(const std::vector<ColState>& level, std::vector<EvenOut>& ev
   return out;
 }
 
-}  // namespace
-
-OddEvenFactor oddeven_factor(const Problem& p, par::ThreadPool& pool, index grain) {
-  if (auto err = p.validate(true)) throw std::invalid_argument("oddeven_factor: " + *err);
+/// The reduction shared by every factorization entry point: consume a top
+/// level of ColStates and produce the complete factor.
+OddEvenFactor reduce_levels(std::vector<ColState> level, std::vector<index> dims,
+                            par::ThreadPool& pool, index grain) {
   OddEvenFactor f;
-  const index k = p.last_index();
-  f.dims.resize(static_cast<std::size_t>(k + 1));
-  for (index i = 0; i <= k; ++i) f.dims[static_cast<std::size_t>(i)] = p.state_dim(i);
-
-  std::vector<ColState> level = build_top_level(p, pool, grain);
+  f.dims = std::move(dims);
 
   while (static_cast<index>(level.size()) > 1) {
     const index size = static_cast<index>(level.size());
@@ -310,6 +306,66 @@ OddEvenFactor oddeven_factor(const Problem& p, par::ThreadPool& pool, index grai
     f.levels.push_back(std::move(lev));
   }
   return f;
+}
+
+}  // namespace
+
+OddEvenFactor oddeven_factor(const Problem& p, par::ThreadPool& pool, index grain) {
+  if (auto err = p.validate(true)) throw std::invalid_argument("oddeven_factor: " + *err);
+  const index k = p.last_index();
+  std::vector<index> dims(static_cast<std::size_t>(k + 1));
+  for (index i = 0; i <= k; ++i) dims[static_cast<std::size_t>(i)] = p.state_dim(i);
+  return reduce_levels(build_top_level(p, pool, grain), std::move(dims), pool, grain);
+}
+
+OddEvenFactor oddeven_factor_from_bidiagonal(const BidiagonalFactor& b, par::ThreadPool& pool,
+                                             index grain) {
+  const index k = static_cast<index>(b.diag.size()) - 1;
+  if (k < 0 || b.sup.size() != b.diag.size() || b.rhs.size() != b.diag.size())
+    throw std::invalid_argument("oddeven_factor_from_bidiagonal: malformed factor");
+  std::vector<index> dims(static_cast<std::size_t>(k + 1));
+  for (index i = 0; i <= k; ++i) {
+    const Matrix& d = b.diag[static_cast<std::size_t>(i)];
+    if (d.rows() <= 0 || d.rows() != d.cols() ||
+        b.rhs[static_cast<std::size_t>(i)].size() != d.rows())
+      throw std::invalid_argument("oddeven_factor_from_bidiagonal: malformed diagonal block");
+    dims[static_cast<std::size_t>(i)] = d.rows();
+  }
+  for (index i = 0; i < k; ++i) {
+    const Matrix& sp = b.sup[static_cast<std::size_t>(i)];
+    if (sp.rows() != dims[static_cast<std::size_t>(i)] ||
+        sp.cols() != dims[static_cast<std::size_t>(i + 1)])
+      throw std::invalid_argument("oddeven_factor_from_bidiagonal: malformed coupling block");
+  }
+
+  // Row block i of the bidiagonal factor is [R_ii | R_{i,i+1}] = rhs_i over
+  // columns (i, i+1): it enters the top level as the evolution rows of
+  // column i+1 (E = R_ii, D = R_{i,i+1}), and the final diagonal block — the
+  // session's compressed live state — as the last column's local rows.  The
+  // bidiagonal rows are an orthogonal transform of the original weighted
+  // problem rows, so the reduction solves the same least-squares system: the
+  // odd-even pass re-eliminates only the already-compressed O(k n) rows
+  // instead of re-weighing the raw problem.
+  std::vector<ColState> level(static_cast<std::size_t>(k + 1));
+  par::parallel_for(pool, 0, k + 1, grain, [&](index i) {
+    ColState& cs = level[static_cast<std::size_t>(i)];
+    cs.col = i;
+    cs.n = dims[static_cast<std::size_t>(i)];
+    if (i == k) {
+      cs.C.assign_from(b.diag[static_cast<std::size_t>(i)].view());
+      cs.crhs.assign_from(b.rhs[static_cast<std::size_t>(i)].span());
+    } else {
+      cs.C.resize(0, cs.n);
+      cs.crhs.resize(0);
+    }
+    if (i > 0) {
+      cs.has_evo = true;
+      cs.E.assign_from(b.diag[static_cast<std::size_t>(i - 1)].view());
+      cs.D.assign_from(b.sup[static_cast<std::size_t>(i - 1)].view());
+      cs.erhs.assign_from(b.rhs[static_cast<std::size_t>(i - 1)].span());
+    }
+  });
+  return reduce_levels(std::move(level), std::move(dims), pool, grain);
 }
 
 std::vector<Vector> oddeven_solve(const OddEvenFactor& f, par::ThreadPool& pool, index grain) {

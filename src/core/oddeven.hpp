@@ -17,6 +17,7 @@
 /// concurrently, each needing only S-blocks of adjacent odd columns already
 /// produced by deeper levels.
 
+#include "core/paige_saunders.hpp"
 #include "kalman/model.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -82,6 +83,21 @@ struct OddEvenCovScratch {
 /// Factor the problem (parallel across block columns within each level).
 [[nodiscard]] OddEvenFactor oddeven_factor(const Problem& p, par::ThreadPool& pool,
                                            la::index grain = par::default_grain);
+
+/// Factor an already-compressed block-bidiagonal system — e.g. a streaming
+/// session's spliced prefix (IncrementalFilter::finished_prefix() plus the
+/// compressed live block).  Row block i of `b` covers columns (i, i+1) and
+/// enters the top level as the evolution rows of column i+1 (E = R_ii,
+/// D = R_{i,i+1}); the last diagonal block becomes the final column's local
+/// rows.  Because the bidiagonal rows are an orthogonal transform of the
+/// original weighted problem rows, this solves the same least-squares
+/// system: means and SelInv covariances agree with back substitution on `b`
+/// to backend tolerance, and a long session's re-smooth gets the
+/// intra-parallel solver without re-paying the sequential elimination of the
+/// raw O(k (n+m)) rows.
+[[nodiscard]] OddEvenFactor oddeven_factor_from_bidiagonal(const BidiagonalFactor& b,
+                                                           par::ThreadPool& pool,
+                                                           la::index grain = par::default_grain);
 
 /// Back substitution: levels in reverse, all rows of a level in parallel.
 [[nodiscard]] std::vector<Vector> oddeven_solve(const OddEvenFactor& f, par::ThreadPool& pool,

@@ -1,6 +1,7 @@
 #include "core/paige_saunders.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/selinv.hpp"
@@ -154,40 +155,128 @@ std::vector<Vector> paige_saunders_solve(const BidiagonalFactor& f) {
   return u;
 }
 
-void paige_saunders_solve_into(const BidiagonalFactor& f, std::vector<Vector>& u) {
-  const index k = static_cast<index>(f.diag.size()) - 1;
-  // Kalman state dimensions live in n <= 8; there the per-state update runs
-  // on direct loops instead of gemv/trsv, whose call dispatch dominates the
-  // ~50 flops of a 4x4 step (same trade as the SelInv small-dim path).
-  constexpr index small = 8;
-  u.resize(static_cast<std::size_t>(k + 1));
-  for (index i = k; i >= 0; --i) {
-    const Matrix& rd = f.diag[static_cast<std::size_t>(i)];
-    const index n = rd.rows();
-    Vector& x = u[static_cast<std::size_t>(i)];
-    x.assign_from(f.rhs[static_cast<std::size_t>(i)].span());
-    if (i < k) {
-      const Matrix& rs = f.sup[static_cast<std::size_t>(i)];
-      const Vector& un = u[static_cast<std::size_t>(i + 1)];
-      if (n <= small && rs.cols() <= small) {
-        for (index c = 0; c < rs.cols(); ++c) {
-          const double uc = un[c];
-          for (index r = 0; r < n; ++r) x[r] -= rs(r, c) * uc;
-        }
-      } else {
-        la::gemv(-1.0, rs.view(), Trans::No, un.span(), 1.0, x.span());
-      }
-    }
-    if (n <= small) {
-      for (index r = n - 1; r >= 0; --r) {
-        double acc = x[r];
-        for (index c = r + 1; c < n; ++c) acc -= rd(r, c) * x[c];
-        x[r] = acc / rd(r, r);
+namespace {
+
+// Kalman state dimensions live in n <= 8; there the per-state update runs
+// on direct loops instead of gemv/trsv, whose call dispatch dominates the
+// ~50 flops of a 4x4 step (same trade as the SelInv small-dim path).
+constexpr index kSmallState = 8;
+
+void back_substitute_state(const BidiagonalFactor& f, index i, index k, std::vector<Vector>& u) {
+  const Matrix& rd = f.diag[static_cast<std::size_t>(i)];
+  const index n = rd.rows();
+  Vector& x = u[static_cast<std::size_t>(i)];
+  x.assign_from(f.rhs[static_cast<std::size_t>(i)].span());
+  if (i < k) {
+    const Matrix& rs = f.sup[static_cast<std::size_t>(i)];
+    const Vector& un = u[static_cast<std::size_t>(i + 1)];
+    if (n <= kSmallState && rs.cols() <= kSmallState) {
+      for (index c = 0; c < rs.cols(); ++c) {
+        const double uc = un[c];
+        for (index r = 0; r < n; ++r) x[r] -= rs(r, c) * uc;
       }
     } else {
-      la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, rd.view(), x.span());
+      la::gemv(-1.0, rs.view(), Trans::No, un.span(), 1.0, x.span());
     }
   }
+  if (n <= kSmallState) {
+    for (index r = n - 1; r >= 0; --r) {
+      double acc = x[r];
+      for (index c = r + 1; c < n; ++c) acc -= rd(r, c) * x[c];
+      x[r] = acc / rd(r, r);
+    }
+  } else {
+    la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, rd.view(), x.span());
+  }
+}
+
+}  // namespace
+
+void paige_saunders_solve_into(const BidiagonalFactor& f, std::vector<Vector>& u) {
+  paige_saunders_solve_tail_into(f, 0, u);
+}
+
+void paige_saunders_solve_tail_into(const BidiagonalFactor& f, la::index from,
+                                    std::vector<Vector>& u) {
+  const index k = static_cast<index>(f.diag.size()) - 1;
+  if (from < 0 || from > k)
+    throw std::invalid_argument("paige_saunders_solve_tail_into: from out of range");
+  u.resize(static_cast<std::size_t>(k + 1));
+  for (index i = k; i >= from; --i) back_substitute_state(f, i, k, u);
+}
+
+TruncatedPass paige_saunders_solve_delta_into(const BidiagonalFactor& f, la::index from,
+                                              std::span<const double> decay_amp, double tol,
+                                              std::vector<Vector>& u) {
+  const index k = static_cast<index>(f.diag.size()) - 1;
+  if (from < 1 || from > k)
+    throw std::invalid_argument("paige_saunders_solve_delta_into: from must be in [1, k]");
+  if (static_cast<index>(u.size()) <= from || static_cast<index>(decay_amp.size()) < from)
+    throw std::invalid_argument(
+        "paige_saunders_solve_delta_into: previous solution / decay bounds too short");
+
+  la::Workspace::Scope scope(la::tls_workspace());
+  index maxn = 0;
+  for (index i = 0; i <= from; ++i) maxn = std::max(maxn, f.diag[static_cast<std::size_t>(i)].rows());
+  std::span<double> cur = scope.vec(maxn);   // delta at the state just updated
+  std::span<double> next = scope.vec(maxn);  // staging for the next delta
+
+  // Seed: exact recompute of the tail, delta = new u[from] - old u[from].
+  const index nf = f.diag[static_cast<std::size_t>(from)].rows();
+  if (u[static_cast<std::size_t>(from)].size() != nf)
+    throw std::invalid_argument("paige_saunders_solve_delta_into: stale solution shape");
+  for (index q = 0; q < nf; ++q) cur[static_cast<std::size_t>(q)] = u[static_cast<std::size_t>(from)][q];
+  paige_saunders_solve_tail_into(f, from, u);
+  double dn = 0.0;
+  for (index q = 0; q < nf; ++q) {
+    const double v = u[static_cast<std::size_t>(from)][q] - cur[static_cast<std::size_t>(q)];
+    cur[static_cast<std::size_t>(q)] = v;
+    dn += v * v;
+  }
+  dn = std::sqrt(dn);
+
+  index i = from - 1;
+  for (; i >= 0; --i) {
+    if (dn == 0.0) break;
+    // decay_amp[i] may be +inf (rank-deficient block: never truncate across
+    // it); dn > 0 here, so the product is well defined, and a NaN bound
+    // (never produced, but belt-and-braces) compares false -> keep going.
+    if (decay_amp[static_cast<std::size_t>(i)] * dn <= tol) break;
+    const Matrix& rd = f.diag[static_cast<std::size_t>(i)];
+    const Matrix& rs = f.sup[static_cast<std::size_t>(i)];
+    const index n = rd.rows();
+    const index m = rs.cols();
+    // delta_i = -R_ii^{-1} (R_{i,i+1} delta_{i+1})
+    if (n <= kSmallState && m <= kSmallState) {
+      for (index r = 0; r < n; ++r) {
+        double acc = 0.0;
+        for (index c = 0; c < m; ++c) acc -= rs(r, c) * cur[static_cast<std::size_t>(c)];
+        next[static_cast<std::size_t>(r)] = acc;
+      }
+      for (index r = n - 1; r >= 0; --r) {
+        double acc = next[static_cast<std::size_t>(r)];
+        for (index c = r + 1; c < n; ++c) acc -= rd(r, c) * next[static_cast<std::size_t>(c)];
+        next[static_cast<std::size_t>(r)] = acc / rd(r, r);
+      }
+    } else {
+      la::gemv(-1.0, rs.view(), Trans::No, cur.first(static_cast<std::size_t>(m)), 0.0,
+               next.first(static_cast<std::size_t>(n)));
+      la::trsv(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, rd.view(),
+               next.first(static_cast<std::size_t>(n)));
+    }
+    Vector& x = u[static_cast<std::size_t>(i)];
+    if (x.size() != n)
+      throw std::invalid_argument("paige_saunders_solve_delta_into: stale solution shape");
+    double s2 = 0.0;
+    for (index r = 0; r < n; ++r) {
+      const double d = next[static_cast<std::size_t>(r)];
+      x[r] += d;
+      cur[static_cast<std::size_t>(r)] = d;
+      s2 += d * d;
+    }
+    dn = std::sqrt(s2);
+  }
+  return TruncatedPass{.updated_from = i + 1, .truncated = i >= 0};
 }
 
 SmootherResult paige_saunders_smooth(const Problem& p, const PaigeSaundersOptions& opts) {

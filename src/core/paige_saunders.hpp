@@ -14,6 +14,8 @@
 /// needs no prior on the initial state, and supports rectangular H_i,
 /// varying state dimensions and missing observations.
 
+#include <span>
+
 #include "kalman/model.hpp"
 
 namespace pitk::kalman {
@@ -46,6 +48,35 @@ void paige_saunders_factor_into(const Problem& p, BidiagonalFactor& f);
 /// Back substitution into caller-owned storage (capacity-reusing; the
 /// per-state loop is allocation-free once `u` is warm).
 void paige_saunders_solve_into(const BidiagonalFactor& f, std::vector<Vector>& u);
+
+/// Partial-range back substitution: recompute u[from..k] with arithmetic
+/// identical to paige_saunders_solve_into over that range, leaving the
+/// entries below `from` untouched.  `u` is resized to k+1 entries.
+void paige_saunders_solve_tail_into(const BidiagonalFactor& f, la::index from,
+                                    std::vector<Vector>& u);
+
+/// Outcome of a truncated delta pass (see paige_saunders_solve_delta_into).
+struct TruncatedPass {
+  la::index updated_from = 0;  ///< lowest state index rewritten by the pass
+  bool truncated = false;      ///< the decay bound stopped the pass early
+};
+
+/// Truncated delta back substitution for streaming re-smooths.  `u` must hold
+/// the previous solution of a factor whose blocks below `from` are unchanged
+/// (the streaming invariant: the finalized prefix only appends).  The tail
+/// u[from..k] is recomputed exactly, then only the correction
+///   delta_i = -R_ii^{-1} R_{i,i+1} delta_{i+1}
+/// is propagated downward, stopping at the first i where
+///   decay_amp[i] * ||delta_{i+1}||_2 <= tol.
+/// decay_amp (IncrementalFilter::decay_amplification) bounds the
+/// amplification of a correction across every window of remaining blocks, so
+/// each state the pass skips is missing a correction of 2-norm at most tol.
+/// States below the stop point keep their previous values.  All transients
+/// are borrowed from the calling thread's la::Workspace (zero allocations
+/// once `u` is warm).
+TruncatedPass paige_saunders_solve_delta_into(const BidiagonalFactor& f, la::index from,
+                                              std::span<const double> decay_amp, double tol,
+                                              std::vector<Vector>& u);
 
 /// Full smoother: factor + solve (+ covariances unless disabled).
 [[nodiscard]] SmootherResult paige_saunders_smooth(const Problem& p,

@@ -1,5 +1,9 @@
 #include "core/selinv.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 #include "la/blas.hpp"
 #include "la/triangular.hpp"
 #include "la/workspace.hpp"
@@ -108,7 +112,14 @@ std::vector<Matrix> selinv_bidiagonal(const BidiagonalFactor& f) {
 }
 
 void selinv_bidiagonal_into(const BidiagonalFactor& f, std::vector<Matrix>& s) {
+  selinv_bidiagonal_tail_into(f, 0, s);
+}
+
+void selinv_bidiagonal_tail_into(const BidiagonalFactor& f, la::index from,
+                                 std::vector<Matrix>& s) {
   const index k = static_cast<index>(f.diag.size()) - 1;
+  if (from < 0 || from > k)
+    throw std::invalid_argument("selinv_bidiagonal_tail_into: from out of range");
   s.resize(static_cast<std::size_t>(k + 1));
   {
     const Matrix& rkk = f.diag[static_cast<std::size_t>(k)];
@@ -124,7 +135,7 @@ void selinv_bidiagonal_into(const BidiagonalFactor& f, std::vector<Matrix>& s) {
       tri_inv_gram_into(rkk.view(), sk.view(), scope);
     }
   }
-  for (index j = k - 1; j >= 0; --j) {
+  for (index j = k - 1; j >= from; --j) {
     const Matrix& rjj = f.diag[static_cast<std::size_t>(j)];
     const Matrix& rjn = f.sup[static_cast<std::size_t>(j)];
     if (rjj.rows() <= kSmallDim && rjn.cols() <= kSmallDim) {
@@ -147,6 +158,73 @@ void selinv_bidiagonal_into(const BidiagonalFactor& f, std::vector<Matrix>& s) {
     la::gemm(-1.0, soff, Trans::No, w, Trans::Yes, 1.0, sjj.view());
     la::symmetrize(sjj.view());
   }
+}
+
+TruncatedPass selinv_bidiagonal_delta_into(const BidiagonalFactor& f, la::index from,
+                                           std::span<const double> decay_amp, double tol,
+                                           std::vector<Matrix>& s) {
+  const index k = static_cast<index>(f.diag.size()) - 1;
+  if (from < 1 || from > k)
+    throw std::invalid_argument("selinv_bidiagonal_delta_into: from must be in [1, k]");
+  if (static_cast<index>(s.size()) <= from || static_cast<index>(decay_amp.size()) < from)
+    throw std::invalid_argument(
+        "selinv_bidiagonal_delta_into: previous covariances / decay bounds too short");
+
+  la::Workspace::Scope scope(la::tls_workspace());
+  index maxn = 0;
+  for (index i = 0; i <= from; ++i) maxn = std::max(maxn, f.diag[static_cast<std::size_t>(i)].rows());
+  MatrixView cur = scope.mat(maxn, maxn);   // Delta at the state just updated
+  MatrixView wbuf = scope.mat(maxn, maxn);  // W_j staging
+  MatrixView tbuf = scope.mat(maxn, maxn);  // W_j Delta staging
+
+  // Seed: exact recompute of the tail, Delta = new S[from] - old S[from].
+  const index nf = f.diag[static_cast<std::size_t>(from)].rows();
+  const Matrix& sf = s[static_cast<std::size_t>(from)];
+  if (sf.rows() != nf || sf.cols() != nf)
+    throw std::invalid_argument("selinv_bidiagonal_delta_into: stale covariance shape");
+  cur.block(0, 0, nf, nf).assign(sf.view());
+  selinv_bidiagonal_tail_into(f, from, s);
+  double dn = 0.0;
+  for (index j = 0; j < nf; ++j)
+    for (index q = 0; q < nf; ++q) {
+      const double v = s[static_cast<std::size_t>(from)](q, j) - cur(q, j);
+      cur(q, j) = v;
+      dn += v * v;
+    }
+  dn = std::sqrt(dn);
+
+  index j = from - 1;
+  for (; j >= 0; --j) {
+    if (dn == 0.0) break;
+    const double a = decay_amp[static_cast<std::size_t>(j)];
+    if (a * a * dn <= tol) break;
+    const Matrix& rjj = f.diag[static_cast<std::size_t>(j)];
+    const Matrix& rjn = f.sup[static_cast<std::size_t>(j)];
+    const index n = rjj.rows();
+    const index m = rjn.cols();
+    // Delta_j = W Delta_{j+1} W^T with W = R_jj^{-1} R_{j,j+1}; writing the
+    // result back into `cur` is safe because the first gemm already consumed
+    // the old Delta.
+    MatrixView w = wbuf.block(0, 0, n, m);
+    w.assign(rjn.view());
+    la::trsm_left(la::Uplo::Upper, Trans::No, la::Diag::NonUnit, rjj.view(), w);
+    MatrixView t = tbuf.block(0, 0, n, m);
+    la::gemm(1.0, w, Trans::No, cur.block(0, 0, m, m), Trans::No, 0.0, t);
+    la::gemm(1.0, t, Trans::No, w, Trans::Yes, 0.0, cur.block(0, 0, n, n));
+    Matrix& sj = s[static_cast<std::size_t>(j)];
+    if (sj.rows() != n || sj.cols() != n)
+      throw std::invalid_argument("selinv_bidiagonal_delta_into: stale covariance shape");
+    double s2 = 0.0;
+    for (index c = 0; c < n; ++c)
+      for (index q = 0; q < n; ++q) {
+        const double d = cur(q, c);
+        sj(q, c) += d;
+        s2 += d * d;
+      }
+    la::symmetrize(sj.view());
+    dn = std::sqrt(s2);
+  }
+  return TruncatedPass{.updated_from = j + 1, .truncated = j >= 0};
 }
 
 }  // namespace pitk::kalman

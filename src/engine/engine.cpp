@@ -503,7 +503,13 @@ std::vector<std::future<JobResult>> SmootherEngine::submit_batch(std::vector<Pro
 }
 
 Session SmootherEngine::open_session(la::index n0, const SessionOptions& opts) {
+  if (!(opts.resmooth_tol > 0.0))
+    throw std::invalid_argument("open_session: resmooth_tol must be positive");
   auto st = std::make_shared<Session::State>(this, n0);
+  // The env override (read in the State constructor) can only force exactness
+  // on, never weaken an exact_resmooth() request.
+  st->exact_resmooth = st->exact_resmooth || opts.exact;
+  st->resmooth_tol = opts.resmooth_tol;
   if (opts.store != nullptr) {
     st->journal = io::SessionJournal::create(*opts.store, opts.id, io::SessionKind::Linear);
     st->journal->stage_open_linear(n0);

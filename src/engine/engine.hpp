@@ -157,6 +157,13 @@ struct NonlinearJobOptions : SubmitOptions {
   double delta_prior_variance = 1e4;
 };
 
+/// Default tolerance of the truncated delta re-smooth (see
+/// SessionOptions::resmooth_tolerance): the per-pass neglected correction is
+/// bounded per state by this value, and the session forces a full backward
+/// pass every few hundred truncated ones, so the worst-case accumulated
+/// deviation stays well below the library-wide 1e-10 agreement bar.
+inline constexpr double kDefaultResmoothTolerance = 1e-13;
+
 /// Options for opening a streaming session — ONE struct for all four
 /// previous entry points.  Nonlinear-ness is the open_session *overload*
 /// (pass a NonlinearModel + initial guess); durability is the orthogonal
@@ -173,6 +180,15 @@ struct SessionOptions {
   /// (NonlinearJobOptions::into must stay null — it is per smooth_async
   /// call).  Ignored by linear sessions.
   NonlinearJobOptions nonlinear;
+  /// Linear sessions: serve every re-smooth through the full spliced
+  /// backward pass (bit-for-bit the pre-truncation behavior) instead of the
+  /// truncated delta pass.  Also forced process-wide by PITK_RESMOOTH_EXACT=1.
+  bool exact = false;
+  /// Linear sessions: per-state bound (2-norm for means, Frobenius for
+  /// covariances) on the correction a truncated delta re-smooth may neglect.
+  /// Must be positive; larger values truncate earlier (faster appends,
+  /// looser agreement with the exact pass).
+  double resmooth_tol = kDefaultResmoothTolerance;
 
   /// Builder conveniences so call sites read as a sentence:
   ///   eng.open_session(n0, SessionOptions{}.durable(store, "tenant-7"));
@@ -187,6 +203,14 @@ struct SessionOptions {
   }
   SessionOptions& backend(Backend b) {
     nonlinear.backend = b;
+    return *this;
+  }
+  SessionOptions& exact_resmooth() {
+    exact = true;
+    return *this;
+  }
+  SessionOptions& resmooth_tolerance(double tol) {
+    resmooth_tol = tol;
     return *this;
   }
 };

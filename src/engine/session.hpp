@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/filter.hpp"
 #include "engine/engine.hpp"
@@ -42,6 +43,8 @@ class SessionJournal;
 }
 
 namespace pitk::engine {
+
+struct SolverCache;
 
 using kalman::CovFactor;
 using la::Matrix;
@@ -58,6 +61,14 @@ struct SessionStats {
   std::uint64_t resmooth_misses = 0;      ///< needed a splice + solve pass
   std::uint64_t covariance_upgrades = 0;  ///< means current; only SelInv was missing
   std::uint64_t steps_spliced = 0;        ///< finalized blocks spliced over all misses
+  /// Misses whose backward pass the decay bound stopped early (the truncated
+  /// delta path; 0 for exact_resmooth() sessions).  Mirrored as
+  /// pitk.session.truncated_resmooths; the per-pass window of states
+  /// actually updated feeds the pitk.session.truncation_window histogram.
+  std::uint64_t truncated_resmooths = 0;
+  /// States those truncated passes proved they could skip (k+1 - window,
+  /// summed): the work O(k) full passes would have spent below the bound.
+  std::uint64_t steps_truncation_skipped = 0;
 };
 
 class Session {
@@ -140,6 +151,25 @@ class Session {
     std::uint64_t result_mutation = 0;  ///< State::mutations when result was computed
     bool result_valid = false;
     bool result_covs = false;        ///< result includes covariances
+    /// Spliced decay-amplification bounds (filter decay_amplification(),
+    /// kept in lockstep with `factor`'s prefix blocks).
+    std::vector<double> decay_amp;
+    /// result.means/.covariances solve the *previously* spliced factor —
+    /// the precondition of the truncated delta pass.  Cleared before each
+    /// solve and restored on success, so a throwing solve can't leave a
+    /// half-updated result posing as a valid delta seed.
+    bool means_seed_valid = false;
+    bool covs_seed_valid = false;
+    /// Truncated passes since the last full backward pass; a full pass is
+    /// forced every kResmoothRefreshInterval so accumulated neglected
+    /// corrections stay bounded (each truncated pass adds at most tol).
+    std::uint32_t truncated_streak = 0;
+    // ---- delta copy-out bookkeeping (see SmootherResult::serve_stamp) ----
+    std::uint64_t last_stamp = 0;  ///< stamp written into the storage served last
+    std::size_t last_means = 0;    ///< means entries that storage received
+    std::size_t last_covs = 0;     ///< covariance entries (0 = none served)
+    std::size_t means_low = 0;     ///< lowest result.means entry changed since
+    std::size_t covs_low = 0;      ///< ... and result.covariances
   };
 
   struct State {
@@ -156,6 +186,10 @@ class Session {
     /// pointer test per mutation.
     std::unique_ptr<io::SessionJournal> journal;
     std::uint64_t mutations = 0;  ///< evolve/observe/reset count (result-cache key)
+    /// Truncated-resmooth knobs, fixed at open (SessionOptions / the
+    /// PITK_RESMOOTH_EXACT env override read once per process).
+    bool exact_resmooth = false;
+    double resmooth_tol = kDefaultResmoothTolerance;
     mutable ResmoothCache sync_cache;
     mutable ResmoothCache async_cache;
     // SessionStats sources; relaxed atomics so resmooth() records without
@@ -164,6 +198,8 @@ class Session {
     mutable std::atomic<std::uint64_t> misses{0};
     mutable std::atomic<std::uint64_t> cov_upgrades{0};
     mutable std::atomic<std::uint64_t> steps_spliced{0};
+    mutable std::atomic<std::uint64_t> truncated{0};
+    mutable std::atomic<std::uint64_t> truncation_skipped{0};
   };
 
   explicit Session(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -174,6 +210,16 @@ class Session {
   /// session has not mutated since the last smooth through `cache`.
   static void resmooth(const State& st, ResmoothCache& cache, bool with_covariances,
                        SmootherResult& out);
+
+  /// Cold large-track variant for smooth_async: snapshot-isolated so the
+  /// intra-parallel solve never holds `cache.mu` (a helping join can execute
+  /// other session jobs on this thread — holding the cache lock across it
+  /// could self-deadlock).  Splices into the executing worker's SolverCache
+  /// under the session lock only, factors/solves via the odd-even backend
+  /// from the spliced bidiagonal prefix, then publishes into `cache` (unless
+  /// something newer landed meanwhile) so follow-up smooths hit or truncate.
+  static void resmooth_large(const State& st, ResmoothCache& cache, bool with_covariances,
+                             SmootherResult& out, par::ThreadPool& pool, SolverCache& sc);
 
   std::shared_ptr<State> state_;
 };

@@ -64,6 +64,7 @@ void solve_with_into(Backend b, const Problem& p, const std::optional<GaussianPr
       // blocks all reuse their capacity; transients are workspace borrows.
       // Checkpoints between the stages give deadlines/cancellation a say
       // mid-job without any per-step cost.
+      cache.session_key = nullptr;  // `factor` no longer holds a session splice
       kalman::paige_saunders_factor_into(folded, cache.factor);
       if (fault::any_armed() && !cache.factor.diag.empty())
         fault::inject_nan("solver.factor", cache.factor.diag.front().data(),

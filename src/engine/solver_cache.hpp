@@ -18,6 +18,7 @@
 /// A cache is not thread-safe; it must only ever be used by the one worker
 /// it belongs to, one job at a time.
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/associative.hpp"
@@ -25,6 +26,7 @@
 #include "core/oddeven.hpp"
 #include "core/paige_saunders.hpp"
 #include "engine/backend.hpp"
+#include "la/qr.hpp"
 
 namespace pitk::engine {
 
@@ -43,6 +45,20 @@ struct SolverCache {
   /// same-shaped outer iteration with zero heap allocations (given a model
   /// with *_into callbacks).
   kalman::GaussNewtonState gauss_newton;
+  /// Householder tau scratch for jobs that run QR compression against the
+  /// cached factor (session splices on the snapshot-isolated large path).
+  la::QrScratch qr;
+  /// Odd-even factor storage for large session re-smooths built from the
+  /// spliced bidiagonal prefix (level vectors reuse capacity across jobs).
+  kalman::OddEvenFactor oddeven_factor;
+  /// Session affinity of `factor` for the snapshot-isolated large re-smooth
+  /// path: when this worker re-serves the same session in the same reset
+  /// epoch, the splice copies only newly finalized blocks; any other
+  /// (session, epoch) — or a batch job, which overwrites `factor` and clears
+  /// the key — re-splices from scratch.
+  const void* session_key = nullptr;
+  std::uint64_t session_epoch = 0;
+  std::size_t session_prefix = 0;
   /// Jobs this cache has served (first job on a worker is the cold one).
   std::uint64_t jobs_served = 0;
   /// Re-entrancy latch, touched only by the owning thread: a large job's

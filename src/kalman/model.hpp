@@ -12,6 +12,7 @@
 /// an extra observation of the full state (G = I, o = mean, L = cov) — see
 /// with_prior_observation().
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -180,6 +181,13 @@ struct NonlinearModel {
 struct SmootherResult {
   std::vector<Vector> means;        ///< \hat u_i, i = 0..k
   std::vector<Matrix> covariances;  ///< cov(\hat u_i); empty when skipped (NC)
+
+  /// Opaque serving stamp used by the engine's session delta copy-out: it
+  /// identifies the cached result last served into this storage, so the next
+  /// smooth into the same storage only copies the entries that changed.
+  /// 0 = never served.  Treat a served result as read-only between smooths
+  /// (or zero the stamp after modifying it to force a full copy).
+  std::uint64_t serve_stamp = 0;
 
   [[nodiscard]] bool has_covariances() const noexcept { return !covariances.empty(); }
 };

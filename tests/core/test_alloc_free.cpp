@@ -355,6 +355,51 @@ TEST(AllocFree, SessionIncrementalResmoothOnWarmCache) {
       << "alternating NC/covariance re-smooths must stay allocation-free";
 }
 
+TEST(AllocFree, SessionTruncatedResmoothOnWarmCache) {
+  // The PR-10 steady-state criterion: a warm re-smooth that the decay bound
+  // truncates — delta back substitution, delta SelInv and the delta copy-out
+  // — performs zero counted allocations.  Damped dynamics (F = 0.5 I, full
+  // identity observations) make the bound provably fire.
+  Rng rng(0xA110C + 13);
+  const la::index n = 3;
+  engine::SmootherEngine eng({.threads = 1});
+  engine::Session s = eng.open_session(n);
+
+  auto append = [&](bool first) {
+    if (!first) {
+      Matrix f = Matrix::identity(n);
+      for (la::index q = 0; q < n; ++q) f(q, q) = 0.5;
+      s.evolve(std::move(f), Vector(n), CovFactor::identity(n));
+    }
+    s.observe(Matrix::identity(n), la::random_gaussian_vector(rng, n),
+              CovFactor::identity(n));
+  };
+  for (int i = 0; i < 120; ++i) append(i == 0);
+
+  SmootherResult out;
+  s.smooth_into(out, true);  // cold pass builds all capacity
+  append(false);
+  s.smooth_into(out, true);  // settles the per-append high-water
+  const std::uint64_t warm_truncated = s.stats().truncated_resmooths;
+  EXPECT_GT(warm_truncated, 0u) << "the damped track must truncate once warm";
+
+  // An observe-only mutation built outside the measured region (evolving
+  // would grow the factor's block vectors — the amortized append cost the
+  // existing warm-resmooth test also excludes).
+  Matrix g2 = Matrix::identity(n);
+  Vector o2 = la::random_gaussian_vector(rng, n);
+  CovFactor l2 = CovFactor::identity(n);
+  settle_workspace();
+
+  const std::uint64_t before = aligned_alloc_count();
+  s.observe(std::move(g2), std::move(o2), std::move(l2));
+  s.smooth_into(out, true);
+  EXPECT_EQ(aligned_alloc_count() - before, 0u)
+      << "a warm truncated re-smooth must not touch the heap";
+  EXPECT_GT(s.stats().truncated_resmooths, warm_truncated)
+      << "the measured pass must have taken the truncated path";
+}
+
 TEST(AllocFree, RecoveredSessionResmoothOnWarmCache) {
   // The PR-8 durability criterion: a session rebuilt by recover_all() serves
   // exactly like a live one — once its caches are warm, a re-smooth after a

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <span>
+
 #include "core/paige_saunders.hpp"
 #include "core/selinv.hpp"
 #include "kalman/dense_reference.hpp"
@@ -175,6 +179,52 @@ TEST(IncrementalFilter, ResmoothFromSpliceEqualsColdSmooth) {
     test::expect_means_near(inc.means, cold.means, 1e-12, "incremental vs cold means");
     test::expect_covs_near(inc.covariances, cold.covariances, 1e-12, "incremental vs cold covs");
   }
+}
+
+TEST(IncrementalFilter, DecayAmplificationTracksFinalizedBlocks) {
+  // One bound per finalized block, equal to g_i * max(1, amp_{i-1}) with
+  // g_i = ||R_ii^{-1} R_{i,i+1}||_F recomputed from the exposed factor; a
+  // snapshot/restore round trip rebuilds the identical values; reset clears.
+  Rng rng(945);
+  test::RandomProblemSpec spec;
+  spec.k = 16;
+  spec.n_min = spec.n_max = 3;
+  spec.obs_probability = 1.0;
+  Problem p = test::random_problem(rng, spec);
+  IncrementalFilter f = replay(p, p.last_index());
+
+  const std::span<const double> amp = f.decay_amplification();
+  ASSERT_EQ(static_cast<index>(amp.size()), f.finished_steps());
+
+  BidiagonalFactor fac;
+  la::QrScratch qr;
+  f.resmooth_from(0, fac, qr);
+  double prev = 1.0;
+  for (index i = 0; i < f.finished_steps(); ++i) {
+    Matrix w = fac.sup[static_cast<std::size_t>(i)];
+    la::trsm_left(la::Uplo::Upper, la::Trans::No, la::Diag::NonUnit,
+                  fac.diag[static_cast<std::size_t>(i)].view(), w.view());
+    double ss = 0.0;
+    for (index c = 0; c < w.cols(); ++c)
+      for (index r = 0; r < w.rows(); ++r) ss += w(r, c) * w(r, c);
+    const double expected = std::sqrt(ss) * std::max(1.0, prev);
+    EXPECT_NEAR(amp[static_cast<std::size_t>(i)], expected,
+                1e-12 * std::max(1.0, expected))
+        << "block " << i;
+    prev = expected;
+  }
+
+  FilterSnapshot snap;
+  f.snapshot_state(snap);
+  IncrementalFilter restored(3);
+  restored.restore_state(snap);
+  const std::span<const double> amp2 = restored.decay_amplification();
+  ASSERT_EQ(amp2.size(), amp.size());
+  for (std::size_t i = 0; i < amp.size(); ++i)
+    EXPECT_EQ(amp2[i], amp[i]) << "restore must recompute identical bounds @" << i;
+
+  f.reset(3);
+  EXPECT_TRUE(f.decay_amplification().empty());
 }
 
 TEST(IncrementalFilter, ResmoothFromPrefixOnlyAppends) {

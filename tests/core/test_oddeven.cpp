@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/paige_saunders.hpp"
+#include "core/selinv.hpp"
 #include "kalman/dense_reference.hpp"
 #include "kalman/simulate.hpp"
 #include "la/blas.hpp"
@@ -220,6 +221,48 @@ TEST(OddEven, RejectsInvalidProblem) {
   p.start(2);
   par::ThreadPool pool(1);
   EXPECT_THROW((void)oddeven_smooth(p, pool, {}), std::invalid_argument);
+}
+
+TEST(OddEven, FactorFromBidiagonalMatchesSequentialSolve) {
+  // A factorization seeded from an already-assembled bidiagonal R (the large
+  // session re-smooth path) must reproduce the sequential Paige-Saunders
+  // solution and SelInv covariances: the bidiagonal rows are one orthogonal
+  // transform of the original problem, so both factorizations solve the same
+  // least-squares problem.
+  Rng rng(337);
+  par::ThreadPool pool(4);
+  for (const index k : {0, 1, 2, 7, 64, 150}) {
+    test::RandomProblemSpec spec;
+    spec.k = k;
+    spec.n_min = spec.n_max = 3;
+    spec.obs_probability = k == 0 ? 1.0 : 0.8;
+    Problem p = test::random_problem(rng, spec);
+
+    BidiagonalFactor b = paige_saunders_factor(p);
+    std::vector<Vector> ps_means;
+    paige_saunders_solve_into(b, ps_means);
+    std::vector<Matrix> ps_covs = selinv_bidiagonal(b);
+
+    OddEvenFactor f = oddeven_factor_from_bidiagonal(b, pool, 2);
+    std::vector<Vector> oe_means = oddeven_solve(f, pool, 2);
+    std::vector<Matrix> oe_covs = oddeven_covariances(f, pool, 2);
+
+    test::expect_means_near(oe_means, ps_means, 1e-10, "k=" + std::to_string(k));
+    test::expect_covs_near(oe_covs, ps_covs, 1e-10, "k=" + std::to_string(k));
+  }
+}
+
+TEST(OddEven, FactorFromBidiagonalValidatesShapes) {
+  par::ThreadPool pool(1);
+  BidiagonalFactor b;  // no states at all
+  EXPECT_THROW((void)oddeven_factor_from_bidiagonal(b, pool), std::invalid_argument);
+  b.diag.push_back(Matrix::identity(2));
+  b.diag.push_back(Matrix::identity(2));
+  b.sup.push_back(Matrix::identity(3));  // wrong shape: must be 2x2
+  b.sup.emplace_back();                  // entry k stays empty
+  b.rhs.push_back(Vector(2));
+  b.rhs.push_back(Vector(2));
+  EXPECT_THROW((void)oddeven_factor_from_bidiagonal(b, pool), std::invalid_argument);
 }
 
 }  // namespace

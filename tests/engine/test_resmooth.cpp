@@ -1,11 +1,16 @@
 /// \file test_resmooth.cpp
 /// Incremental re-smoothing equivalence: a streaming session that re-smooths
-/// after appending steps must produce exactly what a cold full smooth of the
-/// same track produces — across all five backends, after reset(), and from
-/// the async path — while its ResmoothCache only ever does delta work.
+/// after appending steps must agree with a cold full smooth of the same
+/// track — across all five backends, after reset(), and from the async path
+/// — while its ResmoothCache only ever does delta work.  The truncated delta
+/// pass (PR 10) additionally must stay within its advertised tolerance, and
+/// an exact_resmooth() session must remain bit-for-bit the full spliced
+/// pass.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -55,6 +60,14 @@ TEST(Resmooth, IncrementalMatchesColdFullSmoothAcrossAllBackends) {
   drive_range(s, cp.for_qr, split + 1, k);
   const SmootherResult inc = s.smooth(true);  // delta: splices 8 blocks
 
+  // An exact session rides the identical stream; its incremental result must
+  // also sit within the library bar against every backend.
+  Session sx = eng.open_session(3, SessionOptions{}.exact_resmooth());
+  drive_range(sx, cp.for_qr, 0, split);
+  (void)sx.smooth(true);
+  drive_range(sx, cp.for_qr, split + 1, k);
+  const SmootherResult exact = sx.smooth(true);
+
   for (const BackendInfo& info : all_backends()) {
     const SmootherResult cold =
         solve_with(info.id, cp.for_conventional, cp.prior, eng.pool());
@@ -62,31 +75,48 @@ TEST(Resmooth, IncrementalMatchesColdFullSmoothAcrossAllBackends) {
                             std::string("incremental vs ") + info.name + " means");
     test::expect_covs_near(inc.covariances, cold.covariances, 1e-10,
                            std::string("incremental vs ") + info.name + " covs");
+    test::expect_means_near(exact.means, cold.means, 1e-10,
+                            std::string("exact incremental vs ") + info.name + " means");
+    test::expect_covs_near(exact.covariances, cold.covariances, 1e-10,
+                           std::string("exact incremental vs ") + info.name + " covs");
   }
 }
 
 TEST(Resmooth, EverySmoothAlongAStreamMatchesScratchSession) {
-  // Smooth after every appended step; each incremental result must be
+  // Smooth after every appended step.  An exact_resmooth() session must be
   // bit-for-bit what a from-scratch session smoothing once would produce
-  // (identical factor assembly => identical arithmetic).
+  // (identical factor assembly and identical full backward pass => identical
+  // arithmetic — the pre-truncation contract, preserved verbatim).  A
+  // default session may take the truncated delta pass, so it gets the
+  // library-wide 1e-10 bar instead.
   Rng rng(7102);
   const index k = 24;
   SmootherEngine eng({.threads = 1});
   const test::CommonProblem cp = test::common_problem(rng, 3, k);
 
+  Session sx = eng.open_session(3, SessionOptions{}.exact_resmooth());
   Session s = eng.open_session(3);
+  drive_range(sx, cp.for_qr, 0, 0);
   drive_range(s, cp.for_qr, 0, 0);
   for (index i = 1; i <= k; ++i) {
+    drive_range(sx, cp.for_qr, i, i);
     drive_range(s, cp.for_qr, i, i);
+    const SmootherResult exact = sx.smooth(true);
     const SmootherResult inc = s.smooth(true);
 
     Session fresh = eng.open_session(3);
     drive_range(fresh, cp.for_qr, 0, i);
     const SmootherResult scratch = fresh.smooth(true);
-    test::expect_means_near(inc.means, scratch.means, 0.0, "step " + std::to_string(i));
-    test::expect_covs_near(inc.covariances, scratch.covariances, 0.0,
+    test::expect_means_near(exact.means, scratch.means, 0.0, "step " + std::to_string(i));
+    test::expect_covs_near(exact.covariances, scratch.covariances, 0.0,
                            "step " + std::to_string(i));
+    test::expect_means_near(inc.means, scratch.means, 1e-10,
+                            "delta step " + std::to_string(i));
+    test::expect_covs_near(inc.covariances, scratch.covariances, 1e-10,
+                           "delta step " + std::to_string(i));
   }
+  EXPECT_EQ(sx.stats().truncated_resmooths, 0u)
+      << "an exact session must never truncate";
 }
 
 TEST(Resmooth, ResetInvalidatesThePrefixCache) {
@@ -184,6 +214,123 @@ TEST(Resmooth, SmoothAsyncIntoWarmCallerStorage) {
     test::expect_means_near(storage.means, ref.means, 1e-7, "warm async into");
     test::expect_covs_near(storage.covariances, ref.covariances, 1e-6, "warm async into");
   }
+}
+
+/// Drive one damped fully-observed step into `s`: x' = 0.5 x + noise with an
+/// identity observation.  Damped dynamics keep ||R_ii^{-1} R_{i,i+1}|| well
+/// below 1, so the decay bound provably truncates the backward pass — the
+/// regime the truncated delta re-smooth is built for.
+void drive_damped_step(Session& s, Rng& rng, index n, bool first) {
+  if (!first) {
+    Matrix f = Matrix::identity(n);
+    for (index q = 0; q < n; ++q) f(q, q) = 0.5;
+    s.evolve(std::move(f), la::Vector(n), kalman::CovFactor::identity(n));
+  }
+  s.observe(Matrix::identity(n), la::random_gaussian_vector(rng, n),
+            kalman::CovFactor::identity(n));
+}
+
+TEST(Resmooth, TruncatedResmoothStaysWithinTheRequestedTolerance) {
+  // Property sweep over the decay tolerance: at every setting the truncated
+  // result must stay within (passes x tol) of the exact session — each
+  // truncated pass neglects at most `tol` per state — and on a strongly
+  // damped track the bound must actually fire.
+  const index n = 2;
+  const index k = 150;
+  for (const double tol : {1e-4, 1e-7, 1e-10}) {
+    SmootherEngine eng({.threads = 1});
+    Session s = eng.open_session(n, SessionOptions{}.resmooth_tolerance(tol));
+    Session sx = eng.open_session(n, SessionOptions{}.exact_resmooth());
+    Rng rng(7200 + static_cast<std::uint64_t>(-std::log10(tol)));
+    Rng rng_twin = rng;  // identical observation stream for both sessions
+    for (index i = 0; i <= k; ++i) {
+      drive_damped_step(s, rng, n, i == 0);
+      drive_damped_step(sx, rng_twin, n, i == 0);
+      if (i >= 30) (void)s.smooth(true);  // re-smooth every append once warm
+    }
+    const SmootherResult got = s.smooth(true);
+    const SmootherResult ref = sx.smooth(true);
+    const SessionStats st = s.stats();
+    EXPECT_GT(st.truncated_resmooths, 0u) << "tol " << tol;
+    EXPECT_GT(st.steps_truncation_skipped, 0u) << "tol " << tol;
+    const double bound = static_cast<double>(st.truncated_resmooths + 1) * tol;
+    test::expect_means_near(got.means, ref.means, bound,
+                            "truncated means within bound, tol " + std::to_string(tol));
+    test::expect_covs_near(got.covariances, ref.covariances, bound,
+                           "truncated covs within bound, tol " + std::to_string(tol));
+  }
+}
+
+TEST(Resmooth, DefaultToleranceHoldsTheLibraryBarAcrossForcedRefreshes) {
+  // 600 truncated re-smooths cross the forced-full-pass refresh interval;
+  // the default tolerance must keep the served result within the
+  // library-wide 1e-10 bar of the exact session throughout.
+  const index n = 2;
+  const index k = 600;
+  SmootherEngine eng({.threads = 1});
+  Session s = eng.open_session(n);
+  Session sx = eng.open_session(n, SessionOptions{}.exact_resmooth());
+  Rng rng(7201);
+  Rng rng_twin = rng;
+  SmootherResult out;
+  for (index i = 0; i <= k; ++i) {
+    drive_damped_step(s, rng, n, i == 0);
+    drive_damped_step(sx, rng_twin, n, i == 0);
+    if (i >= 20) s.smooth_into(out, true);
+  }
+  const SmootherResult ref = sx.smooth(true);
+  test::expect_means_near(out.means, ref.means, 1e-10, "default-tol means");
+  test::expect_covs_near(out.covariances, ref.covariances, 1e-10, "default-tol covs");
+  const SessionStats st = s.stats();
+  EXPECT_GT(st.truncated_resmooths, 520u)
+      << "the damped track must truncate through a forced refresh";
+  EXPECT_LT(st.truncated_resmooths, st.resmooth_misses)
+      << "the refresh interval must force at least one full pass";
+}
+
+TEST(Resmooth, LargeColdAsyncSmoothTakesTheOddEvenPath) {
+  // A cold async smooth of a >=4096-state track on a multi-thread engine
+  // must route through the snapshot-isolated odd-even path (visible through
+  // JobMetrics::backend), agree with the exact sequential pass, and leave
+  // the async cache warm so the next append re-smooths via the truncated
+  // delta path on the small-job lane.
+  const index n = 2;
+  const index k = 4100;
+  SmootherEngine eng({.threads = 2});
+  Session s = eng.open_session(n);
+  Session sx = eng.open_session(n, SessionOptions{}.exact_resmooth());
+  Rng rng(7202);
+  Rng rng_twin = rng;
+  for (index i = 0; i <= k; ++i) {
+    drive_damped_step(s, rng, n, i == 0);
+    drive_damped_step(sx, rng_twin, n, i == 0);
+  }
+
+  SmootherResult storage;
+  const JobResult cold = s.smooth_async(true, &storage).get();
+  EXPECT_EQ(cold.metrics.backend, Backend::OddEven)
+      << "a cold large track must take the parallel path";
+  const SmootherResult ref = sx.smooth(true);
+  test::expect_means_near(storage.means, ref.means, 1e-8, "large cold async means");
+  test::expect_covs_near(storage.covariances, ref.covariances, 1e-8,
+                         "large cold async covs");
+
+  drive_damped_step(s, rng, n, false);
+  drive_damped_step(sx, rng_twin, n, false);
+  const JobResult warm = s.smooth_async(true, &storage).get();
+  EXPECT_EQ(warm.metrics.backend, Backend::PaigeSaunders)
+      << "a warm cache keeps the track on the truncated delta path";
+  const SmootherResult ref2 = sx.smooth(true);
+  test::expect_means_near(storage.means, ref2.means, 1e-8, "large warm async means");
+  test::expect_covs_near(storage.covariances, ref2.covariances, 1e-8,
+                         "large warm async covs");
+  EXPECT_GT(s.stats().truncated_resmooths, 0u)
+      << "the warm append must have truncated its backward pass";
+
+  // An exact session of the same length must stay on the sequential spliced
+  // path even when cold: its bit-for-bit promise forbids the backend swap.
+  const JobResult exact_job = sx.smooth_async(true).get();
+  EXPECT_EQ(exact_job.metrics.backend, Backend::PaigeSaunders);
 }
 
 TEST(Resmooth, SmoothIntoReusesCallerStorageAcrossAppends) {
